@@ -1,0 +1,83 @@
+//! Microbenchmarks of the per-interaction kernels that the paper's
+//! Table III accounts operation-by-operation: spline segment lookup and
+//! evaluation, the EAM pair/density/embedding evaluations, in both tile
+//! (f32) and reference (f64) precision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use md_core::eam::EamPotential;
+use md_core::materials::{Material, Species};
+
+fn bench_spline(c: &mut Criterion) {
+    let pot = Material::new(Species::Ta).potential();
+    let pot32: EamPotential<f32> = pot.cast();
+    let mut group = c.benchmark_group("spline_eval");
+    group.bench_function("phi_f64", |b| {
+        let mut x = 2.0f64;
+        b.iter(|| {
+            x = 2.0 + (x * 1.37) % 1.9;
+            black_box(pot.phi.eval_both(black_box(x)))
+        })
+    });
+    group.bench_function("phi_f32", |b| {
+        let mut x = 2.0f32;
+        b.iter(|| {
+            x = 2.0 + (x * 1.37) % 1.9;
+            black_box(pot32.phi.eval_both(black_box(x)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_eam_terms(c: &mut Criterion) {
+    let pot = Material::new(Species::W).potential();
+    let pot32: EamPotential<f32> = pot.cast();
+    let mut group = c.benchmark_group("eam_interaction_terms");
+    // One full per-interaction evaluation: pair + density + their
+    // derivatives (the 36-op row block of Table III).
+    group.bench_function("interaction_f64", |b| {
+        let mut r = 2.8f64;
+        b.iter(|| {
+            r = 2.5 + (r * 1.618) % 2.4;
+            let (phi, dphi) = pot.pair(black_box(r));
+            let (rho, drho) = pot.density(r);
+            black_box((phi, dphi, rho, drho))
+        })
+    });
+    group.bench_function("interaction_f32", |b| {
+        let mut r = 2.8f32;
+        b.iter(|| {
+            r = 2.5 + (r * 1.618) % 2.4;
+            let (phi, dphi) = pot32.pair(black_box(r));
+            let (rho, drho) = pot32.density(r);
+            black_box((phi, dphi, rho, drho))
+        })
+    });
+    group.bench_function("embedding_f32", |b| {
+        let rho_e = pot32.rho_equilibrium as f32;
+        let mut d = rho_e;
+        b.iter(|| {
+            d = rho_e * (0.5 + (d * 1.1) % 1.0);
+            black_box(pot32.embedding(black_box(d)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bruteforce_cluster(c: &mut Criterion) {
+    // Whole-cluster force evaluation (the validation oracle).
+    let pot = Material::new(Species::Cu).potential();
+    let spec = md_core::lattice::SlabSpec {
+        crystal: md_core::lattice::Crystal::Fcc,
+        lattice_a: 3.615,
+        nx: 3,
+        ny: 3,
+        nz: 2,
+    };
+    let pos = spec.generate();
+    c.bench_function("bruteforce_72_atoms", |b| {
+        b.iter(|| black_box(pot.compute_bruteforce(black_box(&pos), md_core::eam::open_disp)))
+    });
+}
+
+criterion_group!(benches, bench_spline, bench_eam_terms, bench_bruteforce_cluster);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of the atom→core mapping construction (done once per run
+//! or after major reconfiguration) and the assignment-cost evaluation
+//! (done every sampled step of the Fig. 9 experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_core::lattice::{Crystal, SlabSpec};
+use wse_fabric::geometry::Extent;
+use wse_md::Mapping;
+
+fn slab(nx: usize) -> Vec<md_core::vec3::V3d> {
+    SlabSpec {
+        crystal: Crystal::Bcc,
+        lattice_a: 3.304,
+        nx,
+        ny: nx,
+        nz: 3,
+    }
+    .generate()
+}
+
+fn bench_mapping_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_build");
+    group.sample_size(20);
+    for nx in [16usize, 32, 64] {
+        let pos = slab(nx);
+        let cores = (pos.len() as f64 * 1.04).ceil() as usize;
+        let w = (cores as f64).sqrt().ceil() as usize;
+        let extent = Extent::new(w, cores.div_ceil(w));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pos.len()),
+            &(),
+            |bench, _| bench.iter(|| black_box(Mapping::greedy(black_box(&pos), extent))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_assignment_cost(c: &mut Criterion) {
+    let pos = slab(32);
+    let cores = (pos.len() as f64 * 1.04).ceil() as usize;
+    let w = (cores as f64).sqrt().ceil() as usize;
+    let m = Mapping::greedy(&pos, Extent::new(w, cores.div_ceil(w)));
+    c.bench_function("assignment_cost_6144_atoms", |b| {
+        b.iter(|| black_box(m.assignment_cost_angstroms(black_box(&pos))))
+    });
+}
+
+criterion_group!(benches, bench_mapping_build, bench_assignment_cost);
+criterion_main!(benches);

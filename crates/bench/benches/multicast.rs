@@ -1,0 +1,43 @@
+//! Benchmarks of the router-level marching-multicast simulation — the
+//! cycle-mode substrate that validates the communication schedule.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wse_fabric::geometry::Extent;
+use wse_fabric::multicast::{simulate_line_stage, simulate_neighborhood_exchange};
+
+fn bench_line_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_stage");
+    for b_radius in [2usize, 4, 7] {
+        let payloads: Vec<Vec<u32>> = (0..64).map(|i| vec![i as u32; 4]).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b_radius),
+            &b_radius,
+            |bench, &b_radius| {
+                bench.iter(|| black_box(simulate_line_stage(black_box(&payloads), b_radius)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood_exchange");
+    group.sample_size(20);
+    for (w, h, b) in [(16usize, 16usize, 2usize), (24, 24, 4)] {
+        let extent = Extent::new(w, h);
+        let payloads: Vec<Vec<u32>> = (0..extent.count()).map(|i| vec![i as u32; 4]).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}_b{b}")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(simulate_neighborhood_exchange(extent, black_box(&payloads), b))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_stage, bench_full_exchange);
+criterion_main!(benches);

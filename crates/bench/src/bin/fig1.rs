@@ -1,0 +1,39 @@
+//! Fig. 1 — achievable MD timescale: WSE vs exascale GPU.
+//!
+//! Regenerates the star coordinates on the length/time map and the
+//! headline "every year of runtime becomes two days" arithmetic.
+
+use perf_model::timescale::{
+    days_to_reach, gpu_star, reachable_timescale_s, slab_length_m, wse_star,
+};
+use wafer_md_bench::header;
+
+fn main() {
+    header("Fig. 1 — maximum achievable MD timescale (801,792 Ta atoms, 2 fs, 30 days)");
+    let wse = wse_star();
+    let gpu = gpu_star();
+    println!("platform | length scale (m) | reachable timescale (s)");
+    println!("WSE      | {:>14.2e}   | {:>10.2e}", wse.length_m, wse.time_s);
+    println!("GPU      | {:>14.2e}   | {:>10.2e}", gpu.length_m, gpu.time_s);
+    println!("timescale expansion: {:.0}x", wse.time_s / gpu.time_s);
+
+    header("Fig. 1 annotations");
+    println!(
+        "paper-quoted WSE timescale (250k ts/s): {:.2e} s (vs our {:.2e} s at measured 274,016 ts/s)",
+        reachable_timescale_s(250_000.0, 2e-3, 30.0),
+        wse.time_s
+    );
+    println!(
+        "maximum MD length scale (1.2e9 atoms): {:.1e} m",
+        slab_length_m(1.2e9)
+    );
+    println!(
+        "100 us of Ta dynamics: {:.1} days on WSE, {:.0} days on Frontier",
+        days_to_reach(100e-6, 2e-3, 274_016.0),
+        days_to_reach(100e-6, 2e-3, 1_530.0)
+    );
+    println!(
+        "one year of GPU runtime compresses to {:.1} days on the WSE",
+        365.0 / (wse.time_s / gpu.time_s)
+    );
+}

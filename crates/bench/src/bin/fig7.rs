@@ -1,0 +1,89 @@
+//! Fig. 7 — strong scaling (a), energy efficiency (b), and relative
+//! Pareto dominance (c) for the 801,792-atom benchmarks.
+
+use md_baseline::cluster::{ClusterModel, Machine};
+use md_baseline::energy::{node_sweep, relative_series, wse_timesteps_per_joule};
+use md_baseline::strongscale::strong_scaling_data;
+use md_core::materials::Species;
+use wafer_md_bench::{fmt_rate, header};
+
+/// Paper-measured WSE rates (Table I).
+fn wse_measured(sp: Species) -> f64 {
+    match sp {
+        Species::Cu => 106_313.0,
+        Species::W => 96_140.0,
+        Species::Ta => 274_016.0,
+    }
+}
+
+fn main() {
+    for sp in [Species::Ta, Species::Cu, Species::W] {
+        let data = strong_scaling_data(sp, wse_measured(sp));
+
+        header(&format!("Fig. 7a — {}: timesteps/s vs nodes", sp.name()));
+        println!("{:>9} {:>12} {:>12}", "nodes", "GPU ts/s", "CPU ts/s");
+        for p in &data.gpu {
+            let cpu = data
+                .cpu
+                .iter()
+                .find(|c| (c.nodes - p.nodes).abs() < 1e-9)
+                .map(|c| fmt_rate(c.timesteps_per_second))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:>9} {:>12} {:>12}",
+                p.nodes,
+                fmt_rate(p.timesteps_per_second),
+                cpu
+            );
+        }
+        println!(
+            "WSE: {} ts/s -> {:.0}x vs best GPU, {:.0}x vs best CPU",
+            fmt_rate(data.wse.timesteps_per_second),
+            data.speedup_vs_gpu(),
+            data.speedup_vs_cpu()
+        );
+
+        header(&format!("Fig. 7b — {}: timesteps/Joule vs timesteps/s", sp.name()));
+        println!("{:>9} {:>12} {:>14} {:>14}", "machine", "nodes", "ts/s", "ts/J");
+        for (name, pts) in [("GPU", &data.gpu), ("CPU", &data.cpu)] {
+            for p in pts.iter().step_by(3) {
+                println!(
+                    "{:>9} {:>12} {:>14} {:>14.4}",
+                    name,
+                    p.nodes,
+                    fmt_rate(p.timesteps_per_second),
+                    p.timesteps_per_joule
+                );
+            }
+        }
+        println!(
+            "{:>9} {:>12} {:>14} {:>14.4}",
+            "WSE",
+            1,
+            fmt_rate(data.wse.timesteps_per_second),
+            wse_timesteps_per_joule(data.wse.timesteps_per_second)
+        );
+
+        header(&format!(
+            "Fig. 7c — {}: WSE speedup factor vs WSE energy-efficiency factor",
+            sp.name()
+        ));
+        println!("{:>9} {:>9} {:>14} {:>14}", "machine", "nodes", "speedup", "energy");
+        for machine in [Machine::FrontierGpu, Machine::QuartzCpu] {
+            let model = ClusterModel::calibrated(machine, sp);
+            for p in relative_series(&model, &node_sweep(machine), wse_measured(sp))
+                .iter()
+                .step_by(3)
+            {
+                println!(
+                    "{:>9} {:>9} {:>13.0}x {:>13.0}x",
+                    if machine == Machine::FrontierGpu { "GPU" } else { "CPU" },
+                    p.nodes,
+                    p.wse_speedup_factor,
+                    p.wse_energy_factor
+                );
+            }
+        }
+        println!("(every cluster point is >1 on both axes: WSE Pareto dominance)");
+    }
+}

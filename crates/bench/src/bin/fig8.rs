@@ -1,0 +1,68 @@
+//! Fig. 8 — weak scaling across core counts on a single wafer.
+//!
+//! Grows the problem and the fabric together (always one atom per core)
+//! and reports the per-step rate. Two series:
+//!
+//! * **controlled grids** (fixed per-core workload, the paper's test
+//!   design): converges to flat — the largest sizes agree to well under
+//!   1%, matching the paper's "perfect weak scaling within 1%";
+//! * **thermal slabs**: converging to flat as the interior fraction
+//!   grows (small sizes are edge-dominated and run faster).
+
+use md_core::materials::Species;
+use wafer_md_bench::{controlled_grid_sim, fmt_rate, header, thermal_slab_sim};
+
+fn main() {
+    header("Fig. 8 — weak scaling, controlled grids (fixed workload per core)");
+    let mut rows = Vec::new();
+    for side in [24usize, 48, 96, 192, 384] {
+        let mut sim = controlled_grid_sim(Species::Ta, side, 1.3, 4);
+        sim.run(6);
+        let s = sim.last_stats;
+        rows.push((
+            sim.n_atoms(),
+            sim.extent().count(),
+            s.mean_candidates,
+            s.mean_interactions,
+            s.cycles,
+            sim.timesteps_per_second(6),
+        ));
+    }
+    let reference = rows.last().unwrap().5; // converged large-size rate
+    println!("    atoms |     cores | cand  | inter | cycles/step | ts/s (dev vs largest)");
+    for (atoms, cores, cand, inter, cycles, rate) in &rows {
+        println!(
+            "{:>9} | {:>9} | {:>5.1} | {:>5.1} | {:>11.0} | {:>9} ({:+.2}%)",
+            atoms,
+            cores,
+            cand,
+            inter,
+            cycles,
+            fmt_rate(*rate),
+            (rate / reference - 1.0) * 100.0
+        );
+    }
+    let tail_dev = (rows[rows.len() - 2].5 / reference - 1.0) * 100.0;
+    println!(
+        "largest two sizes agree to {tail_dev:+.2}% — the paper measures <1% across\n\
+         3 orders of magnitude (its sweep spans 10³..8×10⁵ cores at full workload,\n\
+         where edge tiles are a negligible fraction)"
+    );
+
+    header("Fig. 8 — weak scaling, thermal Ta slabs (realistic workload)");
+    println!("    atoms |     cores | cand  | inter | ts/s");
+    for nx in [8usize, 16, 32, 48, 64] {
+        let mut sim = thermal_slab_sim(Species::Ta, nx, 2, 290.0, 0.04, 8);
+        sim.run(8);
+        let s = sim.last_stats;
+        println!(
+            "{:>9} | {:>9} | {:>5.1} | {:>5.1} | {:>9}",
+            sim.n_atoms(),
+            sim.extent().count(),
+            s.mean_candidates,
+            s.mean_interactions,
+            fmt_rate(sim.timesteps_per_second(8))
+        );
+    }
+    println!("(edge atoms have lighter workloads, so small slabs run faster;\n the series flattens as the interior dominates)");
+}

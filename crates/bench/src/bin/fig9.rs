@@ -1,0 +1,100 @@
+//! Fig. 9 — atom motion and assignment cost under swap intervals.
+//!
+//! A tungsten grain-boundary bicrystal runs hot while we track (black
+//! line) the largest max-norm x-y displacement of any atom and (colored
+//! lines) the atom-to-core assignment cost for swap intervals from 1 to
+//! 250 timesteps, starting from a deliberately sub-optimal mapping.
+
+use md_core::grain::GrainBoundarySpec;
+use md_core::materials::{Material, Species};
+use md_core::thermostat;
+use md_core::vec3::V3d;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wafer_md_bench::header;
+use wse_md::{swap_round, WseMdConfig, WseMdSim};
+
+fn build() -> (WseMdSim, Vec<V3d>) {
+    let material = Material::new(Species::W);
+    let spec = GrainBoundarySpec::tungsten_like(V3d::new(42.0, 42.0, 2.0 * material.lattice_a));
+    let positions = spec.generate();
+    let mut rng = StdRng::seed_from_u64(99);
+    let velocities =
+        thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 1600.0);
+    // ~4% empty tiles, matching the paper's 62,500 cores for 61,600 atoms.
+    let config = WseMdConfig::open_for(positions.len(), 0.04, 2e-3);
+    let sim = WseMdSim::new(Species::W, &positions, &velocities, config);
+    (sim, positions)
+}
+
+fn main() {
+    header("Fig. 9 — assignment cost vs time, by swap interval");
+    let steps = 250usize;
+    let sample_every = 25usize;
+    let intervals: [usize; 6] = [1, 10, 25, 50, 100, 250];
+
+    let (probe, _) = build();
+    println!(
+        "{} atoms on {} cores ({} empty); EAM cutoff {:.2} Å\n",
+        probe.n_atoms(),
+        probe.extent().count(),
+        probe.extent().count() - probe.n_atoms(),
+        Material::new(Species::W).cutoff
+    );
+
+    // Black line: max-norm displacement over time (no swaps needed).
+    let (mut free, start) = build();
+    let mut displacement = Vec::new();
+    for k in 0..steps {
+        free.step();
+        if (k + 1) % sample_every == 0 {
+            let now = free.positions_by_atom();
+            let d = now
+                .iter()
+                .zip(&start)
+                .map(|(a, b)| (*a - *b).max_norm_xy())
+                .fold(0.0, f64::max);
+            displacement.push(d);
+        }
+    }
+
+    // Colored lines: assignment cost per swap interval.
+    let mut cost_series: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &interval in &intervals {
+        let (mut sim, _) = build();
+        let mut series = Vec::new();
+        for k in 0..steps {
+            sim.step();
+            if (k + 1) % interval == 0 {
+                swap_round(&mut sim);
+            }
+            if (k + 1) % sample_every == 0 {
+                series.push(sim.assignment_cost());
+            }
+        }
+        cost_series.push((interval, series));
+    }
+
+    print!("{:>6} {:>10}", "step", "max-disp");
+    for (i, _) in &cost_series {
+        print!(" {:>8}", format!("swap={i}"));
+    }
+    println!();
+    for row in 0..displacement.len() {
+        print!("{:>6} {:>10.2}", (row + 1) * sample_every, displacement[row]);
+        for (_, series) in &cost_series {
+            print!(" {:>8.2}", series[row]);
+        }
+        println!();
+    }
+
+    let final_costs: Vec<f64> = cost_series.iter().map(|(_, s)| *s.last().unwrap()).collect();
+    println!(
+        "\nfrequent swapping (1-100) holds the cost near {:.1}-{:.1} Å while\n\
+         unconstrained displacement reaches {:.1} Å; the paper's threshold is\n\
+         ~3 Å + cutoff for swap intervals of 100 steps or less.",
+        final_costs[0],
+        final_costs[4],
+        displacement.last().unwrap()
+    );
+}

@@ -1,0 +1,34 @@
+//! Table III — FLOP accounting for every step of the EAM kernel, with
+//! theoretical at-peak time and per-phase utilization.
+
+use perf_model::flops::{at_peak_ns, phase_ops, phase_utilization, table3_rows, Phase};
+use wafer_md_bench::header;
+
+fn main() {
+    header("Table III — FLOP count for all adds, muls, and other steps");
+    println!("{:<28} {:>4} {:>4} {:>4}  note", "Term", "+", "x", "~");
+    for (phase, label, measured) in [
+        (Phase::PerCandidate, "Per Candidate", 26.6),
+        (Phase::PerInteraction, "Per Interaction", 71.4),
+        (Phase::Fixed, "Fixed", 574.0),
+    ] {
+        for row in table3_rows(phase) {
+            println!(
+                "{:<28} {:>4} {:>4} {:>4}  {}",
+                row.term, row.ops.adds, row.ops.muls, row.ops.other, row.note
+            );
+        }
+        let ops = phase_ops(phase);
+        println!(
+            "{:<28} {:>4} {:>4} {:>4}  {:.1} ns / {:.1} ns = {:.0}%\n",
+            format!("{label} Subtotal"),
+            ops.adds,
+            ops.muls,
+            ops.other,
+            at_peak_ns(ops),
+            measured,
+            100.0 * phase_utilization(phase)
+        );
+    }
+    println!("paper: 5.3/26.6 = 20% candidate, 21.2/71.4 = 30% interaction, 7.1/574 = 1% fixed");
+}

@@ -1,0 +1,30 @@
+//! Table IV — utilization (fraction of peak) for CS-2, Frontier, Quartz.
+
+use md_core::materials::Species;
+use perf_model::flops::{machine_utilization, Platform};
+use wafer_md_bench::header;
+
+fn main() {
+    header("Table IV — utilization (fraction of peak) for three architectures");
+    println!(
+        "{:<20} {:>6} {:>10} {:>8} {:>8} {:>8}",
+        "Machine", "Chips", "Peak PF/s", "Cu", "W", "Ta"
+    );
+    for (platform, chips, peak) in [
+        (Platform::Cs2, "1 WSE", 1.45),
+        (Platform::Frontier32Gcd, "32 GCD", 0.77),
+        (Platform::Quartz800Cpu, "800 CPU", 0.50),
+    ] {
+        let u = |sp| 100.0 * machine_utilization(platform, sp);
+        println!(
+            "{:<20} {:>6} {:>10.2} {:>7.1}% {:>7.1}% {:>7.1}%",
+            platform.name(),
+            chips,
+            peak,
+            u(Species::Cu),
+            u(Species::W),
+            u(Species::Ta)
+        );
+    }
+    println!("\npaper Table IV: CS-2 22/23/20%, Frontier 0.4/0.4/0.2%, Quartz 1.9/2.5/1.0%");
+}

@@ -1,0 +1,38 @@
+//! Table VI — modeled multi-wafer performance vs ghost-region size.
+
+use perf_model::multiwafer::MultiWaferConfig;
+use wafer_md_bench::{fmt_rate, header};
+
+fn main() {
+    header("Table VI — multi-wafer weak scaling (ghost regions, ω = 1.2 Tb/s, τ = 2 µs)");
+    println!(
+        "{:<4} {:>4} {:>3} {:>9} {:>6} {:>7} | {:>4} {:>3} {:>10} {:>5} | {:>4} {:>3} {:>10} {:>5}",
+        "El", "X", "Z", "N_int", "rc/rl", "tw(us)", "λ", "k", "ts/s", "perf", "λ", "k", "ts/s", "perf"
+    );
+    for (lo, hi) in MultiWaferConfig::paper_rows() {
+        let p_lo = lo.evaluate();
+        let p_hi = hi.evaluate();
+        println!(
+            "{:<4} {:>4} {:>3} {:>9} {:>6.2} {:>7.2} | {:>4} {:>3} {:>10} {:>4.0}% | {:>4} {:>3} {:>10} {:>4.0}%",
+            lo.species.symbol(),
+            lo.x,
+            lo.z,
+            fmt_rate(p_lo.n_interior),
+            lo.rcut_over_rlattice,
+            lo.t_wall * 1e6,
+            lo.lambda,
+            p_lo.k,
+            fmt_rate(p_lo.rate),
+            100.0 * p_lo.performance,
+            hi.lambda,
+            p_hi.k,
+            fmt_rate(p_hi.rate),
+            100.0 * p_hi.performance
+        );
+    }
+    println!(
+        "\npaper Table VI: Cu 105,152 (99%) / 99,239 (93%); W 95,281 (99%) / 91,743 (95%);\n\
+         Ta 269,214 (98%) / 251,046 (92%). A 64-node cluster simulates 10-40M+ atoms\n\
+         at 92-99% of single-wafer speed."
+    );
+}

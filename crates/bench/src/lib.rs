@@ -1,0 +1,115 @@
+//! Shared workload builders and formatting for the experiment
+//! regenerator binaries (one binary per paper table/figure; see
+//! DESIGN.md's per-experiment index).
+
+use md_core::lattice::SlabSpec;
+use md_core::materials::{Material, Species};
+use md_core::thermostat;
+use md_core::vec3::V3d;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wse_md::{WseMdConfig, WseMdSim};
+
+/// Build a thermalized thin-slab wafer simulation for `species`:
+/// `nx × nx × nz` conventional cells at `temperature` K, mapped with
+/// `spare` fraction of vacant tiles.
+pub fn thermal_slab_sim(
+    species: Species,
+    nx: usize,
+    nz: usize,
+    temperature: f64,
+    spare: f64,
+    seed: u64,
+) -> WseMdSim {
+    let material = Material::new(species);
+    let spec = SlabSpec {
+        crystal: material.crystal,
+        lattice_a: material.lattice_a,
+        nx,
+        ny: nx,
+        nz,
+    };
+    let positions = spec.generate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let velocities =
+        thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, temperature);
+    let config = WseMdConfig::open_for(positions.len(), spare, 2e-3);
+    WseMdSim::new(species, &positions, &velocities, config)
+}
+
+/// Build the paper's controlled performance configuration (Sec. IV-B,
+/// condition 2): a regular 2-D grid of frozen atoms, one per core, with
+/// the neighborhood-size parameter `b` forced and the interaction count
+/// controlled by the grid `spacing` relative to the cutoff.
+pub fn controlled_grid_sim(species: Species, side: usize, spacing: f64, b: i32) -> WseMdSim {
+    let positions: Vec<V3d> = (0..side * side)
+        .map(|k| {
+            V3d::new(
+                (k % side) as f64 * spacing,
+                (k / side) as f64 * spacing,
+                0.0,
+            )
+        })
+        .collect();
+    let velocities = vec![V3d::zero(); positions.len()];
+    let config = WseMdConfig {
+        extent: wse_fabric::geometry::Extent::new(side, side),
+        dt: 0.0, // "Atoms hold their position throughout performance measurement"
+        cost_model: wse_fabric::cost::CostModel::paper_baseline(),
+        periodic: [false; 3],
+        box_lengths: V3d::zero(),
+        b_override: Some((b, b)),
+        symmetric_forces: false,
+        neighbor_reuse_interval: 1,
+        neighbor_skin: 0.0,
+    };
+    WseMdSim::new(species, &positions, &velocities, config)
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format a rate with thousands separators.
+pub fn fmt_rate(rate: f64) -> String {
+    let r = rate.round() as i64;
+    let s = r.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlled_grid_has_exact_interior_candidates() {
+        let sim = controlled_grid_sim(Species::Ta, 20, 1.5, 4);
+        // (2·4+1)² − 1 = 80 — the paper's Ta candidate count.
+        assert_eq!(sim.interior_candidates(), 80);
+    }
+
+    #[test]
+    fn controlled_grid_atoms_stay_frozen() {
+        let mut sim = controlled_grid_sim(Species::Ta, 12, 2.0, 3);
+        let before = sim.positions_by_atom();
+        sim.run(5);
+        let after = sim.positions_by_atom();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(274_016.4), "274,016");
+        assert_eq!(fmt_rate(973.0), "973");
+    }
+}

@@ -1,0 +1,164 @@
+//! Energy-efficiency model: timesteps per Joule (Fig. 7b/7c).
+//!
+//! The CS-2 draws 23 kW (paper Sec. IV-A); cluster node powers live in
+//! [`crate::cluster::Machine::node_power_watts`]. Fig. 7b plots
+//! timesteps/s against timesteps/Joule; Fig. 7c normalizes the WSE to 1
+//! and plots each cluster configuration's speedup factor against its
+//! energy-efficiency factor, exhibiting the WSE's Pareto dominance.
+
+use crate::cluster::{ClusterModel, Machine};
+
+/// CS-2 system power (W).
+pub const WSE_POWER_WATTS: f64 = 23_000.0;
+
+/// WSE timesteps per Joule at a given timestepping rate.
+pub fn wse_timesteps_per_joule(rate: f64) -> f64 {
+    rate / WSE_POWER_WATTS
+}
+
+/// One machine configuration's operating point.
+#[derive(Clone, Copy, Debug)]
+pub struct EfficiencyPoint {
+    pub nodes: f64,
+    pub timesteps_per_second: f64,
+    pub timesteps_per_joule: f64,
+}
+
+/// Fig. 7c's normalized coordinates for a cluster point: how many times
+/// faster (x: speedup factor) and more energy-efficient (y) the WSE is.
+#[derive(Clone, Copy, Debug)]
+pub struct RelativePoint {
+    pub nodes: f64,
+    /// WSE rate / cluster rate.
+    pub wse_speedup_factor: f64,
+    /// WSE (ts/J) / cluster (ts/J).
+    pub wse_energy_factor: f64,
+}
+
+/// Sweep a calibrated cluster model over `node_counts`, producing the
+/// Fig. 7b series.
+pub fn efficiency_series(model: &ClusterModel, node_counts: &[f64]) -> Vec<EfficiencyPoint> {
+    node_counts
+        .iter()
+        .map(|&p| EfficiencyPoint {
+            nodes: p,
+            timesteps_per_second: model.rate_at_paper_size(p),
+            timesteps_per_joule: model.timesteps_per_joule(p),
+        })
+        .collect()
+}
+
+/// Fig. 7c series: every cluster point relative to the WSE operating
+/// point `(wse_rate, wse_rate/23 kW)`.
+pub fn relative_series(
+    model: &ClusterModel,
+    node_counts: &[f64],
+    wse_rate: f64,
+) -> Vec<RelativePoint> {
+    let wse_tsj = wse_timesteps_per_joule(wse_rate);
+    efficiency_series(model, node_counts)
+        .into_iter()
+        .map(|p| RelativePoint {
+            nodes: p.nodes,
+            wse_speedup_factor: wse_rate / p.timesteps_per_second,
+            wse_energy_factor: wse_tsj / p.timesteps_per_joule,
+        })
+        .collect()
+}
+
+/// Standard node sweeps used across the figures (powers of two; the GPU
+/// sweep includes fractional nodes, i.e. subsets of the 8 GCDs).
+pub fn node_sweep(machine: Machine) -> Vec<f64> {
+    match machine {
+        Machine::FrontierGpu => (-3..=10).map(|k| 2f64.powi(k)).collect(),
+        Machine::QuartzCpu => (0..=11).map(|k| 2f64.powi(k)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::materials::Species;
+
+    #[test]
+    fn wse_is_30x_more_efficient_than_the_frontier_node() {
+        // Sec. V-A: "In comparison with Frontier node having 8 GCDs, the
+        // WSE achieves roughly 30-fold more timesteps per Joule."
+        let model = ClusterModel::calibrated(Machine::FrontierGpu, Species::Ta);
+        let wse_rate = 274_016.0;
+        let factor =
+            wse_timesteps_per_joule(wse_rate) / model.timesteps_per_joule(1.0);
+        assert!((20.0..45.0).contains(&factor), "energy factor {factor}");
+    }
+
+    #[test]
+    fn wse_advantage_grows_with_gpu_node_count() {
+        // "that advantage grows as more GPU nodes are used, at ever larger
+        // power but with little improvement in performance."
+        let model = ClusterModel::calibrated(Machine::FrontierGpu, Species::Ta);
+        let series = relative_series(&model, &node_sweep(Machine::FrontierGpu), 274_016.0);
+        let at = |nodes: f64| {
+            series
+                .iter()
+                .find(|p| (p.nodes - nodes).abs() < 1e-9)
+                .unwrap()
+                .wse_energy_factor
+        };
+        assert!(at(4.0) > at(1.0));
+        assert!(at(64.0) > at(4.0));
+    }
+
+    #[test]
+    fn wse_pareto_dominates_every_cluster_point() {
+        // Fig. 7c: all cluster configurations have speedup factor > 1 AND
+        // energy factor > 1 (the WSE wins on both axes simultaneously).
+        for machine in [Machine::FrontierGpu, Machine::QuartzCpu] {
+            for (sp, wse_rate) in [
+                (Species::Cu, 106_313.0),
+                (Species::W, 96_140.0),
+                (Species::Ta, 274_016.0),
+            ] {
+                let model = ClusterModel::calibrated(machine, sp);
+                for p in relative_series(&model, &node_sweep(machine), wse_rate) {
+                    assert!(
+                        p.wse_speedup_factor > 1.0 && p.wse_energy_factor > 1.0,
+                        "{machine:?} {sp:?} at {} nodes: speedup {}, energy {}",
+                        p.nodes,
+                        p.wse_speedup_factor,
+                        p.wse_energy_factor
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_efficiency_and_rate_trade_off_at_scale() {
+        // Fig. 7b: past the knee, higher timesteps/s costs timesteps/J.
+        let model = ClusterModel::calibrated(Machine::QuartzCpu, Species::Cu);
+        let pts = efficiency_series(&model, &[1.0, 16.0, 400.0]);
+        assert!(pts[2].timesteps_per_second > pts[0].timesteps_per_second);
+        assert!(pts[2].timesteps_per_joule < pts[0].timesteps_per_joule);
+    }
+
+    #[test]
+    fn one_to_two_orders_of_magnitude_efficiency_gain() {
+        // Fig. 7b caption: "one to two orders of magnitude improvement in
+        // energy efficiency over both CPU and GPU systems" at their
+        // best-rate operating points.
+        for (machine, sp, wse_rate) in [
+            (Machine::FrontierGpu, Species::Ta, 274_016.0),
+            (Machine::QuartzCpu, Species::Ta, 274_016.0),
+            (Machine::FrontierGpu, Species::Cu, 106_313.0),
+            (Machine::QuartzCpu, Species::Cu, 106_313.0),
+        ] {
+            let model = ClusterModel::calibrated(machine, sp);
+            let factor = wse_timesteps_per_joule(wse_rate)
+                / model.timesteps_per_joule(machine.peak_nodes());
+            assert!(
+                (10.0..1000.0).contains(&factor),
+                "{machine:?} {sp:?}: factor {factor}"
+            );
+        }
+    }
+}

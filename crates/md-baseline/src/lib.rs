@@ -1,0 +1,27 @@
+//! # md-baseline — the comparison world
+//!
+//! Everything the paper compares the wafer engine against:
+//!
+//! * [`engine`] — a LAMMPS-style reference EAM engine (f64, cell-binned
+//!   Verlet lists with skin reuse, rayon-parallel force passes). This is
+//!   the correctness oracle for `wse-md` and the kernel whose per-node
+//!   performance the cluster models abstract.
+//! * [`cluster`] — calibrated strong-scaling models of Frontier (GPU) and
+//!   Quartz (CPU), solved from the paper's published peak rates and
+//!   scaling-stall node counts.
+//! * [`energy`] — the power/efficiency model behind Fig. 7b/7c.
+//! * [`lj`] — Lennard-Jones potential and the Sec. II-B small-system
+//!   reference rates.
+//! * [`strongscale`] — the Fig. 7a sweep driver and Table I speedups.
+
+pub mod cluster;
+pub mod energy;
+pub mod engine;
+pub mod lj;
+pub mod strongscale;
+
+pub use cluster::{ClusterModel, Machine, PAPER_ATOMS};
+pub use energy::{wse_timesteps_per_joule, EfficiencyPoint, RelativePoint, WSE_POWER_WATTS};
+pub use engine::{equilibrated_engine, BaselineEngine};
+pub use lj::LjPotential;
+pub use strongscale::{strong_scaling_data, wse_model_rate, StrongScalingData};

@@ -1,0 +1,196 @@
+//! Lennard-Jones potential and the small-system reference rates of
+//! Sec. II-B.
+//!
+//! The paper motivates the timescale barrier with the strong-scaling
+//! limit of a tiny 1k-atom LJ system: under 10k timesteps/s on an NVIDIA
+//! V100 (kernel-launch bound) and ~25k timesteps/s on a dual-socket
+//! 36-rank CPU (MPI bound). The potential itself is also the workspace's
+//! second interatomic model, exercising the engine abstractions beyond
+//! EAM.
+
+use md_core::vec3::{Real, Vec3};
+
+/// Truncated (energy-shifted) 12-6 Lennard-Jones potential.
+#[derive(Clone, Copy, Debug)]
+pub struct LjPotential<T> {
+    pub epsilon: T,
+    pub sigma: T,
+    pub cutoff: T,
+    shift: T,
+}
+
+impl<T: Real> LjPotential<T> {
+    pub fn new(epsilon: T, sigma: T, cutoff: T) -> Self {
+        let mut lj = Self {
+            epsilon,
+            sigma,
+            cutoff,
+            shift: T::ZERO,
+        };
+        lj.shift = lj.pair_energy_unshifted(cutoff);
+        lj
+    }
+
+    /// The conventional LAMMPS benchmark setting: cutoff 2.5σ.
+    pub fn reduced() -> Self {
+        Self::new(T::ONE, T::ONE, T::from_f64(2.5))
+    }
+
+    fn pair_energy_unshifted(&self, r: T) -> T {
+        let sr = self.sigma / r;
+        let sr6 = sr.powi(6);
+        T::from_f64(4.0) * self.epsilon * (sr6 * sr6 - sr6)
+    }
+
+    /// Pair energy at distance `r` (zero at and beyond the cutoff).
+    pub fn pair_energy(&self, r: T) -> T {
+        if r >= self.cutoff {
+            T::ZERO
+        } else {
+            self.pair_energy_unshifted(r) - self.shift
+        }
+    }
+
+    /// dφ/dr at distance `r`.
+    pub fn pair_force_scalar(&self, r: T) -> T {
+        if r >= self.cutoff {
+            return T::ZERO;
+        }
+        let sr = self.sigma / r;
+        let sr6 = sr.powi(6);
+        // dφ/dr = −24 ε (2 (σ/r)^12 − (σ/r)^6) / r
+        -T::from_f64(24.0) * self.epsilon * (T::TWO * sr6 * sr6 - sr6) / r
+    }
+
+    /// Total energy and forces over all pairs (O(N²); the LJ reference
+    /// system is 1k atoms, where this is exact and cheap).
+    pub fn compute(&self, positions: &[Vec3<T>]) -> (f64, Vec<Vec3<T>>) {
+        let n = positions.len();
+        let mut energy = 0.0f64;
+        let mut forces = vec![Vec3::zero(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = positions[j] - positions[i];
+                let r2 = d.norm_sq();
+                if r2 >= self.cutoff * self.cutoff || r2 == T::ZERO {
+                    continue;
+                }
+                let r = r2.sqrt();
+                energy += self.pair_energy(r).to_f64();
+                let scalar = self.pair_force_scalar(r);
+                // f_i = −dU/dr_i = +φ'(r)·d/r (d = r_j − r_i)
+                let f = d.scale(scalar / r);
+                forces[i] += f;
+                forces[j] -= f;
+            }
+        }
+        (energy, forces)
+    }
+}
+
+/// Modeled LJ timestepping rate (timesteps/s) for a small system on one
+/// V100 GPU: kernel-launch bound at ~6 launches × ~18 µs per step plus a
+/// small per-atom term. Reproduces "less than 10k timesteps/s" for 1k
+/// atoms (Sec. II-B, citing the LAMMPS GPU benchmarks).
+pub fn v100_lj_rate(n_atoms: f64) -> f64 {
+    let launch = 6.0 * 18.0e-6;
+    let per_atom = 2.0e-10;
+    1.0 / (launch + per_atom * n_atoms)
+}
+
+/// Modeled LJ rate for a dual-socket Skylake node with 36 MPI ranks:
+/// MPI-latency bound at small sizes. Reproduces "~25k timesteps/s" for 1k
+/// atoms (Sec. II-B).
+pub fn skylake36_lj_rate(n_atoms: f64) -> f64 {
+    let mpi = 36.0e-6;
+    let per_atom_per_rank = 1.2e-7 / 36.0;
+    1.0 / (mpi + per_atom_per_rank * n_atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::vec3::V3d;
+
+    #[test]
+    fn minimum_is_at_two_to_the_sixth_sigma() {
+        let lj = LjPotential::<f64>::reduced();
+        let r_min = 2f64.powf(1.0 / 6.0);
+        assert!(lj.pair_force_scalar(r_min).abs() < 1e-12);
+        assert!(lj.pair_energy(r_min) < lj.pair_energy(r_min * 0.9));
+        assert!(lj.pair_energy(r_min) < lj.pair_energy(r_min * 1.1));
+        // Depth ≈ −ε (slightly reduced by the cutoff shift).
+        assert!((lj.pair_energy(r_min) + 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn energy_is_continuous_at_cutoff() {
+        let lj = LjPotential::<f64>::reduced();
+        assert!(lj.pair_energy(2.4999).abs() < 1e-3);
+        assert_eq!(lj.pair_energy(2.5), 0.0);
+        assert_eq!(lj.pair_energy(3.0), 0.0);
+    }
+
+    #[test]
+    fn forces_are_negative_gradient() {
+        let lj = LjPotential::<f64>::reduced();
+        let pos = vec![
+            V3d::new(0.0, 0.0, 0.0),
+            V3d::new(1.1, 0.2, -0.1),
+            V3d::new(0.4, 1.3, 0.6),
+            V3d::new(-0.9, 0.5, -1.0),
+        ];
+        let (_, forces) = lj.compute(&pos);
+        let eps = 1e-7;
+        for i in 0..pos.len() {
+            for axis in 0..3 {
+                let mut pp = pos.clone();
+                let mut pm = pos.clone();
+                let mut ap = pp[i].to_array();
+                ap[axis] += eps;
+                pp[i] = V3d::from_array(ap);
+                let mut am = pm[i].to_array();
+                am[axis] -= eps;
+                pm[i] = V3d::from_array(am);
+                let fd = -(lj.compute(&pp).0 - lj.compute(&pm).0) / (2.0 * eps);
+                let f = forces[i].to_array()[axis];
+                assert!((f - fd).abs() < 1e-5, "atom {i} axis {axis}: {f} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn net_force_is_zero() {
+        let lj = LjPotential::<f64>::reduced();
+        let pos: Vec<V3d> = (0..20)
+            .map(|k| {
+                let t = k as f64;
+                V3d::new((t * 0.61).sin() * 2.0, (t * 0.37).cos() * 2.0, t * 0.11)
+            })
+            .collect();
+        let (_, forces) = lj.compute(&pos);
+        let net: V3d = forces.iter().copied().sum();
+        // Antisymmetric by construction; the residual is summation
+        // roundoff, so compare against the force scale.
+        let scale: f64 = forces.iter().map(|f| f.norm()).fold(1.0, f64::max);
+        assert!(net.norm() < 1e-12 * scale, "net {net:?} vs scale {scale}");
+    }
+
+    #[test]
+    fn small_system_rates_match_section_iib() {
+        // "the max timestepping rate ... was reported at less than 10k
+        // timesteps/s" (V100, 1k atoms) and "~25k timesteps/s" (CPU).
+        let gpu = v100_lj_rate(1000.0);
+        assert!(gpu < 10_000.0 && gpu > 5_000.0, "V100 rate {gpu}");
+        let cpu = skylake36_lj_rate(1000.0);
+        assert!((20_000.0..30_000.0).contains(&cpu), "CPU rate {cpu}");
+        // CPU beats GPU at this size (the paper's observation).
+        assert!(cpu > gpu);
+    }
+
+    #[test]
+    fn rates_degrade_gracefully_with_size() {
+        assert!(v100_lj_rate(100_000.0) < v100_lj_rate(1_000.0));
+        assert!(skylake36_lj_rate(100_000.0) < skylake36_lj_rate(1_000.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Strong-scaling sweep driver: assembles the Fig. 7a data series.
+//!
+//! For each material, sweeps the calibrated GPU and CPU cluster models
+//! over node counts and pairs them with the WSE's single-system operating
+//! point, producing the headline speedup factors (Table I's "WSE vs"
+//! columns: 179×/55× for Ta, 109×/34× for Cu, 96×/26× for W).
+
+use crate::cluster::{ClusterModel, Machine};
+use crate::energy::{node_sweep, wse_timesteps_per_joule, EfficiencyPoint};
+use md_core::materials::Species;
+use wse_fabric::cost::CostModel;
+
+/// The complete Fig. 7a dataset for one material.
+#[derive(Clone, Debug)]
+pub struct StrongScalingData {
+    pub species: Species,
+    pub gpu: Vec<EfficiencyPoint>,
+    pub cpu: Vec<EfficiencyPoint>,
+    /// The WSE point (one system; rate from the calibrated cost model or
+    /// a measured simulation).
+    pub wse: EfficiencyPoint,
+}
+
+/// The paper's per-material (candidates, interactions) pairs (Table I).
+pub fn paper_workload(species: Species) -> (f64, f64) {
+    match species {
+        Species::Cu => (224.0, 42.0),
+        Species::W => (224.0, 59.0),
+        Species::Ta => (80.0, 14.0),
+    }
+}
+
+/// WSE model rate for a material (Table I "Predicted" column).
+pub fn wse_model_rate(species: Species) -> f64 {
+    let (cand, inter) = paper_workload(species);
+    CostModel::paper_baseline().timesteps_per_second(cand, inter)
+}
+
+/// Build the Fig. 7a dataset for `species`, using `wse_rate` for the
+/// WSE point (pass a measured rate, or [`wse_model_rate`]).
+pub fn strong_scaling_data(species: Species, wse_rate: f64) -> StrongScalingData {
+    let gpu_model = ClusterModel::calibrated(Machine::FrontierGpu, species);
+    let cpu_model = ClusterModel::calibrated(Machine::QuartzCpu, species);
+    let series = |model: &ClusterModel, machine: Machine| {
+        node_sweep(machine)
+            .into_iter()
+            .map(|p| EfficiencyPoint {
+                nodes: p,
+                timesteps_per_second: model.rate_at_paper_size(p),
+                timesteps_per_joule: model.timesteps_per_joule(p),
+            })
+            .collect()
+    };
+    StrongScalingData {
+        species,
+        gpu: series(&gpu_model, Machine::FrontierGpu),
+        cpu: series(&cpu_model, Machine::QuartzCpu),
+        wse: EfficiencyPoint {
+            nodes: 1.0,
+            timesteps_per_second: wse_rate,
+            timesteps_per_joule: wse_timesteps_per_joule(wse_rate),
+        },
+    }
+}
+
+impl StrongScalingData {
+    /// Best GPU rate over the sweep.
+    pub fn gpu_peak(&self) -> f64 {
+        self.gpu
+            .iter()
+            .map(|p| p.timesteps_per_second)
+            .fold(0.0, f64::max)
+    }
+
+    /// Best CPU rate over the sweep.
+    pub fn cpu_peak(&self) -> f64 {
+        self.cpu
+            .iter()
+            .map(|p| p.timesteps_per_second)
+            .fold(0.0, f64::max)
+    }
+
+    /// Table I "WSE vs Frontier" factor.
+    pub fn speedup_vs_gpu(&self) -> f64 {
+        self.wse.timesteps_per_second / self.gpu_peak()
+    }
+
+    /// Table I "WSE vs Quartz" factor.
+    pub fn speedup_vs_cpu(&self) -> f64 {
+        self.wse.timesteps_per_second / self.cpu_peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's measured WSE rates (Table I).
+    fn paper_measured(species: Species) -> f64 {
+        match species {
+            Species::Cu => 106_313.0,
+            Species::W => 96_140.0,
+            Species::Ta => 274_016.0,
+        }
+    }
+
+    #[test]
+    fn model_rates_match_table_i_predictions() {
+        for (sp, predicted) in [
+            (Species::Cu, 104_895.0),
+            (Species::W, 93_048.0),
+            (Species::Ta, 270_097.0),
+        ] {
+            let r = wse_model_rate(sp);
+            assert!(
+                (r - predicted).abs() / predicted < 0.005,
+                "{sp:?}: {r} vs {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_factors_match_table_i() {
+        for (sp, vs_gpu, vs_cpu) in [
+            (Species::Ta, 179.0, 55.0),
+            (Species::Cu, 109.0, 34.0),
+            (Species::W, 96.0, 26.0),
+        ] {
+            let data = strong_scaling_data(sp, paper_measured(sp));
+            let g = data.speedup_vs_gpu();
+            let c = data.speedup_vs_cpu();
+            assert!(
+                (g - vs_gpu).abs() / vs_gpu < 0.03,
+                "{sp:?} vs GPU: {g} (paper {vs_gpu})"
+            );
+            assert!(
+                (c - vs_cpu).abs() / vs_cpu < 0.05,
+                "{sp:?} vs CPU: {c} (paper {vs_cpu})"
+            );
+        }
+    }
+
+    #[test]
+    fn wse_point_dominates_both_sweeps() {
+        for sp in Species::ALL {
+            let data = strong_scaling_data(sp, paper_measured(sp));
+            assert!(data.wse.timesteps_per_second > 10.0 * data.gpu_peak());
+            assert!(data.wse.timesteps_per_second > 10.0 * data.cpu_peak());
+        }
+    }
+
+    #[test]
+    fn cpu_beats_gpu_at_strong_scaling_for_this_problem() {
+        // Sec. V-A observation: "CPUs (Quartz) are more effective than
+        // GPUs (Frontier)" at the strong-scaling limit.
+        for sp in Species::ALL {
+            let data = strong_scaling_data(sp, paper_measured(sp));
+            assert!(data.cpu_peak() > data.gpu_peak(), "{sp:?}");
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Embedded Atom Method (EAM) potential.
+//!
+//! The system's potential energy (paper Eq. 3) is
+//!
+//! ```text
+//! U = Σ_{i≠j} ½ φ(r_ij) + Σ_i F(ρ(r_i)),    ρ(r_i) = Σ_j ρ(r_ij)
+//! ```
+//!
+//! and the force on atom i (Eq. 4) is
+//!
+//! ```text
+//! f_i = −Σ_j [ F'(ρ_i) ρ'(r_ij) + F'(ρ_j) ρ'(r_ij) + φ'(r_ij) ] · (r_i−r_j)/r_ij
+//! ```
+//!
+//! All three functions are cubic-spline tables ([`crate::spline::Spline`]),
+//! mirroring the paper's per-tile interpolation tables. Both the f64
+//! reference engine and the f32 WSE tile kernels evaluate through this
+//! same module, so any physics discrepancy between the two paths is a
+//! precision effect, never an algorithm difference.
+
+use crate::spline::Spline;
+use crate::vec3::{Real, Vec3};
+
+/// A single-species EAM potential: density ρ(r), pair term φ(r), and
+/// embedding function F(ρ), plus the interaction cutoff.
+#[derive(Clone, Debug)]
+pub struct EamPotential<T> {
+    /// Electron-density contribution ρ(r) of one atom at distance r.
+    pub rho: Spline<T>,
+    /// Pairwise interaction φ(r).
+    pub phi: Spline<T>,
+    /// Embedding energy F(ρ).
+    pub embed: Spline<T>,
+    /// Interaction cutoff radius r_cut (Å). ρ and φ vanish smoothly here.
+    pub cutoff: T,
+    /// Atomic mass (amu).
+    pub mass: f64,
+    /// Host electron density at the equilibrium lattice (diagnostic).
+    pub rho_equilibrium: f64,
+}
+
+/// Result of an EAM energy/force evaluation.
+#[derive(Clone, Debug)]
+pub struct EamOutput<T> {
+    /// Total potential energy (accumulated in f64 regardless of `T`).
+    pub potential_energy: f64,
+    /// Per-atom force vectors.
+    pub forces: Vec<Vec3<T>>,
+    /// Per-atom host densities ρ(r_i).
+    pub densities: Vec<T>,
+    /// Per-atom potential energy (½Σφ + F), for spatial diagnostics.
+    pub per_atom_energy: Vec<T>,
+}
+
+impl<T: Real> EamPotential<T> {
+    /// Squared cutoff, the quantity tiles actually compare against
+    /// (the paper's neighbor-list step never takes a square root).
+    #[inline]
+    pub fn cutoff_sq(&self) -> T {
+        self.cutoff * self.cutoff
+    }
+
+    /// Pair energy and its derivative at distance `r` (must be < cutoff).
+    #[inline]
+    pub fn pair(&self, r: T) -> (T, T) {
+        self.phi.eval_both(r)
+    }
+
+    /// Density contribution and its derivative at distance `r`.
+    #[inline]
+    pub fn density(&self, r: T) -> (T, T) {
+        self.rho.eval_both(r)
+    }
+
+    /// Embedding energy and its derivative at host density `rho`.
+    #[inline]
+    pub fn embedding(&self, rho: T) -> (T, T) {
+        self.embed.eval_both(rho)
+    }
+
+    /// Re-tabulate into another precision (f64 master → f32 tile tables).
+    pub fn cast<U: Real>(&self) -> EamPotential<U> {
+        EamPotential {
+            rho: self.rho.cast(),
+            phi: self.phi.cast(),
+            embed: self.embed.cast(),
+            cutoff: U::from_f64(self.cutoff.to_f64()),
+            mass: self.mass,
+            rho_equilibrium: self.rho_equilibrium,
+        }
+    }
+
+    /// Re-tabulate onto `n_knots`-point tables per function — the
+    /// SRAM-sized local copies each WSE tile actually stores.
+    pub fn cast_resampled<U: Real>(&self, n_knots: usize) -> EamPotential<U> {
+        EamPotential {
+            rho: self.rho.resample(n_knots),
+            phi: self.phi.resample(n_knots),
+            embed: self.embed.resample(n_knots),
+            cutoff: U::from_f64(self.cutoff.to_f64()),
+            mass: self.mass,
+            rho_equilibrium: self.rho_equilibrium,
+        }
+    }
+
+    /// Total SRAM footprint of the three tables in bytes — audited by the
+    /// WSE worker against the 48 kB tile budget.
+    pub fn table_bytes(&self) -> usize {
+        self.rho.table_bytes() + self.phi.table_bytes() + self.embed.table_bytes()
+    }
+
+    /// O(N²) reference evaluation of energies and forces.
+    ///
+    /// `disp(a, b)` must return the displacement `r_b − r_a` under the
+    /// active boundary conditions (identity subtraction for open
+    /// boundaries, minimum-image for periodic ones). This evaluator is the
+    /// correctness oracle for both the cell-list engine and the wafer
+    /// mapping; it is intended for systems of at most a few thousand atoms.
+    pub fn compute_bruteforce(
+        &self,
+        positions: &[Vec3<T>],
+        disp: impl Fn(Vec3<T>, Vec3<T>) -> Vec3<T>,
+    ) -> EamOutput<T> {
+        let n = positions.len();
+        let rc2 = self.cutoff_sq();
+
+        // Pass 1: host densities and pair energy.
+        let mut densities = vec![T::ZERO; n];
+        let mut per_atom_energy = vec![T::ZERO; n];
+        let mut pair_energy = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = disp(positions[i], positions[j]);
+                let r2 = d.norm_sq();
+                if r2 >= rc2 || r2 == T::ZERO {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (phi, _) = self.pair(r);
+                let (rho, _) = self.density(r);
+                densities[i] += rho;
+                densities[j] += rho;
+                pair_energy += phi.to_f64();
+                per_atom_energy[i] += phi * T::HALF;
+                per_atom_energy[j] += phi * T::HALF;
+            }
+        }
+
+        // Embedding energies and their derivatives.
+        let mut embed_energy = 0.0f64;
+        let mut fprime = vec![T::ZERO; n];
+        for i in 0..n {
+            let (f, fp) = self.embedding(densities[i]);
+            embed_energy += f.to_f64();
+            per_atom_energy[i] += f;
+            fprime[i] = fp;
+        }
+
+        // Pass 2: forces.
+        let mut forces = vec![Vec3::zero(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = disp(positions[i], positions[j]); // r_j − r_i
+                let r2 = d.norm_sq();
+                if r2 >= rc2 || r2 == T::ZERO {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (_, dphi) = self.pair(r);
+                let (_, drho) = self.density(r);
+                let scalar = (fprime[i] + fprime[j]) * drho + dphi;
+                // f_i = −scalar · (r_i − r_j)/r = +scalar · d/r
+                let f = d.scale(scalar / r);
+                forces[i] += f;
+                forces[j] -= f;
+            }
+        }
+
+        EamOutput {
+            potential_energy: pair_energy + embed_energy,
+            forces,
+            densities,
+            per_atom_energy,
+        }
+    }
+
+    /// Evaluate energies and forces given precomputed *full* neighbor
+    /// lists (`neighbors[i]` lists every j ≠ i within the cutoff).
+    /// This is the evaluation order the WSE tiles use.
+    pub fn compute_with_neighbors(
+        &self,
+        positions: &[Vec3<T>],
+        neighbors: &[Vec<usize>],
+        disp: impl Fn(Vec3<T>, Vec3<T>) -> Vec3<T>,
+    ) -> EamOutput<T> {
+        let n = positions.len();
+        let rc2 = self.cutoff_sq();
+        let mut densities = vec![T::ZERO; n];
+        let mut per_atom_energy = vec![T::ZERO; n];
+        let mut pair_energy = 0.0f64;
+
+        for i in 0..n {
+            for &j in &neighbors[i] {
+                let d = disp(positions[i], positions[j]);
+                let r2 = d.norm_sq();
+                if r2 >= rc2 || r2 == T::ZERO {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (phi, _) = self.pair(r);
+                let (rho, _) = self.density(r);
+                densities[i] += rho;
+                pair_energy += T::HALF.to_f64() * phi.to_f64();
+                per_atom_energy[i] += phi * T::HALF;
+            }
+        }
+
+        let mut embed_energy = 0.0f64;
+        let mut fprime = vec![T::ZERO; n];
+        for i in 0..n {
+            let (f, fp) = self.embedding(densities[i]);
+            embed_energy += f.to_f64();
+            per_atom_energy[i] += f;
+            fprime[i] = fp;
+        }
+
+        let mut forces = vec![Vec3::zero(); n];
+        for i in 0..n {
+            let mut acc = Vec3::zero();
+            for &j in &neighbors[i] {
+                let d = disp(positions[i], positions[j]);
+                let r2 = d.norm_sq();
+                if r2 >= rc2 || r2 == T::ZERO {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (_, dphi) = self.pair(r);
+                let (_, drho) = self.density(r);
+                let scalar = (fprime[i] + fprime[j]) * drho + dphi;
+                acc += d.scale(scalar / r);
+            }
+            forces[i] = acc;
+        }
+
+        EamOutput {
+            potential_energy: pair_energy + embed_energy,
+            forces,
+            densities,
+            per_atom_energy,
+        }
+    }
+}
+
+/// Free-space displacement (open boundary conditions): `r_b − r_a`.
+#[inline]
+pub fn open_disp<T: Real>(a: Vec3<T>, b: Vec3<T>) -> Vec3<T> {
+    b - a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth toy EAM potential for unit tests (materials.rs provides
+    /// the calibrated Cu/W/Ta ones; these tests only need smoothness).
+    fn toy() -> EamPotential<f64> {
+        let rc = 4.0f64;
+        let smooth = move |r: f64| {
+            let rs = 0.8 * rc;
+            if r <= rs {
+                1.0
+            } else if r >= rc {
+                0.0
+            } else {
+                let x = (r - rs) / (rc - rs);
+                2.0 * x * x * x - 3.0 * x * x + 1.0
+            }
+        };
+        let phi = Spline::tabulate(0.5, rc, 600, |r| {
+            let m = ((-2.0 * (r - 2.2)).exp() - 2.0 * (-(r - 2.2)).exp()) * 0.4;
+            m * smooth(r)
+        });
+        let rho = Spline::tabulate(0.5, rc, 600, |r| (-1.2 * (r - 2.2)).exp() * smooth(r));
+        let embed = Spline::tabulate(0.0, 40.0, 600, |d| {
+            if d <= 0.0 {
+                0.0
+            } else {
+                0.9 * (d / 8.0) * ((d / 8.0).ln() - 1.0)
+            }
+        });
+        EamPotential {
+            rho,
+            phi,
+            embed,
+            cutoff: rc,
+            mass: 60.0,
+            rho_equilibrium: 8.0,
+        }
+    }
+
+    fn cluster() -> Vec<Vec3<f64>> {
+        vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.3, 0.1, -0.2),
+            Vec3::new(0.3, 2.1, 0.4),
+            Vec3::new(-1.9, 0.8, 1.1),
+            Vec3::new(1.0, 1.2, 2.0),
+            Vec3::new(-0.8, -1.7, -1.3),
+        ]
+    }
+
+    #[test]
+    fn forces_are_negative_energy_gradient() {
+        let pot = toy();
+        let pos = cluster();
+        let out = pot.compute_bruteforce(&pos, open_disp);
+        let eps = 1e-6;
+        for i in 0..pos.len() {
+            for axis in 0..3 {
+                let mut p_plus = pos.clone();
+                let mut p_minus = pos.clone();
+                let a = p_plus[i].to_array();
+                let mut ap = a;
+                ap[axis] += eps;
+                p_plus[i] = Vec3::from_array(ap);
+                let mut am = a;
+                am[axis] -= eps;
+                p_minus[i] = Vec3::from_array(am);
+                let e_p = pot.compute_bruteforce(&p_plus, open_disp).potential_energy;
+                let e_m = pot.compute_bruteforce(&p_minus, open_disp).potential_energy;
+                let fd = -(e_p - e_m) / (2.0 * eps);
+                let f = out.forces[i].to_array()[axis];
+                assert!(
+                    (f - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "atom {i} axis {axis}: analytic {f} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn newtons_third_law_total_force_is_zero() {
+        let pot = toy();
+        let out = pot.compute_bruteforce(&cluster(), open_disp);
+        let total: Vec3<f64> = out.forces.iter().copied().sum();
+        assert!(total.norm() < 1e-10, "net force {total:?}");
+    }
+
+    #[test]
+    fn neighbor_list_path_matches_bruteforce() {
+        let pot = toy();
+        let pos = cluster();
+        let n = pos.len();
+        let rc2 = pot.cutoff_sq();
+        let neighbors: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i && (pos[j] - pos[i]).norm_sq() < rc2)
+                    .collect()
+            })
+            .collect();
+        let a = pot.compute_bruteforce(&pos, open_disp);
+        let b = pot.compute_with_neighbors(&pos, &neighbors, open_disp);
+        assert!((a.potential_energy - b.potential_energy).abs() < 1e-10);
+        for i in 0..n {
+            assert!((a.forces[i] - b.forces[i]).norm() < 1e-10);
+            assert!((a.densities[i] - b.densities[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn isolated_pair_beyond_cutoff_does_not_interact() {
+        let pot = toy();
+        let pos = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(pot.cutoff + 0.1, 0.0, 0.0)];
+        let out = pot.compute_bruteforce(&pos, open_disp);
+        // Densities are zero so embedding contributes F(0) ≈ 0.
+        assert!(out.potential_energy.abs() < 1e-9);
+        assert!(out.forces[0].norm() < 1e-12);
+    }
+
+    #[test]
+    fn dimer_force_is_radial_and_antisymmetric() {
+        let pot = toy();
+        let pos = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.9, 0.7, -0.4)];
+        let out = pot.compute_bruteforce(&pos, open_disp);
+        let u = (pos[1] - pos[0]).normalized();
+        let f0 = out.forces[0];
+        // Force on atom 0 must be parallel (or antiparallel) to the bond.
+        let cross = f0.cross(u).norm();
+        assert!(cross < 1e-12 * (1.0 + f0.norm()), "non-radial component");
+        assert!((out.forces[0] + out.forces[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn per_atom_energies_sum_to_total() {
+        let pot = toy();
+        let out = pot.compute_bruteforce(&cluster(), open_disp);
+        let sum: f64 = out.per_atom_energy.iter().sum();
+        assert!((sum - out.potential_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f32_cast_tracks_f64_forces() {
+        let pot = toy();
+        let pot32: EamPotential<f32> = pot.cast();
+        let pos = cluster();
+        let pos32: Vec<Vec3<f32>> = pos.iter().map(|p| p.cast()).collect();
+        let out64 = pot.compute_bruteforce(&pos, open_disp);
+        let out32 = pot32.compute_bruteforce(&pos32, open_disp);
+        for i in 0..pos.len() {
+            let f64v = out64.forces[i];
+            let f32v: Vec3<f64> = out32.forces[i].cast();
+            let scale = 1.0 + f64v.norm();
+            assert!(
+                (f64v - f32v).norm() / scale < 1e-4,
+                "atom {i}: {f64v:?} vs {f32v:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Grain-boundary bicrystal generation.
+//!
+//! Grain boundaries — regions where crystal lattices of different
+//! orientation meet (paper Fig. 2) — are the motivating application: the
+//! Fig. 9 experiment follows atoms diffusing around a boundary to test
+//! the online atom-swap remapping. This module builds a thin-slab
+//! bicrystal: two grains rotated about the z-axis by different angles,
+//! meeting at a y = L_y/2 interface, with overlapping interface atoms
+//! pruned.
+
+use crate::lattice::Crystal;
+use crate::vec3::V3d;
+
+/// Specification of a two-grain thin slab.
+#[derive(Clone, Copy, Debug)]
+pub struct GrainBoundarySpec {
+    pub crystal: Crystal,
+    /// Lattice constant (Å).
+    pub lattice_a: f64,
+    /// Slab extent (Å) in x, y, z.
+    pub size: V3d,
+    /// In-plane rotation of the lower grain (radians).
+    pub theta_lower: f64,
+    /// In-plane rotation of the upper grain (radians).
+    pub theta_upper: f64,
+    /// Minimum allowed interatomic distance at the interface; pairs
+    /// closer than this have one member removed. A typical choice is
+    /// 0.7 × nearest-neighbor distance.
+    pub min_separation: f64,
+}
+
+impl GrainBoundarySpec {
+    /// A tungsten-like default matching the scale of the paper's Fig. 9
+    /// run (62,500 cores for 61,600 atoms at full scale; callers pick the
+    /// actual size).
+    pub fn tungsten_like(size: V3d) -> Self {
+        Self {
+            crystal: Crystal::Bcc,
+            lattice_a: 3.165,
+            size,
+            theta_lower: 0.0,
+            theta_upper: 23.0_f64.to_radians(),
+            min_separation: 0.7 * Crystal::Bcc.nearest_neighbor_distance(3.165),
+        }
+    }
+
+    /// Generate the bicrystal. The lower grain fills y < L_y/2, the upper
+    /// grain y ≥ L_y/2; both are rotated about the slab center.
+    pub fn generate(&self) -> Vec<V3d> {
+        let mut atoms = Vec::new();
+        let half_y = self.size.y / 2.0;
+        let center = V3d::new(self.size.x / 2.0, self.size.y / 2.0, 0.0);
+
+        for (theta, lower) in [(self.theta_lower, true), (self.theta_upper, false)] {
+            let (s, c) = theta.sin_cos();
+            // Generate a lattice patch large enough to cover the slab
+            // after rotation, then clip to this grain's half.
+            let a = self.lattice_a;
+            let reach = (self.size.x.hypot(self.size.y)) / 2.0 + 2.0 * a;
+            let m = (reach / a).ceil() as i64 + 1;
+            let nz = (self.size.z / a).ceil() as i64;
+            for i in -m..=m {
+                for j in -m..=m {
+                    for k in 0..nz.max(1) {
+                        for b in self.crystal.basis() {
+                            let x0 = (i as f64 + b[0]) * a;
+                            let y0 = (j as f64 + b[1]) * a;
+                            let z = (k as f64 + b[2]) * a;
+                            if z >= self.size.z {
+                                continue;
+                            }
+                            // Rotate about the slab center in-plane.
+                            let p = V3d::new(
+                                c * x0 - s * y0 + center.x,
+                                s * x0 + c * y0 + center.y,
+                                z,
+                            );
+                            let in_slab = p.x >= 0.0
+                                && p.x < self.size.x
+                                && p.y >= 0.0
+                                && p.y < self.size.y;
+                            let in_grain = if lower { p.y < half_y } else { p.y >= half_y };
+                            if in_slab && in_grain {
+                                atoms.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        prune_overlaps(atoms, self.min_separation, half_y)
+    }
+}
+
+/// Remove one atom from every interface pair closer than `min_sep`.
+/// Only atoms within a band around the interface need checking, which
+/// keeps this O(band²) instead of O(N²).
+fn prune_overlaps(atoms: Vec<V3d>, min_sep: f64, interface_y: f64) -> Vec<V3d> {
+    let band = 2.0 * min_sep;
+    let min_sep2 = min_sep * min_sep;
+    let near: Vec<usize> = (0..atoms.len())
+        .filter(|&i| (atoms[i].y - interface_y).abs() < band)
+        .collect();
+    let mut dead = vec![false; atoms.len()];
+    for (ai, &i) in near.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        for &j in &near[ai + 1..] {
+            if dead[j] {
+                continue;
+            }
+            if (atoms[i] - atoms[j]).norm_sq() < min_sep2 {
+                dead[j] = true;
+            }
+        }
+    }
+    atoms
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !dead[*i])
+        .map(|(_, p)| p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GrainBoundarySpec {
+        GrainBoundarySpec::tungsten_like(V3d::new(40.0, 40.0, 6.4))
+    }
+
+    #[test]
+    fn bicrystal_has_no_close_pairs() {
+        let atoms = spec().generate();
+        assert!(atoms.len() > 400, "got only {} atoms", atoms.len());
+        let min_sep = spec().min_separation;
+        for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                let d = (atoms[i] - atoms[j]).norm();
+                assert!(
+                    d >= min_sep * 0.999,
+                    "atoms {i},{j} at distance {d} < {min_sep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_lie_inside_the_slab() {
+        let s = spec();
+        for p in s.generate() {
+            assert!(p.x >= 0.0 && p.x < s.size.x);
+            assert!(p.y >= 0.0 && p.y < s.size.y);
+            assert!(p.z >= 0.0 && p.z < s.size.z);
+        }
+    }
+
+    #[test]
+    fn grains_have_different_orientations() {
+        // The nearest-neighbor bond directions in the lower and upper
+        // grains should differ by the misorientation angle. Test proxy:
+        // both halves are populated with comparable densities.
+        let s = spec();
+        let atoms = s.generate();
+        let lower = atoms.iter().filter(|p| p.y < s.size.y / 2.0).count();
+        let upper = atoms.len() - lower;
+        let ratio = lower as f64 / upper as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "grain populations unbalanced: {lower} vs {upper}"
+        );
+    }
+
+    #[test]
+    fn zero_misorientation_reproduces_single_crystal_density() {
+        // Use a z-extent commensurate with the lattice so the density
+        // formula (2 atoms per a³ cell) applies without clipping bias.
+        let a = 3.165;
+        let mut s = GrainBoundarySpec::tungsten_like(V3d::new(40.0, 40.0, 2.0 * a));
+        s.theta_upper = 0.0;
+        let atoms = s.generate();
+        let expected = 2.0 * (s.size.x / a) * (s.size.y / a) * (s.size.z / a);
+        let n = atoms.len() as f64;
+        assert!(
+            (n / expected - 1.0).abs() < 0.15,
+            "count {n} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn misoriented_boundary_prunes_some_atoms() {
+        // The rotated interface must have had at least one overlap pruned
+        // (otherwise the generator isn't actually creating a boundary).
+        let s = spec();
+        let atoms = s.generate();
+        let mut s0 = s;
+        s0.theta_upper = s0.theta_lower;
+        let single = s0.generate();
+        assert!(
+            atoms.len() != single.len(),
+            "bicrystal and single crystal have identical counts"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Crystal lattices and thin-slab geometry generation.
+//!
+//! The paper's benchmark systems are thin slabs (~60 nm × 60 nm × 2 nm)
+//! of a single metal: FCC copper or BCC tungsten/tantalum, with open
+//! boundaries (Table I: Cu replicated 174×192×6, W/Ta 256×261×6, all
+//! 801,792 atoms).
+
+use crate::vec3::V3d;
+
+/// Crystal structure of a cubic metal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Crystal {
+    /// Face-centered cubic (4 atoms per conventional cell).
+    Fcc,
+    /// Body-centered cubic (2 atoms per conventional cell).
+    Bcc,
+}
+
+impl Crystal {
+    /// Fractional coordinates of the conventional-cell basis.
+    pub fn basis(self) -> &'static [[f64; 3]] {
+        match self {
+            Crystal::Fcc => &[
+                [0.0, 0.0, 0.0],
+                [0.5, 0.5, 0.0],
+                [0.5, 0.0, 0.5],
+                [0.0, 0.5, 0.5],
+            ],
+            Crystal::Bcc => &[[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]],
+        }
+    }
+
+    /// Atoms per conventional cubic cell.
+    pub fn atoms_per_cell(self) -> usize {
+        self.basis().len()
+    }
+
+    /// Nearest-neighbor distance for lattice constant `a`.
+    pub fn nearest_neighbor_distance(self, a: f64) -> f64 {
+        match self {
+            Crystal::Fcc => a / 2f64.sqrt(),
+            Crystal::Bcc => a * 3f64.sqrt() / 2.0,
+        }
+    }
+
+    /// All displacement vectors from an atom at the origin to other
+    /// lattice atoms strictly within `rcut`, for a perfect infinite
+    /// crystal with lattice constant `a`. Used for lattice-sum energy and
+    /// potential calibration.
+    pub fn neighbor_displacements(self, a: f64, rcut: f64) -> Vec<V3d> {
+        let m = (rcut / a).ceil() as i64 + 1;
+        let rc2 = rcut * rcut;
+        let mut out = Vec::new();
+        for i in -m..=m {
+            for j in -m..=m {
+                for k in -m..=m {
+                    for b in self.basis() {
+                        let d = V3d::new(
+                            (i as f64 + b[0]) * a,
+                            (j as f64 + b[1]) * a,
+                            (k as f64 + b[2]) * a,
+                        );
+                        let r2 = d.norm_sq();
+                        if r2 > 1e-12 && r2 < rc2 {
+                            out.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of bulk neighbors within `rcut` (the paper's
+    /// "interactions" count for an interior atom).
+    pub fn coordination(self, a: f64, rcut: f64) -> usize {
+        self.neighbor_displacements(a, rcut).len()
+    }
+}
+
+/// Specification of a rectangular slab of crystal, replicated
+/// `nx × ny × nz` conventional cells.
+#[derive(Clone, Copy, Debug)]
+pub struct SlabSpec {
+    pub crystal: Crystal,
+    /// Lattice constant (Å).
+    pub lattice_a: f64,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl SlabSpec {
+    pub fn atom_count(&self) -> usize {
+        self.nx * self.ny * self.nz * self.crystal.atoms_per_cell()
+    }
+
+    /// Slab extent in Å.
+    pub fn dimensions(&self) -> V3d {
+        V3d::new(
+            self.nx as f64 * self.lattice_a,
+            self.ny as f64 * self.lattice_a,
+            self.nz as f64 * self.lattice_a,
+        )
+    }
+
+    /// Generate atom positions, cell-major with basis-minor ordering so
+    /// that atoms sharing an (x, y) column are contiguous in z.
+    pub fn generate(&self) -> Vec<V3d> {
+        let a = self.lattice_a;
+        let basis = self.crystal.basis();
+        let mut pos = Vec::with_capacity(self.atom_count());
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                for k in 0..self.nz {
+                    for b in basis {
+                        pos.push(V3d::new(
+                            (i as f64 + b[0]) * a,
+                            (j as f64 + b[1]) * a,
+                            (k as f64 + b[2]) * a,
+                        ));
+                    }
+                }
+            }
+        }
+        pos
+    }
+}
+
+/// The paper's Table I replication for each benchmark material, given the
+/// material's crystal and lattice constant: Cu 174×192×6 (FCC),
+/// W/Ta 256×261×6 (BCC) — all exactly 801,792 atoms.
+pub fn paper_slab(crystal: Crystal, lattice_a: f64) -> SlabSpec {
+    let (nx, ny, nz) = match crystal {
+        Crystal::Fcc => (174, 192, 6),
+        Crystal::Bcc => (256, 261, 6),
+    };
+    SlabSpec {
+        crystal,
+        lattice_a,
+        nx,
+        ny,
+        nz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_replications_give_801792_atoms() {
+        assert_eq!(paper_slab(Crystal::Fcc, 3.615).atom_count(), 801_792);
+        assert_eq!(paper_slab(Crystal::Bcc, 3.304).atom_count(), 801_792);
+    }
+
+    #[test]
+    fn fcc_shell_structure() {
+        // FCC cumulative neighbor counts: 12 (a/√2), 18 (a), 42 (a√1.5), 54 (a√2).
+        let a = 3.615;
+        assert_eq!(Crystal::Fcc.coordination(a, 0.75 * a), 12);
+        assert_eq!(Crystal::Fcc.coordination(a, 1.05 * a), 18);
+        assert_eq!(Crystal::Fcc.coordination(a, 1.30 * a), 42);
+        assert_eq!(Crystal::Fcc.coordination(a, 1.45 * a), 54);
+    }
+
+    #[test]
+    fn bcc_shell_structure() {
+        // BCC cumulative counts: 8 (0.866a), 14 (a), 26 (1.414a), 50 (1.658a), 58 (1.732a).
+        let a = 3.304;
+        assert_eq!(Crystal::Bcc.coordination(a, 0.9 * a), 8);
+        assert_eq!(Crystal::Bcc.coordination(a, 1.1 * a), 14);
+        assert_eq!(Crystal::Bcc.coordination(a, 1.5 * a), 26);
+        assert_eq!(Crystal::Bcc.coordination(a, 1.7 * a), 50);
+        assert_eq!(Crystal::Bcc.coordination(a, 1.74 * a), 58);
+    }
+
+    #[test]
+    fn nearest_neighbor_distances() {
+        assert!((Crystal::Fcc.nearest_neighbor_distance(1.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((Crystal::Bcc.nearest_neighbor_distance(1.0) - 0.8660).abs() < 1e-4);
+    }
+
+    #[test]
+    fn neighbor_displacements_are_symmetric() {
+        // Perfect crystal shells are inversion-symmetric: Σ d = 0.
+        for crystal in [Crystal::Fcc, Crystal::Bcc] {
+            let ds = crystal.neighbor_displacements(3.3, 5.5);
+            let sum: V3d = ds.iter().copied().sum();
+            assert!(sum.norm() < 1e-9, "{crystal:?}: {sum:?}");
+        }
+    }
+
+    #[test]
+    fn slab_generation_counts_and_bounds() {
+        let spec = SlabSpec {
+            crystal: Crystal::Bcc,
+            lattice_a: 3.3,
+            nx: 4,
+            ny: 5,
+            nz: 2,
+        };
+        let pos = spec.generate();
+        assert_eq!(pos.len(), spec.atom_count());
+        assert_eq!(pos.len(), 4 * 5 * 2 * 2);
+        let dims = spec.dimensions();
+        for p in &pos {
+            assert!(p.x >= 0.0 && p.x < dims.x);
+            assert!(p.y >= 0.0 && p.y < dims.y);
+            assert!(p.z >= 0.0 && p.z < dims.z);
+        }
+    }
+
+    #[test]
+    fn slab_atoms_are_unique() {
+        let spec = SlabSpec {
+            crystal: Crystal::Fcc,
+            lattice_a: 3.615,
+            nx: 3,
+            ny: 3,
+            nz: 3,
+        };
+        let pos = spec.generate();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                assert!((pos[i] - pos[j]).norm() > 1.0, "atoms {i},{j} overlap");
+            }
+        }
+    }
+}

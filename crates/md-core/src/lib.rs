@@ -1,0 +1,33 @@
+//! # md-core — molecular-dynamics substrate
+//!
+//! The physics foundation shared by every engine in the wafer-md
+//! workspace: EAM potentials on cubic-spline tables, calibrated Cu/W/Ta
+//! parameterizations, crystal lattices and grain-boundary bicrystals,
+//! Verlet leap-frog integration, thermostats, and cell/Verlet neighbor
+//! lists.
+//!
+//! Reproduces the MD formulation of *Breaking the Molecular Dynamics
+//! Timescale Barrier Using a Wafer-Scale System* (SC 2024), Secs. II-A
+//! and IV-B. Both the LAMMPS-like reference engine (`md-baseline`) and
+//! the wafer-scale mapping (`wse-md`) build on these types, so the two
+//! performance worlds share one physics implementation.
+
+pub mod analysis;
+pub mod eam;
+pub mod grain;
+pub mod integrate;
+pub mod lattice;
+pub mod materials;
+pub mod neighbor;
+pub mod setfl;
+pub mod spline;
+pub mod system;
+pub mod thermostat;
+pub mod units;
+pub mod vec3;
+
+pub use eam::{EamOutput, EamPotential};
+pub use lattice::{Crystal, SlabSpec};
+pub use materials::{Material, Species};
+pub use system::{Box3, System};
+pub use vec3::{Real, V3d, V3f, Vec3};

@@ -1,0 +1,398 @@
+//! Analytic EAM parameterizations for the paper's three benchmark metals.
+//!
+//! The paper uses published tabulated potentials: Adams copper (its
+//! ref. 28), Zhou tungsten (ref. 29), and Li tantalum (ref. 30). Those files are not
+//! redistributable here, so we substitute analytic EAM forms (Morse pair
+//! term, exponential density, universal-binding embedding) calibrated so
+//! that the *performance-relevant* and *stability-relevant* properties
+//! match:
+//!
+//! * the cutoff radius reproduces the paper's per-atom interaction counts
+//!   (Cu 42, W ~59, Ta 14 — Table I),
+//! * the perfect crystal at the published lattice constant is an energy
+//!   minimum (zero pressure, calibrated at construction),
+//! * the cohesive energy matches the experimental value,
+//! * functions vanish smoothly at the cutoff (C¹), as spline tables
+//!   require.
+//!
+//! See DESIGN.md ("Hardware gate and substitutions") for the argument
+//! that this preserves the paper's evaluation behaviour.
+
+use crate::eam::EamPotential;
+use crate::lattice::Crystal;
+use crate::spline::Spline;
+
+/// The three benchmark species from Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Species {
+    /// Copper, FCC, a = 3.615 Å (Adams et al. potential in the paper).
+    Cu,
+    /// Tungsten, BCC, a = 3.165 Å (Zhou et al. potential in the paper).
+    W,
+    /// Tantalum, BCC, a = 3.304 Å (Li et al. potential in the paper).
+    Ta,
+}
+
+impl Species {
+    pub const ALL: [Species; 3] = [Species::Cu, Species::W, Species::Ta];
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Species::Cu => "Cu",
+            Species::W => "W",
+            Species::Ta => "Ta",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Species::Cu => "Copper",
+            Species::W => "Tungsten",
+            Species::Ta => "Tantalum",
+        }
+    }
+}
+
+/// A calibrated material: crystal data plus analytic EAM parameters.
+#[derive(Clone, Debug)]
+pub struct Material {
+    pub species: Species,
+    pub crystal: Crystal,
+    /// Lattice constant a₀ (Å).
+    pub lattice_a: f64,
+    /// Atomic mass (amu).
+    pub mass: f64,
+    /// Interaction cutoff (Å), chosen to hit the paper's neighbor counts.
+    pub cutoff: f64,
+    /// Target cohesive energy (eV/atom), used for energy-scale calibration.
+    pub cohesive_energy: f64,
+    /// Host density at the equilibrium lattice.
+    pub rho_e: f64,
+    // --- analytic EAM parameters ---
+    pair_d: f64,
+    pair_alpha: f64,
+    pair_r0: f64,
+    dens_beta: f64,
+    embed_f0: f64,
+}
+
+/// Smooth C¹ cutoff window: 1 below `rs`, 0 above `rc`, cubic blend in
+/// between (zero slope at both ends).
+fn smooth_window(r: f64, rs: f64, rc: f64) -> f64 {
+    if r <= rs {
+        1.0
+    } else if r >= rc {
+        0.0
+    } else {
+        let x = (r - rs) / (rc - rs);
+        2.0 * x * x * x - 3.0 * x * x + 1.0
+    }
+}
+
+impl Material {
+    /// Build and calibrate the material for `species`.
+    ///
+    /// Calibration solves for the Morse equilibrium radius `r0` such that
+    /// the lattice pressure vanishes at a₀ (bisection on the derivative of
+    /// the lattice-sum pair energy; the universal-form embedding
+    /// contributes zero first-order pressure at ρ = ρₑ by construction),
+    /// then scales the pair amplitude so the cohesive energy matches.
+    pub fn new(species: Species) -> Self {
+        let (crystal, lattice_a, mass, cutoff, cohesive) = match species {
+            Species::Cu => (Crystal::Fcc, 3.615, 63.546, 4.60, 3.49),
+            Species::W => (Crystal::Bcc, 3.165, 183.84, 5.50, 8.90),
+            Species::Ta => (Crystal::Bcc, 3.304, 180.9479, 4.10, 8.10),
+        };
+        let nn = crystal.nearest_neighbor_distance(lattice_a);
+        let dens_beta = 1.2 / (0.2 * nn); // decay over ~20% of the bond length
+        let pair_alpha = 1.4;
+
+        let mut mat = Material {
+            species,
+            crystal,
+            lattice_a,
+            mass,
+            cutoff,
+            cohesive_energy: cohesive,
+            rho_e: 0.0,
+            pair_d: 1.0,
+            pair_alpha,
+            pair_r0: nn,
+            dens_beta,
+            embed_f0: cohesive / 2.0,
+        };
+
+        // Host density at equilibrium (depends only on the density fn).
+        mat.rho_e = mat.lattice_density_sum(lattice_a);
+
+        // Calibrate r0 so d(E_pair)/da = 0 at a0 (embedding is stationary
+        // there by the universal form, so this zeroes the total pressure).
+        let g = |mat: &Material, r0: f64| -> f64 {
+            let mut m = mat.clone();
+            m.pair_r0 = r0;
+            m.pair_energy_derivative(m.lattice_a)
+        };
+        let (mut lo, mut hi) = (0.85 * nn, 1.35 * nn);
+        let (glo, ghi) = (g(&mat, lo), g(&mat, hi));
+        assert!(
+            glo * ghi < 0.0,
+            "{}: pressure does not change sign over the r0 bracket ({glo}, {ghi})",
+            species.symbol()
+        );
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if g(&mat, mid) * glo <= 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        mat.pair_r0 = 0.5 * (lo + hi);
+
+        // Scale the pair amplitude so E(a0) = −E_cohesive. The embedding
+        // contributes F(ρe) = −F0 = −Ec/2; the pair sum supplies the rest.
+        let pair_per_atom = mat.pair_lattice_sum(mat.lattice_a);
+        let target = -(cohesive - mat.embed_f0); // pair share: −Ec/2
+        assert!(
+            pair_per_atom < 0.0,
+            "{}: uncalibrated pair sum must be attractive, got {pair_per_atom}",
+            species.symbol()
+        );
+        mat.pair_d = target / pair_per_atom;
+
+        mat
+    }
+
+    /// Start of the smooth cutoff window (fraction of the cutoff).
+    fn window_start(&self) -> f64 {
+        0.80 * self.cutoff
+    }
+
+    /// Analytic pair potential φ(r) (eV).
+    pub fn phi(&self, r: f64) -> f64 {
+        let e1 = (-2.0 * self.pair_alpha * (r - self.pair_r0)).exp();
+        let e2 = (-self.pair_alpha * (r - self.pair_r0)).exp();
+        self.pair_d * (e1 - 2.0 * e2) * smooth_window(r, self.window_start(), self.cutoff)
+    }
+
+    /// Analytic density contribution ρ(r) (arbitrary units).
+    pub fn rho(&self, r: f64) -> f64 {
+        let nn = self.crystal.nearest_neighbor_distance(self.lattice_a);
+        (-self.dens_beta * (r - nn)).exp() * smooth_window(r, self.window_start(), self.cutoff)
+    }
+
+    /// Analytic embedding energy F(ρ) (eV): universal form
+    /// `F(ρ) = F₀ · (ρ/ρₑ) · (ln(ρ/ρₑ) − 1)`, which satisfies F(0) = 0,
+    /// F(ρₑ) = −F₀, F′(ρₑ) = 0, F″ > 0.
+    pub fn embed(&self, rho: f64) -> f64 {
+        if rho <= 1e-12 {
+            return 0.0;
+        }
+        let x = rho / self.rho_e;
+        self.embed_f0 * x * (x.ln() - 1.0)
+    }
+
+    /// Host density of a bulk atom at lattice constant `a` (lattice sum).
+    pub fn lattice_density_sum(&self, a: f64) -> f64 {
+        self.crystal
+            .neighbor_displacements(a, self.cutoff)
+            .iter()
+            .map(|d| self.rho(d.norm()))
+            .sum()
+    }
+
+    /// Pair energy per bulk atom at lattice constant `a`.
+    fn pair_lattice_sum(&self, a: f64) -> f64 {
+        0.5 * self
+            .crystal
+            .neighbor_displacements(a, self.cutoff)
+            .iter()
+            .map(|d| self.phi(d.norm()))
+            .sum::<f64>()
+    }
+
+    /// d(E_pair)/da by central difference.
+    fn pair_energy_derivative(&self, a: f64) -> f64 {
+        let h = 1e-5 * a;
+        (self.pair_lattice_sum(a + h) - self.pair_lattice_sum(a - h)) / (2.0 * h)
+    }
+
+    /// Total energy per bulk atom at lattice constant `a` (eV).
+    pub fn energy_per_atom(&self, a: f64) -> f64 {
+        self.pair_lattice_sum(a) + self.embed(self.lattice_density_sum(a))
+    }
+
+    /// Bulk coordination number within the cutoff (the paper's
+    /// per-atom interaction count for interior atoms).
+    pub fn bulk_interactions(&self) -> usize {
+        self.crystal.coordination(self.lattice_a, self.cutoff)
+    }
+
+    /// Tabulate the analytic functions into the spline-based
+    /// [`EamPotential`] used by every engine in the workspace.
+    pub fn potential(&self) -> EamPotential<f64> {
+        let nn = self.crystal.nearest_neighbor_distance(self.lattice_a);
+        let r_min = 0.35 * nn;
+        let n_knots = 1200;
+        let rho = Spline::tabulate(r_min, self.cutoff, n_knots, |r| self.rho(r));
+        let phi = Spline::tabulate(r_min, self.cutoff, n_knots, |r| self.phi(r));
+        let embed = Spline::tabulate(0.0, 3.0 * self.rho_e, n_knots, |d| self.embed(d));
+        EamPotential {
+            rho,
+            phi,
+            embed,
+            cutoff: self.cutoff,
+            mass: self.mass,
+            rho_equilibrium: self.rho_e,
+        }
+    }
+
+    /// The paper's Table I per-atom interaction count (slab average).
+    pub fn paper_interactions(&self) -> usize {
+        match self.species {
+            Species::Cu => 42,
+            Species::W => 59,
+            Species::Ta => 14,
+        }
+    }
+
+    /// The paper's Table I candidate count (neighborhood size − 1).
+    pub fn paper_candidates(&self) -> usize {
+        match self.species {
+            Species::Cu | Species::W => 224,
+            Species::Ta => 80,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_interaction_counts_match_paper_shells() {
+        // Bulk coordination vs the paper's slab-averaged Table I counts:
+        // Cu 42 exactly; Ta 14 exactly; W 58 bulk vs 59 reported.
+        assert_eq!(Material::new(Species::Cu).bulk_interactions(), 42);
+        assert_eq!(Material::new(Species::Ta).bulk_interactions(), 14);
+        assert_eq!(Material::new(Species::W).bulk_interactions(), 58);
+    }
+
+    #[test]
+    fn lattice_constant_is_energy_minimum() {
+        for sp in Species::ALL {
+            let m = Material::new(sp);
+            let e0 = m.energy_per_atom(m.lattice_a);
+            for frac in [0.98, 0.99, 1.01, 1.02] {
+                let e = m.energy_per_atom(m.lattice_a * frac);
+                assert!(
+                    e > e0,
+                    "{}: E({frac}·a0) = {e} not above E(a0) = {e0}",
+                    sp.symbol()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_vanishes_at_equilibrium() {
+        for sp in Species::ALL {
+            let m = Material::new(sp);
+            let h = 1e-4 * m.lattice_a;
+            let de = (m.energy_per_atom(m.lattice_a + h) - m.energy_per_atom(m.lattice_a - h))
+                / (2.0 * h);
+            assert!(de.abs() < 1e-5, "{}: dE/da = {de}", sp.symbol());
+        }
+    }
+
+    #[test]
+    fn cohesive_energy_matches_target() {
+        for sp in Species::ALL {
+            let m = Material::new(sp);
+            let e0 = m.energy_per_atom(m.lattice_a);
+            assert!(
+                (e0 + m.cohesive_energy).abs() < 1e-6,
+                "{}: E(a0) = {e0}, target {}",
+                sp.symbol(),
+                -m.cohesive_energy
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_universal_form_properties() {
+        for sp in Species::ALL {
+            let m = Material::new(sp);
+            assert!(m.embed(0.0).abs() < 1e-12);
+            assert!((m.embed(m.rho_e) + m.cohesive_energy / 2.0).abs() < 1e-9);
+            // F'(ρe) = 0 numerically.
+            let h = 1e-6 * m.rho_e;
+            let fp = (m.embed(m.rho_e + h) - m.embed(m.rho_e - h)) / (2.0 * h);
+            assert!(fp.abs() < 1e-8, "{}: F'(rho_e) = {fp}", sp.symbol());
+        }
+    }
+
+    #[test]
+    fn functions_vanish_at_cutoff() {
+        for sp in Species::ALL {
+            let m = Material::new(sp);
+            assert_eq!(m.phi(m.cutoff), 0.0);
+            assert_eq!(m.rho(m.cutoff), 0.0);
+            assert!(m.phi(m.cutoff - 1e-4).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spline_tables_track_analytic_functions() {
+        let m = Material::new(Species::Ta);
+        let pot = m.potential();
+        let nn = m.crystal.nearest_neighbor_distance(m.lattice_a);
+        for i in 0..200 {
+            let r = 0.5 * nn + (m.cutoff - 0.5 * nn) * i as f64 / 199.0;
+            assert!((pot.phi.eval(r) - m.phi(r)).abs() < 1e-6, "phi at {r}");
+            assert!((pot.rho.eval(r) - m.rho(r)).abs() < 1e-6, "rho at {r}");
+        }
+        for i in 0..200 {
+            let d = 2.9 * m.rho_e * i as f64 / 199.0;
+            assert!((pot.embed.eval(d) - m.embed(d)).abs() < 2e-5, "embed at {d}");
+        }
+    }
+
+    #[test]
+    fn spline_potential_also_has_equilibrium_minimum() {
+        // The tabulated potential (what engines actually evaluate) must
+        // preserve the calibrated minimum.
+        let m = Material::new(Species::Cu);
+        let pot = m.potential();
+        let e = |a: f64| -> f64 {
+            let ds = m.crystal.neighbor_displacements(a, m.cutoff);
+            let pair: f64 = 0.5 * ds.iter().map(|d| pot.phi.eval(d.norm())).sum::<f64>();
+            let dens: f64 = ds.iter().map(|d| pot.rho.eval(d.norm())).sum();
+            pair + pot.embed.eval(dens)
+        };
+        let e0 = e(m.lattice_a);
+        assert!(e(0.985 * m.lattice_a) > e0);
+        assert!(e(1.015 * m.lattice_a) > e0);
+        assert!((e0 + m.cohesive_energy).abs() < 1e-3);
+    }
+
+    #[test]
+    fn table_i_constants() {
+        let cu = Material::new(Species::Cu);
+        assert_eq!(cu.paper_interactions(), 42);
+        assert_eq!(cu.paper_candidates(), 224);
+        let ta = Material::new(Species::Ta);
+        assert_eq!(ta.paper_interactions(), 14);
+        assert_eq!(ta.paper_candidates(), 80);
+    }
+
+    #[test]
+    fn masses_and_lattice_constants_are_physical() {
+        let w = Material::new(Species::W);
+        assert!((w.mass - 183.84).abs() < 1e-6);
+        assert!((w.lattice_a - 3.165).abs() < 1e-6);
+        assert_eq!(w.crystal, Crystal::Bcc);
+        let cu = Material::new(Species::Cu);
+        assert_eq!(cu.crystal, Crystal::Fcc);
+    }
+}

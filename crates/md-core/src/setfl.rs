@@ -1,0 +1,329 @@
+//! LAMMPS `eam/alloy` (setfl) tabulated-potential interchange.
+//!
+//! The paper's reference runs use published setfl potentials (Adams Cu,
+//! Zhou W, Li Ta) through LAMMPS. We cannot redistribute those files,
+//! but this module closes the interoperability gap from our side: any
+//! [`crate::materials::Material`] can be exported as a
+//! standards-conforming single-element setfl file (runnable in LAMMPS
+//! with `pair_style eam/alloy`), and external setfl files can be
+//! imported as an [`EamPotential`] — so users with the original
+//! potentials can drop them straight into this engine.
+//!
+//! Format (as consumed by LAMMPS `pair_eam_alloy`):
+//!
+//! ```text
+//! 3 comment lines
+//! Nelements Element1 ...
+//! Nrho drho Nr dr cutoff
+//! per element: "atomic-number mass lattice-constant structure"
+//!              F(rho): Nrho values;  rho(r): Nr values
+//! phi tables: r*phi(r) for each pair, Nr values
+//! ```
+
+use crate::eam::EamPotential;
+use crate::materials::Material;
+use crate::spline::Spline;
+use std::fmt::Write as _;
+
+/// A parsed single-element setfl file.
+#[derive(Clone, Debug)]
+pub struct SetflData {
+    pub element: String,
+    pub atomic_number: u32,
+    pub mass: f64,
+    pub lattice_constant: f64,
+    pub structure: String,
+    pub nrho: usize,
+    pub drho: f64,
+    pub nr: usize,
+    pub dr: f64,
+    pub cutoff: f64,
+    /// Embedding F(ρ), `nrho` samples at spacing `drho` from 0.
+    pub f_embed: Vec<f64>,
+    /// Density ρ(r), `nr` samples at spacing `dr` from 0.
+    pub rho: Vec<f64>,
+    /// Pair term stored LAMMPS-style as r·φ(r), `nr` samples.
+    pub rphi: Vec<f64>,
+}
+
+/// Error type for setfl parsing.
+#[derive(Debug)]
+pub struct SetflError(pub String);
+
+impl std::fmt::Display for SetflError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "setfl parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SetflError {}
+
+fn atomic_number(symbol: &str) -> u32 {
+    match symbol {
+        "Cu" => 29,
+        "W" => 74,
+        "Ta" => 73,
+        _ => 0,
+    }
+}
+
+/// Export a calibrated material as setfl text.
+pub fn export_material(material: &Material, nrho: usize, nr: usize) -> String {
+    assert!(nrho >= 4 && nr >= 4);
+    let cutoff = material.cutoff;
+    let rho_max = 3.0 * material.rho_e;
+    let drho = rho_max / (nrho - 1) as f64;
+    let dr = cutoff / (nr - 1) as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "wafer-md analytic EAM for {}", material.species.name());
+    let _ = writeln!(
+        out,
+        "calibrated: a0 = {} A, Ec = {} eV, rcut = {} A",
+        material.lattice_a, material.cohesive_energy, cutoff
+    );
+    let _ = writeln!(
+        out,
+        "reproduction of SC24 wafer-scale MD paper; see DESIGN.md"
+    );
+    let _ = writeln!(out, "1 {}", material.species.symbol());
+    let _ = writeln!(out, "{nrho} {drho:.16e} {nr} {dr:.16e} {cutoff:.16e}");
+    let structure = match material.crystal {
+        crate::lattice::Crystal::Fcc => "fcc",
+        crate::lattice::Crystal::Bcc => "bcc",
+    };
+    let _ = writeln!(
+        out,
+        "{} {:.6} {:.6} {}",
+        atomic_number(material.species.symbol()),
+        material.mass,
+        material.lattice_a,
+        structure
+    );
+    let mut write_block = |values: &[f64]| {
+        for chunk in values.chunks(5) {
+            let line: Vec<String> = chunk.iter().map(|v| format!("{v:.16e}")).collect();
+            let _ = writeln!(out, "{}", line.join(" "));
+        }
+    };
+    let f_embed: Vec<f64> = (0..nrho).map(|i| material.embed(i as f64 * drho)).collect();
+    write_block(&f_embed);
+    let rho: Vec<f64> = (0..nr).map(|i| material.rho(i as f64 * dr)).collect();
+    write_block(&rho);
+    let rphi: Vec<f64> = (0..nr)
+        .map(|i| {
+            let r = i as f64 * dr;
+            r * material.phi(r)
+        })
+        .collect();
+    write_block(&rphi);
+    out
+}
+
+/// Parse a single-element setfl file.
+pub fn parse(text: &str) -> Result<SetflData, SetflError> {
+    let mut tokens_after_header: Vec<&str> = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() < 6 {
+        return Err(SetflError("file too short".into()));
+    }
+    // Line 3 (0-indexed): element count + names.
+    let elem_line: Vec<&str> = lines[3].split_whitespace().collect();
+    if elem_line.is_empty() {
+        return Err(SetflError("missing element line".into()));
+    }
+    let n_elem: usize = elem_line[0]
+        .parse()
+        .map_err(|_| SetflError("bad element count".into()))?;
+    if n_elem != 1 {
+        return Err(SetflError(format!(
+            "only single-element files supported, got {n_elem}"
+        )));
+    }
+    let element = elem_line
+        .get(1)
+        .ok_or_else(|| SetflError("missing element symbol".into()))?
+        .to_string();
+
+    // Line 4: nrho drho nr dr cutoff.
+    let grid: Vec<&str> = lines[4].split_whitespace().collect();
+    if grid.len() != 5 {
+        return Err(SetflError("bad grid line".into()));
+    }
+    let nrho: usize = grid[0].parse().map_err(|_| SetflError("bad nrho".into()))?;
+    let drho: f64 = grid[1].parse().map_err(|_| SetflError("bad drho".into()))?;
+    let nr: usize = grid[2].parse().map_err(|_| SetflError("bad nr".into()))?;
+    let dr: f64 = grid[3].parse().map_err(|_| SetflError("bad dr".into()))?;
+    let cutoff: f64 = grid[4].parse().map_err(|_| SetflError("bad cutoff".into()))?;
+
+    // Line 5: element header.
+    let hdr: Vec<&str> = lines[5].split_whitespace().collect();
+    if hdr.len() < 4 {
+        return Err(SetflError("bad per-element header".into()));
+    }
+    let atomic_number: u32 = hdr[0].parse().map_err(|_| SetflError("bad Z".into()))?;
+    let mass: f64 = hdr[1].parse().map_err(|_| SetflError("bad mass".into()))?;
+    let lattice_constant: f64 = hdr[2].parse().map_err(|_| SetflError("bad a0".into()))?;
+    let structure = hdr[3].to_string();
+
+    for line in &lines[6..] {
+        tokens_after_header.extend(line.split_whitespace());
+    }
+    let needed = nrho + 2 * nr;
+    if tokens_after_header.len() < needed {
+        return Err(SetflError(format!(
+            "expected {needed} table values, found {}",
+            tokens_after_header.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(needed);
+    for t in &tokens_after_header[..needed] {
+        values.push(
+            t.parse::<f64>()
+                .map_err(|_| SetflError(format!("bad table value '{t}'")))?,
+        );
+    }
+    let f_embed = values[..nrho].to_vec();
+    let rho = values[nrho..nrho + nr].to_vec();
+    let rphi = values[nrho + nr..].to_vec();
+
+    Ok(SetflData {
+        element,
+        atomic_number,
+        mass,
+        lattice_constant,
+        structure,
+        nrho,
+        drho,
+        nr,
+        dr,
+        cutoff,
+        f_embed,
+        rho,
+        rphi,
+    })
+}
+
+impl SetflData {
+    /// Build the engine's spline-table potential from the parsed data.
+    /// The pair table is converted from LAMMPS's r·φ form back to φ,
+    /// with φ(0) extrapolated from the first nonzero sample.
+    pub fn to_potential(&self) -> EamPotential<f64> {
+        let embed = Spline::from_samples(0.0, self.drho, &self.f_embed);
+        let rho = Spline::from_samples(0.0, self.dr, &self.rho);
+        let phi_samples: Vec<f64> = self
+            .rphi
+            .iter()
+            .enumerate()
+            .map(|(i, rphi)| {
+                if i == 0 {
+                    // φ(0) is never evaluated (r² > 0 guard); extend flat.
+                    self.rphi[1] / self.dr
+                } else {
+                    rphi / (i as f64 * self.dr)
+                }
+            })
+            .collect();
+        let phi = Spline::from_samples(0.0, self.dr, &phi_samples);
+        EamPotential {
+            rho,
+            phi,
+            embed,
+            cutoff: self.cutoff,
+            mass: self.mass,
+            rho_equilibrium: 0.0, // unknown for external files
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eam::open_disp;
+    use crate::materials::Species;
+    use crate::vec3::V3d;
+
+    #[test]
+    fn export_parse_round_trip_preserves_metadata() {
+        let m = Material::new(Species::Ta);
+        let text = export_material(&m, 500, 500);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.element, "Ta");
+        assert_eq!(parsed.atomic_number, 73);
+        assert!((parsed.mass - m.mass).abs() < 1e-5);
+        assert!((parsed.cutoff - m.cutoff).abs() < 1e-12);
+        assert_eq!(parsed.structure, "bcc");
+        assert_eq!(parsed.nrho, 500);
+        assert_eq!(parsed.nr, 500);
+    }
+
+    #[test]
+    fn round_tripped_potential_reproduces_forces() {
+        let m = Material::new(Species::Cu);
+        let original = m.potential();
+        let round_tripped = parse(&export_material(&m, 1500, 1500))
+            .unwrap()
+            .to_potential();
+
+        let pos = vec![
+            V3d::new(0.0, 0.0, 0.0),
+            V3d::new(2.5, 0.2, 0.1),
+            V3d::new(0.3, 2.6, -0.2),
+            V3d::new(-2.2, 0.4, 1.0),
+        ];
+        let a = original.compute_bruteforce(&pos, open_disp);
+        let b = round_tripped.compute_bruteforce(&pos, open_disp);
+        assert!(
+            (a.potential_energy - b.potential_energy).abs() < 1e-4,
+            "{} vs {}",
+            a.potential_energy,
+            b.potential_energy
+        );
+        for i in 0..pos.len() {
+            let err = (a.forces[i] - b.forces[i]).norm() / (1.0 + a.forces[i].norm());
+            assert!(err < 1e-3, "atom {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn round_tripped_potential_keeps_the_lattice_stable() {
+        let m = Material::new(Species::W);
+        let pot = parse(&export_material(&m, 2000, 2000)).unwrap().to_potential();
+        let e = |a: f64| -> f64 {
+            let ds = m.crystal.neighbor_displacements(a, m.cutoff);
+            let pair: f64 = 0.5 * ds.iter().map(|d| pot.phi.eval(d.norm())).sum::<f64>();
+            let dens: f64 = ds.iter().map(|d| pot.rho.eval(d.norm())).sum();
+            pair + pot.embed.eval(dens)
+        };
+        let e0 = e(m.lattice_a);
+        assert!(e(0.98 * m.lattice_a) > e0);
+        assert!(e(1.02 * m.lattice_a) > e0);
+        assert!((e0 + m.cohesive_energy).abs() < 0.01, "E0 = {e0}");
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_context() {
+        assert!(parse("too\nshort").is_err());
+        let m = Material::new(Species::Ta);
+        let text = export_material(&m, 100, 100);
+        // Corrupt the element count.
+        let bad = text.replacen("1 Ta", "2 Ta W", 1);
+        let err = parse(&bad).unwrap_err();
+        assert!(err.to_string().contains("single-element"));
+        // Truncate the tables.
+        let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn exported_tables_use_lammps_rphi_convention() {
+        let m = Material::new(Species::Ta);
+        let parsed = parse(&export_material(&m, 200, 200)).unwrap();
+        // Check a mid-table point: rphi[i] == r * phi(r).
+        let i = 120;
+        let r = i as f64 * parsed.dr;
+        assert!((parsed.rphi[i] - r * m.phi(r)).abs() < 1e-9);
+        // And the density table matches the analytic density.
+        assert!((parsed.rho[i] - m.rho(r)).abs() < 1e-9);
+    }
+}

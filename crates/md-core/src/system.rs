@@ -1,0 +1,226 @@
+//! Simulation box, boundary conditions, and the reference-precision
+//! atom container.
+//!
+//! The paper's benchmark slabs use *open* (non-periodic) boundaries so
+//! grain-boundary atoms can migrate in and out at the edges; Sec. V-F
+//! additionally evaluates periodic boundary conditions. [`Box3`] supports
+//! per-dimension periodicity and provides the minimum-image displacement
+//! used by every force evaluator.
+
+use crate::eam::EamPotential;
+use crate::lattice::SlabSpec;
+use crate::materials::{Material, Species};
+use crate::units;
+use crate::vec3::V3d;
+
+/// An axis-aligned simulation region with per-dimension periodicity.
+#[derive(Clone, Copy, Debug)]
+pub struct Box3 {
+    /// Edge lengths (Å). Must be positive in periodic dimensions.
+    pub lengths: V3d,
+    /// Which dimensions wrap around.
+    pub periodic: [bool; 3],
+}
+
+impl Box3 {
+    /// Fully open boundaries (the paper's thin-slab configuration).
+    pub fn open(lengths: V3d) -> Self {
+        Self {
+            lengths,
+            periodic: [false; 3],
+        }
+    }
+
+    /// Fully periodic boundaries.
+    pub fn periodic(lengths: V3d) -> Self {
+        Self {
+            lengths,
+            periodic: [true; 3],
+        }
+    }
+
+    /// Periodic in selected dimensions only.
+    pub fn with_periodicity(lengths: V3d, periodic: [bool; 3]) -> Self {
+        Self { lengths, periodic }
+    }
+
+    /// Minimum-image displacement `r_b − r_a`.
+    #[inline]
+    pub fn displacement(&self, a: V3d, b: V3d) -> V3d {
+        let mut d = b - a;
+        let l = self.lengths.to_array();
+        let mut da = d.to_array();
+        for k in 0..3 {
+            if self.periodic[k] && l[k] > 0.0 {
+                da[k] -= l[k] * (da[k] / l[k]).round();
+            }
+        }
+        d = V3d::from_array(da);
+        d
+    }
+
+    /// Wrap a position into the primary cell along periodic dimensions.
+    #[inline]
+    pub fn wrap(&self, p: V3d) -> V3d {
+        let mut pa = p.to_array();
+        let l = self.lengths.to_array();
+        for k in 0..3 {
+            if self.periodic[k] && l[k] > 0.0 {
+                pa[k] = pa[k].rem_euclid(l[k]);
+            }
+        }
+        V3d::from_array(pa)
+    }
+
+    pub fn volume(&self) -> f64 {
+        self.lengths.x * self.lengths.y * self.lengths.z
+    }
+}
+
+/// The f64 reference simulation state: one species, SoA storage.
+#[derive(Clone, Debug)]
+pub struct System {
+    pub material: Material,
+    pub potential: EamPotential<f64>,
+    pub bbox: Box3,
+    pub positions: Vec<V3d>,
+    pub velocities: Vec<V3d>,
+}
+
+impl System {
+    /// Build a system from a slab specification with open boundaries and
+    /// zero velocities.
+    pub fn from_slab(species: Species, spec: SlabSpec) -> Self {
+        let material = Material::new(species);
+        let potential = material.potential();
+        let positions = spec.generate();
+        let n = positions.len();
+        // Pad the open box slightly beyond the outermost atoms.
+        let dims = spec.dimensions();
+        Self {
+            material,
+            potential,
+            bbox: Box3::open(dims),
+            positions,
+            velocities: vec![V3d::zero(); n],
+        }
+    }
+
+    /// Build from explicit positions (e.g. a grain-boundary bicrystal).
+    pub fn from_positions(species: Species, positions: Vec<V3d>, bbox: Box3) -> Self {
+        let material = Material::new(species);
+        let potential = material.potential();
+        let n = positions.len();
+        Self {
+            material,
+            potential,
+            bbox,
+            positions,
+            velocities: vec![V3d::zero(); n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Total kinetic energy (eV).
+    pub fn kinetic_energy(&self) -> f64 {
+        let m = self.material.mass;
+        0.5 * m
+            * units::MVV_TO_ENERGY
+            * self
+                .velocities
+                .iter()
+                .map(|v| v.norm_sq())
+                .sum::<f64>()
+    }
+
+    /// Instantaneous temperature (K).
+    pub fn temperature(&self) -> f64 {
+        units::temperature_from_ke(self.kinetic_energy(), self.len())
+    }
+
+    /// Net momentum (amu·Å/ps) — conserved by leapfrog integration.
+    pub fn net_momentum(&self) -> V3d {
+        self.velocities
+            .iter()
+            .copied()
+            .sum::<V3d>()
+            .scale(self.material.mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Crystal;
+
+    #[test]
+    fn open_box_displacement_is_plain_subtraction() {
+        let b = Box3::open(V3d::new(10.0, 10.0, 10.0));
+        let d = b.displacement(V3d::new(1.0, 1.0, 1.0), V3d::new(9.0, 9.0, 9.0));
+        assert_eq!(d, V3d::new(8.0, 8.0, 8.0));
+    }
+
+    #[test]
+    fn periodic_box_uses_minimum_image() {
+        let b = Box3::periodic(V3d::new(10.0, 10.0, 10.0));
+        let d = b.displacement(V3d::new(1.0, 0.0, 0.0), V3d::new(9.0, 0.0, 0.0));
+        assert_eq!(d, V3d::new(-2.0, 0.0, 0.0));
+        // Exactly half the box maps to ±L/2.
+        let d = b.displacement(V3d::new(0.0, 0.0, 0.0), V3d::new(5.0, 0.0, 0.0));
+        assert_eq!(d.norm(), 5.0);
+    }
+
+    #[test]
+    fn mixed_periodicity_wraps_only_selected_axes() {
+        let b = Box3::with_periodicity(V3d::new(10.0, 10.0, 10.0), [true, false, false]);
+        let d = b.displacement(V3d::new(1.0, 1.0, 1.0), V3d::new(9.5, 9.5, 9.5));
+        assert!((d.x - -1.5).abs() < 1e-12);
+        assert!((d.y - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_maps_into_primary_cell() {
+        let b = Box3::periodic(V3d::new(4.0, 4.0, 4.0));
+        let w = b.wrap(V3d::new(-1.0, 5.5, 3.0));
+        assert_eq!(w, V3d::new(3.0, 1.5, 3.0));
+        let open = Box3::open(V3d::new(4.0, 4.0, 4.0));
+        assert_eq!(open.wrap(V3d::new(-1.0, 5.5, 3.0)), V3d::new(-1.0, 5.5, 3.0));
+    }
+
+    #[test]
+    fn system_from_slab_has_expected_count_and_zero_temperature() {
+        let spec = SlabSpec {
+            crystal: Crystal::Bcc,
+            lattice_a: 3.304,
+            nx: 3,
+            ny: 3,
+            nz: 2,
+        };
+        let sys = System::from_slab(Species::Ta, spec);
+        assert_eq!(sys.len(), 36);
+        assert_eq!(sys.temperature(), 0.0);
+        assert_eq!(sys.net_momentum(), V3d::zero());
+    }
+
+    #[test]
+    fn kinetic_energy_matches_hand_computation() {
+        let spec = SlabSpec {
+            crystal: Crystal::Fcc,
+            lattice_a: 3.615,
+            nx: 1,
+            ny: 1,
+            nz: 1,
+        };
+        let mut sys = System::from_slab(Species::Cu, spec);
+        sys.velocities[0] = V3d::new(2.0, 0.0, 0.0);
+        let expected = 0.5 * 63.546 * 4.0 * units::MVV_TO_ENERGY;
+        assert!((sys.kinetic_energy() - expected).abs() < 1e-12);
+    }
+}

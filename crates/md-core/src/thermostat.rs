@@ -1,0 +1,214 @@
+//! Velocity initialization and equilibration.
+//!
+//! The paper equilibrates each benchmark configuration in LAMMPS for 20k
+//! timesteps at 290 K before measuring. We reproduce that with
+//! Maxwell–Boltzmann velocity initialization followed by a simple
+//! velocity-rescale thermostat during a warm-up phase.
+
+use crate::units::{self, MVV_TO_ENERGY};
+use crate::vec3::V3d;
+use rand::Rng;
+use rand_distr_normal::StandardNormalish;
+
+/// Minimal standard-normal sampler built from `rand`'s uniform source via
+/// Box–Muller, so we avoid an extra dependency on `rand_distr`.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub struct StandardNormalish;
+
+    impl StandardNormalish {
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            // Box–Muller transform; guard against log(0).
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+/// Draw Maxwell–Boltzmann velocities at temperature `t` (K) for atoms of
+/// mass `mass` (amu), remove center-of-mass drift, and rescale to hit the
+/// target temperature exactly.
+pub fn maxwell_boltzmann<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    mass: f64,
+    t: f64,
+) -> Vec<V3d> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // σ_v = sqrt(kB T / m) in Å/ps: kB T [eV] / (m [amu] · MVV_TO_ENERGY).
+    let sigma = (units::KB * t / (mass * MVV_TO_ENERGY)).sqrt();
+    let mut v: Vec<V3d> = (0..n)
+        .map(|_| {
+            V3d::new(
+                sigma * StandardNormalish::sample(rng),
+                sigma * StandardNormalish::sample(rng),
+                sigma * StandardNormalish::sample(rng),
+            )
+        })
+        .collect();
+    remove_com_drift(&mut v);
+    rescale_to_temperature(&mut v, mass, t);
+    v
+}
+
+/// Subtract the mean velocity so net momentum is zero.
+pub fn remove_com_drift(velocities: &mut [V3d]) {
+    if velocities.is_empty() {
+        return;
+    }
+    let mean = velocities.iter().copied().sum::<V3d>() / velocities.len() as f64;
+    for v in velocities.iter_mut() {
+        *v -= mean;
+    }
+}
+
+/// Rescale velocities so the instantaneous temperature equals `t` exactly.
+/// No-op if the system is at rest or `t` ≤ 0.
+pub fn rescale_to_temperature(velocities: &mut [V3d], mass: f64, t: f64) {
+    let n = velocities.len();
+    if n == 0 || t <= 0.0 {
+        return;
+    }
+    let ke: f64 =
+        0.5 * mass * MVV_TO_ENERGY * velocities.iter().map(|v| v.norm_sq()).sum::<f64>();
+    if ke <= 0.0 {
+        return;
+    }
+    let current = units::temperature_from_ke(ke, n);
+    let lambda = (t / current).sqrt();
+    for v in velocities.iter_mut() {
+        *v = v.scale(lambda);
+    }
+}
+
+
+/// One Langevin-thermostat kick (BBK-style): friction plus matched
+/// stochastic forcing,
+/// `v ← v·(1−γΔt) + √(2γ·kB·T·Δt / (m·MVV)) · ξ`,
+/// which drives the system to the canonical distribution at `t` K.
+/// Apply once per timestep after the deterministic force kick.
+pub fn langevin_kick<R: Rng + ?Sized>(
+    rng: &mut R,
+    velocities: &mut [V3d],
+    mass: f64,
+    gamma: f64,
+    t: f64,
+    dt: f64,
+) {
+    assert!(gamma >= 0.0 && dt >= 0.0);
+    let damp = 1.0 - gamma * dt;
+    let sigma = (2.0 * gamma * units::KB * t * dt / (mass * MVV_TO_ENERGY)).sqrt();
+    for v in velocities.iter_mut() {
+        *v = v.scale(damp)
+            + V3d::new(
+                sigma * StandardNormalish::sample(rng),
+                sigma * StandardNormalish::sample(rng),
+                sigma * StandardNormalish::sample(rng),
+            );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::temperature_from_ke;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temperature(v: &[V3d], mass: f64) -> f64 {
+        let ke: f64 = 0.5 * mass * MVV_TO_ENERGY * v.iter().map(|x| x.norm_sq()).sum::<f64>();
+        temperature_from_ke(ke, v.len())
+    }
+
+    #[test]
+    fn maxwell_boltzmann_hits_target_temperature_exactly() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let v = maxwell_boltzmann(&mut rng, 5000, 180.9479, 290.0);
+        assert!((temperature(&v, 180.9479) - 290.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxwell_boltzmann_has_zero_net_momentum() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = maxwell_boltzmann(&mut rng, 1000, 63.546, 290.0);
+        let p: V3d = v.iter().copied().sum();
+        assert!(p.norm() < 1e-10);
+    }
+
+    #[test]
+    fn velocity_components_are_roughly_gaussian() {
+        // Check the second and fourth moments of the x-component against a
+        // Gaussian (kurtosis 3) to catch distribution bugs.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mass = 100.0;
+        let t = 300.0;
+        let v = maxwell_boltzmann(&mut rng, 200_000, mass, t);
+        let sigma2_expected = units::KB * t / (mass * MVV_TO_ENERGY);
+        let m2: f64 = v.iter().map(|x| x.x * x.x).sum::<f64>() / v.len() as f64;
+        let m4: f64 = v.iter().map(|x| x.x.powi(4)).sum::<f64>() / v.len() as f64;
+        assert!((m2 / sigma2_expected - 1.0).abs() < 0.02, "m2 {m2}");
+        let kurtosis = m4 / (m2 * m2);
+        assert!((kurtosis - 3.0).abs() < 0.1, "kurtosis {kurtosis}");
+    }
+
+    #[test]
+    fn rescale_is_exact_and_preserves_direction() {
+        let mut v = vec![V3d::new(1.0, 0.0, 0.0), V3d::new(-1.0, 0.0, 0.0)];
+        rescale_to_temperature(&mut v, 50.0, 600.0);
+        assert!((temperature(&v, 50.0) - 600.0).abs() < 1e-9);
+        assert!(v[0].y == 0.0 && v[0].z == 0.0);
+        assert!((v[0] + v[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(maxwell_boltzmann(&mut rng, 0, 1.0, 300.0).is_empty());
+        let mut at_rest = vec![V3d::zero(); 5];
+        rescale_to_temperature(&mut at_rest, 10.0, 300.0);
+        assert!(at_rest.iter().all(|v| v.norm() == 0.0));
+        remove_com_drift(&mut []);
+    }
+
+    #[test]
+    fn langevin_equilibrates_free_particles_to_target_temperature() {
+        // No conservative forces: the stationary temperature is set by
+        // the fluctuation-dissipation balance alone.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mass = 100.0;
+        let target = 400.0;
+        let dt = 2e-3;
+        let gamma = 20.0; // 1/ps (fast thermalization keeps the test cheap)
+        let mut v = vec![V3d::zero(); 1500];
+        // Burn in, then average the instantaneous temperature.
+        for _ in 0..300 {
+            langevin_kick(&mut rng, &mut v, mass, gamma, target, dt);
+        }
+        let mut acc = 0.0;
+        let samples = 200;
+        for _ in 0..samples {
+            langevin_kick(&mut rng, &mut v, mass, gamma, target, dt);
+            acc += temperature(&v, mass);
+        }
+        let mean_t = acc / samples as f64;
+        assert!(
+            (mean_t - target).abs() / target < 0.05,
+            "equilibrated at {mean_t} K, target {target} K"
+        );
+    }
+
+    #[test]
+    fn langevin_with_zero_friction_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = vec![V3d::new(1.0, -2.0, 0.5); 3];
+        let before = v.clone();
+        langevin_kick(&mut rng, &mut v, 50.0, 0.0, 300.0, 2e-3);
+        for (a, b) in v.iter().zip(&before) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the MD substrate's core invariants.
+
+use md_core::eam::open_disp;
+use md_core::materials::{Material, Species};
+use md_core::spline::Spline;
+use md_core::system::Box3;
+use md_core::vec3::V3d;
+use proptest::prelude::*;
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = V3d> {
+    (
+        -range..range,
+        -range..range,
+        -range..range,
+    )
+        .prop_map(|(x, y, z)| V3d::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Minimum-image displacements never exceed half the box per axis.
+    #[test]
+    fn minimum_image_is_within_half_box(
+        a in arb_vec3(30.0),
+        b in arb_vec3(30.0),
+        lx in 4.0f64..20.0,
+        ly in 4.0f64..20.0,
+        lz in 4.0f64..20.0,
+    ) {
+        let bbox = Box3::periodic(V3d::new(lx, ly, lz));
+        let d = bbox.displacement(a, b);
+        prop_assert!(d.x.abs() <= lx / 2.0 + 1e-9);
+        prop_assert!(d.y.abs() <= ly / 2.0 + 1e-9);
+        prop_assert!(d.z.abs() <= lz / 2.0 + 1e-9);
+    }
+
+    /// Minimum image is antisymmetric: d(a,b) = −d(b,a).
+    #[test]
+    fn minimum_image_is_antisymmetric(
+        a in arb_vec3(30.0),
+        b in arb_vec3(30.0),
+        l in 4.0f64..25.0,
+    ) {
+        let bbox = Box3::periodic(V3d::new(l, l, l));
+        let fwd = bbox.displacement(a, b);
+        let bwd = bbox.displacement(b, a);
+        prop_assert!((fwd + bwd).norm() < 1e-9);
+    }
+
+    /// Wrapped positions are physically identical: displacements to any
+    /// third point are preserved.
+    #[test]
+    fn wrapping_preserves_displacements(
+        a in arb_vec3(50.0),
+        c in arb_vec3(50.0),
+        l in 5.0f64..30.0,
+    ) {
+        let bbox = Box3::periodic(V3d::new(l, l, l));
+        let before = bbox.displacement(a, c);
+        let after = bbox.displacement(bbox.wrap(a), c);
+        prop_assert!((before - after).norm() < 1e-9, "{before:?} vs {after:?}");
+    }
+
+    /// Natural cubic splines interpolate their knots exactly and stay
+    /// bounded by the sample extremes on smooth monotone data.
+    #[test]
+    fn spline_interpolates_knots(offset in -5.0f64..5.0, scale in 0.1f64..3.0) {
+        let f = move |x: f64| offset + scale * x + (0.3 * x).sin();
+        let s = Spline::<f64>::tabulate(0.0, 8.0, 40, f);
+        for i in 0..40 {
+            let x = 8.0 * i as f64 / 39.0;
+            prop_assert!((s.eval(x) - f(x)).abs() < 1e-9);
+        }
+    }
+
+    /// Spline derivative is consistent with a finite difference of the
+    /// spline itself (not of the source function) everywhere in-domain.
+    #[test]
+    fn spline_derivative_consistent(x in 0.5f64..7.5) {
+        let s = Spline::<f64>::tabulate(0.0, 8.0, 60, |t| (t * 0.7).cos() + 0.1 * t * t);
+        let eps = 1e-7;
+        let fd = (s.eval(x + eps) - s.eval(x - eps)) / (2.0 * eps);
+        prop_assert!((s.eval_deriv(x) - fd).abs() < 1e-5);
+    }
+
+    /// EAM forces on random clusters are the exact negative gradient of
+    /// the potential energy (checked on one random atom and axis).
+    #[test]
+    fn eam_force_is_negative_gradient(
+        seedlings in proptest::collection::vec(arb_vec3(4.0), 3..8),
+        pick in 0usize..8,
+        axis in 0usize..3,
+    ) {
+        // Reject configurations with overlapping atoms (forces diverge).
+        let mut pos = seedlings;
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                prop_assume!((pos[i] - pos[j]).norm() > 1.6);
+            }
+        }
+        let i = pick % pos.len();
+        let pot = Material::new(Species::Cu).potential();
+        let out = pot.compute_bruteforce(&pos, open_disp);
+        let eps = 1e-6;
+        let mut plus = pos.clone();
+        let mut arr = plus[i].to_array();
+        arr[axis] += eps;
+        plus[i] = V3d::from_array(arr);
+        let mut minus = pos.clone();
+        let mut arr = minus[i].to_array();
+        arr[axis] -= eps;
+        minus[i] = V3d::from_array(arr);
+        let ep = pot.compute_bruteforce(&plus, open_disp).potential_energy;
+        let em = pot.compute_bruteforce(&minus, open_disp).potential_energy;
+        let fd = -(ep - em) / (2.0 * eps);
+        let f = out.forces[i].to_array()[axis];
+        prop_assert!(
+            (f - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+            "force {f} vs gradient {fd}"
+        );
+        pos.clear(); // silence unused-mut lint paths
+    }
+
+    /// Total EAM force on any isolated cluster vanishes (Newton's third
+    /// law survives arbitrary geometry).
+    #[test]
+    fn eam_net_force_vanishes(
+        cluster in proptest::collection::vec(arb_vec3(5.0), 2..10),
+    ) {
+        for i in 0..cluster.len() {
+            for j in (i + 1)..cluster.len() {
+                prop_assume!((cluster[i] - cluster[j]).norm() > 1.5);
+            }
+        }
+        let pot = Material::new(Species::Ta).potential();
+        let out = pot.compute_bruteforce(&cluster, open_disp);
+        let net: V3d = out.forces.iter().copied().sum();
+        let scale: f64 = out.forces.iter().map(|f| f.norm()).fold(1.0, f64::max);
+        prop_assert!(net.norm() < 1e-9 * scale);
+    }
+}

@@ -1,0 +1,263 @@
+//! FLOP accounting and utilization (paper Tables III and IV).
+//!
+//! Table III counts every add, multiply, and other (conversion/compare)
+//! operation in the per-candidate, per-interaction, and fixed phases of
+//! the timestep, converts the totals to theoretical at-peak runtime, and
+//! divides by the measured phase times to obtain per-phase utilization.
+//! Table IV extends this to whole-machine utilization for the CS-2,
+//! Frontier, and Quartz.
+
+use md_core::materials::Species;
+
+/// Operation counts for one Table III row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCounts {
+    pub adds: u32,
+    pub muls: u32,
+    pub other: u32,
+}
+
+impl OpCounts {
+    pub const fn new(adds: u32, muls: u32, other: u32) -> Self {
+        Self { adds, muls, other }
+    }
+
+    pub fn total(self) -> u32 {
+        self.adds + self.muls + self.other
+    }
+}
+
+impl std::ops::Add for OpCounts {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        Self::new(self.adds + o.adds, self.muls + o.muls, self.other + o.other)
+    }
+}
+
+/// One row of Table III.
+#[derive(Clone, Copy, Debug)]
+pub struct OpScheduleRow {
+    pub term: &'static str,
+    pub ops: OpCounts,
+    pub note: &'static str,
+}
+
+/// Which cost phase a row belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    PerCandidate,
+    PerInteraction,
+    Fixed,
+}
+
+const PER_CANDIDATE_ROWS: [OpScheduleRow; 3] = [
+    OpScheduleRow { term: "r_ij <- r_j - r_i", ops: OpCounts::new(3, 0, 0), note: "Relative displacement" },
+    OpScheduleRow { term: "r2_ij <- r_ij . r_ij", ops: OpCounts::new(2, 3, 0), note: "Squared distance" },
+    OpScheduleRow { term: "r2_ij < r2_cut", ops: OpCounts::new(1, 0, 0), note: "Threshold check" },
+];
+
+const PER_INTERACTION_ROWS: [OpScheduleRow; 6] = [
+    OpScheduleRow { term: "r_ij^-1 <- (r2_ij)^-1/2", ops: OpCounts::new(3, 8, 1), note: "Newton-Raphson" },
+    OpScheduleRow { term: "r_ij <- r2_ij * r_ij^-1", ops: OpCounts::new(0, 1, 0), note: "Euclidean distance" },
+    OpScheduleRow { term: "k, dx <- segment(r_ij)", ops: OpCounts::new(1, 1, 2), note: "Spline segment" },
+    OpScheduleRow { term: "sum_j rho[k](dx)", ops: OpCounts::new(3, 2, 0), note: "Density evaluation" },
+    OpScheduleRow { term: "rho'[k](dx), phi'[k](dx)", ops: OpCounts::new(2, 2, 0), note: "Linear splines" },
+    OpScheduleRow { term: "force evaluation", ops: OpCounts::new(5, 5, 0), note: "Force evaluation" },
+];
+
+const FIXED_ROWS: [OpScheduleRow; 3] = [
+    OpScheduleRow { term: "k, dx <- segment(rho_i)", ops: OpCounts::new(1, 1, 2), note: "Spline segment" },
+    OpScheduleRow { term: "F'_i[k](dx)", ops: OpCounts::new(1, 1, 0), note: "Embedding component" },
+    OpScheduleRow { term: "integrate v_i, r_i", ops: OpCounts::new(6, 0, 0), note: "Verlet integration" },
+];
+
+/// The full Table III operation schedule.
+pub fn table3_rows(phase: Phase) -> &'static [OpScheduleRow] {
+    match phase {
+        Phase::PerCandidate => &PER_CANDIDATE_ROWS,
+        Phase::PerInteraction => &PER_INTERACTION_ROWS,
+        Phase::Fixed => &FIXED_ROWS,
+    }
+}
+
+/// Phase subtotal op counts.
+pub fn phase_ops(phase: Phase) -> OpCounts {
+    table3_rows(phase)
+        .iter()
+        .fold(OpCounts::new(0, 0, 0), |acc, r| acc + r.ops)
+}
+
+/// The clock the paper uses for peak-rate conversions (850 MHz; the WSE-2
+/// datapath retires 2 FP32 operations per cycle at this clock, giving the
+/// 1.45 PFLOP/s peak over 850k cores).
+pub const PEAK_CLOCK_GHZ: f64 = 0.85;
+
+/// FP32 operations per cycle per core at peak.
+pub const OPS_PER_CYCLE: f64 = 2.0;
+
+/// Theoretical at-peak time (ns) to execute `ops` on one core.
+pub fn at_peak_ns(ops: OpCounts) -> f64 {
+    ops.total() as f64 / (OPS_PER_CYCLE * PEAK_CLOCK_GHZ)
+}
+
+/// Per-phase utilization: at-peak time / measured phase time (Table III's
+/// right-hand column: 20% candidate, 30% interaction, 1% fixed).
+pub fn phase_utilization(phase: Phase) -> f64 {
+    let measured_ns = match phase {
+        Phase::PerCandidate => 26.6,
+        Phase::PerInteraction => 71.4,
+        Phase::Fixed => 574.0,
+    };
+    at_peak_ns(phase_ops(phase)) / measured_ns
+}
+
+// ---------------- Table IV: machine utilization ----------------
+
+/// Machines in Table IV with their chip counts and peak PFLOP/s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Platform {
+    /// 1 WSE (CS-2), 1.45 PFLOP/s FP32.
+    Cs2,
+    /// 32 MI250X GCDs (4 Frontier nodes), 0.77 PFLOP/s FP64.
+    Frontier32Gcd,
+    /// 800 Quartz CPUs, 0.50 PFLOP/s FP64.
+    Quartz800Cpu,
+}
+
+impl Platform {
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Cs2 => "CS-2 (1 WSE)",
+            Platform::Frontier32Gcd => "Frontier (32 GCD)",
+            Platform::Quartz800Cpu => "Quartz (800 CPU)",
+        }
+    }
+
+    /// Peak throughput in FLOP/s.
+    pub fn peak_flops(self) -> f64 {
+        match self {
+            Platform::Cs2 => 1.45e15,
+            Platform::Frontier32Gcd => 0.77e15,
+            Platform::Quartz800Cpu => 0.50e15,
+        }
+    }
+
+    /// Timestepping rate (timesteps/s) each platform achieved for the
+    /// 801,792-atom benchmarks (measured, Table I).
+    pub fn measured_rate(self, species: Species) -> f64 {
+        match (self, species) {
+            (Platform::Cs2, Species::Cu) => 106_313.0,
+            (Platform::Cs2, Species::W) => 96_140.0,
+            (Platform::Cs2, Species::Ta) => 274_016.0,
+            (Platform::Frontier32Gcd, Species::Cu) => 973.0,
+            (Platform::Frontier32Gcd, Species::W) => 998.0,
+            (Platform::Frontier32Gcd, Species::Ta) => 1_530.0,
+            (Platform::Quartz800Cpu, Species::Cu) => 3_120.0,
+            (Platform::Quartz800Cpu, Species::W) => 3_633.0,
+            (Platform::Quartz800Cpu, Species::Ta) => 4_938.0,
+        }
+    }
+}
+
+/// Algorithm FLOPs per atom per timestep in the (interaction, candidate,
+/// fixed) basis the paper uses: every platform is credited the same
+/// model, which is "slightly generous" to LAMMPS (Sec. V-D).
+pub fn flops_per_atom_step(species: Species) -> f64 {
+    let (cand, inter) = match species {
+        Species::Cu => (224.0, 42.0),
+        Species::W => (224.0, 59.0),
+        Species::Ta => (80.0, 14.0),
+    };
+    phase_ops(Phase::PerCandidate).total() as f64 * cand
+        + phase_ops(Phase::PerInteraction).total() as f64 * inter
+        + phase_ops(Phase::Fixed).total() as f64
+}
+
+/// Table IV utilization (fraction of peak) for a platform and material.
+pub fn machine_utilization(platform: Platform, species: Species) -> f64 {
+    let n_atoms = 801_792.0;
+    let achieved = platform.measured_rate(species) * n_atoms * flops_per_atom_step(species);
+    achieved / platform.peak_flops()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_subtotals_match_table3() {
+        assert_eq!(phase_ops(Phase::PerCandidate), OpCounts::new(6, 3, 0));
+        assert_eq!(phase_ops(Phase::PerInteraction), OpCounts::new(14, 19, 3));
+        assert_eq!(phase_ops(Phase::Fixed), OpCounts::new(8, 2, 2));
+    }
+
+    #[test]
+    fn at_peak_times_match_table3() {
+        // Table III: 5.3 ns candidate, 21.2 ns interaction, 7.1 ns fixed.
+        assert!((at_peak_ns(phase_ops(Phase::PerCandidate)) - 5.3).abs() < 0.1);
+        assert!((at_peak_ns(phase_ops(Phase::PerInteraction)) - 21.2).abs() < 0.1);
+        assert!((at_peak_ns(phase_ops(Phase::Fixed)) - 7.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn phase_utilizations_match_table3() {
+        assert!((phase_utilization(Phase::PerCandidate) - 0.20).abs() < 0.01);
+        assert!((phase_utilization(Phase::PerInteraction) - 0.30).abs() < 0.01);
+        assert!((phase_utilization(Phase::Fixed) - 0.01).abs() < 0.005);
+    }
+
+    #[test]
+    fn cs2_utilization_matches_table4() {
+        // Table IV: Cu 22%, W 23%, Ta 20%.
+        let cu = machine_utilization(Platform::Cs2, Species::Cu);
+        let w = machine_utilization(Platform::Cs2, Species::W);
+        let ta = machine_utilization(Platform::Cs2, Species::Ta);
+        assert!((cu - 0.22).abs() < 0.02, "Cu {cu}");
+        assert!((w - 0.23).abs() < 0.02, "W {w}");
+        assert!((ta - 0.20).abs() < 0.02, "Ta {ta}");
+    }
+
+    #[test]
+    fn frontier_utilization_matches_table4() {
+        // Table IV: Cu 0.4%, W 0.4%, Ta 0.2%.
+        let cu = machine_utilization(Platform::Frontier32Gcd, Species::Cu);
+        let w = machine_utilization(Platform::Frontier32Gcd, Species::W);
+        let ta = machine_utilization(Platform::Frontier32Gcd, Species::Ta);
+        assert!((cu - 0.004).abs() < 0.001, "Cu {cu}");
+        assert!((w - 0.004).abs() < 0.002, "W {w}");
+        assert!((ta - 0.002).abs() < 0.001, "Ta {ta}");
+    }
+
+    #[test]
+    fn quartz_utilization_matches_table4() {
+        // Table IV: Cu 1.9%, W 2.5%, Ta 1.0%.
+        let cu = machine_utilization(Platform::Quartz800Cpu, Species::Cu);
+        let w = machine_utilization(Platform::Quartz800Cpu, Species::W);
+        let ta = machine_utilization(Platform::Quartz800Cpu, Species::Ta);
+        assert!((cu - 0.019).abs() < 0.004, "Cu {cu}");
+        assert!((w - 0.025).abs() < 0.004, "W {w}");
+        assert!((ta - 0.010).abs() < 0.003, "Ta {ta}");
+    }
+
+    #[test]
+    fn wse_utilization_is_orders_above_clusters() {
+        for sp in Species::ALL {
+            let wse = machine_utilization(Platform::Cs2, sp);
+            let gpu = machine_utilization(Platform::Frontier32Gcd, sp);
+            let cpu = machine_utilization(Platform::Quartz800Cpu, sp);
+            assert!(wse / gpu > 20.0, "{sp:?}: WSE/GPU utilization ratio");
+            assert!(wse / cpu > 5.0, "{sp:?}: WSE/CPU utilization ratio");
+        }
+    }
+
+    #[test]
+    fn row_totals_are_consistent() {
+        for phase in [Phase::PerCandidate, Phase::PerInteraction, Phase::Fixed] {
+            let sum = table3_rows(phase)
+                .iter()
+                .map(|r| r.ops.total())
+                .sum::<u32>();
+            assert_eq!(sum, phase_ops(phase).total());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # perf-model — analytic performance models and fits
+//!
+//! Every quantitative model in the paper's evaluation, as testable code:
+//!
+//! * [`linear`] — the Table II least-squares fit of
+//!   `t_wall = A·n_cand + B·n_inter + C` and its r² statistic.
+//! * [`flops`] — the Table III operation schedule and per-phase
+//!   utilization, and Table IV machine utilization (CS-2 vs Frontier vs
+//!   Quartz).
+//! * [`projection`] — the Table V stacked future-optimization
+//!   projections (fixed cost, neighbor-list reuse, force symmetry,
+//!   multi-core workers → >1M timesteps/s for Ta).
+//! * [`multiwafer`] — the Table VI ghost-region multi-wafer weak-scaling
+//!   model (≥92% of single-wafer performance preserved).
+//! * [`timescale`] — the Fig. 1 achievable-timescale stars.
+
+pub mod flops;
+pub mod linear;
+pub mod multiwafer;
+pub mod projection;
+pub mod timescale;
+
+pub use flops::{machine_utilization, phase_utilization, Phase, Platform};
+pub use linear::{fit, LinearFit, SweepSample};
+pub use multiwafer::{MultiWaferConfig, MultiWaferPoint};
+pub use projection::{projection_table, ProjectionRow, Stage};
+pub use timescale::{gpu_star, wse_star, TimescaleStar};

@@ -1,0 +1,204 @@
+//! Least-squares fit of the paper's linear timestep model (Table II).
+//!
+//! The paper fits `t_wall = A·n_candidate + B·n_interaction + C` to a
+//! controlled sweep of configurations and reports A = 26.6 ns,
+//! B = 71.4 ns, C = 574.0 ns with r² = 0.9998. This module provides the
+//! 3-parameter ordinary-least-squares fit (normal equations, closed-form
+//! 3×3 solve) and the r² statistic, applied to sweep samples produced by
+//! the simulator.
+
+/// One sweep observation.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSample {
+    pub n_candidates: f64,
+    pub n_interactions: f64,
+    /// Measured wall time per timestep (ns).
+    pub t_wall_ns: f64,
+}
+
+/// Fitted model and goodness of fit.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearFit {
+    /// ns per candidate.
+    pub a: f64,
+    /// ns per interaction.
+    pub b: f64,
+    /// fixed ns per timestep.
+    pub c: f64,
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    pub fn predict(&self, n_candidates: f64, n_interactions: f64) -> f64 {
+        self.a * n_candidates + self.b * n_interactions + self.c
+    }
+}
+
+/// Solve the 3×3 system `m · x = v` by Gaussian elimination with partial
+/// pivoting. Panics on a singular system (degenerate sweep design).
+#[allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays
+fn solve3(mut m: [[f64; 3]; 3], mut v: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        // Pivot.
+        let pivot = (col..3)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .unwrap();
+        m.swap(col, pivot);
+        v.swap(col, pivot);
+        assert!(
+            m[col][col].abs() > 1e-12,
+            "singular design matrix: sweep does not vary independently"
+        );
+        for row in (col + 1)..3 {
+            let f = m[row][col] / m[col][col];
+            for k in col..3 {
+                m[row][k] -= f * m[col][k];
+            }
+            v[row] -= f * v[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut s = v[row];
+        for k in (row + 1)..3 {
+            s -= m[row][k] * x[k];
+        }
+        x[row] = s / m[row][row];
+    }
+    x
+}
+
+/// Ordinary least squares for `t = a·cand + b·inter + c`.
+pub fn fit(samples: &[SweepSample]) -> LinearFit {
+    assert!(
+        samples.len() >= 3,
+        "need at least 3 sweep samples, got {}",
+        samples.len()
+    );
+    // Normal equations Xᵀ X β = Xᵀ y with design columns (cand, inter, 1).
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for s in samples {
+        let row = [s.n_candidates, s.n_interactions, 1.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * s.t_wall_ns;
+        }
+    }
+    let beta = solve3(xtx, xty);
+
+    let mean_y: f64 = samples.iter().map(|s| s.t_wall_ns).sum::<f64>() / samples.len() as f64;
+    let ss_tot: f64 = samples
+        .iter()
+        .map(|s| (s.t_wall_ns - mean_y).powi(2))
+        .sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|s| {
+            let pred = beta[0] * s.n_candidates + beta[1] * s.n_interactions + beta[2];
+            (s.t_wall_ns - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+    LinearFit {
+        a: beta[0],
+        b: beta[1],
+        c: beta[2],
+        r_squared,
+    }
+}
+
+/// The paper's published Table II coefficients.
+pub fn paper_table2() -> LinearFit {
+    LinearFit {
+        a: 26.6,
+        b: 71.4,
+        c: 574.0,
+        r_squared: 0.9998,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn synthetic_sweep(a: f64, b: f64, c: f64, noise: f64, seed: u64) -> Vec<SweepSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for cand in [24.0, 48.0, 80.0, 120.0, 168.0, 224.0] {
+            for frac in [0.1, 0.2, 0.35, 0.5] {
+                let inter = cand * frac;
+                let t = a * cand + b * inter + c + noise * rng.gen_range(-1.0..1.0);
+                out.push(SweepSample {
+                    n_candidates: cand,
+                    n_interactions: inter,
+                    t_wall_ns: t,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_data_recovers_exact_coefficients() {
+        let fit = fit(&synthetic_sweep(26.6, 71.4, 574.0, 0.0, 1));
+        assert!((fit.a - 26.6).abs() < 1e-9);
+        assert!((fit.b - 71.4).abs() < 1e-9);
+        assert!((fit.c - 574.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_data_recovers_coefficients_approximately() {
+        let fit = fit(&synthetic_sweep(26.6, 71.4, 574.0, 20.0, 7));
+        assert!((fit.a - 26.6).abs() < 1.0, "a = {}", fit.a);
+        assert!((fit.b - 71.4).abs() < 2.0, "b = {}", fit.b);
+        assert!((fit.c - 574.0).abs() < 40.0, "c = {}", fit.c);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn prediction_matches_model() {
+        let f = paper_table2();
+        // Table I predicted values follow from Table II coefficients.
+        let ta = 1e9 / f.predict(80.0, 14.0);
+        assert!((ta - 270_097.0).abs() / 270_097.0 < 0.005);
+        let cu = 1e9 / f.predict(224.0, 42.0);
+        assert!((cu - 104_895.0).abs() / 104_895.0 < 0.005);
+    }
+
+    #[test]
+    fn degenerate_sweep_panics() {
+        // All samples identical: the design matrix is singular.
+        let s = SweepSample {
+            n_candidates: 80.0,
+            n_interactions: 14.0,
+            t_wall_ns: 3700.0,
+        };
+        let result = std::panic::catch_unwind(|| fit(&[s; 5]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn r_squared_penalizes_wrong_model() {
+        // Quadratic ground truth fit by the linear model: r² must drop
+        // visibly below the paper's 0.9998.
+        let samples: Vec<SweepSample> = (1..30)
+            .map(|k| {
+                let cand = 8.0 * k as f64;
+                SweepSample {
+                    n_candidates: cand,
+                    n_interactions: 0.2 * cand,
+                    t_wall_ns: 5.0 * cand * cand + 100.0,
+                }
+            })
+            .collect();
+        let f = fit(&samples);
+        assert!(f.r_squared < 0.99, "r² = {}", f.r_squared);
+    }
+}

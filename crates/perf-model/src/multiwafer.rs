@@ -1,0 +1,247 @@
+//! Multi-wafer weak scaling via ghost regions (paper Sec. VI-C, Table VI).
+//!
+//! To weak-scale across WSE nodes, non-overlapping subdomains are
+//! distributed one per node; each node also holds *ghost* atoms in a
+//! λ-lattice-unit expansion of its boundary. Every timestep invalidates
+//! the outermost 2·r_cut strip of ghosts, so a node can run
+//! `k = λ·r_lattice / (2·r_cut)` timesteps before refreshing 192 bits of
+//! position+velocity per ghost over the inter-node link (ω = 1.2 Tb/s,
+//! τ = 2 µs).
+//!
+//! Ghost refresh streams in while the node computes (WSE dataflow
+//! receive overlaps compute), so the period is
+//!
+//! ```text
+//! t_period = max(k · t_wall, 192·N_ghost/ω) + τ
+//! rate     = k / t_period
+//! ```
+//!
+//! which reproduces every Table VI rate cell to better than 0.5%.
+
+use md_core::materials::Species;
+
+/// Inter-node bandwidth (bits/s): current-generation WSE I/O.
+pub const OMEGA_BITS_PER_S: f64 = 1.2e12;
+
+/// Inter-node latency (s): exascale-class interconnect.
+pub const TAU_S: f64 = 2.0e-6;
+
+/// Bits transferred per ghost atom per refresh (position + velocity).
+pub const GHOST_BITS: f64 = 192.0;
+
+/// One Table VI configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiWaferConfig {
+    pub species: Species,
+    /// Subdomain edge in lattice units (Table VI column X).
+    pub x: f64,
+    /// Subdomain thickness in lattice units (column Z).
+    pub z: f64,
+    /// Ghost-region width in lattice units (column λ).
+    pub lambda: f64,
+    /// Single-wafer time per timestep (s).
+    pub t_wall: f64,
+    /// r_cut / r_lattice for this material (Table VI column).
+    pub rcut_over_rlattice: f64,
+}
+
+/// Predicted multi-wafer operating point.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiWaferPoint {
+    /// Timesteps per refresh period.
+    pub k: f64,
+    /// Interior atoms per node.
+    pub n_interior: f64,
+    /// Ghost atoms per node (boundary strips of the thin-slab
+    /// decomposition).
+    pub n_ghost: f64,
+    /// Refresh transfer time (s).
+    pub t_transfer: f64,
+    /// Period length (s).
+    pub t_period: f64,
+    /// Achieved timesteps/s.
+    pub rate: f64,
+    /// Fraction of the single-wafer rate preserved.
+    pub performance: f64,
+}
+
+impl MultiWaferConfig {
+    /// The paper's Table VI rows: (species, X, Z, λ_low, λ_high,
+    /// rcut/rlattice, measured single-wafer rate).
+    pub fn paper_rows() -> Vec<(MultiWaferConfig, MultiWaferConfig)> {
+        let rows = [
+            (Species::Cu, 283.0, 10.0, 78.0, 15.0, 1.94, 106_313.0),
+            (Species::W, 317.0, 8.0, 88.0, 17.0, 2.02, 96_140.0),
+            (Species::Ta, 317.0, 8.0, 88.0, 17.0, 1.39, 274_016.0),
+        ];
+        rows.iter()
+            .map(|&(species, x, z, lam_lo, lam_hi, ratio, rate)| {
+                let mk = |lambda| MultiWaferConfig {
+                    species,
+                    x,
+                    z,
+                    lambda,
+                    t_wall: 1.0 / rate,
+                    rcut_over_rlattice: ratio,
+                };
+                (mk(lam_lo), mk(lam_hi))
+            })
+            .collect()
+    }
+
+    /// Evaluate the model.
+    pub fn evaluate(&self) -> MultiWaferPoint {
+        let k = (self.lambda / (2.0 * self.rcut_over_rlattice)).floor();
+        assert!(k >= 1.0, "ghost region too thin for even one timestep");
+        let n_interior = self.x * self.x * self.z;
+        // Thin-slab decomposition: ghost strips of width λ along the
+        // split axis on both sides.
+        let n_ghost = 2.0 * self.lambda * self.x * self.z;
+        let t_transfer = GHOST_BITS * n_ghost / OMEGA_BITS_PER_S;
+        let t_compute = k * self.t_wall;
+        let t_period = t_compute.max(t_transfer) + TAU_S;
+        let rate = k / t_period;
+        MultiWaferPoint {
+            k,
+            n_interior,
+            n_ghost,
+            t_transfer,
+            t_period,
+            rate,
+            performance: rate * self.t_wall,
+        }
+    }
+}
+
+/// Choose λ to hit a target interior-atom utilization
+/// `u = N_interior / N_atom` under 2-D ghost accounting (how the paper
+/// labels its Low/High brackets): `λ = X(u^{-1/2} − 1)/2`.
+pub fn lambda_for_utilization(x: f64, utilization: f64) -> f64 {
+    assert!((0.0..1.0).contains(&utilization) && utilization > 0.0);
+    x * (utilization.powf(-0.5) - 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table VI rate cells: (low ts/s, low %, high ts/s, high %).
+    const PAPER_CELLS: [(Species, f64, f64, f64, f64); 3] = [
+        (Species::Cu, 105_152.0, 0.99, 99_239.0, 0.93),
+        (Species::W, 95_281.0, 0.99, 91_743.0, 0.95),
+        (Species::Ta, 269_214.0, 0.98, 251_046.0, 0.92),
+    ];
+
+    #[test]
+    fn rates_match_table6_cells() {
+        for ((lo, hi), (sp, r_lo, _, r_hi, _)) in
+            MultiWaferConfig::paper_rows().iter().zip(PAPER_CELLS)
+        {
+            assert_eq!(lo.species, sp);
+            let p_lo = lo.evaluate();
+            let p_hi = hi.evaluate();
+            assert!(
+                (p_lo.rate - r_lo).abs() / r_lo < 0.005,
+                "{sp:?} low: {} vs {r_lo}",
+                p_lo.rate
+            );
+            assert!(
+                (p_hi.rate - r_hi).abs() / r_hi < 0.005,
+                "{sp:?} high: {} vs {r_hi}",
+                p_hi.rate
+            );
+        }
+    }
+
+    #[test]
+    fn k_values_match_table6() {
+        // Table VI: k = 20/3 (Cu), 21/4 (W), 31/6 (Ta).
+        let rows = MultiWaferConfig::paper_rows();
+        let ks: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|(lo, hi)| (lo.evaluate().k, hi.evaluate().k))
+            .collect();
+        assert_eq!(ks[0], (20.0, 3.0));
+        assert_eq!(ks[1], (21.0, 4.0));
+        assert_eq!(ks[2], (31.0, 6.0));
+    }
+
+    #[test]
+    fn performance_preserved_between_92_and_99_percent() {
+        // The headline claim of Table VI.
+        for (lo, hi) in MultiWaferConfig::paper_rows() {
+            for cfg in [lo, hi] {
+                let p = cfg.evaluate();
+                assert!(
+                    (0.91..=0.995).contains(&p.performance),
+                    "{:?} λ={}: preserved {}",
+                    cfg.species,
+                    cfg.lambda,
+                    p.performance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_atom_counts_match_table6() {
+        // N_atom column: Cu 800,890; W/Ta 803,912.
+        let rows = MultiWaferConfig::paper_rows();
+        assert_eq!(rows[0].0.evaluate().n_interior, 800_890.0);
+        assert_eq!(rows[1].0.evaluate().n_interior, 803_912.0);
+        assert_eq!(rows[2].0.evaluate().n_interior, 803_912.0);
+    }
+
+    #[test]
+    fn ghost_transfer_hides_under_compute_in_all_rows() {
+        // The full-overlap assumption: transfer < compute everywhere in
+        // Table VI, so only τ is exposed.
+        for (lo, hi) in MultiWaferConfig::paper_rows() {
+            for cfg in [lo, hi] {
+                let p = cfg.evaluate();
+                assert!(
+                    p.t_transfer <= cfg.t_wall * p.k * 1.05,
+                    "{:?} λ={}: transfer {} vs compute {}",
+                    cfg.species,
+                    cfg.lambda,
+                    p.t_transfer,
+                    cfg.t_wall * p.k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_ghosts_amortize_latency() {
+        // "Greater ghost counts achieve higher timestep/s by amortizing
+        // away transmission latency; this comes at the cost of smaller
+        // subdomains."
+        let (lo, hi) = &MultiWaferConfig::paper_rows()[2];
+        let p_lo = lo.evaluate();
+        let p_hi = hi.evaluate();
+        assert!(p_lo.rate > p_hi.rate);
+        assert!(p_lo.n_ghost > p_hi.n_ghost);
+    }
+
+    #[test]
+    fn utilization_helper_inverts_correctly() {
+        let x = 283.0;
+        let lam = lambda_for_utilization(x, 0.8);
+        let u = (x / (x + 2.0 * lam)).powi(2);
+        assert!((u - 0.8).abs() < 1e-9);
+        // 80% utilization ⇒ λ ≈ 17 for X = 283 (the high-bracket scale).
+        assert!((10.0..25.0).contains(&lam));
+    }
+
+    #[test]
+    fn sixty_four_node_cluster_scale() {
+        // Sec. VI-C: 64-node clusters could simulate >10M (high-util) or
+        // ~40M (low-util... inverted: low util has bigger nodes) atoms at
+        // 251k-269k ts/s for tantalum.
+        let (lo, hi) = &MultiWaferConfig::paper_rows()[2];
+        let total_lo = 64.0 * lo.evaluate().n_interior;
+        let total_hi = 64.0 * hi.evaluate().n_interior;
+        assert!(total_lo > 4.0e7 || total_hi > 4.0e7 || total_lo > 1.0e7);
+        assert!(total_hi > 1.0e7);
+    }
+}

@@ -1,0 +1,199 @@
+//! Projected performance gains from future optimizations (paper Table V).
+//!
+//! Starting from the baseline model in the (Mcast, Miss, Interaction,
+//! Fixed) basis, the paper stacks four conservative optimizations:
+//!
+//! 1. **Fixed cost** — targeted optimization of the fixed component (2×),
+//! 2. **Neighbor list** — re-examine candidates every 10th step (reject
+//!    processing drops to 10%),
+//! 3. **Force symmetry** — compute (·)ᵢⱼ terms once for i < j and return
+//!    them through a systolic neighborhood reduction (interaction 2×),
+//! 4. **Multi-core workers** — spread each worker over 4 cores (2× on
+//!    multicast, reject, and interaction processing).
+//!
+//! Combined, tantalum is projected past one million timesteps per second.
+
+use md_core::materials::Species;
+use wse_fabric::cost::CostModel;
+
+/// The cumulative optimization stages of Table V, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Baseline,
+    FixedCost,
+    NeighborList,
+    ForceSymmetry,
+    ParallelWorkers,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::Baseline,
+        Stage::FixedCost,
+        Stage::NeighborList,
+        Stage::ForceSymmetry,
+        Stage::ParallelWorkers,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Baseline => "Baseline",
+            Stage::FixedCost => "Fixed cost",
+            Stage::NeighborList => "Neighbor list",
+            Stage::ForceSymmetry => "Symmetry",
+            Stage::ParallelWorkers => "Parallel",
+        }
+    }
+
+    /// The cost model with all optimizations up to and including this
+    /// stage applied (cumulatively, as in Table V's rows).
+    pub fn model(self) -> CostModel {
+        let base = CostModel::paper_baseline();
+        let mut m = base;
+        let stages = Stage::ALL;
+        let upto = stages.iter().position(|&s| s == self).unwrap();
+        for stage in &stages[1..=upto] {
+            m = match stage {
+                Stage::Baseline => m,
+                Stage::FixedCost => m.scaled(1.0, 1.0, 1.0, 0.5),
+                Stage::NeighborList => m.scaled(1.0, 0.1, 1.0, 1.0),
+                Stage::ForceSymmetry => m.scaled(1.0, 1.0, 0.5, 1.0),
+                Stage::ParallelWorkers => m.scaled(0.5, 0.5, 0.5, 1.0),
+            };
+        }
+        m
+    }
+}
+
+/// One row of Table V for one material.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectionRow {
+    pub stage: Stage,
+    pub model: CostModel,
+    /// Projected rate (timesteps/s).
+    pub rate: f64,
+}
+
+/// The paper's per-material workload (candidates, interactions).
+fn workload(species: Species) -> (f64, f64) {
+    match species {
+        Species::Cu => (224.0, 42.0),
+        Species::W => (224.0, 59.0),
+        Species::Ta => (80.0, 14.0),
+    }
+}
+
+/// Build the Table V column for `species`.
+pub fn projection_table(species: Species) -> Vec<ProjectionRow> {
+    let (cand, inter) = workload(species);
+    Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let model = stage.model();
+            ProjectionRow {
+                stage,
+                model,
+                rate: model.timesteps_per_second(cand, inter),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table V tantalum column (1,000 timesteps/s units). The W and
+    /// Cu columns in the published table (130k/150k baseline) are not
+    /// consistent with Table I's own measured baselines (96k/106k) under
+    /// the stated cost model, so we pin the Ta column — which is exactly
+    /// reproducible — and check W/Cu structurally below.
+    const PAPER_TA: [(Stage, f64); 5] = [
+        (Stage::Baseline, 270.0),
+        (Stage::FixedCost, 290.0),
+        (Stage::NeighborList, 460.0),
+        (Stage::ForceSymmetry, 650.0),
+        (Stage::ParallelWorkers, 1100.0),
+    ];
+
+    #[test]
+    fn tantalum_rates_match_paper_table5_within_rounding() {
+        let table = projection_table(Species::Ta);
+        for (row, (stage, want)) in PAPER_TA.iter().enumerate() {
+            assert_eq!(table[row].stage, *stage);
+            let got = table[row].rate / 1000.0;
+            // Paper rounds to 2 significant figures.
+            assert!(
+                (got - want).abs() / want < 0.03,
+                "Ta {}: {got}k vs paper {want}k",
+                stage.name()
+            );
+        }
+    }
+
+    #[test]
+    fn w_and_cu_projections_are_consistent_with_table1_baselines() {
+        // Structural check: baselines equal the Table I predictions, and
+        // the full stack gives roughly 3.4–4× overall (as Ta's 270→1100).
+        for (sp, table1_predicted) in [(Species::W, 93_048.0), (Species::Cu, 104_895.0)] {
+            let t = projection_table(sp);
+            assert!(
+                (t[0].rate - table1_predicted).abs() / table1_predicted < 0.005,
+                "{sp:?} baseline {}",
+                t[0].rate
+            );
+            let overall = t.last().unwrap().rate / t[0].rate;
+            assert!(
+                (2.5..5.0).contains(&overall),
+                "{sp:?} overall stack gain {overall}"
+            );
+        }
+    }
+
+    #[test]
+    fn tantalum_crosses_one_million_timesteps() {
+        let table = projection_table(Species::Ta);
+        assert!(
+            table.last().unwrap().rate > 1.0e6,
+            "final Ta projection {}",
+            table.last().unwrap().rate
+        );
+    }
+
+    #[test]
+    fn every_stage_improves_every_material() {
+        for sp in Species::ALL {
+            let t = projection_table(sp);
+            for w in t.windows(2) {
+                assert!(
+                    w[1].rate > w[0].rate,
+                    "{sp:?}: {} did not improve",
+                    w[1].stage.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_models_match_table5_component_columns() {
+        // Table V nanosecond columns: baseline (6, 21, 92, 574); fixed-cost
+        // row 287; neighbor-list row miss 2.1; symmetry row interaction 46;
+        // parallel row (3, ~1.0, 23, 287).
+        let m = Stage::ParallelWorkers.model();
+        assert!((m.mcast_ns - 3.0).abs() < 1e-9);
+        assert!((m.miss_ns - 1.03).abs() < 0.1);
+        assert!((m.interaction_ns - 23.0).abs() < 1e-9);
+        assert!((m.fixed_ns - 287.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbor_list_reuse_matters_most_for_sparse_potentials() {
+        // Ta (14/80) spends nearly half its time on rejected candidates;
+        // the neighbor-list stage must help Ta far more than W.
+        let ta = projection_table(Species::Ta);
+        let w = projection_table(Species::W);
+        let gain = |t: &[ProjectionRow]| t[2].rate / t[1].rate;
+        assert!(gain(&ta) > 1.4);
+        assert!(gain(&ta) > gain(&w));
+    }
+}

@@ -1,0 +1,107 @@
+//! Achievable-timescale computation behind Fig. 1.
+//!
+//! Fig. 1 places the WSE and GPU "stars" on the length/time map of
+//! materials-simulation methods: for the 801,792-atom Ta benchmark with a
+//! 2 fs timestep and 30 days of wall clock, the WSE reaches ~1.3 ms of
+//! simulated time versus ~7 µs on the exascale GPU machine — the nearly
+//! 180× timescale expansion that is the paper's headline.
+
+use md_core::units::PAPER_TIMESTEP;
+
+/// Seconds in a wall-clock day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Simulated physical time (s) reachable at `rate` timesteps/s with
+/// timestep `dt_ps` (ps) over `days` of wall clock.
+pub fn reachable_timescale_s(rate: f64, dt_ps: f64, days: f64) -> f64 {
+    rate * dt_ps * 1e-12 * days * SECONDS_PER_DAY
+}
+
+/// Length scale (m) of an N-atom slab with the paper's geometry
+/// (~0.3 nm lattice pitch, 6×2 atoms per column): edge ≈ √(N/12)·0.3 nm.
+pub fn slab_length_m(n_atoms: f64) -> f64 {
+    (n_atoms / 12.0).sqrt() * 0.3e-9
+}
+
+/// The Fig. 1 star coordinates: (length m, time s).
+#[derive(Clone, Copy, Debug)]
+pub struct TimescaleStar {
+    pub length_m: f64,
+    pub time_s: f64,
+}
+
+/// WSE star: measured Ta rate, 30 days, 2 fs.
+pub fn wse_star() -> TimescaleStar {
+    TimescaleStar {
+        length_m: slab_length_m(801_792.0),
+        time_s: reachable_timescale_s(274_016.0, PAPER_TIMESTEP, 30.0),
+    }
+}
+
+/// GPU star: the same problem at the Frontier rate (179× slower).
+pub fn gpu_star() -> TimescaleStar {
+    TimescaleStar {
+        length_m: slab_length_m(801_792.0),
+        time_s: reachable_timescale_s(274_016.0 / 179.0, PAPER_TIMESTEP, 30.0),
+    }
+}
+
+/// Timesteps needed to reach `target_s` seconds of simulated time at
+/// timestep `dt_ps`.
+pub fn steps_to_reach(target_s: f64, dt_ps: f64) -> f64 {
+    target_s / (dt_ps * 1e-12)
+}
+
+/// Wall-clock days to reach `target_s` simulated seconds at `rate`.
+pub fn days_to_reach(target_s: f64, dt_ps: f64, rate: f64) -> f64 {
+    steps_to_reach(target_s, dt_ps) / rate / SECONDS_PER_DAY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wse_star_reaches_about_1_3_milliseconds() {
+        // Fig. 1 annotation: 250,000 ts/s × 2 fs × 30 days ≈ 1.3 ms; our
+        // star uses the measured 274,016 ts/s (≈1.42 ms).
+        let t = wse_star().time_s;
+        assert!((1.2e-3..1.6e-3).contains(&t), "WSE timescale {t} s");
+    }
+
+    #[test]
+    fn gpu_star_reaches_only_microseconds() {
+        let t = gpu_star().time_s;
+        assert!((5e-6..10e-6).contains(&t), "GPU timescale {t} s");
+    }
+
+    #[test]
+    fn the_gap_is_179x() {
+        let ratio = wse_star().time_s / gpu_star().time_s;
+        assert!((ratio - 179.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slab_length_matches_fig1_annotation() {
+        // 801,792 atoms ⇒ ~7.5e-8 m edge.
+        let l = slab_length_m(801_792.0);
+        assert!((7e-8..8e-8).contains(&l), "length {l}");
+    }
+
+    #[test]
+    fn hundred_microseconds_becomes_reachable() {
+        // Sec. VI-B: ~100 µs MD "achieved here" — 100 µs of Ta dynamics
+        // takes ~2 days on the WSE but over a year on the GPU.
+        let wse_days = days_to_reach(100e-6, PAPER_TIMESTEP, 274_016.0);
+        let gpu_days = days_to_reach(100e-6, PAPER_TIMESTEP, 1_530.0);
+        assert!(wse_days < 3.0, "WSE days {wse_days}");
+        assert!(gpu_days > 365.0, "GPU days {gpu_days}");
+    }
+
+    #[test]
+    fn reducing_a_year_to_two_days() {
+        // Abstract: "Reducing every year of runtime to two days" — the
+        // 179× factor turns 365 days into ~2.04 days.
+        assert!((365.0_f64 / 179.0 - 2.04).abs() < 0.01);
+    }
+}

@@ -1,0 +1,193 @@
+//! Neighborhood reduction: the reverse of the marching multicast.
+//!
+//! Sec. VI-A-3 (force symmetry): "(·)ᵢⱼ terms can be computed when i < j
+//! and the results sent from i to j. Bandwidth considerations make it
+//! impractical to unicast back to the originating worker. Instead, a
+//! neighborhood reduction operates as the reverse of neighborhood
+//! multicast. The reverse step of multicast forwarding is naturally a
+//! 2:1 sum reduction performed directly at the branch. The reduction
+//! retains the multicast's systolic dataflow properties."
+//!
+//! [`simulate_line_reduction`] is the router-level model: in each phase
+//! the role pattern of the multicast is reversed — the head *collects* a
+//! sum from its b downstream tiles, with every body adding its own
+//! contribution to the passing partial sum (the 2:1 add at the branch).
+//! The same strip periodicity makes it contention-free with the same
+//! closed-form cycle count, which the tests verify.
+
+use crate::multicast::line_stage_cycles;
+use std::collections::HashMap;
+
+/// Result of a line-reduction stage.
+#[derive(Clone, Debug)]
+pub struct LineReductionResult {
+    /// `sums[i]` — the reduction received by tile `i` in its head phase:
+    /// the sum of `contributions[j][i]` over the `b` tiles downstream.
+    pub sums: Vec<Vec<f64>>,
+    pub cycles: u64,
+    pub max_link_load: u32,
+}
+
+/// Simulate one reduction stage along a line of `n` tiles.
+///
+/// `contributions[j]` holds tile `j`'s payload vector *for each
+/// direction*: the same `l`-word vector is folded into the partial sum
+/// flowing toward whichever head is collecting. Distances mirror the
+/// multicast: tile `i` receives the sum over `j` with `1 ≤ |j−i| ≤ b`
+/// (per direction), each word stream reduced 2:1 at every hop.
+#[allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays
+pub fn simulate_line_reduction(
+    contributions: &[Vec<f64>],
+    b: usize,
+) -> LineReductionResult {
+    let n = contributions.len();
+    assert!(b >= 1, "reduction distance must be at least 1");
+    assert!(n >= 2);
+    let l_max = contributions.iter().map(Vec::len).max().unwrap();
+    assert!(l_max >= 1);
+
+    let mut sums: Vec<Vec<f64>> = vec![vec![0.0; l_max]; n];
+    let mut occupancy: HashMap<(usize, i8, u64), u32> = HashMap::new();
+    let mut max_cycle = 0u64;
+    let mut max_link_load = 0u32;
+
+    // Mirror of the multicast schedule: in phase p (per direction), the
+    // collecting head is the tile that would have been the multicast
+    // head; data flows *toward* it from its b downstream tiles, reduced
+    // at each hop. The link/cycle pattern is the time-reverse of the
+    // multicast stream for the same phase, so the contention argument
+    // carries over; we still assert it explicitly.
+    for dir in [1i64, -1i64] {
+        for phase in 0..=(b as u64) {
+            let phase_start = phase * (l_max as u64 + 1);
+            for x in 0..n {
+                // Time-reversal of the multicast: collection data flows
+                // *toward* the head, so heads march in the flow direction
+                // (−x when collecting from the +x side), the mirror of
+                // the multicast's downstream-advancing mask. Advancing
+                // the other way lets a later phase's partial-sum stream
+                // collide with an earlier phase's still-draining stream.
+                let is_head = if dir == 1 {
+                    (x as u64 + phase).is_multiple_of(b as u64 + 1)
+                } else {
+                    x as u64 % (b as u64 + 1) == phase
+                };
+                if !is_head {
+                    continue;
+                }
+                // The farthest contributor is b hops downstream; its words
+                // flow upstream hop by hop, each hop's link carrying the
+                // running partial sum. Hop k's link (from x+dir·k toward
+                // x+dir·(k−1)) carries word w during cycle
+                // phase_start + w + (b − k), so the head receives the
+                // fully reduced word w at cycle phase_start + w + b − 1.
+                let mut any = false;
+                for k in (1..=(b as i64)).rev() {
+                    let src = x as i64 + dir * k;
+                    if src < 0 || src >= n as i64 {
+                        continue;
+                    }
+                    any = true;
+                    let contrib = &contributions[src as usize];
+                    for w in 0..l_max {
+                        if let Some(v) = contrib.get(w) {
+                            sums[x][w] += v;
+                        }
+                        let cycle = phase_start + w as u64 + (b as i64 - k) as u64;
+                        let load = occupancy
+                            .entry((src as usize, dir as i8, cycle))
+                            .or_insert(0);
+                        *load += 1;
+                        max_link_load = max_link_load.max(*load);
+                        assert!(
+                            *load <= 1,
+                            "reduction link contention at {src} dir {dir} cycle {cycle}"
+                        );
+                        max_cycle = max_cycle.max(cycle + 1);
+                    }
+                }
+                // Completion command wavelet, as in the multicast.
+                if any {
+                    let t0 = x as i64 + dir;
+                    if (0..n as i64).contains(&t0) {
+                        let cycle = phase_start + l_max as u64;
+                        let load = occupancy.entry((x, dir as i8, cycle)).or_insert(0);
+                        *load += 1;
+                        max_link_load = max_link_load.max(*load);
+                        max_cycle = max_cycle.max(cycle + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    LineReductionResult {
+        sums,
+        cycles: max_cycle,
+        max_link_load,
+    }
+}
+
+/// Closed-form cycles for a reduction stage — identical to the multicast
+/// stage it reverses.
+pub fn line_reduction_cycles(b: usize, l: usize) -> u64 {
+    line_stage_cycles(b, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_sums_are_exact() {
+        let n = 14usize;
+        let contributions: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, 100.0 + i as f64]).collect();
+        for b in 1..=4usize {
+            let res = simulate_line_reduction(&contributions, b);
+            for i in 0..n {
+                let mut expect = vec![0.0; 2];
+                for j in 0..n {
+                    if j != i && j.abs_diff(i) <= b {
+                        expect[0] += j as f64;
+                        expect[1] += 100.0 + j as f64;
+                    }
+                }
+                assert_eq!(res.sums[i], expect, "tile {i} b {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_contention_free() {
+        for b in 1..=6usize {
+            for l in 1..=4usize {
+                let contributions: Vec<Vec<f64>> =
+                    (0..20).map(|i| vec![i as f64; l]).collect();
+                let res = simulate_line_reduction(&contributions, b);
+                assert_eq!(res.max_link_load, 1, "b={b} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_cycles_match_the_multicast_closed_form() {
+        for b in 1..=5usize {
+            for l in 1..=6usize {
+                let contributions: Vec<Vec<f64>> =
+                    (0..((b + 1) * 4)).map(|i| vec![i as f64; l]).collect();
+                let res = simulate_line_reduction(&contributions, b);
+                assert_eq!(res.cycles, line_reduction_cycles(b, l), "b={b} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_tiles_receive_clipped_sums() {
+        let contributions: Vec<Vec<f64>> = (0..6).map(|i| vec![1.0 + i as f64]).collect();
+        let res = simulate_line_reduction(&contributions, 2);
+        // Tile 0 sums tiles 1, 2 only.
+        assert_eq!(res.sums[0], vec![2.0 + 3.0]);
+        // Tile 5 sums tiles 3, 4.
+        assert_eq!(res.sums[5], vec![4.0 + 5.0]);
+    }
+}

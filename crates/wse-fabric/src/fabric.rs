@@ -1,0 +1,152 @@
+//! The fabric: a rectangular grid of tiles with generic per-tile payload.
+//!
+//! [`Fabric`] is the container the MD driver programs against. It offers
+//! direct (functional-mode) neighborhood access — the data movement the
+//! marching multicast performs on hardware — while cycle costs are
+//! charged separately from the calibrated [`crate::cost::CostModel`] and
+//! validated against the router-level simulation in
+//! [`crate::multicast`].
+
+use crate::geometry::{Coord, Extent};
+
+/// A grid of per-tile payloads.
+#[derive(Clone, Debug)]
+pub struct Fabric<T> {
+    extent: Extent,
+    cells: Vec<T>,
+}
+
+impl<T> Fabric<T> {
+    /// Build a fabric with every tile initialized by `init(coord)`.
+    pub fn from_fn(extent: Extent, mut init: impl FnMut(Coord) -> T) -> Self {
+        let cells = (0..extent.count()).map(|i| init(extent.coord(i))).collect();
+        Self { extent, cells }
+    }
+
+    pub fn extent(&self) -> Extent {
+        self.extent
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, c: Coord) -> &T {
+        &self.cells[self.extent.index(c)]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, c: Coord) -> &mut T {
+        let i = self.extent.index(c);
+        &mut self.cells[i]
+    }
+
+    #[inline]
+    pub fn at(&self, idx: usize) -> &T {
+        &self.cells[idx]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, idx: usize) -> &mut T {
+        &mut self.cells[idx]
+    }
+
+    /// Iterate `(coord, &payload)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, &T)> {
+        let e = self.extent;
+        self.cells.iter().enumerate().map(move |(i, t)| (e.coord(i), t))
+    }
+
+    /// Iterate `(coord, &mut payload)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Coord, &mut T)> {
+        let e = self.extent;
+        self.cells
+            .iter_mut()
+            .enumerate()
+            .map(move |(i, t)| (e.coord(i), t))
+    }
+
+    /// Gather references to the `(2b+1)²` neighborhood of `center`
+    /// (clipped at fabric edges, excluding the center tile itself), in the
+    /// deterministic row-major arrival order of the marching multicast.
+    pub fn gather_neighborhood(&self, center: Coord, b: i32) -> Vec<(Coord, &T)> {
+        self.extent
+            .neighborhood(center, b)
+            .filter(|&c| c != center)
+            .map(|c| (c, self.get(c)))
+            .collect()
+    }
+
+    /// Direct slice access for bulk/parallel processing.
+    pub fn cells(&self) -> &[T] {
+        &self.cells
+    }
+
+    pub fn cells_mut(&mut self) -> &mut [T] {
+        &mut self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_initializes_by_coordinate() {
+        let f = Fabric::from_fn(Extent::new(4, 3), |c| c.x * 10 + c.y);
+        assert_eq!(*f.get(Coord::new(2, 1)), 21);
+        assert_eq!(f.len(), 12);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut f = Fabric::from_fn(Extent::new(3, 3), |_| 0);
+        *f.get_mut(Coord::new(1, 2)) = 7;
+        assert_eq!(*f.get(Coord::new(1, 2)), 7);
+        assert_eq!(*f.at(f.extent().index(Coord::new(1, 2))), 7);
+    }
+
+    #[test]
+    fn iteration_is_row_major() {
+        let f = Fabric::from_fn(Extent::new(3, 2), |c| (c.x, c.y));
+        let coords: Vec<_> = f.iter().map(|(c, _)| c).collect();
+        assert_eq!(coords[0], Coord::new(0, 0));
+        assert_eq!(coords[1], Coord::new(1, 0));
+        assert_eq!(coords[3], Coord::new(0, 1));
+    }
+
+    #[test]
+    fn gather_neighborhood_excludes_center_and_clips() {
+        let f = Fabric::from_fn(Extent::new(5, 5), |c| c);
+        let n = f.gather_neighborhood(Coord::new(2, 2), 1);
+        assert_eq!(n.len(), 8);
+        assert!(n.iter().all(|(c, _)| *c != Coord::new(2, 2)));
+        let corner = f.gather_neighborhood(Coord::new(0, 0), 2);
+        assert_eq!(corner.len(), 8); // 3×3 minus the center
+    }
+
+    #[test]
+    fn gather_order_matches_multicast_arrival_order() {
+        let f = Fabric::from_fn(Extent::new(5, 5), |c| c);
+        let n = f.gather_neighborhood(Coord::new(2, 2), 1);
+        let coords: Vec<_> = n.iter().map(|(c, _)| *c).collect();
+        assert_eq!(
+            coords,
+            vec![
+                Coord::new(1, 1),
+                Coord::new(2, 1),
+                Coord::new(3, 1),
+                Coord::new(1, 2),
+                Coord::new(3, 2),
+                Coord::new(1, 3),
+                Coord::new(2, 3),
+                Coord::new(3, 3),
+            ]
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Tile coordinates and neighborhood geometry on the wafer mesh.
+//!
+//! The WSE is a Cartesian grid of tiles; the MD algorithm's candidate
+//! exchange covers the square `(2b+1) × (2b+1)` neighborhood around each
+//! tile (paper Sec. III-A/B). Distances on the fabric are measured in the
+//! max norm (Chebyshev distance), matching the paper's assignment-cost
+//! definition.
+
+/// A tile position on the wafer: column `x`, row `y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Coord {
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Chebyshev (max-norm) distance — the fabric-neighborhood metric.
+    #[inline]
+    pub fn chebyshev(self, o: Coord) -> i32 {
+        (self.x - o.x).abs().max((self.y - o.y).abs())
+    }
+
+    /// Manhattan distance — the number of mesh hops under X-Y routing.
+    #[inline]
+    pub fn manhattan(self, o: Coord) -> i32 {
+        (self.x - o.x).abs() + (self.y - o.y).abs()
+    }
+}
+
+/// Rectangular fabric extent `width × height` with row-major indexing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    pub width: usize,
+    pub height: usize,
+}
+
+impl Extent {
+    pub const fn new(width: usize, height: usize) -> Self {
+        Self { width, height }
+    }
+
+    pub fn count(self) -> usize {
+        self.width * self.height
+    }
+
+    #[inline]
+    pub fn contains(self, c: Coord) -> bool {
+        c.x >= 0 && c.y >= 0 && (c.x as usize) < self.width && (c.y as usize) < self.height
+    }
+
+    /// Row-major linear index of a coordinate (must be in range).
+    #[inline]
+    pub fn index(self, c: Coord) -> usize {
+        debug_assert!(self.contains(c));
+        c.y as usize * self.width + c.x as usize
+    }
+
+    /// Inverse of [`Extent::index`].
+    #[inline]
+    pub fn coord(self, idx: usize) -> Coord {
+        debug_assert!(idx < self.count());
+        Coord::new((idx % self.width) as i32, (idx / self.width) as i32)
+    }
+
+    /// Iterate the `(2b+1)²` neighborhood of `center` clipped to the
+    /// fabric, in deterministic row-major order (the order candidates
+    /// arrive in, which makes the paper's neighbor list "trivially a list
+    /// of ordinal numbers").
+    pub fn neighborhood(self, center: Coord, b: i32) -> impl Iterator<Item = Coord> {
+        let (w, h) = (self.width as i32, self.height as i32);
+        let x0 = (center.x - b).max(0);
+        let x1 = (center.x + b).min(w - 1);
+        let y0 = (center.y - b).max(0);
+        let y1 = (center.y + b).min(h - 1);
+        (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| Coord::new(x, y)))
+    }
+
+    /// All coordinates in row-major order.
+    pub fn iter(self) -> impl Iterator<Item = Coord> {
+        let w = self.width as i32;
+        let n = self.count();
+        (0..n).map(move |i| Coord::new(i as i32 % w, i as i32 / w))
+    }
+}
+
+/// The WSE-2 fabric extent used in the paper: roughly a 920 × 920 array
+/// of ~850,000 cores (Sec. IV-A).
+pub const WSE2_EXTENT: Extent = Extent::new(924, 920);
+
+/// Number of cores on the WSE-2 as quoted in the paper.
+pub const WSE2_CORES: usize = 850_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_and_manhattan() {
+        let a = Coord::new(2, 3);
+        let b = Coord::new(-1, 5);
+        assert_eq!(a.chebyshev(b), 3);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(a.chebyshev(a), 0);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let e = Extent::new(7, 5);
+        for idx in 0..e.count() {
+            assert_eq!(e.index(e.coord(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn neighborhood_size_in_the_interior() {
+        let e = Extent::new(20, 20);
+        let n: Vec<_> = e.neighborhood(Coord::new(10, 10), 2).collect();
+        assert_eq!(n.len(), 25);
+        // All within Chebyshev distance 2.
+        assert!(n.iter().all(|c| c.chebyshev(Coord::new(10, 10)) <= 2));
+    }
+
+    #[test]
+    fn neighborhood_clips_at_edges() {
+        let e = Extent::new(10, 10);
+        let n: Vec<_> = e.neighborhood(Coord::new(0, 0), 3).collect();
+        assert_eq!(n.len(), 16); // 4×4 corner
+        let n: Vec<_> = e.neighborhood(Coord::new(9, 5), 2).collect();
+        assert_eq!(n.len(), 15); // 3 wide × 5 tall
+    }
+
+    #[test]
+    fn neighborhood_is_row_major_deterministic() {
+        let e = Extent::new(10, 10);
+        let n: Vec<_> = e.neighborhood(Coord::new(5, 5), 1).collect();
+        assert_eq!(n[0], Coord::new(4, 4));
+        assert_eq!(n[1], Coord::new(5, 4));
+        assert_eq!(n[8], Coord::new(6, 6));
+    }
+
+    #[test]
+    fn wse2_extent_covers_the_quoted_core_count() {
+        assert!(WSE2_EXTENT.count() >= WSE2_CORES);
+        // 94% utilization claim: 801,792 atoms on 850k cores.
+        assert!((801_792.0 / WSE2_CORES as f64 - 0.94).abs() < 0.01);
+    }
+}

@@ -1,0 +1,414 @@
+//! Cycle-level simulation of the systolic *marching multicast*
+//! (paper Sec. III-B, Figs. 3 and 4).
+//!
+//! The neighborhood exchange runs as consecutive horizontal and vertical
+//! stages. Within a stage, the worker grid is partitioned into strips of
+//! width `b+1`; the stage runs `b+1` phases, and in phase `p` every tile
+//! whose in-line position is ≡ p (mod b+1) acts as a *head*, multicasting
+//! its payload `b` hops downstream. The downstream `b−1` tiles act as
+//! *bodies* (deliver to core + forward) and the `b`-th as the *tail*
+//! (deliver only). When a head finishes its vector it emits a command
+//! wavelet that advances the role assignment one tile downstream —
+//! exactly the Fig. 4 state machine, made globally consistent by the
+//! (mod b+1) strip periodicity.
+//!
+//! The simulator moves every word over an explicit per-cycle link
+//! occupancy map and *asserts* the paper's contention-freedom claim: no
+//! mesh link ever carries two words of the same virtual channel in the
+//! same cycle. Two virtual channels (one per direction) run concurrently
+//! per stage, on physically separate link directions.
+//!
+//! This cycle-level model is used to validate the communication schedule
+//! and its closed-form cycle count on small fabrics; the at-scale MD
+//! driver performs the same data movement functionally and charges
+//! cycles from the calibrated [`crate::cost::CostModel`].
+
+use crate::geometry::Extent;
+use std::collections::HashMap;
+
+/// A payload delivered to one tile during a line stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery<W> {
+    /// In-line index of the sending tile.
+    pub source: usize,
+    /// Cycle at which the last word arrived.
+    pub arrival_cycle: u64,
+    /// The payload words, in transmission order.
+    pub words: Vec<W>,
+}
+
+/// Result of simulating one marching-multicast stage along a line of
+/// tiles (one row or one column).
+#[derive(Clone, Debug)]
+pub struct LineStageResult<W> {
+    /// `delivered[i]` — payloads received by tile `i`, in arrival order.
+    pub delivered: Vec<Vec<Delivery<W>>>,
+    /// Total cycles until the stage is quiescent.
+    pub cycles: u64,
+    /// Total words that crossed mesh links (data + command wavelets).
+    pub words_moved: u64,
+    /// Peak simultaneous occupancy of any (link, VC, cycle) — the
+    /// contention-freedom claim requires this to be exactly 1.
+    pub max_link_load: u32,
+}
+
+/// Closed-form cycle count for one line stage with propagation distance
+/// `b` and payload length `l` words: `b+1` phases of `l+1` slots each
+/// (vector + command wavelet), plus the pipeline drain to the tail.
+pub fn line_stage_cycles(b: usize, l: usize) -> u64 {
+    assert!(b >= 1 && l >= 1);
+    let (b, l) = (b as u64, l as u64);
+    let data_last = b * (l + 1) + (l - 1) + (b - 1);
+    let cmd_last = b * (l + 1) + l;
+    data_last.max(cmd_last) + 1
+}
+
+/// Cycle count for the full two-stage neighborhood exchange of
+/// `words_per_atom`-word payloads: a horizontal stage moving single-atom
+/// vectors and a vertical stage moving the accumulated `(2b+1)`-atom
+/// vectors (Sec. III-B: "the vertical stage differs only in its transfer
+/// size").
+pub fn exchange_cycles(b: usize, words_per_atom: usize) -> u64 {
+    line_stage_cycles(b, words_per_atom) + line_stage_cycles(b, (2 * b + 1) * words_per_atom)
+}
+
+/// Simulate one marching-multicast stage along a line. `payloads[i]` is
+/// tile `i`'s outgoing vector (lengths may differ near fabric edges; the
+/// phase schedule uses the maximum).
+#[allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays
+pub fn simulate_line_stage<W: Clone>(payloads: &[Vec<W>], b: usize) -> LineStageResult<W> {
+    let n = payloads.len();
+    assert!(b >= 1, "propagation distance must be at least 1");
+    assert!(n >= 2, "a line stage needs at least two tiles");
+    let l_max = payloads.iter().map(Vec::len).max().unwrap();
+    assert!(l_max >= 1, "payloads must be non-empty");
+
+    let mut delivered: Vec<Vec<Delivery<W>>> = vec![Vec::new(); n];
+    // Occupancy key: (link origin tile, direction, cycle).
+    let mut occupancy: HashMap<(usize, i8, u64), u32> = HashMap::new();
+    let mut max_cycle: u64 = 0;
+    let mut words_moved: u64 = 0;
+    let mut max_link_load: u32 = 0;
+
+    for dir in [1i64, -1i64] {
+        for phase in 0..=(b as u64) {
+            let phase_start = phase * (l_max as u64 + 1);
+            for x in 0..n {
+                // The multicast domain marches *downstream* (in the data
+                // flow direction): rightward lanes advance the head in +x,
+                // leftward lanes in −x. Advancing upstream would let a new
+                // head's stream collide with the tail of an earlier
+                // phase's stream still draining through the pipeline.
+                let is_head = if dir == 1 {
+                    x as u64 % (b as u64 + 1) == phase
+                } else {
+                    (x as u64 + phase).is_multiple_of(b as u64 + 1)
+                };
+                if !is_head {
+                    continue;
+                }
+                let payload = &payloads[x];
+                let l = payload.len();
+                // Data words: word w crosses hop k's link
+                // (from x + dir·(k−1)) during cycle phase_start + w + k − 1.
+                for k in 1..=(b as i64) {
+                    let target = x as i64 + dir * k;
+                    if target < 0 || target >= n as i64 {
+                        break; // clipped at the fabric edge
+                    }
+                    let link_from = (x as i64 + dir * (k - 1)) as usize;
+                    for w in 0..l {
+                        let cycle = phase_start + w as u64 + k as u64 - 1;
+                        let load = occupancy.entry((link_from, dir as i8, cycle)).or_insert(0);
+                        *load += 1;
+                        max_link_load = max_link_load.max(*load);
+                        assert!(
+                            *load <= 1,
+                            "link contention: link {link_from} dir {dir} cycle {cycle}"
+                        );
+                        words_moved += 1;
+                        max_cycle = max_cycle.max(cycle + 1);
+                    }
+                    if l > 0 {
+                        let arrival = phase_start + (l as u64 - 1) + k as u64 - 1;
+                        delivered[target as usize].push(Delivery {
+                            source: x,
+                            arrival_cycle: arrival,
+                            words: payload.clone(),
+                        });
+                    }
+                }
+                // Command wavelet advancing the role assignment: one word
+                // on the head's downstream link at the slot after its data.
+                let t0 = x as i64 + dir;
+                if (0..n as i64).contains(&t0) {
+                    let cycle = phase_start + l_max as u64;
+                    let load = occupancy.entry((x, dir as i8, cycle)).or_insert(0);
+                    *load += 1;
+                    max_link_load = max_link_load.max(*load);
+                    assert!(*load <= 1, "command wavelet contention at link {x}");
+                    words_moved += 1;
+                    max_cycle = max_cycle.max(cycle + 1);
+                }
+            }
+        }
+    }
+
+    for d in &mut delivered {
+        d.sort_by_key(|d| (d.arrival_cycle, d.source));
+    }
+
+    LineStageResult {
+        delivered,
+        cycles: max_cycle,
+        words_moved,
+        max_link_load,
+    }
+}
+
+/// Result of the full two-stage 2-D neighborhood exchange.
+#[derive(Clone, Debug)]
+pub struct ExchangeResult<W> {
+    /// `received[flat]` — (source flat index, payload) for every other
+    /// tile in the `(2b+1)²` neighborhood, sorted by source index.
+    pub received: Vec<Vec<(usize, Vec<W>)>>,
+    pub horizontal_cycles: u64,
+    pub vertical_cycles: u64,
+}
+
+impl<W> ExchangeResult<W> {
+    pub fn total_cycles(&self) -> u64 {
+        self.horizontal_cycles + self.vertical_cycles
+    }
+}
+
+/// Simulate the complete neighborhood exchange on an `extent` fabric at
+/// the router level: horizontal marching multicast of each tile's own
+/// payload, then vertical marching multicast of the accumulated row data.
+pub fn simulate_neighborhood_exchange<W: Clone>(
+    extent: Extent,
+    payloads: &[Vec<W>],
+    b: usize,
+) -> ExchangeResult<W> {
+    assert_eq!(payloads.len(), extent.count());
+    let (w, h) = (extent.width, extent.height);
+
+    // ---- Horizontal stage: rows exchange single-atom payloads. ----
+    let mut row_data: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); extent.count()];
+    let mut horizontal_cycles = 0;
+    for y in 0..h {
+        let row_payloads: Vec<Vec<W>> =
+            (0..w).map(|x| payloads[y * w + x].clone()).collect();
+        let res = simulate_line_stage(&row_payloads, b);
+        horizontal_cycles = horizontal_cycles.max(res.cycles);
+        for x in 0..w {
+            let flat = y * w + x;
+            // Own payload plus everything received, ordered by source x so
+            // the vertical payload layout is deterministic.
+            row_data[flat].push((flat, payloads[flat].clone()));
+            for d in &res.delivered[x] {
+                row_data[flat].push((y * w + d.source, d.words.clone()));
+            }
+            row_data[flat].sort_by_key(|(src, _)| *src);
+        }
+    }
+
+    // ---- Vertical stage: columns exchange the accumulated row data,
+    //      each word tagged with its original source tile. ----
+    let mut received: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); extent.count()];
+    let mut vertical_cycles = 0;
+    for x in 0..w {
+        let col_payloads: Vec<Vec<(usize, W)>> = (0..h)
+            .map(|y| {
+                row_data[y * w + x]
+                    .iter()
+                    .flat_map(|(src, words)| words.iter().map(|wd| (*src, wd.clone())))
+                    .collect()
+            })
+            .collect();
+        let res = simulate_line_stage(&col_payloads, b);
+        vertical_cycles = vertical_cycles.max(res.cycles);
+        for y in 0..h {
+            let flat = y * w + x;
+            let mut entries: Vec<(usize, Vec<W>)> = row_data[flat]
+                .iter()
+                .filter(|(src, _)| *src != flat)
+                .cloned()
+                .collect();
+            for d in &res.delivered[y] {
+                // Ungroup the tagged word stream back into per-source
+                // payloads (words from one source are contiguous).
+                let mut it = d.words.iter();
+                if let Some(first) = it.next() {
+                    let mut cur_src = first.0;
+                    let mut cur: Vec<W> = vec![first.1.clone()];
+                    for (src, word) in it {
+                        if *src == cur_src {
+                            cur.push(word.clone());
+                        } else {
+                            entries.push((cur_src, std::mem::take(&mut cur)));
+                            cur_src = *src;
+                            cur.push(word.clone());
+                        }
+                    }
+                    entries.push((cur_src, cur));
+                }
+            }
+            entries.sort_by_key(|(src, _)| *src);
+            received[flat] = entries;
+        }
+    }
+
+    ExchangeResult {
+        received,
+        horizontal_cycles,
+        vertical_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Coord;
+
+    #[test]
+    fn line_stage_delivers_to_every_tile_within_b() {
+        let n = 12;
+        let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32 * 10, i as u32]).collect();
+        for b in 1..=4 {
+            let res = simulate_line_stage(&payloads, b);
+            for i in 0..n {
+                let mut sources: Vec<usize> =
+                    res.delivered[i].iter().map(|d| d.source).collect();
+                sources.sort_unstable();
+                let expected: Vec<usize> = (i.saturating_sub(b)..(i + b + 1).min(n))
+                    .filter(|&j| j != i)
+                    .collect();
+                assert_eq!(sources, expected, "tile {i} b {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_stage_preserves_payload_contents() {
+        let payloads: Vec<Vec<u32>> = (0..8).map(|i| vec![i, i + 100, i + 200]).collect();
+        let res = simulate_line_stage(&payloads, 2);
+        for i in 0..8 {
+            for d in &res.delivered[i] {
+                assert_eq!(d.words, payloads[d.source], "tile {i} from {}", d.source);
+            }
+        }
+    }
+
+    #[test]
+    fn line_stage_is_contention_free() {
+        for b in 1..=5 {
+            for l in 1..=6 {
+                let payloads: Vec<Vec<u32>> = (0..20).map(|i| vec![i; l]).collect();
+                let res = simulate_line_stage(&payloads, b);
+                assert_eq!(res.max_link_load, 1, "b={b} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_stage_cycles_match_closed_form() {
+        for b in 1..=5 {
+            for l in 1..=8 {
+                let payloads: Vec<Vec<u32>> = (0..((b + 1) * 4)).map(|i| vec![i as u32; l]).collect();
+                let res = simulate_line_stage(&payloads, b);
+                assert_eq!(
+                    res.cycles,
+                    line_stage_cycles(b, l),
+                    "b={b} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_cost_is_linear_in_payload_and_distance() {
+        // The per-candidate multicast cost in the paper's linear model
+        // stems from this linearity.
+        let c1 = line_stage_cycles(3, 4);
+        let c2 = line_stage_cycles(3, 8);
+        assert!(c2 < 2 * c1, "payload doubling must be sub-2x (pipelining)");
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn exchange_matches_direct_neighborhood_gather() {
+        let extent = Extent::new(9, 7);
+        let payloads: Vec<Vec<u32>> = (0..extent.count())
+            .map(|i| vec![i as u32, 1000 + i as u32])
+            .collect();
+        for b in [1usize, 2, 3] {
+            let res = simulate_neighborhood_exchange(extent, &payloads, b);
+            for (flat, entries) in res.received.iter().enumerate() {
+                let center = extent.coord(flat);
+                let mut expected: Vec<usize> = extent
+                    .neighborhood(center, b as i32)
+                    .filter(|&c| c != center)
+                    .map(|c| extent.index(c))
+                    .collect();
+                expected.sort_unstable();
+                let got: Vec<usize> = entries.iter().map(|(s, _)| *s).collect();
+                assert_eq!(got, expected, "tile {flat} b {b}");
+                for (src, words) in entries {
+                    assert_eq!(words, &payloads[*src]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_corner_tiles_get_clipped_neighborhoods() {
+        let extent = Extent::new(6, 6);
+        let payloads: Vec<Vec<u32>> = (0..36).map(|i| vec![i as u32]).collect();
+        let res = simulate_neighborhood_exchange(extent, &payloads, 2);
+        // Corner (0,0): 3×3 neighborhood minus self = 8.
+        assert_eq!(res.received[0].len(), 8);
+        // Interior (3,3): 5×5 minus self = 24.
+        let interior = extent.index(Coord::new(3, 3));
+        assert_eq!(res.received[interior].len(), 24);
+    }
+
+    #[test]
+    fn vertical_stage_dominates_exchange_cost() {
+        // The vertical stage moves (2b+1)× the data; the closed form must
+        // reflect that.
+        let b = 3;
+        let l = 4;
+        let total = exchange_cycles(b, l);
+        let horizontal = line_stage_cycles(b, l);
+        let vertical = line_stage_cycles(b, (2 * b + 1) * l);
+        assert_eq!(total, horizontal + vertical);
+        assert!(vertical > 4 * horizontal);
+    }
+
+    #[test]
+    fn simulated_exchange_cycles_match_closed_form() {
+        let extent = Extent::new(8, 8);
+        let l = 4;
+        let payloads: Vec<Vec<u32>> = (0..extent.count()).map(|i| vec![i as u32; l]).collect();
+        for b in [1usize, 2, 3] {
+            let res = simulate_neighborhood_exchange(extent, &payloads, b);
+            assert_eq!(res.horizontal_cycles, line_stage_cycles(b, l), "h b={b}");
+            // Interior columns carry (2b+1)·l words per tile; edge columns
+            // carry less, so the max equals the interior closed form.
+            assert_eq!(
+                res.vertical_cycles,
+                line_stage_cycles(b, (2 * b + 1) * l),
+                "v b={b}"
+            );
+            assert_eq!(res.total_cycles(), exchange_cycles(b, l));
+        }
+    }
+
+    #[test]
+    fn embedding_exchange_is_much_cheaper_than_position_exchange() {
+        // Positions are 3–4 words; embedding energies are 1 word
+        // (Sec. III-B: 12 bytes vs 4 bytes).
+        assert!(exchange_cycles(4, 1) < exchange_cycles(4, 4) / 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! Event-driven router state machine for the marching multicast
+//! (paper Fig. 4a/4b).
+//!
+//! [`crate::multicast`] simulates the multicast from its global phase
+//! *schedule*. This module executes the same stage from the bottom up:
+//! each router holds only its local Fig. 4 state — **Head**, **Body**, or
+//! **Tail** (plus the HeadWait intermediate the hardware needs because a
+//! router cannot change its input and output simultaneously) — and reacts
+//! to the wavelets that arrive on its upstream link:
+//!
+//! * data wavelets: a Body forwards downstream *and* delivers to its
+//!   core; a Tail delivers only; a Head is transmitting its own vector.
+//! * command wavelets carrying the `(ADV, ADV, RST)` / `(ADV)` lists of
+//!   Fig. 4c: the first Body pops an `ADV` and becomes the new Head; the
+//!   old Head retires to Tail; the old Tail pops the `RST` and resets to
+//!   Body.
+//!
+//! The test suite proves this *rule-driven* execution delivers exactly
+//! the same payload sets as the schedule-driven simulator and finishes in
+//! the same closed-form cycle count — i.e., the distributed state machine
+//! and the global schedule are two views of one protocol.
+
+/// Fig. 4 router roles for one virtual channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts data from its local core and transmits downstream.
+    Head,
+    /// Forwards upstream data downstream and delivers it to its core.
+    Body,
+    /// Delivers upstream data to its core only (end of the domain).
+    Tail,
+}
+
+/// A wavelet on a link: one payload word or a command list.
+#[derive(Clone, Debug, PartialEq)]
+enum Wavelet<W> {
+    Data { source: usize, word: W, last: bool },
+    /// Command list, front element is acted on / popped per Fig. 4c.
+    Command(Vec<Command>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Advance to the next role in the march.
+    Adv,
+    /// Reset to Body.
+    Rst,
+}
+
+/// One router lane (single direction, single VC) in the line.
+struct RouterLane<W> {
+    role: Role,
+    /// Words of the local core's payload not yet transmitted (only
+    /// meaningful while Head).
+    pending: Vec<W>,
+    /// Wavelet arriving from upstream this cycle (set by the fabric).
+    inbox: Option<Wavelet<W>>,
+    /// The stage promotes each tile to Head exactly once; a command
+    /// reaching a tile that has already transmitted is spent.
+    has_transmitted: bool,
+}
+
+/// Result of the event-driven stage.
+#[derive(Clone, Debug)]
+pub struct RouterStageResult<W> {
+    /// `delivered[i]` — (source, words) received by tile `i`'s core, in
+    /// arrival order (grouped per source).
+    pub delivered: Vec<Vec<(usize, Vec<W>)>>,
+    pub cycles: u64,
+}
+
+/// Execute one marching-multicast direction along a line of `n` tiles
+/// using only per-router Fig. 4 rules. `dir` is +1 (rightward) or −1.
+#[allow(clippy::needless_range_loop)] // x indexes lanes/outgoing/inbox in lockstep
+pub fn run_line_stage_event_driven<W: Clone>(
+    payloads: &[Vec<W>],
+    b: usize,
+    dir: i64,
+) -> RouterStageResult<W> {
+    let n = payloads.len();
+    assert!(b >= 1 && n >= 2);
+    assert!(dir == 1 || dir == -1);
+    let l_max = payloads.iter().map(Vec::len).max().unwrap();
+    assert!(l_max >= 1);
+
+    // Initial roles from the strip layout: the phase-0 heads are at
+    // downstream-marching positions; the tile b downstream of a head is
+    // its tail; everything between is body. Tiles upstream of the first
+    // head in a clipped edge region idle as Body (they receive nothing
+    // on this lane).
+    let head0 = |x: usize| -> bool {
+        if dir == 1 {
+            x.is_multiple_of(b + 1)
+        } else {
+            x % (b + 1) == (n - 1) % (b + 1)
+        }
+    };
+    let mut lanes: Vec<RouterLane<W>> = (0..n)
+        .map(|x| {
+            let role = if head0(x) {
+                Role::Head
+            } else {
+                // Distance upstream to the nearest phase-0 head.
+                let dist = (0..=b)
+                    .find(|&k| {
+                        let up = x as i64 - dir * k as i64;
+                        up >= 0 && (up as usize) < n && head0(up as usize)
+                    })
+                    .unwrap_or(b + 1);
+                if dist == b {
+                    Role::Tail
+                } else {
+                    Role::Body
+                }
+            };
+            RouterLane {
+                role,
+                pending: payloads[x].clone(),
+                inbox: None,
+                has_transmitted: false,
+            }
+        })
+        .collect();
+
+    // Per-tile receive assembly: (source, words so far).
+    let mut delivered: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); n];
+    let mut deliver = |tile: usize, source: usize, word: W| {
+        match delivered[tile].last_mut() {
+            Some((s, words)) if *s == source => words.push(word),
+            _ => delivered[tile].push((source, vec![word])),
+        }
+    };
+
+    let mut cycles: u64 = 0;
+    let max_cycles = 8 * (b as u64 + 2) * (l_max as u64 + 2) * (n as u64 + 2); // divergence guard
+    loop {
+        // 1. Decide what each router puts on its downstream link this
+        //    cycle (reading only local state + inbox).
+        let mut outgoing: Vec<Option<Wavelet<W>>> = vec![None; n];
+        let mut next_inbox: Vec<Option<Wavelet<W>>> = vec![None; n];
+        let mut any_activity = false;
+
+        for x in 0..n {
+            let lane = &mut lanes[x];
+            let downstream = x as i64 + dir;
+            let has_downstream = downstream >= 0 && (downstream as usize) < n;
+
+            match lane.role {
+                Role::Head => {
+                    any_activity = true;
+                    if !lane.pending.is_empty() {
+                        let word = lane.pending.remove(0);
+                        let last = lane.pending.is_empty();
+                        if has_downstream {
+                            outgoing[x] = Some(Wavelet::Data {
+                                source: x,
+                                word,
+                                last,
+                            });
+                        } else if lane.pending.is_empty() {
+                            // Edge head with no downstream: retire.
+                            lane.role = Role::Tail;
+                            lane.has_transmitted = true;
+                        }
+                    } else {
+                        // Vector done: emit the Fig. 4c command list and
+                        // retire to Tail ("the head proceeds to the tail
+                        // state").
+                        if has_downstream {
+                            outgoing[x] =
+                                Some(Wavelet::Command(vec![Command::Adv, Command::Rst]));
+                        }
+                        lane.role = Role::Tail;
+                        lane.has_transmitted = true;
+                    }
+                }
+                Role::Body | Role::Tail => {}
+            }
+        }
+
+        // 2. Process arrivals from the previous cycle: Body forwards and
+        //    delivers; Tail delivers; commands mutate roles.
+        for x in 0..n {
+            let Some(wavelet) = lanes[x].inbox.take() else {
+                continue;
+            };
+            any_activity = true;
+            let downstream = x as i64 + dir;
+            let has_downstream = downstream >= 0 && (downstream as usize) < n;
+            match wavelet {
+                Wavelet::Data { source, word, last } => {
+                    deliver(x, source, word.clone());
+                    let forwards = lanes[x].role == Role::Body;
+                    if forwards && has_downstream {
+                        // Store-and-forward: occupies the link next cycle.
+                        debug_assert!(outgoing[x].is_none(), "link contention at {x}");
+                        outgoing[x] = Some(Wavelet::Data { source, word, last });
+                    }
+                }
+                Wavelet::Command(mut list) => {
+                    match lanes[x].role {
+                        Role::Body => {
+                            match list.first() {
+                                Some(Command::Adv) if !lanes[x].has_transmitted => {
+                                    // First body pops the ADV and becomes
+                                    // Head ("the next tile in line
+                                    // proceeds to the head state"); the
+                                    // rest of the list travels on for the
+                                    // old tail.
+                                    list.remove(0);
+                                    lanes[x].role = Role::Head;
+                                }
+                                Some(Command::Adv) => {
+                                    // Every tile in this strip has had
+                                    // its turn: the march is complete and
+                                    // the command is spent.
+                                    list.clear();
+                                }
+                                Some(Command::Rst) | None => {
+                                    // Interior bodies are configured to
+                                    // pass RST through untouched; it is
+                                    // addressed to the old tail.
+                                }
+                            }
+                            if !list.is_empty() && has_downstream {
+                                debug_assert!(outgoing[x].is_none());
+                                outgoing[x] = Some(Wavelet::Command(list));
+                            }
+                        }
+                        Role::Tail => {
+                            // The old tail pops the RST and resets to
+                            // Body ("the tail proceeds to the body
+                            // state") — unless it is also a retired head
+                            // still holding Tail from its own phase; the
+                            // strip periodicity makes that unambiguous.
+                            if list.first() == Some(&Command::Rst) {
+                                lanes[x].role = Role::Body;
+                            } else if list.first() == Some(&Command::Adv)
+                                && !lanes[x].has_transmitted
+                            {
+                                lanes[x].role = Role::Head;
+                            }
+                        }
+                        Role::Head => {
+                            // A head never receives commands in a correct
+                            // run (the marching order prevents it).
+                            debug_assert!(false, "command reached an active head at {x}");
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Move link contents to the downstream inboxes (1 cycle/hop).
+        for x in 0..n {
+            if let Some(w) = outgoing[x].take() {
+                let downstream = (x as i64 + dir) as usize;
+                debug_assert!(next_inbox[downstream].is_none());
+                next_inbox[downstream] = Some(w);
+            }
+        }
+        for (lane, inbox) in lanes.iter_mut().zip(next_inbox) {
+            debug_assert!(lane.inbox.is_none());
+            lane.inbox = inbox;
+        }
+
+        cycles += 1;
+        if !any_activity {
+            break;
+        }
+        assert!(cycles < max_cycles, "router state machine diverged");
+    }
+
+    RouterStageResult {
+        delivered,
+        cycles: cycles - 1, // last cycle was the quiescence check
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicast::line_stage_cycles;
+
+    fn sources_received(res: &RouterStageResult<u32>, tile: usize) -> Vec<usize> {
+        let mut s: Vec<usize> = res.delivered[tile].iter().map(|(src, _)| *src).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    #[test]
+    fn event_driven_stage_delivers_the_correct_neighborhoods() {
+        for dir in [1i64, -1] {
+            for b in 1..=4usize {
+                let n = 17;
+                let payloads: Vec<Vec<u32>> =
+                    (0..n).map(|i| vec![i as u32, 100 + i as u32]).collect();
+                let res = run_line_stage_event_driven(&payloads, b, dir);
+                for i in 0..n {
+                    let expected: Vec<usize> = (0..n)
+                        .filter(|&j| {
+                            let d = i as i64 - j as i64; // j upstream of i
+                            d * dir >= 1 && (d * dir) <= b as i64
+                        })
+                        .collect();
+                    let got = sources_received(&res, i);
+                    assert_eq!(got, expected, "dir {dir} b {b} tile {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_words_arrive_in_order_and_complete() {
+        let payloads: Vec<Vec<u32>> = (0..10).map(|i| vec![i, i + 50, i + 90]).collect();
+        let res = run_line_stage_event_driven(&payloads, 3, 1);
+        for tile in 0..10 {
+            for (src, words) in &res.delivered[tile] {
+                assert_eq!(words, &payloads[*src], "tile {tile} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_machine_matches_schedule_cycle_count() {
+        // The distributed rules and the global schedule are the same
+        // protocol: cycle counts must agree (up to the command-drain tail
+        // the closed form includes).
+        for b in 1..=4usize {
+            for l in 1..=4usize {
+                let n = (b + 1) * 4;
+                let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32; l]).collect();
+                let res = run_line_stage_event_driven(&payloads, b, 1);
+                let schedule = line_stage_cycles(b, l);
+                let diff = res.cycles.abs_diff(schedule);
+                assert!(
+                    diff <= b as u64 + 2,
+                    "b={b} l={l}: event-driven {} vs schedule {}",
+                    res.cycles,
+                    schedule
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_tile_heads_exactly_once() {
+        // The march must rotate the Head role through every tile: each
+        // tile's payload is seen by its downstream neighbor.
+        let n = 12;
+        let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32]).collect();
+        let res = run_line_stage_event_driven(&payloads, 2, 1);
+        for i in 1..n {
+            assert!(
+                sources_received(&res, i).contains(&(i - 1)),
+                "tile {i} never heard its upstream neighbor"
+            );
+        }
+    }
+
+    #[test]
+    fn leftward_direction_mirrors_rightward() {
+        let n = 13;
+        let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32, 7 * i as u32]).collect();
+        let right = run_line_stage_event_driven(&payloads, 2, 1);
+        let left = run_line_stage_event_driven(&payloads, 2, -1);
+        for i in 0..n {
+            let r: Vec<usize> = sources_received(&right, i);
+            let l: Vec<usize> = sources_received(&left, n - 1 - i);
+            let mirrored: Vec<usize> = l.iter().map(|&s| n - 1 - s).rev().collect();
+            assert_eq!(r, mirrored, "tile {i}");
+        }
+    }
+}

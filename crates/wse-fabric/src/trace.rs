@@ -1,0 +1,138 @@
+//! Timestep cycle traces and the paper's stability statistics.
+//!
+//! Sec. V-B reports that per-tile timestep times are remarkably stable:
+//! standard deviation 0.11% per tile (3,477 ± 3.77 cycles), dropping to
+//! 91 ppm when per-timestep times are first averaged across the array.
+//! [`TimestepTrace`] reproduces both reductions from raw per-tile,
+//! per-timestep cycle samples.
+
+/// Per-tile, per-timestep cycle samples: `samples[tile][timestep]`.
+#[derive(Clone, Debug, Default)]
+pub struct TimestepTrace {
+    samples: Vec<Vec<f64>>,
+}
+
+/// Mean and standard deviation of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+impl Stats {
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty());
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Stats {
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Relative standard deviation (σ/μ).
+    pub fn relative(&self) -> f64 {
+        self.std_dev / self.mean
+    }
+}
+
+impl TimestepTrace {
+    pub fn new(n_tiles: usize) -> Self {
+        Self {
+            samples: vec![Vec::new(); n_tiles],
+        }
+    }
+
+    /// Record one timestep's cycle count for one tile.
+    pub fn record(&mut self, tile: usize, cycles: f64) {
+        self.samples[tile].push(cycles);
+    }
+
+    pub fn n_tiles(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn n_timesteps(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Pooled per-tile statistics: every (tile, timestep) sample treated
+    /// independently — the paper's "on a per-tile basis" 0.11% figure.
+    pub fn per_tile_stats(&self) -> Stats {
+        let all: Vec<f64> = self.samples.iter().flatten().copied().collect();
+        Stats::of(&all)
+    }
+
+    /// Array-averaged statistics: average each timestep across all tiles
+    /// first, then take the deviation of those means — the paper's
+    /// 91 ppm figure. Local synchronization through the neighborhood
+    /// exchange makes per-timestep noise average out across the array.
+    pub fn array_mean_stats(&self) -> Stats {
+        let steps = self.n_timesteps();
+        assert!(steps > 0, "trace has no timesteps");
+        let n_tiles = self.samples.len() as f64;
+        let means: Vec<f64> = (0..steps)
+            .map(|k| self.samples.iter().map(|t| t[k]).sum::<f64>() / n_tiles)
+            .collect();
+        Stats::of(&means)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn stats_of_constant_sequence() {
+        let s = Stats::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = Stats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn array_averaging_suppresses_independent_tile_noise() {
+        // Independent per-tile jitter of relative size σ shrinks by
+        // ~1/sqrt(n_tiles) after array averaging — the mechanism behind
+        // the paper's 0.11% → 91 ppm reduction.
+        let n_tiles = 400;
+        let n_steps = 200;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut trace = TimestepTrace::new(n_tiles);
+        for tile in 0..n_tiles {
+            for _ in 0..n_steps {
+                let noise: f64 = rng.gen_range(-6.0..6.0);
+                trace.record(tile, 3477.0 + noise);
+            }
+        }
+        let per_tile = trace.per_tile_stats();
+        let array = trace.array_mean_stats();
+        assert!((per_tile.mean - 3477.0).abs() < 1.0);
+        let reduction = per_tile.relative() / array.relative();
+        let expected = (n_tiles as f64).sqrt();
+        assert!(
+            reduction > expected * 0.6 && reduction < expected * 1.6,
+            "reduction {reduction}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn trace_dimensions() {
+        let mut t = TimestepTrace::new(3);
+        for tile in 0..3 {
+            t.record(tile, 1.0);
+            t.record(tile, 2.0);
+        }
+        assert_eq!(t.n_tiles(), 3);
+        assert_eq!(t.n_timesteps(), 2);
+    }
+}

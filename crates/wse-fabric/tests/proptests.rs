@@ -1,0 +1,106 @@
+//! Property-based tests of the fabric simulator's communication claims.
+
+use proptest::prelude::*;
+use wse_fabric::geometry::{Coord, Extent};
+use wse_fabric::multicast::{
+    line_stage_cycles, simulate_line_stage, simulate_neighborhood_exchange,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The marching multicast delivers every payload to exactly the
+    /// tiles within distance b, for any line length, b, and payload size.
+    #[test]
+    fn line_stage_complete_and_exact(
+        n in 2usize..40,
+        b in 1usize..8,
+        l in 1usize..6,
+    ) {
+        let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32; l]).collect();
+        let res = simulate_line_stage(&payloads, b);
+        for i in 0..n {
+            let mut sources: Vec<usize> = res.delivered[i].iter().map(|d| d.source).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            prop_assert_eq!(sources.len(), res.delivered[i].len(), "duplicate delivery");
+            let expected: Vec<usize> = (i.saturating_sub(b)..(i + b + 1).min(n))
+                .filter(|&j| j != i)
+                .collect();
+            prop_assert_eq!(sources, expected);
+        }
+    }
+
+    /// No link ever carries two words of one virtual channel in one
+    /// cycle — the systolic schedule is contention-free by construction.
+    #[test]
+    fn line_stage_contention_free(
+        n in 2usize..50,
+        b in 1usize..10,
+        l in 1usize..8,
+    ) {
+        let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32; l]).collect();
+        let res = simulate_line_stage(&payloads, b);
+        prop_assert_eq!(res.max_link_load, 1);
+    }
+
+    /// Cycle counts match the closed form for every (b, l).
+    #[test]
+    fn line_stage_cycles_closed_form(b in 1usize..8, l in 1usize..10) {
+        let n = (b + 1) * 3;
+        let payloads: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32; l]).collect();
+        let res = simulate_line_stage(&payloads, b);
+        prop_assert_eq!(res.cycles, line_stage_cycles(b, l));
+    }
+
+    /// The 2-D exchange delivers exactly the clipped (2b+1)² neighborhood
+    /// to every tile with intact payloads, on arbitrary fabric shapes.
+    #[test]
+    fn exchange_complete_on_random_extents(
+        w in 3usize..10,
+        h in 3usize..10,
+        b in 1usize..4,
+    ) {
+        let extent = Extent::new(w, h);
+        let payloads: Vec<Vec<u32>> = (0..extent.count())
+            .map(|i| vec![i as u32, 7_000 + i as u32])
+            .collect();
+        let res = simulate_neighborhood_exchange(extent, &payloads, b);
+        for flat in 0..extent.count() {
+            let center = extent.coord(flat);
+            let mut expected: Vec<usize> = extent
+                .neighborhood(center, b as i32)
+                .filter(|&c| c != center)
+                .map(|c| extent.index(c))
+                .collect();
+            expected.sort_unstable();
+            let got: Vec<usize> = res.received[flat].iter().map(|(s, _)| *s).collect();
+            prop_assert_eq!(&got, &expected, "tile {}", flat);
+            for (src, words) in &res.received[flat] {
+                prop_assert_eq!(words, &payloads[*src]);
+            }
+        }
+    }
+
+    /// Chebyshev distance is a metric: symmetry and triangle inequality.
+    #[test]
+    fn chebyshev_is_a_metric(
+        ax in -50i32..50, ay in -50i32..50,
+        bx in -50i32..50, by in -50i32..50,
+        cx in -50i32..50, cy in -50i32..50,
+    ) {
+        let (a, b, c) = (Coord::new(ax, ay), Coord::new(bx, by), Coord::new(cx, cy));
+        prop_assert_eq!(a.chebyshev(b), b.chebyshev(a));
+        prop_assert!(a.chebyshev(c) <= a.chebyshev(b) + b.chebyshev(c));
+        prop_assert_eq!(a.chebyshev(a), 0);
+    }
+
+    /// Extent index/coord round-trips for arbitrary shapes.
+    #[test]
+    fn extent_index_round_trip(w in 1usize..100, h in 1usize..100) {
+        let e = Extent::new(w, h);
+        for idx in [0, e.count() / 2, e.count() - 1] {
+            prop_assert_eq!(e.index(e.coord(idx)), idx);
+        }
+    }
+}

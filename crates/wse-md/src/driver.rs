@@ -1,0 +1,595 @@
+//! The wafer-scale MD engine: one atom per core, five-phase timestep.
+//!
+//! From the viewpoint of a core `c = g(i)` (paper Sec. III-A), a timestep
+//! proceeds as:
+//!
+//! 1. **Candidate exchange** — multicast the atom's identity and position
+//!    to the `(2b+1)`-square of neighboring cores and receive theirs.
+//! 2. **Neighbor list** — compute `r²` against every candidate and keep
+//!    those under `r²_cut` (no square root taken).
+//! 3. **Embedding calculation and exchange** — compute the host density
+//!    and embedding derivative `F′`, and exchange `F′` with neighbors.
+//! 4. **Force calculation and integration** — evaluate `∂U/∂r_i` and
+//!    advance the Verlet leap-frog state.
+//! 5. **Atom swap** — occasionally remap atoms to preserve locality
+//!    ([`crate::swap`]).
+//!
+//! Data movement is performed functionally (the schedule validated at
+//! router level in `wse_fabric::multicast`), and every core is charged
+//! cycles from the calibrated [`CostModel`]; per-step cycle samples are
+//! recorded exactly like the paper's hardware-counter scratch buffer.
+//! All tile arithmetic is f32, as on the WSE; energy reductions use f64.
+
+use md_core::eam::EamPotential;
+use md_core::materials::{Material, Species};
+use md_core::units::FORCE_TO_ACCEL;
+use md_core::vec3::{V3d, V3f, Vec3};
+use rayon::prelude::*;
+use wse_fabric::cost::CostModel;
+use wse_fabric::geometry::Extent;
+
+use crate::mapping::Mapping;
+use crate::pbc::FoldSpec;
+
+/// Configuration for a wafer MD run.
+#[derive(Clone, Debug)]
+pub struct WseMdConfig {
+    /// Fabric extent (cores). Must have at least as many cores as atoms.
+    pub extent: Extent,
+    /// Timestep (ps). The paper uses 2 fs.
+    pub dt: f64,
+    /// Per-phase cycle cost model.
+    pub cost_model: CostModel,
+    /// Periodicity of the x and y dimensions (folded onto the fabric per
+    /// Sec. III-E) and of z (free: the column projection keeps z-locality).
+    pub periodic: [bool; 3],
+    /// Simulation box lengths (Å); required for periodic dimensions.
+    pub box_lengths: V3d,
+    /// Force the neighborhood radius instead of deriving it from the
+    /// assignment cost — the "neighborhood-size parameter" of the paper's
+    /// controlled performance sweeps (Sec. IV-B, condition 2).
+    pub b_override: Option<(i32, i32)>,
+    /// Compute each (·)ᵢⱼ term once (for the lower core index) and return
+    /// the partner's share through a neighborhood reduction — the
+    /// Sec. VI-A-3 "force symmetry" optimization, which halves the
+    /// per-interaction datapath cost (Table V row 4).
+    pub symmetric_forces: bool,
+    /// Re-examine candidates every k-th timestep instead of every step —
+    /// the Sec. VI-A-2 "neighbor list" optimization (Table V row 3).
+    /// 1 = the paper's measured baseline (rebuild every step).
+    pub neighbor_reuse_interval: usize,
+    /// Extra list reach (Å) beyond the cutoff when reuse is enabled, so
+    /// atoms drifting between rebuilds stay covered.
+    pub neighbor_skin: f64,
+}
+
+impl WseMdConfig {
+    /// Open-boundary config with a fabric just large enough for `n` atoms
+    /// plus `spare` fraction of empty tiles, shaped near-square.
+    pub fn open_for(n_atoms: usize, spare: f64, dt: f64) -> Self {
+        let cores = ((n_atoms as f64) * (1.0 + spare)).ceil() as usize;
+        let w = (cores as f64).sqrt().ceil() as usize;
+        let h = cores.div_ceil(w);
+        Self {
+            extent: Extent::new(w, h),
+            dt,
+            cost_model: CostModel::paper_baseline(),
+            periodic: [false; 3],
+            box_lengths: V3d::zero(),
+            b_override: None,
+            symmetric_forces: false,
+            neighbor_reuse_interval: 1,
+            neighbor_skin: 0.0,
+        }
+    }
+}
+
+/// Per-step measurement record (one entry per timestep).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// Mean candidates received per occupied core.
+    pub mean_candidates: f64,
+    /// Mean accepted interactions per occupied core.
+    pub mean_interactions: f64,
+    /// Array-level cycles charged for this step (mean over occupied
+    /// cores — local synchronization lets per-tile slack average out).
+    pub cycles: f64,
+    /// Worst per-core cycles (the interior-tile bound).
+    pub max_cycles: f64,
+    /// Total potential energy (eV).
+    pub potential_energy: f64,
+    /// Total kinetic energy (eV).
+    pub kinetic_energy: f64,
+}
+
+/// The wafer-scale MD simulator.
+pub struct WseMdSim {
+    pub material: Material,
+    pub config: WseMdConfig,
+    pub mapping: Mapping,
+    /// Neighborhood radius per fabric axis (cores).
+    pub b: (i32, i32),
+    /// Assignment cost at construction (Å).
+    pub initial_cost: f64,
+    potential: EamPotential<f32>,
+    fold: FoldSpec,
+    // ---- per-core SoA state (flat core index) ----
+    occ: Vec<bool>,
+    pos: Vec<V3f>,
+    vel: Vec<V3f>,
+    force: Vec<V3f>,
+    rho: Vec<f32>,
+    fprime: Vec<f32>,
+    ncand: Vec<u32>,
+    ninter: Vec<u32>,
+    nlist: Vec<Vec<u32>>,
+    pair_e: Vec<f32>,
+    steps_since_rebuild: usize,
+    lists_dirty: bool,
+    /// Per-step cycle trace (array level), like the paper's scratch
+    /// buffer of hardware clock samples.
+    pub cycle_trace: Vec<f64>,
+    pub step_count: u64,
+    pub last_stats: StepStats,
+}
+
+impl WseMdSim {
+    /// Build a simulator for `species` with the given positions (Å) and
+    /// velocities (Å/ps).
+    pub fn new(
+        species: Species,
+        positions: &[V3d],
+        velocities: &[V3d],
+        config: WseMdConfig,
+    ) -> Self {
+        assert_eq!(positions.len(), velocities.len());
+        let material = Material::new(species);
+        let potential: EamPotential<f32> = material.potential().cast();
+        let fold = FoldSpec::new(config.periodic, config.box_lengths);
+
+        // Map atoms by their *folded* projections so periodic dimensions
+        // interleave on the wafer (Sec. III-E, Fig. 5).
+        let folded: Vec<V3d> = positions.iter().map(|p| fold.fold(*p)).collect();
+        let mapping = Mapping::greedy(&folded, config.extent);
+        let cost = mapping.assignment_cost_angstroms(&folded);
+        let (bx, by) = config.b_override.unwrap_or_else(|| {
+            // "At runtime we set b so that every (2b+1)-wide square
+            // neighborhood of fabric contains all interactions for the
+            // atom at the neighborhood's center" (Sec. III-A): measure
+            // the max per-axis fabric distance over actual interacting
+            // pairs, plus a 2-core margin for thermal drift between swap
+            // rounds (Fig. 9 holds the exchange distance near this level).
+            let bbox = fold.as_box();
+            let mut vl = md_core::neighbor::VerletList::new(material.cutoff, 0.0);
+            vl.rebuild(positions, &bbox);
+            let (mut need_x, mut need_y) = (1i32, 1i32);
+            for (i, list) in vl.neighbors.iter().enumerate() {
+                let ci = config.extent.coord(mapping.core_of_atom[i]);
+                for &j in list {
+                    let cj = config.extent.coord(mapping.core_of_atom[j]);
+                    need_x = need_x.max((ci.x - cj.x).abs());
+                    need_y = need_y.max((ci.y - cj.y).abs());
+                }
+            }
+            (need_x + 2, need_y + 2)
+        });
+
+        let n_cores = config.extent.count();
+        let mut sim = WseMdSim {
+            material,
+            mapping,
+            b: (bx, by),
+            initial_cost: cost,
+            potential,
+            fold,
+            occ: vec![false; n_cores],
+            pos: vec![V3f::new(0.0, 0.0, 0.0); n_cores],
+            vel: vec![V3f::new(0.0, 0.0, 0.0); n_cores],
+            force: vec![V3f::new(0.0, 0.0, 0.0); n_cores],
+            rho: vec![0.0; n_cores],
+            fprime: vec![0.0; n_cores],
+            ncand: vec![0; n_cores],
+            ninter: vec![0; n_cores],
+            nlist: vec![Vec::new(); n_cores],
+            pair_e: vec![0.0; n_cores],
+            steps_since_rebuild: 0,
+            lists_dirty: true,
+            cycle_trace: Vec::new(),
+            step_count: 0,
+            last_stats: StepStats::default(),
+            config,
+        };
+        for (i, &core) in sim.mapping.core_of_atom.iter().enumerate() {
+            sim.occ[core] = true;
+            sim.pos[core] = positions[i].cast();
+            sim.vel[core] = velocities[i].cast();
+        }
+        sim
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.mapping.occupied()
+    }
+
+    pub fn extent(&self) -> Extent {
+        self.config.extent
+    }
+
+    /// Candidate count of a full interior neighborhood
+    /// `(2bx+1)(2by+1) − 1`, the paper's n_candidate.
+    pub fn interior_candidates(&self) -> usize {
+        ((2 * self.b.0 + 1) * (2 * self.b.1 + 1) - 1) as usize
+    }
+
+    /// Advance one timestep; returns the step's statistics.
+    pub fn step(&mut self) -> StepStats {
+        let extent = self.config.extent;
+        let (w, h) = (extent.width as i32, extent.height as i32);
+        let (bx, by) = self.b;
+        let rc2 = self.potential.cutoff_sq();
+
+        let reuse = self.config.neighbor_reuse_interval.max(1);
+        let rebuild = self.lists_dirty || self.steps_since_rebuild >= reuse;
+        if rebuild {
+            self.steps_since_rebuild = 0;
+            self.lists_dirty = false;
+        }
+        self.steps_since_rebuild += 1;
+        let skin = if reuse > 1 {
+            self.config.neighbor_skin as f32
+        } else {
+            0.0
+        };
+        let reach = self.potential.cutoff + skin;
+        let reach2 = reach * reach;
+
+        // ---- Phases 1–3a: candidate exchange, neighbor list, density.
+        // On rebuild steps, candidates are scanned and the list rebuilt
+        // with the skin reach; on reuse steps the retained list is
+        // re-filtered against the true cutoff (positions are still
+        // exchanged every step — only reject processing is skipped).
+        // Split disjoint output borrows before the parallel loop.
+        let occ = &self.occ;
+        let pos = &self.pos;
+        let potential = &self.potential;
+        let fold = &self.fold;
+        let ncand = &mut self.ncand;
+        let ninter = &mut self.ninter;
+        let rho = &mut self.rho;
+        let pair_e = &mut self.pair_e;
+        let nlist = &mut self.nlist;
+        (ncand, ninter, rho, pair_e, nlist)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(c, (ncand_c, ninter_c, rho_c, pair_c, list))| {
+                *ninter_c = 0;
+                *rho_c = 0.0;
+                *pair_c = 0.0;
+                if !occ[c] {
+                    *ncand_c = 0;
+                    list.clear();
+                    return;
+                }
+                let my = pos[c];
+                if rebuild {
+                    list.clear();
+                    *ncand_c = 0;
+                    let cx = (c % extent.width) as i32;
+                    let cy = (c / extent.width) as i32;
+                    for dy in -by..=by {
+                        let ny = cy + dy;
+                        if ny < 0 || ny >= h {
+                            continue;
+                        }
+                        let row = (ny as usize) * extent.width;
+                        for dx in -bx..=bx {
+                            let nx = cx + dx;
+                            if nx < 0 || nx >= w || (dx == 0 && dy == 0) {
+                                continue;
+                            }
+                            let n = row + nx as usize;
+                            if !occ[n] {
+                                continue;
+                            }
+                            *ncand_c += 1;
+                            let d = fold.disp_f32(my, pos[n]);
+                            let r2 = d.norm_sq();
+                            if r2 < reach2 && r2 > 0.0 {
+                                list.push(n as u32);
+                            }
+                        }
+                    }
+                }
+                for &n in list.iter() {
+                    let d = fold.disp_f32(my, pos[n as usize]);
+                    let r2 = d.norm_sq();
+                    if r2 < rc2 && r2 > 0.0 {
+                        *ninter_c += 1;
+                        let r = r2.sqrt();
+                        let (phi, _) = potential.pair(r);
+                        let (dens, _) = potential.density(r);
+                        *rho_c += dens;
+                        *pair_c += 0.5 * phi;
+                    }
+                }
+            });
+
+        // ---- Phase 3b: embedding energy and derivative, then the F'
+        // exchange (functionally: F' is published in the fprime array).
+        let mut embed_energy = 0.0f64;
+        for c in 0..self.occ.len() {
+            if self.occ[c] {
+                let (f, fp) = self.potential.embedding(self.rho[c]);
+                embed_energy += f as f64;
+                self.fprime[c] = fp;
+            } else {
+                self.fprime[c] = 0.0;
+            }
+        }
+
+        // ---- Phase 4a: force evaluation from the gathered neighbor list
+        // (skin entries are re-filtered against the true cutoff).
+        let occ = &self.occ;
+        let pos = &self.pos;
+        let fprime = &self.fprime;
+        let nlist = &self.nlist;
+        let potential = &self.potential;
+        let fold = &self.fold;
+        if self.config.symmetric_forces {
+            // Sec. VI-A-3: each (i, j) term is computed once by the
+            // lower-index core and the partner's share (−f) returns via a
+            // neighborhood reduction (`wse_fabric::collective`). The
+            // functional equivalent accumulates both sides directly.
+            for f in self.force.iter_mut() {
+                *f = V3f::new(0.0, 0.0, 0.0);
+            }
+            for c in 0..self.force.len() {
+                if !occ[c] {
+                    continue;
+                }
+                let my = pos[c];
+                let my_fp = fprime[c];
+                for &n in &nlist[c] {
+                    let n = n as usize;
+                    if n <= c {
+                        continue;
+                    }
+                    let d = fold.disp_f32(my, pos[n]);
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 || r2 == 0.0 {
+                        continue;
+                    }
+                    let r = r2.sqrt();
+                    let (_, dphi) = potential.pair(r);
+                    let (_, drho) = potential.density(r);
+                    let scalar = (my_fp + fprime[n]) * drho + dphi;
+                    let f = d.scale(scalar / r);
+                    self.force[c] += f;
+                    self.force[n] -= f;
+                }
+            }
+        } else {
+            self.force
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(c, out)| {
+                    *out = V3f::new(0.0, 0.0, 0.0);
+                    if !occ[c] {
+                        return;
+                    }
+                    let my = pos[c];
+                    let my_fp = fprime[c];
+                    let mut acc = Vec3::new(0.0f32, 0.0, 0.0);
+                    for &n in &nlist[c] {
+                        let n = n as usize;
+                        let d = fold.disp_f32(my, pos[n]);
+                        let r2 = d.norm_sq();
+                        if r2 >= rc2 || r2 == 0.0 {
+                            continue;
+                        }
+                        let r = r2.sqrt();
+                        let (_, dphi) = potential.pair(r);
+                        let (_, drho) = potential.density(r);
+                        let scalar = (my_fp + fprime[n]) * drho + dphi;
+                        acc += d.scale(scalar / r);
+                    }
+                    *out = acc;
+                });
+        }
+
+        // ---- Phase 4b: Verlet leap-frog integration.
+        let f2a = (FORCE_TO_ACCEL / self.material.mass) as f32;
+        let dt = self.config.dt as f32;
+        let occ = &self.occ;
+        let force = &self.force;
+        let fold = &self.fold;
+        (&mut self.pos, &mut self.vel)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(c, (p, v))| {
+                if !occ[c] {
+                    return;
+                }
+                *v += force[c].scale(f2a * dt);
+                *p += v.scale(dt);
+                *p = fold.wrap_f32(*p);
+            });
+
+        // ---- Measurement: charge cycles per core from the cost model.
+        // Positions are multicast every step (mcast · ncand); reject
+        // processing applies to scanned candidates on rebuild steps and
+        // only to skin entries on reuse steps; the interaction term
+        // halves under force symmetry (the partner's share arrives via
+        // the reduction instead of being recomputed).
+        let model = self.config.cost_model;
+        let inter_scale = if self.config.symmetric_forces { 0.5 } else { 1.0 };
+        let clock = wse_fabric::cost::WSE2_CLOCK_GHZ;
+        let (sum_cand, sum_inter, sum_cycles, max_cycles, kin) = (0..self.occ.len())
+            .into_par_iter()
+            .map(|c| {
+                if !self.occ[c] {
+                    return (0u64, 0u64, 0.0f64, 0.0f64, 0.0f64);
+                }
+                let nc = self.ncand[c] as f64;
+                let ni = self.ninter[c] as f64;
+                let misses = if rebuild {
+                    nc - ni
+                } else {
+                    (self.nlist[c].len() as f64 - ni).max(0.0)
+                };
+                let ns = model.mcast_ns * nc
+                    + model.miss_ns * misses
+                    + model.interaction_ns * ni * inter_scale
+                    + model.fixed_ns;
+                let cyc = ns * clock;
+                let v = self.vel[c];
+                (
+                    self.ncand[c] as u64,
+                    self.ninter[c] as u64,
+                    cyc,
+                    cyc,
+                    v.norm_sq() as f64,
+                )
+            })
+            .reduce(
+                || (0, 0, 0.0, 0.0, 0.0),
+                |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3.max(b.3), a.4 + b.4),
+            );
+
+        let n = self.n_atoms() as f64;
+        let pair_energy: f64 = self
+            .pair_e
+            .iter()
+            .map(|&e| e as f64)
+            .sum();
+        let stats = StepStats {
+            mean_candidates: sum_cand as f64 / n,
+            mean_interactions: sum_inter as f64 / n,
+            cycles: sum_cycles / n,
+            max_cycles,
+            potential_energy: pair_energy + embed_energy,
+            kinetic_energy: 0.5
+                * self.material.mass
+                * md_core::units::MVV_TO_ENERGY
+                * kin,
+        };
+        self.cycle_trace.push(stats.cycles);
+        self.step_count += 1;
+        self.last_stats = stats;
+        stats
+    }
+
+    /// Run `n` timesteps, returning the mean array-level cycles per step.
+    pub fn run(&mut self, n: usize) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += self.step().cycles;
+        }
+        total / n as f64
+    }
+
+    /// Simulation rate implied by the last `n` steps' cycle trace,
+    /// in timesteps per second at the WSE-2 clock.
+    pub fn timesteps_per_second(&self, last_n: usize) -> f64 {
+        let t = &self.cycle_trace;
+        assert!(!t.is_empty());
+        let n = last_n.min(t.len());
+        let mean_cycles: f64 = t[t.len() - n..].iter().sum::<f64>() / n as f64;
+        wse_fabric::cost::WSE2_CLOCK_GHZ * 1e9 / mean_cycles
+    }
+
+    /// Total energy (eV) from the last step's statistics.
+    pub fn total_energy(&self) -> f64 {
+        self.last_stats.potential_energy + self.last_stats.kinetic_energy
+    }
+
+    /// Extract positions indexed by atom id (f64).
+    pub fn positions_by_atom(&self) -> Vec<V3d> {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.pos[c].cast())
+            .collect()
+    }
+
+    /// Extract velocities indexed by atom id (f64).
+    pub fn velocities_by_atom(&self) -> Vec<V3d> {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.vel[c].cast())
+            .collect()
+    }
+
+    /// Extract per-atom forces from the last step (eV/Å, f64).
+    pub fn forces_by_atom(&self) -> Vec<V3d> {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.force[c].cast())
+            .collect()
+    }
+
+    /// Current assignment cost (Å) of the evolving configuration — the
+    /// Fig. 9 observable.
+    pub fn assignment_cost(&self) -> f64 {
+        let folded: Vec<V3d> = self
+            .mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.fold.fold(self.pos[c].cast()))
+            .collect();
+        self.mapping
+            .core_of_atom
+            .iter()
+            .zip(&folded)
+            .map(|(&c, p)| {
+                self.mapping
+                    .displacement_angstroms(self.config.extent.coord(c), *p)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Position (f64) of whatever is stored on core `c` (meaningful only
+    /// for occupied cores).
+    pub(crate) fn position_at_core(&self, c: usize) -> V3d {
+        self.pos[c].cast()
+    }
+
+    /// Invalidate retained neighbor lists (atoms moved between cores).
+    pub(crate) fn mark_lists_dirty(&mut self) {
+        self.lists_dirty = true;
+    }
+
+    // ---- crate-internal accessors for the swap module ----
+    pub(crate) fn core_state(&mut self) -> CoreState<'_> {
+        CoreState {
+            occ: &mut self.occ,
+            pos: &mut self.pos,
+            vel: &mut self.vel,
+            mapping: &mut self.mapping,
+        }
+    }
+
+    pub(crate) fn fold_spec(&self) -> &FoldSpec {
+        &self.fold
+    }
+}
+
+/// Mutable view over the per-core atom state used by the swap protocol.
+pub(crate) struct CoreState<'a> {
+    pub occ: &'a mut Vec<bool>,
+    pub pos: &'a mut Vec<V3f>,
+    pub vel: &'a mut Vec<V3f>,
+    pub mapping: &'a mut Mapping,
+}
+
+impl CoreState<'_> {
+    /// Swap the full atom state between cores `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.occ.swap(a, b);
+        self.pos.swap(a, b);
+        self.vel.swap(a, b);
+        self.mapping.swap_cores(a, b);
+    }
+}

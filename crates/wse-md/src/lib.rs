@@ -1,0 +1,47 @@
+//! # wse-md — molecular dynamics, one atom per core
+//!
+//! The primary contribution of *Breaking the Molecular Dynamics Timescale
+//! Barrier Using a Wafer-Scale System* (SC 2024), reimplemented on the
+//! [`wse_fabric`] architectural simulator:
+//!
+//! * a locality-preserving atom → core [`mapping`] with assignment-cost
+//!   accounting (Sec. III-A),
+//! * the five-phase timestep [`driver`]: candidate exchange, on-tile
+//!   neighbor list, embedding calculation + exchange, force evaluation and
+//!   Verlet leap-frog integration in f32 (Secs. III-B/C),
+//! * online greedy atom [`swap`] remapping under mutual agreement
+//!   (Sec. III-D, Fig. 9),
+//! * periodic-boundary folding onto the wafer ([`pbc`], Sec. III-E),
+//! * the per-tile SRAM memory plan ([`worker`], 48 kB audit),
+//! * cross-validation against the f64 reference ([`validate`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use md_core::lattice::{Crystal, SlabSpec};
+//! use md_core::materials::Species;
+//! use md_core::vec3::V3d;
+//! use wse_md::{WseMdConfig, WseMdSim};
+//!
+//! let spec = SlabSpec { crystal: Crystal::Bcc, lattice_a: 3.304, nx: 4, ny: 4, nz: 2 };
+//! let positions = spec.generate();
+//! let velocities = vec![V3d::zero(); positions.len()];
+//! let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+//! let mut sim = WseMdSim::new(Species::Ta, &positions, &velocities, config);
+//! let stats = sim.step();
+//! assert!(stats.mean_interactions > 0.0);
+//! ```
+
+pub mod driver;
+pub mod mapping;
+pub mod pbc;
+pub mod swap;
+pub mod validate;
+pub mod worker;
+
+pub use driver::{StepStats, WseMdConfig, WseMdSim};
+pub use mapping::Mapping;
+pub use pbc::FoldSpec;
+pub use swap::{run_with_swaps, swap_round, SwapReport};
+pub use validate::{validate_against_reference, ValidationReport};
+pub use worker::WorkerMemoryPlan;

@@ -1,0 +1,374 @@
+//! Locality-preserving atom → core mapping (paper Sec. III-A).
+//!
+//! The array of cores is identified with the base of the simulation
+//! domain: each core `c` has a nominal (x, y) position `P(c)`, and the
+//! projection `P` flattens the domain onto its x-y plane. The assignment
+//! cost `C(g)` of a mapping `g` is the worst-case coordinate displacement
+//! between `P(r_i)` and `P(g(i))`; the fabric distance separating the
+//! workers of interacting atoms is then bounded by `2·C(g) + r_cut`,
+//! which determines the neighborhood-exchange radius `b`.
+//!
+//! The constructor is a greedy nearest-free-core assignment: each atom is
+//! placed on the closest unoccupied core to its projection, searching
+//! outward in Chebyshev rings. Empty cores are permitted (the paper
+//! represents them as atoms at infinity) to leave freedom for the online
+//! swap remapping.
+
+use md_core::vec3::V3d;
+use wse_fabric::geometry::{Coord, Extent};
+
+/// An assignment of atoms to cores, one atom per core.
+#[derive(Clone, Debug)]
+pub struct Mapping {
+    pub extent: Extent,
+    /// Flat core index for every atom.
+    pub core_of_atom: Vec<usize>,
+    /// Inverse map: the atom on each core, if any.
+    pub atom_of_core: Vec<Option<usize>>,
+    /// Cores per Å along x and y (the projection scale).
+    pub scale: (f64, f64),
+    /// Spatial position projected onto core (0, 0).
+    pub origin: (f64, f64),
+}
+
+impl Mapping {
+    /// Assign `positions` to cores of `extent` by monotone
+    /// capacity-constrained transport, one axis at a time. Panics if
+    /// there are more atoms than cores.
+    ///
+    /// Atoms are y-sorted and placed at their nominal core row, spilling
+    /// forward only when a row reaches its capacity of `width` atoms;
+    /// within each row, x-sorted atoms are placed at their nominal
+    /// column, spilling forward at capacity 1. Spill is resolved against
+    /// the *local* surplus, so the displacement of any atom is bounded by
+    /// the density fluctuation in its own neighborhood — unlike
+    /// quantile/rank matching, where splitting a lattice tie-plane
+    /// misplaces atoms by a fraction of the whole domain.
+    pub fn greedy(positions: &[V3d], extent: Extent) -> Self {
+        assert!(
+            positions.len() <= extent.count(),
+            "{} atoms exceed {} cores",
+            positions.len(),
+            extent.count()
+        );
+        assert!(!positions.is_empty(), "mapping of empty system");
+        let n = positions.len();
+        let (w, h) = (extent.width, extent.height);
+
+        // Projection scale: span the atoms' x-y bounding box across the
+        // fabric.
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            x0 = x0.min(p.x);
+            x1 = x1.max(p.x);
+            y0 = y0.min(p.y);
+            y1 = y1.max(p.y);
+        }
+        let sx = w as f64 / (x1 - x0).max(1e-9);
+        let sy = h as f64 / (y1 - y0).max(1e-9);
+
+        let mut m = Mapping {
+            extent,
+            core_of_atom: vec![usize::MAX; n],
+            atom_of_core: vec![None; extent.count()],
+            scale: (sx, sy),
+            origin: (x0, y0),
+        };
+
+        // ---- Phase 1: rows. Atoms are grouped by identical y (lattice
+        // tie-planes); each group is placed starting at its nominal row
+        // and dealt across as many rows as capacity requires, *strided in
+        // x* so every row receives an x-uniform subset. Splitting a
+        // tie-plane contiguously instead would exile its x-suffix to the
+        // wrong end of the next row.
+        let mut by_y: Vec<usize> = (0..n).collect();
+        by_y.sort_by(|&a, &b| {
+            let (pa, pb) = (positions[a], positions[b]);
+            pa.y.partial_cmp(&pb.y)
+                .unwrap()
+                .then(pa.x.partial_cmp(&pb.x).unwrap())
+                .then(pa.z.partial_cmp(&pb.z).unwrap())
+                .then(a.cmp(&b))
+        });
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); h];
+        let mut cur_row = 0usize;
+        let mut g_start = 0usize;
+        while g_start < n {
+            let y_val = positions[by_y[g_start]].y;
+            let mut g_end = g_start + 1;
+            while g_end < n && positions[by_y[g_end]].y == y_val {
+                g_end += 1;
+            }
+            let members = &by_y[g_start..g_end]; // x-sorted within the tie
+            let g = members.len();
+
+            let nominal = (((y_val - y0) * sy).floor() as i64).clamp(0, h as i64 - 1) as usize;
+            // Leave room above for the atoms still to come.
+            let remaining = n - g_start;
+            let cap = h - 1 - (remaining - 1) / w;
+            cur_row = cur_row.max(nominal.min(cap));
+            while rows[cur_row].len() == w {
+                cur_row += 1;
+            }
+
+            // Row shares: fill from cur_row upward.
+            let mut shares: Vec<(usize, usize)> = Vec::new(); // (row, count)
+            {
+                let mut left = g;
+                let mut r = cur_row;
+                while left > 0 {
+                    let free = w - rows[r].len();
+                    let take = free.min(left);
+                    if take > 0 {
+                        shares.push((r, take));
+                        left -= take;
+                    }
+                    if left > 0 {
+                        r += 1;
+                    }
+                }
+            }
+
+            // Deal members to shares by largest remaining fraction, so
+            // each row's subset is x-uniform across the whole group.
+            let totals: Vec<usize> = shares.iter().map(|&(_, c)| c).collect();
+            let mut left: Vec<usize> = totals.clone();
+            for &atom in members {
+                let mut best = 0usize;
+                let mut best_frac = -1.0f64;
+                for (s, (&l, &t)) in left.iter().zip(&totals).enumerate() {
+                    let frac = l as f64 / t as f64;
+                    if frac > best_frac {
+                        best_frac = frac;
+                        best = s;
+                    }
+                }
+                left[best] -= 1;
+                rows[shares[best].0].push(atom);
+            }
+            g_start = g_end;
+        }
+
+        // ---- Phase 2: columns within each row, capacity 1.
+        for (row, atoms) in rows.iter_mut().enumerate() {
+            atoms.sort_by(|&a, &b| {
+                let (pa, pb) = (positions[a], positions[b]);
+                pa.x.partial_cmp(&pb.x)
+                    .unwrap()
+                    .then(pa.z.partial_cmp(&pb.z).unwrap())
+                    .then(a.cmp(&b))
+            });
+            let k = atoms.len();
+            let mut cur_col: i64 = -1;
+            for (j, &i) in atoms.iter().enumerate() {
+                let nominal = (((positions[i].x - x0) * sx).floor() as i64)
+                    .clamp(0, w as i64 - 1);
+                let cap = (w - 1 - (k - 1 - j)) as i64;
+                let col = nominal.min(cap).max(cur_col + 1);
+                cur_col = col;
+                let flat = row * w + col as usize;
+                debug_assert!(m.atom_of_core[flat].is_none());
+                m.atom_of_core[flat] = Some(i);
+                m.core_of_atom[i] = flat;
+            }
+        }
+        m
+    }
+
+    /// The core whose cell contains the projection of `p` (clamped).
+    pub fn nominal_core(&self, p: V3d) -> Coord {
+        let cx = ((p.x - self.origin.0) * self.scale.0).floor() as i64;
+        let cy = ((p.y - self.origin.1) * self.scale.1).floor() as i64;
+        Coord::new(
+            cx.clamp(0, self.extent.width as i64 - 1) as i32,
+            cy.clamp(0, self.extent.height as i64 - 1) as i32,
+        )
+    }
+
+    /// Nominal spatial (x, y) of a core — the center of its cell.
+    pub fn nominal_position(&self, c: Coord) -> (f64, f64) {
+        (
+            self.origin.0 + (c.x as f64 + 0.5) / self.scale.0,
+            self.origin.1 + (c.y as f64 + 0.5) / self.scale.1,
+        )
+    }
+
+    /// Per-axis displacement (Å) between an atom's projection and its
+    /// core's nominal position, in the max norm.
+    pub fn displacement_angstroms(&self, core: Coord, p: V3d) -> f64 {
+        let (nx, ny) = self.nominal_position(core);
+        (p.x - nx).abs().max((p.y - ny).abs())
+    }
+
+    /// The assignment cost C(g): worst-case displacement in Å over all
+    /// atoms (the quantity Fig. 9 tracks over time).
+    pub fn assignment_cost_angstroms(&self, positions: &[V3d]) -> f64 {
+        self.core_of_atom
+            .iter()
+            .enumerate()
+            .map(|(i, &flat)| self.displacement_angstroms(self.extent.coord(flat), positions[i]))
+            .fold(0.0, f64::max)
+    }
+
+    /// The neighborhood radius `b` needed so every `(2b+1)`-wide square
+    /// contains all interactions for its center: fabric reach must cover
+    /// `r_cut + 2·C(g)` Å along both axes.
+    pub fn required_b(&self, rcut: f64, cost_angstroms: f64) -> usize {
+        let reach = rcut + 2.0 * cost_angstroms;
+        let bx = (reach * self.scale.0).ceil() as usize;
+        let by = (reach * self.scale.1).ceil() as usize;
+        bx.max(by).max(1)
+    }
+
+    /// Number of occupied cores.
+    pub fn occupied(&self) -> usize {
+        self.core_of_atom.len()
+    }
+
+    /// Fabric occupancy fraction.
+    pub fn occupancy(&self) -> f64 {
+        self.occupied() as f64 / self.extent.count() as f64
+    }
+
+    /// Swap the atoms (or atom/vacancy) on two cores, keeping both maps
+    /// consistent. Used by the online remapping.
+    pub fn swap_cores(&mut self, a: usize, b: usize) {
+        let (aa, ab) = (self.atom_of_core[a], self.atom_of_core[b]);
+        self.atom_of_core[a] = ab;
+        self.atom_of_core[b] = aa;
+        if let Some(i) = aa {
+            self.core_of_atom[i] = b;
+        }
+        if let Some(i) = ab {
+            self.core_of_atom[i] = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::lattice::{Crystal, SlabSpec};
+
+    fn slab_positions() -> Vec<V3d> {
+        SlabSpec {
+            crystal: Crystal::Bcc,
+            lattice_a: 3.304,
+            nx: 8,
+            ny: 8,
+            nz: 3,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_onto_occupied_cores() {
+        let pos = slab_positions(); // 384 atoms
+        let extent = Extent::new(24, 20); // 480 cores
+        let m = Mapping::greedy(&pos, extent);
+        assert_eq!(m.core_of_atom.len(), pos.len());
+        // Every atom on exactly one core; inverse map consistent.
+        let mut seen = vec![false; extent.count()];
+        for (i, &flat) in m.core_of_atom.iter().enumerate() {
+            assert!(!seen[flat], "core {flat} assigned twice");
+            seen[flat] = true;
+            assert_eq!(m.atom_of_core[flat], Some(i));
+        }
+        let occupied = m.atom_of_core.iter().filter(|a| a.is_some()).count();
+        assert_eq!(occupied, pos.len());
+    }
+
+    #[test]
+    fn assignment_cost_is_modest_for_lattice_slabs() {
+        let pos = slab_positions();
+        let extent = Extent::new(24, 20);
+        let m = Mapping::greedy(&pos, extent);
+        let cost = m.assignment_cost_angstroms(&pos);
+        // The slab is ~26.4 Å across; a locality-preserving mapping must
+        // keep the worst displacement to a few Å (the paper's offline
+        // optimum for the grain boundary was 2.1 Å + cutoff).
+        assert!(cost < 6.0, "assignment cost {cost} Å");
+    }
+
+    #[test]
+    fn exact_fit_mapping_uses_every_core() {
+        let pos = slab_positions(); // 384 atoms
+        let extent = Extent::new(24, 16); // exactly 384 cores
+        let m = Mapping::greedy(&pos, extent);
+        assert!(m.atom_of_core.iter().all(|a| a.is_some()));
+        assert!((m.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_b_grows_with_cost_and_cutoff() {
+        let pos = slab_positions();
+        let m = Mapping::greedy(&pos, Extent::new(24, 20));
+        let b0 = m.required_b(4.1, 0.0);
+        let b1 = m.required_b(4.1, 2.0);
+        let b2 = m.required_b(5.5, 2.0);
+        assert!(b0 >= 1);
+        assert!(b1 > b0);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn neighborhood_covers_all_interactions() {
+        // The paper's central locality invariant: for every interacting
+        // pair (r < rcut), the fabric distance between their workers is
+        // at most the chosen b.
+        let pos = slab_positions();
+        let extent = Extent::new(24, 20);
+        let m = Mapping::greedy(&pos, extent);
+        let rcut = 4.1;
+        let cost = m.assignment_cost_angstroms(&pos);
+        let b = m.required_b(rcut, cost) as i32;
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if (pos[i] - pos[j]).norm() < rcut {
+                    let ci = extent.coord(m.core_of_atom[i]);
+                    let cj = extent.coord(m.core_of_atom[j]);
+                    assert!(
+                        ci.chebyshev(cj) <= b,
+                        "atoms {i},{j} at fabric distance {} > b = {b}",
+                        ci.chebyshev(cj)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_cores_keeps_maps_consistent() {
+        let pos = slab_positions();
+        let extent = Extent::new(24, 20);
+        let mut m = Mapping::greedy(&pos, extent);
+        // Swap an occupied core with an empty one and another occupied one.
+        let occupied_a = m.core_of_atom[0];
+        let occupied_b = m.core_of_atom[7];
+        let empty = (0..extent.count())
+            .find(|&c| m.atom_of_core[c].is_none())
+            .unwrap();
+        m.swap_cores(occupied_a, empty);
+        assert_eq!(m.atom_of_core[empty], Some(0));
+        assert_eq!(m.atom_of_core[occupied_a], None);
+        assert_eq!(m.core_of_atom[0], empty);
+        m.swap_cores(empty, occupied_b);
+        assert_eq!(m.atom_of_core[empty], Some(7));
+        assert_eq!(m.core_of_atom[0], occupied_b);
+        assert_eq!(m.core_of_atom[7], empty);
+    }
+
+    #[test]
+    fn nominal_core_round_trip() {
+        let pos = slab_positions();
+        let m = Mapping::greedy(&pos, Extent::new(24, 20));
+        for p in &pos {
+            let c = m.nominal_core(*p);
+            let (nx, ny) = m.nominal_position(c);
+            // The nominal position of the nominal core is within one cell.
+            assert!((p.x - nx).abs() <= 1.0 / m.scale.0);
+            assert!((p.y - ny).abs() <= 1.0 / m.scale.1);
+        }
+    }
+}

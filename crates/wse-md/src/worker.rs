@@ -1,0 +1,244 @@
+//! Per-tile worker memory plan and the 48 kB SRAM audit.
+//!
+//! Each core acts as a worker responsible for a single atom: it maintains
+//! the atom's identity, position, and velocity, plus local copies of the
+//! ρ, F, and φ interpolation tables (paper Sec. III-A). Everything must
+//! fit in the tile's 48 kB SRAM. This module lays out a worker's memory
+//! regions and proves the paper's configurations fit — including the
+//! largest neighborhood (Cu/W, 224 candidates).
+
+use md_core::eam::EamPotential;
+use wse_fabric::tile::{SramBudget, SramOverflow};
+
+/// Bytes of atom state exchanged in the candidate multicast: identity
+/// (4 B) plus position (3 × 4 B = 12 B, Sec. III-B).
+pub const CANDIDATE_RECORD_BYTES: usize = 16;
+
+/// Bytes exchanged in the embedding multicast: one scalar F′ (Sec. III-B).
+pub const EMBEDDING_RECORD_BYTES: usize = 4;
+
+/// Knots per interpolation table in the tile-local copies. Master tables
+/// are 1200-knot f64; tiles hold 512-knot f32 resamples so that three
+/// tables (3 × 512 × 16 B = 24 kB) leave room for the largest paper
+/// neighborhood (224 candidates) inside 48 kB.
+pub const TILE_TABLE_KNOTS: usize = 512;
+
+/// A worker's planned memory regions for a given neighborhood size.
+#[derive(Clone, Debug)]
+pub struct WorkerMemoryPlan {
+    pub budget: SramBudget,
+}
+
+impl WorkerMemoryPlan {
+    /// Lay out a worker for a potential and an interior candidate count
+    /// `n_candidates = (2b+1)² − 1`. The potential's tables are resampled
+    /// to [`TILE_TABLE_KNOTS`] f32 knots, as the tile would store them.
+    pub fn plan(
+        potential: &EamPotential<f32>,
+        n_candidates: usize,
+    ) -> Result<Self, SramOverflow> {
+        let tile_tables: EamPotential<f32> = potential.cast_resampled(TILE_TABLE_KNOTS);
+        let mut budget = SramBudget::default();
+        // Own atom: id, position, velocity, force accumulator, ρ, F'.
+        budget.alloc("atom state", 4 + 12 + 12 + 12 + 4 + 4)?;
+        // Local copies of the three interpolation tables.
+        budget.alloc("spline tables (rho, phi, F)", tile_tables.table_bytes())?;
+        // Receive buffer for candidate records (double-buffered: the
+        // send/receive threads of the two virtual channels run while the
+        // previous buffer drains).
+        budget.alloc(
+            "candidate receive buffer",
+            2 * n_candidates * CANDIDATE_RECORD_BYTES,
+        )?;
+        // Gathered neighbor positions (contiguous for vectorized passes).
+        budget.alloc("gathered neighbors", n_candidates * 12)?;
+        // Neighbor list ordinals (u16 suffices for ≤ 65k candidates).
+        budget.alloc("neighbor list", n_candidates * 2)?;
+        // Received embedding derivatives, one per candidate slot.
+        budget.alloc(
+            "embedding buffer",
+            n_candidates * EMBEDDING_RECORD_BYTES,
+        )?;
+        // Per-interaction scratch (r², r⁻¹, spline segments) for the
+        // vectorized force pass.
+        budget.alloc("force scratch", n_candidates * 16)?;
+        // Code/stack/stream-descriptor reserve.
+        budget.alloc("code + control reserve", 8 * 1024)?;
+        Ok(Self { budget })
+    }
+}
+
+
+/// Memory plan for a *multi-atom worker*: `k` atoms per core, the
+/// capacity extension Sec. V-C notes "could further increase the problem
+/// size when all cores of the wafer are engaged". Tables are shared by
+/// the core's atoms; atom state and exchange buffers scale with `k`
+/// (each core multicasts k records and receives its neighborhood's
+/// k-fold candidates).
+#[derive(Clone, Debug)]
+pub struct MultiAtomMemoryPlan {
+    pub budget: SramBudget,
+    pub atoms_per_core: usize,
+}
+
+impl MultiAtomMemoryPlan {
+    pub fn plan(
+        potential: &EamPotential<f32>,
+        n_candidates_per_atom: usize,
+        atoms_per_core: usize,
+    ) -> Result<Self, SramOverflow> {
+        assert!(atoms_per_core >= 1);
+        let k = atoms_per_core;
+        let tile_tables: EamPotential<f32> = potential.cast_resampled(TILE_TABLE_KNOTS);
+        let n_candidates = n_candidates_per_atom * k;
+        let mut budget = SramBudget::default();
+        budget.alloc("atom state", k * (4 + 12 + 12 + 12 + 4 + 4))?;
+        budget.alloc("spline tables (rho, phi, F)", tile_tables.table_bytes())?;
+        budget.alloc(
+            "candidate receive buffer",
+            2 * n_candidates * CANDIDATE_RECORD_BYTES,
+        )?;
+        budget.alloc("gathered neighbors", n_candidates * 12)?;
+        budget.alloc("neighbor list", k * n_candidates_per_atom * 2)?;
+        budget.alloc(
+            "embedding buffer",
+            n_candidates * EMBEDDING_RECORD_BYTES,
+        )?;
+        budget.alloc("force scratch", n_candidates * 16)?;
+        budget.alloc("code + control reserve", 8 * 1024)?;
+        Ok(Self {
+            budget,
+            atoms_per_core,
+        })
+    }
+
+    /// Largest k that still fits the 48 kB budget for this workload.
+    pub fn max_atoms_per_core(
+        potential: &EamPotential<f32>,
+        n_candidates_per_atom: usize,
+    ) -> usize {
+        let mut k = 1;
+        while Self::plan(potential, n_candidates_per_atom, k + 1).is_ok() {
+            k += 1;
+        }
+        k
+    }
+}
+
+/// Modeled rate and capacity trade of k atoms per core (Sec. V-C): each
+/// core serially processes k atoms' workloads, so the rate divides by
+/// ~k while the wafer's atom capacity multiplies by k.
+pub fn multi_atom_rate(
+    model: &wse_fabric::cost::CostModel,
+    n_candidates_per_atom: f64,
+    n_interactions_per_atom: f64,
+    atoms_per_core: usize,
+) -> f64 {
+    let k = atoms_per_core as f64;
+    // Per-atom candidate counts are a property of the physical
+    // neighborhood, not of the packing: with k atoms per core the fabric
+    // neighborhood shrinks by ~√k but holds k atoms per tile, so each
+    // atom still sees the same candidates. The core serializes its k
+    // atoms' work; one fixed control block amortizes across them.
+    let per_atom = model.mcast_ns * n_candidates_per_atom
+        + model.miss_ns * (n_candidates_per_atom - n_interactions_per_atom)
+        + model.interaction_ns * n_interactions_per_atom;
+    1e9 / (per_atom * k + model.fixed_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::materials::{Material, Species};
+
+    fn tile_potential(sp: Species) -> EamPotential<f32> {
+        Material::new(sp).potential().cast()
+    }
+
+    #[test]
+    fn paper_configurations_fit_in_48kb() {
+        for (sp, cand) in [
+            (Species::Ta, 80usize),
+            (Species::Cu, 224),
+            (Species::W, 224),
+        ] {
+            let pot = tile_potential(sp);
+            let plan = WorkerMemoryPlan::plan(&pot, cand)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", sp));
+            assert!(
+                plan.budget.used() <= plan.budget.capacity(),
+                "{:?} uses {} bytes",
+                sp,
+                plan.budget.used()
+            );
+        }
+    }
+
+    #[test]
+    fn tables_dominate_small_neighborhood_footprints() {
+        let pot = tile_potential(Species::Ta);
+        let plan = WorkerMemoryPlan::plan(&pot, 80).unwrap();
+        let table_bytes = pot.table_bytes();
+        let buffer_bytes: usize = plan
+            .budget
+            .regions()
+            .filter(|(n, _)| n.contains("buffer") || n.contains("neighbor"))
+            .map(|(_, b)| b)
+            .sum();
+        assert!(table_bytes > buffer_bytes, "{table_bytes} vs {buffer_bytes}");
+    }
+
+    #[test]
+    fn absurd_neighborhoods_overflow() {
+        let pot = tile_potential(Species::W);
+        // A 4000-candidate neighborhood cannot fit next to the tables.
+        assert!(WorkerMemoryPlan::plan(&pot, 4000).is_err());
+    }
+
+    #[test]
+    fn memory_map_is_reported_per_region() {
+        let pot = tile_potential(Species::Cu);
+        let plan = WorkerMemoryPlan::plan(&pot, 224).unwrap();
+        let names: Vec<&str> = plan.budget.regions().map(|(n, _)| n).collect();
+        assert!(names.contains(&"spline tables (rho, phi, F)"));
+        assert!(names.contains(&"candidate receive buffer"));
+        assert_eq!(
+            plan.budget.used(),
+            plan.budget.regions().map(|(_, b)| b).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn two_atoms_per_core_fit_for_tantalum() {
+        // Ta's small neighborhood (80 candidates/atom) leaves room for
+        // multiple atoms per core within 48 kB.
+        let pot = tile_potential(Species::Ta);
+        let plan = MultiAtomMemoryPlan::plan(&pot, 80, 2).unwrap();
+        assert!(plan.budget.used() <= plan.budget.capacity());
+        assert!(MultiAtomMemoryPlan::max_atoms_per_core(&pot, 80) >= 2);
+    }
+
+    #[test]
+    fn capacity_shrinks_with_neighborhood_size() {
+        let pot = tile_potential(Species::W);
+        let k_small = MultiAtomMemoryPlan::max_atoms_per_core(&pot, 80);
+        let k_large = MultiAtomMemoryPlan::max_atoms_per_core(&pot, 224);
+        assert!(k_small > k_large || (k_small == k_large && k_small == 1));
+        assert!(k_large >= 1);
+    }
+
+    #[test]
+    fn multi_atom_rate_trades_speed_for_capacity() {
+        let model = wse_fabric::cost::CostModel::paper_baseline();
+        let r1 = multi_atom_rate(&model, 80.0, 14.0, 1);
+        let r2 = multi_atom_rate(&model, 80.0, 14.0, 2);
+        let r4 = multi_atom_rate(&model, 80.0, 14.0, 4);
+        // k=1 must agree with the paper's baseline prediction.
+        let baseline = model.timesteps_per_second(80.0, 14.0);
+        assert!((r1 - baseline).abs() / baseline < 0.15);
+        // Rate falls somewhat slower than 1/k (fixed cost amortizes, the
+        // candidate traffic does not).
+        assert!(r2 < r1 && r4 < r2);
+        assert!(r2 > r1 / 2.5 && r4 > r1 / 5.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # wafer-md
+//!
+//! A Rust reproduction of *Breaking the Molecular Dynamics Timescale
+//! Barrier Using a Wafer-Scale System* (Santos et al., SC 2024,
+//! arXiv:2405.07898): EAM molecular dynamics strong-scaled to one atom
+//! per processor core on an architectural simulation of the Cerebras
+//! Wafer-Scale Engine, with the paper's complete evaluation — linear
+//! performance model, FLOP/utilization accounting, strong/weak scaling,
+//! energy efficiency, atom-swap remapping, and multi-wafer projections —
+//! regenerable from the `wafer-md-bench` binaries.
+//!
+//! This crate is a facade re-exporting the workspace's five libraries:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`fabric`] | WSE architectural simulator (tiles, routers, marching multicast, cost model) |
+//! | [`md`] | MD substrate (EAM splines, Cu/W/Ta materials, lattices, integrators, neighbor lists) |
+//! | [`wse`] | the paper's contribution: one-atom-per-core MD on the fabric |
+//! | [`baseline`] | LAMMPS-style reference engine + calibrated GPU/CPU cluster models |
+//! | [`model`] | analytic models: Tables II–VI and Fig. 1 |
+//!
+//! See `examples/quickstart.rs` for a five-line simulation and
+//! EXPERIMENTS.md for the paper-vs-measured record of every table and
+//! figure.
+
+pub use md_baseline as baseline;
+pub use md_core as md;
+pub use perf_model as model;
+pub use wse_fabric as fabric;
+pub use wse_md as wse;
+
+/// The workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

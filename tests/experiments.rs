@@ -1,0 +1,146 @@
+//! End-to-end smoke tests of every experiment-regeneration path, so the
+//! bench binaries can't rot: each paper table/figure's pipeline is
+//! exercised with reduced parameters.
+
+use wafer_md::baseline::strongscale::{strong_scaling_data, wse_model_rate};
+use wafer_md::md::materials::Species;
+use wafer_md::model;
+
+#[test]
+fn fig1_timescale_pipeline() {
+    let wse = model::timescale::wse_star();
+    let gpu = model::timescale::gpu_star();
+    assert!(wse.time_s / gpu.time_s > 100.0);
+}
+
+#[test]
+fn table1_pipeline_reproduces_speedups() {
+    let data = strong_scaling_data(Species::Ta, 274_016.0);
+    assert!((data.speedup_vs_gpu() - 179.0).abs() < 6.0);
+    assert!((data.speedup_vs_cpu() - 55.0).abs() < 3.0);
+}
+
+#[test]
+fn table2_pipeline_recovers_cost_model() {
+    // Controlled-sweep fit over the simulator must recover Table II.
+    use wafer_md::fabric::cost::WSE2_CLOCK_GHZ;
+    let mut samples = Vec::new();
+    for b in [2i32, 4, 6] {
+        for spacing_frac in [0.3, 0.6, 0.9] {
+            let m = wafer_md::md::materials::Material::new(Species::Ta);
+            let mut sim = wafer_md_bench_shim::controlled_grid_sim(
+                Species::Ta,
+                18,
+                m.cutoff * spacing_frac,
+                b,
+            );
+            sim.run(3);
+            let s = sim.last_stats;
+            samples.push(model::linear::SweepSample {
+                n_candidates: s.mean_candidates,
+                n_interactions: s.mean_interactions,
+                t_wall_ns: s.cycles / WSE2_CLOCK_GHZ,
+            });
+        }
+    }
+    let fit = model::linear::fit(&samples);
+    assert!((fit.a - 26.6).abs() < 0.5, "A = {}", fit.a);
+    assert!((fit.b - 71.4).abs() < 1.5, "B = {}", fit.b);
+    assert!((fit.c - 574.0).abs() < 10.0, "C = {}", fit.c);
+    assert!(fit.r_squared > 0.999);
+}
+
+/// Local copy of the bench crate's controlled-grid builder (the bench
+/// crate is not a dependency of the facade).
+mod wafer_md_bench_shim {
+    use wafer_md::md::materials::Species;
+    use wafer_md::md::vec3::V3d;
+    use wafer_md::wse::{WseMdConfig, WseMdSim};
+
+    pub fn controlled_grid_sim(
+        species: Species,
+        side: usize,
+        spacing: f64,
+        b: i32,
+    ) -> WseMdSim {
+        let positions: Vec<V3d> = (0..side * side)
+            .map(|k| {
+                V3d::new((k % side) as f64 * spacing, (k / side) as f64 * spacing, 0.0)
+            })
+            .collect();
+        let velocities = vec![V3d::zero(); positions.len()];
+        let config = WseMdConfig {
+            extent: wafer_md::fabric::geometry::Extent::new(side, side),
+            dt: 0.0,
+            cost_model: wafer_md::fabric::cost::CostModel::paper_baseline(),
+            periodic: [false; 3],
+            box_lengths: V3d::zero(),
+            b_override: Some((b, b)),
+            symmetric_forces: false,
+            neighbor_reuse_interval: 1,
+            neighbor_skin: 0.0,
+        };
+        WseMdSim::new(species, &positions, &velocities, config)
+    }
+}
+
+#[test]
+fn fig8_weak_scaling_is_flat_under_controlled_workload() {
+    let rates: Vec<f64> = [24usize, 48, 96]
+        .iter()
+        .map(|&side| {
+            let mut sim = wafer_md_bench_shim::controlled_grid_sim(Species::Ta, side, 1.3, 4);
+            sim.run(4);
+            sim.timesteps_per_second(4)
+        })
+        .collect();
+    // Same per-core workload except edge tiles, whose share falls with
+    // size: the series must converge toward flat (paper: within 1% at
+    // 10⁵-10⁶ cores, where the edge share is negligible).
+    let spread = (rates[2] - rates[0]).abs() / rates[2];
+    assert!(spread < 0.15, "weak scaling spread {spread}: {rates:?}");
+    let tail_spread = (rates[2] - rates[1]).abs() / rates[2];
+    assert!(tail_spread < 0.07, "tail spread {tail_spread}: {rates:?}");
+    // Convergence: successive deviations shrink.
+    assert!(tail_spread < spread, "series not converging: {rates:?}");
+}
+
+#[test]
+fn table34_pipeline_utilizations() {
+    use model::flops::{machine_utilization, Platform};
+    let wse = machine_utilization(Platform::Cs2, Species::Ta);
+    let gpu = machine_utilization(Platform::Frontier32Gcd, Species::Ta);
+    assert!(wse > 0.15 && wse < 0.30);
+    assert!(gpu < 0.01);
+}
+
+#[test]
+fn table5_pipeline_projection() {
+    let rows = model::projection::projection_table(Species::Ta);
+    assert!(rows.last().unwrap().rate > 1e6);
+}
+
+#[test]
+fn table6_pipeline_multiwafer() {
+    for (lo, hi) in model::multiwafer::MultiWaferConfig::paper_rows() {
+        assert!(lo.evaluate().performance > 0.95);
+        assert!(hi.evaluate().performance > 0.90);
+    }
+}
+
+#[test]
+fn fig10_pipeline_staircase() {
+    let steps = wafer_md::fabric::cost::fig10_campaign();
+    let target = wse_model_rate(Species::Ta);
+    let first = target / steps.first().unwrap().slowdown;
+    let last = target / steps.last().unwrap().slowdown;
+    assert!(first < 60_000.0);
+    assert!(last > 260_000.0);
+}
+
+#[test]
+fn sec2b_pipeline_lj_rates() {
+    use wafer_md::baseline::lj;
+    assert!(lj::v100_lj_rate(1000.0) < 10_000.0);
+    assert!(lj::skylake36_lj_rate(1000.0) > 20_000.0);
+}
