@@ -79,5 +79,10 @@ fn bench_bruteforce_cluster(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_spline, bench_eam_terms, bench_bruteforce_cluster);
+criterion_group!(
+    benches,
+    bench_spline,
+    bench_eam_terms,
+    bench_bruteforce_cluster
+);
 criterion_main!(benches);

@@ -26,11 +26,9 @@ fn bench_mapping_build(c: &mut Criterion) {
         let cores = (pos.len() as f64 * 1.04).ceil() as usize;
         let w = (cores as f64).sqrt().ceil() as usize;
         let extent = Extent::new(w, cores.div_ceil(w));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(pos.len()),
-            &(),
-            |bench, _| bench.iter(|| black_box(Mapping::greedy(black_box(&pos), extent))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(pos.len()), &(), |bench, _| {
+            bench.iter(|| black_box(Mapping::greedy(black_box(&pos), extent)))
+        });
     }
     group.finish();
 }

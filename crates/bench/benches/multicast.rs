@@ -31,7 +31,11 @@ fn bench_full_exchange(c: &mut Criterion) {
             &(),
             |bench, _| {
                 bench.iter(|| {
-                    black_box(simulate_neighborhood_exchange(extent, black_box(&payloads), b))
+                    black_box(simulate_neighborhood_exchange(
+                        extent,
+                        black_box(&payloads),
+                        b,
+                    ))
                 })
             },
         );

@@ -9,8 +9,8 @@
 //! the projection. The other two (fixed-cost reduction, 4-core workers)
 //! are micro-architectural and remain model-only.
 
-use md_core::materials::{Material, Species};
 use md_core::lattice::SlabSpec;
+use md_core::materials::{Material, Species};
 use md_core::thermostat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -13,8 +13,14 @@ fn main() {
     let wse = wse_star();
     let gpu = gpu_star();
     println!("platform | length scale (m) | reachable timescale (s)");
-    println!("WSE      | {:>14.2e}   | {:>10.2e}", wse.length_m, wse.time_s);
-    println!("GPU      | {:>14.2e}   | {:>10.2e}", gpu.length_m, gpu.time_s);
+    println!(
+        "WSE      | {:>14.2e}   | {:>10.2e}",
+        wse.length_m, wse.time_s
+    );
+    println!(
+        "GPU      | {:>14.2e}   | {:>10.2e}",
+        gpu.length_m, gpu.time_s
+    );
     println!("timescale expansion: {:.0}x", wse.time_s / gpu.time_s);
 
     header("Fig. 1 annotations");

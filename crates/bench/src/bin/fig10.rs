@@ -40,7 +40,8 @@ fn main() {
             rate(Species::Ta)
         );
     }
-    println!("\ntargets (performance model): Cu {}, W {}, Ta {}",
+    println!(
+        "\ntargets (performance model): Cu {}, W {}, Ta {}",
         fmt_rate(targets[0].1),
         fmt_rate(targets[1].1),
         fmt_rate(targets[2].1),

@@ -43,8 +43,14 @@ fn main() {
             data.speedup_vs_cpu()
         );
 
-        header(&format!("Fig. 7b — {}: timesteps/Joule vs timesteps/s", sp.name()));
-        println!("{:>9} {:>12} {:>14} {:>14}", "machine", "nodes", "ts/s", "ts/J");
+        header(&format!(
+            "Fig. 7b — {}: timesteps/Joule vs timesteps/s",
+            sp.name()
+        ));
+        println!(
+            "{:>9} {:>12} {:>14} {:>14}",
+            "machine", "nodes", "ts/s", "ts/J"
+        );
         for (name, pts) in [("GPU", &data.gpu), ("CPU", &data.cpu)] {
             for p in pts.iter().step_by(3) {
                 println!(
@@ -68,7 +74,10 @@ fn main() {
             "Fig. 7c — {}: WSE speedup factor vs WSE energy-efficiency factor",
             sp.name()
         ));
-        println!("{:>9} {:>9} {:>14} {:>14}", "machine", "nodes", "speedup", "energy");
+        println!(
+            "{:>9} {:>9} {:>14} {:>14}",
+            "machine", "nodes", "speedup", "energy"
+        );
         for machine in [Machine::FrontierGpu, Machine::QuartzCpu] {
             let model = ClusterModel::calibrated(machine, sp);
             for p in relative_series(&model, &node_sweep(machine), wse_measured(sp))
@@ -77,7 +86,11 @@ fn main() {
             {
                 println!(
                     "{:>9} {:>9} {:>13.0}x {:>13.0}x",
-                    if machine == Machine::FrontierGpu { "GPU" } else { "CPU" },
+                    if machine == Machine::FrontierGpu {
+                        "GPU"
+                    } else {
+                        "CPU"
+                    },
                     p.nodes,
                     p.wse_speedup_factor,
                     p.wse_energy_factor

@@ -81,14 +81,21 @@ fn main() {
     }
     println!();
     for row in 0..displacement.len() {
-        print!("{:>6} {:>10.2}", (row + 1) * sample_every, displacement[row]);
+        print!(
+            "{:>6} {:>10.2}",
+            (row + 1) * sample_every,
+            displacement[row]
+        );
         for (_, series) in &cost_series {
             print!(" {:>8.2}", series[row]);
         }
         println!();
     }
 
-    let final_costs: Vec<f64> = cost_series.iter().map(|(_, s)| *s.last().unwrap()).collect();
+    let final_costs: Vec<f64> = cost_series
+        .iter()
+        .map(|(_, s)| *s.last().unwrap())
+        .collect();
     println!(
         "\nfrequent swapping (1-100) holds the cost near {:.1}-{:.1} Å while\n\
          unconstrained displacement reaches {:.1} Å; the paper's threshold is\n\

@@ -7,7 +7,10 @@ use wafer_md_bench::{fmt_rate, header};
 
 fn main() {
     header("Sec. II-B — 1k-atom LJ strong-scaling limits on conventional hardware");
-    println!("{:>9} {:>16} {:>16}", "atoms", "V100 GPU ts/s", "36-rank CPU ts/s");
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "atoms", "V100 GPU ts/s", "36-rank CPU ts/s"
+    );
     for n in [1_000.0, 4_000.0, 16_000.0, 64_000.0, 256_000.0] {
         println!(
             "{:>9} {:>16} {:>16}",

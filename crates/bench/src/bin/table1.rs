@@ -34,7 +34,14 @@ fn main() {
     header("Table I (block 1): paper workload, 801,792 atoms");
     println!(
         "{:<8} {:>12} {:>11} {:>11} {:>9} {:>9} {:>8} {:>8}",
-        "Element", "Inter/Cand", "Predicted", "Paper-Meas", "Frontier", "Quartz", "vs GPU", "vs CPU"
+        "Element",
+        "Inter/Cand",
+        "Predicted",
+        "Paper-Meas",
+        "Frontier",
+        "Quartz",
+        "vs GPU",
+        "vs CPU"
     );
     let paper_measured = [
         (Species::Cu, 106_313.0),
@@ -63,7 +70,11 @@ fn main() {
 
     header(&format!(
         "Table I (block 2): simulated thin slabs ({}, 6 cells thick, 1 atom/core)",
-        if full { "FULL 801,792-atom replications" } else { "reduced scale; --full for 801,792" }
+        if full {
+            "FULL 801,792-atom replications"
+        } else {
+            "reduced scale; --full for 801,792"
+        }
     ));
     println!(
         "{:<8} {:>8} {:>8} {:>12} {:>11} {:>11} {:>7}",

@@ -69,9 +69,8 @@ fn main() {
     sim.run(50);
     let trace = &sim.cycle_trace;
     let mean: f64 = trace.iter().sum::<f64>() / trace.len() as f64;
-    let std: f64 = (trace.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-        / trace.len() as f64)
-        .sqrt();
+    let std: f64 =
+        (trace.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / trace.len() as f64).sqrt();
     println!(
         "array-level step cycles: {:.0} ± {:.2} ({} steps; paper: 3,477 ± 0.316 after array averaging)",
         mean, std, trace.len()

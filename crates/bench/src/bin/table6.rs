@@ -7,7 +7,20 @@ fn main() {
     header("Table VI — multi-wafer weak scaling (ghost regions, ω = 1.2 Tb/s, τ = 2 µs)");
     println!(
         "{:<4} {:>4} {:>3} {:>9} {:>6} {:>7} | {:>4} {:>3} {:>10} {:>5} | {:>4} {:>3} {:>10} {:>5}",
-        "El", "X", "Z", "N_int", "rc/rl", "tw(us)", "λ", "k", "ts/s", "perf", "λ", "k", "ts/s", "perf"
+        "El",
+        "X",
+        "Z",
+        "N_int",
+        "rc/rl",
+        "tw(us)",
+        "λ",
+        "k",
+        "ts/s",
+        "perf",
+        "λ",
+        "k",
+        "ts/s",
+        "perf"
     );
     for (lo, hi) in MultiWaferConfig::paper_rows() {
         let p_lo = lo.evaluate();

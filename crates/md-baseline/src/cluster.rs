@@ -139,9 +139,7 @@ impl ClusterModel {
 
     /// Energy per timestep (J) at the paper size on `p` nodes.
     pub fn energy_per_timestep(&self, p_nodes: f64) -> f64 {
-        self.time_per_step(PAPER_ATOMS, p_nodes)
-            * p_nodes
-            * self.machine.node_power_watts()
+        self.time_per_step(PAPER_ATOMS, p_nodes) * p_nodes * self.machine.node_power_watts()
     }
 
     /// Timesteps per Joule at the paper size (Fig. 7b's y-axis inverse).

@@ -86,8 +86,7 @@ mod tests {
         // WSE achieves roughly 30-fold more timesteps per Joule."
         let model = ClusterModel::calibrated(Machine::FrontierGpu, Species::Ta);
         let wse_rate = 274_016.0;
-        let factor =
-            wse_timesteps_per_joule(wse_rate) / model.timesteps_per_joule(1.0);
+        let factor = wse_timesteps_per_joule(wse_rate) / model.timesteps_per_joule(1.0);
         assert!((20.0..45.0).contains(&factor), "energy factor {factor}");
     }
 
@@ -153,8 +152,8 @@ mod tests {
             (Machine::QuartzCpu, Species::Cu, 106_313.0),
         ] {
             let model = ClusterModel::calibrated(machine, sp);
-            let factor = wse_timesteps_per_joule(wse_rate)
-                / model.timesteps_per_joule(machine.peak_nodes());
+            let factor =
+                wse_timesteps_per_joule(wse_rate) / model.timesteps_per_joule(machine.peak_nodes());
             assert!(
                 (10.0..1000.0).contains(&factor),
                 "{machine:?} {sp:?}: factor {factor}"

@@ -40,8 +40,7 @@ impl BaselineEngine {
             potential_energy: 0.0,
             forces: vec![V3d::zero(); n],
         };
-        e.vlist
-            .rebuild(&e.system.positions, &e.system.bbox);
+        e.vlist.rebuild(&e.system.positions, &e.system.bbox);
         e.compute_forces();
         e
     }
@@ -236,9 +235,7 @@ mod tests {
             *p += V3d::new(s, -s, 0.5 * s);
         }
         let engine = BaselineEngine::new(sys.clone(), 2e-3);
-        let oracle = sys
-            .potential
-            .compute_bruteforce(&sys.positions, open_disp);
+        let oracle = sys.potential.compute_bruteforce(&sys.positions, open_disp);
         assert!((engine.potential_energy - oracle.potential_energy).abs() < 1e-8);
         for i in 0..sys.len() {
             assert!(

@@ -371,7 +371,10 @@ mod tests {
     #[test]
     fn isolated_pair_beyond_cutoff_does_not_interact() {
         let pot = toy();
-        let pos = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(pot.cutoff + 0.1, 0.0, 0.0)];
+        let pos = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(pot.cutoff + 0.1, 0.0, 0.0),
+        ];
         let out = pot.compute_bruteforce(&pos, open_disp);
         // Densities are zero so embedding contributes F(0) ≈ 0.
         assert!(out.potential_energy.abs() < 1e-9);

@@ -70,15 +70,10 @@ impl GrainBoundarySpec {
                                 continue;
                             }
                             // Rotate about the slab center in-plane.
-                            let p = V3d::new(
-                                c * x0 - s * y0 + center.x,
-                                s * x0 + c * y0 + center.y,
-                                z,
-                            );
-                            let in_slab = p.x >= 0.0
-                                && p.x < self.size.x
-                                && p.y >= 0.0
-                                && p.y < self.size.y;
+                            let p =
+                                V3d::new(c * x0 - s * y0 + center.x, s * x0 + c * y0 + center.y, z);
+                            let in_slab =
+                                p.x >= 0.0 && p.x < self.size.x && p.y >= 0.0 && p.y < self.size.y;
                             let in_grain = if lower { p.y < half_y } else { p.y >= half_y };
                             if in_slab && in_grain {
                                 atoms.push(p);

@@ -37,12 +37,7 @@ pub fn leapfrog_step<T: Real>(
 /// Kick-only half of the update (used to bootstrap the half-step
 /// velocities from synchronous initial conditions: one backward half-kick
 /// turns v(0) into v(−½)).
-pub fn half_kick<T: Real>(
-    velocities: &mut [Vec3<T>],
-    forces: &[Vec3<T>],
-    mass: f64,
-    dt: f64,
-) {
+pub fn half_kick<T: Real>(velocities: &mut [Vec3<T>], forces: &[Vec3<T>], mass: f64, dt: f64) {
     let f2a = T::from_f64(FORCE_TO_ACCEL / mass);
     let half_dt = T::from_f64(0.5 * dt);
     for (v, f) in velocities.iter_mut().zip(forces) {

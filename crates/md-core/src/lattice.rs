@@ -177,7 +177,10 @@ mod tests {
 
     #[test]
     fn nearest_neighbor_distances() {
-        assert!((Crystal::Fcc.nearest_neighbor_distance(1.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!(
+            (Crystal::Fcc.nearest_neighbor_distance(1.0) - std::f64::consts::FRAC_1_SQRT_2).abs()
+                < 1e-4
+        );
         assert!((Crystal::Bcc.nearest_neighbor_distance(1.0) - 0.8660).abs() < 1e-4);
     }
 

@@ -354,7 +354,10 @@ mod tests {
         }
         for i in 0..200 {
             let d = 2.9 * m.rho_e * i as f64 / 199.0;
-            assert!((pot.embed.eval(d) - m.embed(d)).abs() < 2e-5, "embed at {d}");
+            assert!(
+                (pot.embed.eval(d) - m.embed(d)).abs() < 2e-5,
+                "embed at {d}"
+            );
         }
     }
 

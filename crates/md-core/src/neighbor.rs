@@ -243,8 +243,7 @@ impl VerletList {
         if self.neighbors.is_empty() {
             return 0.0;
         }
-        self.neighbors.iter().map(|l| l.len()).sum::<usize>() as f64
-            / self.neighbors.len() as f64
+        self.neighbors.iter().map(|l| l.len()).sum::<usize>() as f64 / self.neighbors.len() as f64
     }
 }
 

@@ -154,7 +154,9 @@ pub fn parse(text: &str) -> Result<SetflData, SetflError> {
     let drho: f64 = grid[1].parse().map_err(|_| SetflError("bad drho".into()))?;
     let nr: usize = grid[2].parse().map_err(|_| SetflError("bad nr".into()))?;
     let dr: f64 = grid[3].parse().map_err(|_| SetflError("bad dr".into()))?;
-    let cutoff: f64 = grid[4].parse().map_err(|_| SetflError("bad cutoff".into()))?;
+    let cutoff: f64 = grid[4]
+        .parse()
+        .map_err(|_| SetflError("bad cutoff".into()))?;
 
     // Line 5: element header.
     let hdr: Vec<&str> = lines[5].split_whitespace().collect();
@@ -288,7 +290,9 @@ mod tests {
     #[test]
     fn round_tripped_potential_keeps_the_lattice_stable() {
         let m = Material::new(Species::W);
-        let pot = parse(&export_material(&m, 2000, 2000)).unwrap().to_potential();
+        let pot = parse(&export_material(&m, 2000, 2000))
+            .unwrap()
+            .to_potential();
         let e = |a: f64| -> f64 {
             let ds = m.crystal.neighbor_displacements(a, m.cutoff);
             let pair: f64 = 0.5 * ds.iter().map(|d| pot.phi.eval(d.norm())).sum::<f64>();

@@ -43,9 +43,8 @@ impl<T: Real> Spline<T> {
             let k = n - 2; // interior unknowns
             let mut c_prime = vec![0.0f64; k];
             let mut d_prime = vec![0.0f64; k];
-            let rhs = |i: usize| {
-                6.0 * (samples[i - 1] - 2.0 * samples[i] + samples[i + 1]) / (h * h)
-            };
+            let rhs =
+                |i: usize| 6.0 * (samples[i - 1] - 2.0 * samples[i] + samples[i + 1]) / (h * h);
             c_prime[0] = 1.0 / 4.0;
             d_prime[0] = rhs(1) / 4.0;
             for i in 1..k {

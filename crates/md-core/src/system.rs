@@ -131,13 +131,7 @@ impl System {
     /// Total kinetic energy (eV).
     pub fn kinetic_energy(&self) -> f64 {
         let m = self.material.mass;
-        0.5 * m
-            * units::MVV_TO_ENERGY
-            * self
-                .velocities
-                .iter()
-                .map(|v| v.norm_sq())
-                .sum::<f64>()
+        0.5 * m * units::MVV_TO_ENERGY * self.velocities.iter().map(|v| v.norm_sq()).sum::<f64>()
     }
 
     /// Instantaneous temperature (K).
@@ -191,7 +185,10 @@ mod tests {
         let w = b.wrap(V3d::new(-1.0, 5.5, 3.0));
         assert_eq!(w, V3d::new(3.0, 1.5, 3.0));
         let open = Box3::open(V3d::new(4.0, 4.0, 4.0));
-        assert_eq!(open.wrap(V3d::new(-1.0, 5.5, 3.0)), V3d::new(-1.0, 5.5, 3.0));
+        assert_eq!(
+            open.wrap(V3d::new(-1.0, 5.5, 3.0)),
+            V3d::new(-1.0, 5.5, 3.0)
+        );
     }
 
     #[test]

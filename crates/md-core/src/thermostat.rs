@@ -8,34 +8,17 @@
 use crate::units::{self, MVV_TO_ENERGY};
 use crate::vec3::V3d;
 use rand::Rng;
-use rand_distr_normal::StandardNormalish;
+use rand_distr::{Distribution, StandardNormal};
 
-/// Minimal standard-normal sampler built from `rand`'s uniform source via
-/// Box–Muller, so we avoid an extra dependency on `rand_distr`.
-mod rand_distr_normal {
-    use rand::Rng;
-
-    pub struct StandardNormalish;
-
-    impl StandardNormalish {
-        pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-            // Box–Muller transform; guard against log(0).
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen::<f64>();
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        }
-    }
+/// Draw one standard-normal variate (pinned to `f64`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    Distribution::<f64>::sample(&StandardNormal, rng)
 }
 
 /// Draw Maxwell–Boltzmann velocities at temperature `t` (K) for atoms of
 /// mass `mass` (amu), remove center-of-mass drift, and rescale to hit the
 /// target temperature exactly.
-pub fn maxwell_boltzmann<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    mass: f64,
-    t: f64,
-) -> Vec<V3d> {
+pub fn maxwell_boltzmann<R: Rng + ?Sized>(rng: &mut R, n: usize, mass: f64, t: f64) -> Vec<V3d> {
     if n == 0 {
         return Vec::new();
     }
@@ -44,9 +27,9 @@ pub fn maxwell_boltzmann<R: Rng + ?Sized>(
     let mut v: Vec<V3d> = (0..n)
         .map(|_| {
             V3d::new(
-                sigma * StandardNormalish::sample(rng),
-                sigma * StandardNormalish::sample(rng),
-                sigma * StandardNormalish::sample(rng),
+                sigma * standard_normal(rng),
+                sigma * standard_normal(rng),
+                sigma * standard_normal(rng),
             )
         })
         .collect();
@@ -73,8 +56,7 @@ pub fn rescale_to_temperature(velocities: &mut [V3d], mass: f64, t: f64) {
     if n == 0 || t <= 0.0 {
         return;
     }
-    let ke: f64 =
-        0.5 * mass * MVV_TO_ENERGY * velocities.iter().map(|v| v.norm_sq()).sum::<f64>();
+    let ke: f64 = 0.5 * mass * MVV_TO_ENERGY * velocities.iter().map(|v| v.norm_sq()).sum::<f64>();
     if ke <= 0.0 {
         return;
     }
@@ -84,7 +66,6 @@ pub fn rescale_to_temperature(velocities: &mut [V3d], mass: f64, t: f64) {
         *v = v.scale(lambda);
     }
 }
-
 
 /// One Langevin-thermostat kick (BBK-style): friction plus matched
 /// stochastic forcing,
@@ -105,9 +86,9 @@ pub fn langevin_kick<R: Rng + ?Sized>(
     for v in velocities.iter_mut() {
         *v = v.scale(damp)
             + V3d::new(
-                sigma * StandardNormalish::sample(rng),
-                sigma * StandardNormalish::sample(rng),
-                sigma * StandardNormalish::sample(rng),
+                sigma * standard_normal(rng),
+                sigma * standard_normal(rng),
+                sigma * standard_normal(rng),
             );
     }
 }

@@ -80,10 +80,7 @@ mod tests {
         }
         let ke = 0.5 * m * v * v * MVV_TO_ENERGY;
         let work = f * x;
-        assert!(
-            (ke - work).abs() / work < 1e-3,
-            "ke={ke} work={work}"
-        );
+        assert!((ke - work).abs() / work < 1e-3, "ke={ke} work={work}");
     }
 
     #[test]

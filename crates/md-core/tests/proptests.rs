@@ -8,12 +8,7 @@ use md_core::vec3::V3d;
 use proptest::prelude::*;
 
 fn arb_vec3(range: f64) -> impl Strategy<Value = V3d> {
-    (
-        -range..range,
-        -range..range,
-        -range..range,
-    )
-        .prop_map(|(x, y, z)| V3d::new(x, y, z))
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| V3d::new(x, y, z))
 }
 
 proptest! {

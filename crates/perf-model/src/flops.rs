@@ -51,24 +51,72 @@ pub enum Phase {
 }
 
 const PER_CANDIDATE_ROWS: [OpScheduleRow; 3] = [
-    OpScheduleRow { term: "r_ij <- r_j - r_i", ops: OpCounts::new(3, 0, 0), note: "Relative displacement" },
-    OpScheduleRow { term: "r2_ij <- r_ij . r_ij", ops: OpCounts::new(2, 3, 0), note: "Squared distance" },
-    OpScheduleRow { term: "r2_ij < r2_cut", ops: OpCounts::new(1, 0, 0), note: "Threshold check" },
+    OpScheduleRow {
+        term: "r_ij <- r_j - r_i",
+        ops: OpCounts::new(3, 0, 0),
+        note: "Relative displacement",
+    },
+    OpScheduleRow {
+        term: "r2_ij <- r_ij . r_ij",
+        ops: OpCounts::new(2, 3, 0),
+        note: "Squared distance",
+    },
+    OpScheduleRow {
+        term: "r2_ij < r2_cut",
+        ops: OpCounts::new(1, 0, 0),
+        note: "Threshold check",
+    },
 ];
 
 const PER_INTERACTION_ROWS: [OpScheduleRow; 6] = [
-    OpScheduleRow { term: "r_ij^-1 <- (r2_ij)^-1/2", ops: OpCounts::new(3, 8, 1), note: "Newton-Raphson" },
-    OpScheduleRow { term: "r_ij <- r2_ij * r_ij^-1", ops: OpCounts::new(0, 1, 0), note: "Euclidean distance" },
-    OpScheduleRow { term: "k, dx <- segment(r_ij)", ops: OpCounts::new(1, 1, 2), note: "Spline segment" },
-    OpScheduleRow { term: "sum_j rho[k](dx)", ops: OpCounts::new(3, 2, 0), note: "Density evaluation" },
-    OpScheduleRow { term: "rho'[k](dx), phi'[k](dx)", ops: OpCounts::new(2, 2, 0), note: "Linear splines" },
-    OpScheduleRow { term: "force evaluation", ops: OpCounts::new(5, 5, 0), note: "Force evaluation" },
+    OpScheduleRow {
+        term: "r_ij^-1 <- (r2_ij)^-1/2",
+        ops: OpCounts::new(3, 8, 1),
+        note: "Newton-Raphson",
+    },
+    OpScheduleRow {
+        term: "r_ij <- r2_ij * r_ij^-1",
+        ops: OpCounts::new(0, 1, 0),
+        note: "Euclidean distance",
+    },
+    OpScheduleRow {
+        term: "k, dx <- segment(r_ij)",
+        ops: OpCounts::new(1, 1, 2),
+        note: "Spline segment",
+    },
+    OpScheduleRow {
+        term: "sum_j rho[k](dx)",
+        ops: OpCounts::new(3, 2, 0),
+        note: "Density evaluation",
+    },
+    OpScheduleRow {
+        term: "rho'[k](dx), phi'[k](dx)",
+        ops: OpCounts::new(2, 2, 0),
+        note: "Linear splines",
+    },
+    OpScheduleRow {
+        term: "force evaluation",
+        ops: OpCounts::new(5, 5, 0),
+        note: "Force evaluation",
+    },
 ];
 
 const FIXED_ROWS: [OpScheduleRow; 3] = [
-    OpScheduleRow { term: "k, dx <- segment(rho_i)", ops: OpCounts::new(1, 1, 2), note: "Spline segment" },
-    OpScheduleRow { term: "F'_i[k](dx)", ops: OpCounts::new(1, 1, 0), note: "Embedding component" },
-    OpScheduleRow { term: "integrate v_i, r_i", ops: OpCounts::new(6, 0, 0), note: "Verlet integration" },
+    OpScheduleRow {
+        term: "k, dx <- segment(rho_i)",
+        ops: OpCounts::new(1, 1, 2),
+        note: "Spline segment",
+    },
+    OpScheduleRow {
+        term: "F'_i[k](dx)",
+        ops: OpCounts::new(1, 1, 0),
+        note: "Embedding component",
+    },
+    OpScheduleRow {
+        term: "integrate v_i, r_i",
+        ops: OpCounts::new(6, 0, 0),
+        note: "Verlet integration",
+    },
 ];
 
 /// The full Table III operation schedule.

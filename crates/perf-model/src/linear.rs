@@ -90,10 +90,7 @@ pub fn fit(samples: &[SweepSample]) -> LinearFit {
     let beta = solve3(xtx, xty);
 
     let mean_y: f64 = samples.iter().map(|s| s.t_wall_ns).sum::<f64>() / samples.len() as f64;
-    let ss_tot: f64 = samples
-        .iter()
-        .map(|s| (s.t_wall_ns - mean_y).powi(2))
-        .sum();
+    let ss_tot: f64 = samples.iter().map(|s| (s.t_wall_ns - mean_y).powi(2)).sum();
     let ss_res: f64 = samples
         .iter()
         .map(|s| {
@@ -101,7 +98,11 @@ pub fn fit(samples: &[SweepSample]) -> LinearFit {
             (s.t_wall_ns - pred).powi(2)
         })
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
 
     LinearFit {
         a: beta[0],

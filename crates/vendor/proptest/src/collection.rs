@@ -1,0 +1,25 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRunner};
+use rand::Rng;
+
+/// Generate a `Vec` whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let len = runner.rng.gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}

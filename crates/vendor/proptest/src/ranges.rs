@@ -1,0 +1,26 @@
+//! Numeric range expressions (`lo..hi`) as strategies.
+
+use crate::{Strategy, TestRunner};
+use rand::Rng;
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.gen_range(self.start..self.end)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

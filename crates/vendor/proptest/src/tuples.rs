@@ -1,0 +1,22 @@
+//! Tuples of strategies generate tuples of values.
+
+use crate::{Strategy, TestRunner};
+
+macro_rules! tuple_strategy {
+    ($($S:ident : $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A:0);
+tuple_strategy!(A:0, B:1);
+tuple_strategy!(A:0, B:1, C:2);
+tuple_strategy!(A:0, B:1, C:2, D:3);
+tuple_strategy!(A:0, B:1, C:2, D:3, E:4);
+tuple_strategy!(A:0, B:1, C:2, D:3, E:4, F:5);

@@ -1,0 +1,163 @@
+//! The `Standard` distribution and uniform range sampling.
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: uniform over the full integer
+/// range, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<f64> for Standard {
+    /// 53 random mantissa bits scaled into `[0, 1)`.
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// 24 random mantissa bits scaled into `[0, 1)`.
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Range sampling used by `Rng::gen_range`.
+
+    use super::Distribution;
+    use super::Standard;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample a `T` from.
+    pub trait SampleRange<T> {
+        fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u: $t = Standard.sample(rng);
+                    let v = self.start + (self.end - self.start) * u;
+                    // Guard against rounding up to the excluded endpoint
+                    // (and, for one-ULP-wide ranges, below the start).
+                    if v < self.end { v } else { self.end.next_down().max(self.start) }
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let u: $t = Standard.sample(rng);
+                    lo + (hi - lo) * u
+                }
+            }
+        )*};
+    }
+    float_range!(f32, f64);
+
+    macro_rules! int_range {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                    let offset = (rng.next_u64() as u128) % width;
+                    (self.start as $wide).wrapping_add(offset as $wide) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let width = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % width;
+                    (lo as $wide).wrapping_add(offset as $wide) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    #[cfg(test)]
+    mod tests {
+        use crate::rngs::StdRng;
+        use crate::{Rng, SeedableRng};
+
+        #[test]
+        fn float_ranges_respect_bounds() {
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..10_000 {
+                let x = rng.gen_range(-6.0..6.0);
+                assert!((-6.0..6.0).contains(&x));
+                let tiny = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                assert!(tiny > 0.0 && tiny < 1.0);
+            }
+        }
+
+        #[test]
+        fn float_ranges_with_nonpositive_end_stay_in_range() {
+            let mut rng = StdRng::seed_from_u64(21);
+            for _ in 0..10_000 {
+                let x = rng.gen_range(-2.0f64..-1.0);
+                assert!((-2.0..-1.0).contains(&x), "{x}");
+                let y = rng.gen_range(-1.0f64..0.0);
+                assert!((-1.0..0.0).contains(&y), "{y}");
+            }
+            // One-ULP-wide range around the worst case: must not panic,
+            // return NaN, or escape the range.
+            let z = rng.gen_range((-f64::MIN_POSITIVE)..0.0);
+            assert!((-f64::MIN_POSITIVE..0.0).contains(&z), "{z}");
+        }
+
+        #[test]
+        fn int_ranges_hit_every_value() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut seen = [false; 8];
+            for _ in 0..1000 {
+                seen[rng.gen_range(0usize..8)] = true;
+                let s = rng.gen_range(-50i32..50);
+                assert!((-50..50).contains(&s));
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+}

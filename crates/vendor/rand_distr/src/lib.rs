@@ -1,0 +1,155 @@
+//! Offline, API-compatible subset of the `rand_distr` crate: the normal
+//! distribution family used by the MD thermostat.
+//!
+//! `StandardNormal` samples N(0, 1) via the Box–Muller transform (one
+//! branch per draw, no cached spare, so sampling is stateless and
+//! reproducible given the generator state). `Normal` scales and shifts it.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Errors constructing a [`Normal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was not finite.
+    MeanTooSmall,
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean is not finite"),
+            NormalError::BadVariance => write!(f, "standard deviation is negative or not finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The float operations the normal family needs, so `Normal<F>` has one
+/// generic impl (and `Normal::new(1.0f64, ..)` infers `F` from its
+/// arguments, matching the real crate's `Float`-bounded API).
+pub trait NormalFloat:
+    Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self> + std::fmt::Debug
+{
+    const ZERO: Self;
+    fn is_finite(self) -> bool;
+    fn from_f64(x: f64) -> Self;
+}
+
+impl NormalFloat for f64 {
+    const ZERO: Self = 0.0;
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl NormalFloat for f32 {
+    const ZERO: Self = 0.0;
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl<F: NormalFloat> Distribution<F> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; u1 is bounded away from 0 so ln(u1) is finite.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(z)
+    }
+}
+
+/// A normal (Gaussian) distribution with configurable mean and spread.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// Construct N(mean, std_dev²).
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !(std_dev.is_finite() && std_dev >= F::ZERO) {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let z: F = StandardNormal.sample(rng);
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| Distribution::<f64>::sample(&StandardNormal, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn scaled_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Normal::new(5.0f64, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn f32_sampling_compiles_and_is_finite() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = Normal::new(0.0f32, 1.0).unwrap();
+        for _ in 0..100 {
+            let x: f32 = d.sample(&mut rng);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

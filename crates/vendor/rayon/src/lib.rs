@@ -1,0 +1,303 @@
+//! Offline, API-compatible subset of the `rayon` parallel-iterator API.
+//!
+//! The build environment cannot reach crates.io, so this crate mirrors the
+//! slice of rayon the workspace uses — `into_par_iter()` on ranges,
+//! vectors, slices, and tuples (rayon's multi-zip), `par_iter_mut()`, and
+//! the adaptor/consumer methods on [`ParIter`] including rayon's
+//! two-argument `reduce(identity, op)` — but executes **sequentially** on
+//! the calling thread. Every call site keeps rayon semantics (closures
+//! must still be side-effect-free per item; reduction must still be
+//! associative), so swapping the real rayon back in is a manifest change,
+//! not a code change.
+
+/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
+/// exposing rayon's method surface.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter {
+            inner: self.inner.filter_map(f),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
+        ParIter {
+            inner: self.inner.zip(other.into_par_iter().inner),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Rayon-style reduction: fold from an identity with an associative
+    /// operator. (Sequentially this is exactly a left fold.)
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+}
+
+/// Conversion into a [`ParIter`] — rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// Rayon's multi-zip: a tuple of parallel-iterables iterates in lockstep,
+/// yielding a flat tuple per step and stopping at the shortest member.
+macro_rules! tuple_multizip {
+    ($zip:ident; $($T:ident : $idx:tt),+) => {
+        pub struct $zip<$($T),+> {
+            iters: ($($T,)+)
+        }
+
+        impl<$($T: Iterator),+> Iterator for $zip<$($T),+> {
+            type Item = ($($T::Item,)+);
+            #[inline]
+            fn next(&mut self) -> Option<Self::Item> {
+                Some(($(self.iters.$idx.next()?,)+))
+            }
+        }
+
+        impl<$($T: IntoParallelIterator),+> IntoParallelIterator for ($($T,)+) {
+            type Item = ($($T::Item,)+);
+            type Iter = $zip<$($T::Iter),+>;
+            fn into_par_iter(self) -> ParIter<Self::Iter> {
+                ParIter {
+                    inner: $zip {
+                        iters: ($(self.$idx.into_par_iter().inner,)+),
+                    },
+                }
+            }
+        }
+    };
+}
+
+tuple_multizip!(MultiZip2; A:0, B:1);
+tuple_multizip!(MultiZip3; A:0, B:1, C:2);
+tuple_multizip!(MultiZip4; A:0, B:1, C:2, D:3);
+tuple_multizip!(MultiZip5; A:0, B:1, C:2, D:3, E:4);
+tuple_multizip!(MultiZip6; A:0, B:1, C:2, D:3, E:4, F:5);
+
+/// Rayon's `par_iter` (by shared reference).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// Rayon's `par_iter_mut` (by unique reference).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_and_sum() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+        let s: usize = (0..10usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn tuple_multizip_yields_flat_tuples() {
+        let mut a = vec![1, 2, 3];
+        let mut b = vec![10, 20, 30];
+        let mut c = vec![100, 200, 300];
+        (&mut a, &mut b, &mut c)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, (x, y, z))| {
+                *x += i as i32;
+                *y += *x;
+                *z += *y;
+            });
+        assert_eq!(a, vec![1, 3, 5]);
+        assert_eq!(b, vec![11, 23, 35]);
+        assert_eq!(c, vec![111, 223, 335]);
+    }
+
+    #[test]
+    fn rayon_style_reduce() {
+        let (lo, hi) = (0..100u64)
+            .into_par_iter()
+            .map(|x| (x, x))
+            .reduce(|| (u64::MAX, 0), |a, b| (a.0.min(b.0), a.1.max(b.1)));
+        assert_eq!((lo, hi), (0, 99));
+    }
+
+    #[test]
+    fn par_iter_mut_on_slices() {
+        let mut v = vec![1.0f64; 4];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x *= i as f64);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

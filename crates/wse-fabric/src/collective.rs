@@ -36,10 +36,7 @@ pub struct LineReductionResult {
 /// multicast: tile `i` receives the sum over `j` with `1 ≤ |j−i| ≤ b`
 /// (per direction), each word stream reduced 2:1 at every hop.
 #[allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays
-pub fn simulate_line_reduction(
-    contributions: &[Vec<f64>],
-    b: usize,
-) -> LineReductionResult {
+pub fn simulate_line_reduction(contributions: &[Vec<f64>], b: usize) -> LineReductionResult {
     let n = contributions.len();
     assert!(b >= 1, "reduction distance must be at least 1");
     assert!(n >= 2);
@@ -141,7 +138,8 @@ mod tests {
     #[test]
     fn reduction_sums_are_exact() {
         let n = 14usize;
-        let contributions: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, 100.0 + i as f64]).collect();
+        let contributions: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64, 100.0 + i as f64]).collect();
         for b in 1..=4usize {
             let res = simulate_line_reduction(&contributions, b);
             for i in 0..n {
@@ -161,8 +159,7 @@ mod tests {
     fn reduction_is_contention_free() {
         for b in 1..=6usize {
             for l in 1..=4usize {
-                let contributions: Vec<Vec<f64>> =
-                    (0..20).map(|i| vec![i as f64; l]).collect();
+                let contributions: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64; l]).collect();
                 let res = simulate_line_reduction(&contributions, b);
                 assert_eq!(res.max_link_load, 1, "b={b} l={l}");
             }

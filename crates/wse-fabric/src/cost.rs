@@ -124,25 +124,101 @@ pub enum OptimizationLevel {
 pub fn fig10_campaign() -> Vec<OptimizationStep> {
     use OptimizationLevel::*;
     vec![
-        OptimizationStep { name: "first functioning EAM code", level: Tungsten, slowdown: 5.60 },
-        OptimizationStep { name: "loop vectorization: density pass", level: Tungsten, slowdown: 4.70 },
-        OptimizationStep { name: "loop vectorization: force pass", level: Tungsten, slowdown: 3.95 },
-        OptimizationStep { name: "eliminate unused multi-species support", level: Tungsten, slowdown: 3.40 },
-        OptimizationStep { name: "interleave spline terms in memory layout", level: Tungsten, slowdown: 2.95 },
-        OptimizationStep { name: "hoist candidate-loop conditionals", level: Tungsten, slowdown: 2.60 },
-        OptimizationStep { name: "fuse distance check with gather", level: Tungsten, slowdown: 2.30 },
-        OptimizationStep { name: "minimize conditional logic in reject path", level: Tungsten, slowdown: 2.10 },
-        OptimizationStep { name: "batch neighbor-list compaction", level: Tungsten, slowdown: 2.00 },
-        OptimizationStep { name: "reorder instructions to hide FP latency", level: Assembly, slowdown: 1.78 },
-        OptimizationStep { name: "reuse stream descriptors across phases", level: Assembly, slowdown: 1.58 },
-        OptimizationStep { name: "shift array offsets to avoid bank conflicts", level: Assembly, slowdown: 1.42 },
-        OptimizationStep { name: "hardware offload: segment lookup", level: Assembly, slowdown: 1.30 },
-        OptimizationStep { name: "hardware offload: fused multiply-add chains", level: Assembly, slowdown: 1.20 },
-        OptimizationStep { name: "software-pipeline embedding exchange", level: Assembly, slowdown: 1.12 },
-        OptimizationStep { name: "overlap integration with tail of force pass", level: Assembly, slowdown: 1.07 },
-        OptimizationStep { name: "pack position payloads into wide moves", level: Assembly, slowdown: 1.03 },
-        OptimizationStep { name: "retire redundant register spills", level: Assembly, slowdown: 1.01 },
-        OptimizationStep { name: "final schedule polish", level: Assembly, slowdown: 0.99 },
+        OptimizationStep {
+            name: "first functioning EAM code",
+            level: Tungsten,
+            slowdown: 5.60,
+        },
+        OptimizationStep {
+            name: "loop vectorization: density pass",
+            level: Tungsten,
+            slowdown: 4.70,
+        },
+        OptimizationStep {
+            name: "loop vectorization: force pass",
+            level: Tungsten,
+            slowdown: 3.95,
+        },
+        OptimizationStep {
+            name: "eliminate unused multi-species support",
+            level: Tungsten,
+            slowdown: 3.40,
+        },
+        OptimizationStep {
+            name: "interleave spline terms in memory layout",
+            level: Tungsten,
+            slowdown: 2.95,
+        },
+        OptimizationStep {
+            name: "hoist candidate-loop conditionals",
+            level: Tungsten,
+            slowdown: 2.60,
+        },
+        OptimizationStep {
+            name: "fuse distance check with gather",
+            level: Tungsten,
+            slowdown: 2.30,
+        },
+        OptimizationStep {
+            name: "minimize conditional logic in reject path",
+            level: Tungsten,
+            slowdown: 2.10,
+        },
+        OptimizationStep {
+            name: "batch neighbor-list compaction",
+            level: Tungsten,
+            slowdown: 2.00,
+        },
+        OptimizationStep {
+            name: "reorder instructions to hide FP latency",
+            level: Assembly,
+            slowdown: 1.78,
+        },
+        OptimizationStep {
+            name: "reuse stream descriptors across phases",
+            level: Assembly,
+            slowdown: 1.58,
+        },
+        OptimizationStep {
+            name: "shift array offsets to avoid bank conflicts",
+            level: Assembly,
+            slowdown: 1.42,
+        },
+        OptimizationStep {
+            name: "hardware offload: segment lookup",
+            level: Assembly,
+            slowdown: 1.30,
+        },
+        OptimizationStep {
+            name: "hardware offload: fused multiply-add chains",
+            level: Assembly,
+            slowdown: 1.20,
+        },
+        OptimizationStep {
+            name: "software-pipeline embedding exchange",
+            level: Assembly,
+            slowdown: 1.12,
+        },
+        OptimizationStep {
+            name: "overlap integration with tail of force pass",
+            level: Assembly,
+            slowdown: 1.07,
+        },
+        OptimizationStep {
+            name: "pack position payloads into wide moves",
+            level: Assembly,
+            slowdown: 1.03,
+        },
+        OptimizationStep {
+            name: "retire redundant register spills",
+            level: Assembly,
+            slowdown: 1.01,
+        },
+        OptimizationStep {
+            name: "final schedule polish",
+            level: Assembly,
+            slowdown: 0.99,
+        },
     ]
 }
 
@@ -208,7 +284,11 @@ mod tests {
         assert_eq!(steps.len(), 19);
         assert!((steps[0].slowdown - 5.6).abs() < 1e-9);
         for w in steps.windows(2) {
-            assert!(w[1].slowdown < w[0].slowdown, "{} did not improve", w[1].name);
+            assert!(
+                w[1].slowdown < w[0].slowdown,
+                "{} did not improve",
+                w[1].name
+            );
         }
         let last = steps.last().unwrap().slowdown;
         assert!((0.97..=1.0).contains(&last));

@@ -59,7 +59,10 @@ impl<T> Fabric<T> {
     /// Iterate `(coord, &payload)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (Coord, &T)> {
         let e = self.extent;
-        self.cells.iter().enumerate().map(move |(i, t)| (e.coord(i), t))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, t)| (e.coord(i), t))
     }
 
     /// Iterate `(coord, &mut payload)`.

@@ -197,8 +197,7 @@ pub fn simulate_neighborhood_exchange<W: Clone>(
     let mut row_data: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); extent.count()];
     let mut horizontal_cycles = 0;
     for y in 0..h {
-        let row_payloads: Vec<Vec<W>> =
-            (0..w).map(|x| payloads[y * w + x].clone()).collect();
+        let row_payloads: Vec<Vec<W>> = (0..w).map(|x| payloads[y * w + x].clone()).collect();
         let res = simulate_line_stage(&row_payloads, b);
         horizontal_cycles = horizontal_cycles.max(res.cycles);
         for x in 0..w {
@@ -278,8 +277,7 @@ mod tests {
         for b in 1..=4 {
             let res = simulate_line_stage(&payloads, b);
             for i in 0..n {
-                let mut sources: Vec<usize> =
-                    res.delivered[i].iter().map(|d| d.source).collect();
+                let mut sources: Vec<usize> = res.delivered[i].iter().map(|d| d.source).collect();
                 sources.sort_unstable();
                 let expected: Vec<usize> = (i.saturating_sub(b)..(i + b + 1).min(n))
                     .filter(|&j| j != i)
@@ -315,13 +313,10 @@ mod tests {
     fn line_stage_cycles_match_closed_form() {
         for b in 1..=5 {
             for l in 1..=8 {
-                let payloads: Vec<Vec<u32>> = (0..((b + 1) * 4)).map(|i| vec![i as u32; l]).collect();
+                let payloads: Vec<Vec<u32>> =
+                    (0..((b + 1) * 4)).map(|i| vec![i as u32; l]).collect();
                 let res = simulate_line_stage(&payloads, b);
-                assert_eq!(
-                    res.cycles,
-                    line_stage_cycles(b, l),
-                    "b={b} l={l}"
-                );
+                assert_eq!(res.cycles, line_stage_cycles(b, l), "b={b} l={l}");
             }
         }
     }

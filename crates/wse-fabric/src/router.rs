@@ -34,7 +34,11 @@ pub enum Role {
 /// A wavelet on a link: one payload word or a command list.
 #[derive(Clone, Debug, PartialEq)]
 enum Wavelet<W> {
-    Data { source: usize, word: W, last: bool },
+    Data {
+        source: usize,
+        word: W,
+        last: bool,
+    },
     /// Command list, front element is acted on / popped per Fig. 4c.
     Command(Vec<Command>),
 }
@@ -124,11 +128,9 @@ pub fn run_line_stage_event_driven<W: Clone>(
 
     // Per-tile receive assembly: (source, words so far).
     let mut delivered: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); n];
-    let mut deliver = |tile: usize, source: usize, word: W| {
-        match delivered[tile].last_mut() {
-            Some((s, words)) if *s == source => words.push(word),
-            _ => delivered[tile].push((source, vec![word])),
-        }
+    let mut deliver = |tile: usize, source: usize, word: W| match delivered[tile].last_mut() {
+        Some((s, words)) if *s == source => words.push(word),
+        _ => delivered[tile].push((source, vec![word])),
     };
 
     let mut cycles: u64 = 0;
@@ -167,8 +169,7 @@ pub fn run_line_stage_event_driven<W: Clone>(
                         // retire to Tail ("the head proceeds to the tail
                         // state").
                         if has_downstream {
-                            outgoing[x] =
-                                Some(Wavelet::Command(vec![Command::Adv, Command::Rst]));
+                            outgoing[x] = Some(Wavelet::Command(vec![Command::Adv, Command::Rst]));
                         }
                         lane.role = Role::Tail;
                         lane.has_transmitted = true;

@@ -369,32 +369,29 @@ impl WseMdSim {
                 }
             }
         } else {
-            self.force
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(c, out)| {
-                    *out = V3f::new(0.0, 0.0, 0.0);
-                    if !occ[c] {
-                        return;
+            self.force.par_iter_mut().enumerate().for_each(|(c, out)| {
+                *out = V3f::new(0.0, 0.0, 0.0);
+                if !occ[c] {
+                    return;
+                }
+                let my = pos[c];
+                let my_fp = fprime[c];
+                let mut acc = Vec3::new(0.0f32, 0.0, 0.0);
+                for &n in &nlist[c] {
+                    let n = n as usize;
+                    let d = fold.disp_f32(my, pos[n]);
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 || r2 == 0.0 {
+                        continue;
                     }
-                    let my = pos[c];
-                    let my_fp = fprime[c];
-                    let mut acc = Vec3::new(0.0f32, 0.0, 0.0);
-                    for &n in &nlist[c] {
-                        let n = n as usize;
-                        let d = fold.disp_f32(my, pos[n]);
-                        let r2 = d.norm_sq();
-                        if r2 >= rc2 || r2 == 0.0 {
-                            continue;
-                        }
-                        let r = r2.sqrt();
-                        let (_, dphi) = potential.pair(r);
-                        let (_, drho) = potential.density(r);
-                        let scalar = (my_fp + fprime[n]) * drho + dphi;
-                        acc += d.scale(scalar / r);
-                    }
-                    *out = acc;
-                });
+                    let r = r2.sqrt();
+                    let (_, dphi) = potential.pair(r);
+                    let (_, drho) = potential.density(r);
+                    let scalar = (my_fp + fprime[n]) * drho + dphi;
+                    acc += d.scale(scalar / r);
+                }
+                *out = acc;
+            });
         }
 
         // ---- Phase 4b: Verlet leap-frog integration.
@@ -422,7 +419,11 @@ impl WseMdSim {
         // halves under force symmetry (the partner's share arrives via
         // the reduction instead of being recomputed).
         let model = self.config.cost_model;
-        let inter_scale = if self.config.symmetric_forces { 0.5 } else { 1.0 };
+        let inter_scale = if self.config.symmetric_forces {
+            0.5
+        } else {
+            1.0
+        };
         let clock = wse_fabric::cost::WSE2_CLOCK_GHZ;
         let (sum_cand, sum_inter, sum_cycles, max_cycles, kin) = (0..self.occ.len())
             .into_par_iter()
@@ -457,21 +458,14 @@ impl WseMdSim {
             );
 
         let n = self.n_atoms() as f64;
-        let pair_energy: f64 = self
-            .pair_e
-            .iter()
-            .map(|&e| e as f64)
-            .sum();
+        let pair_energy: f64 = self.pair_e.iter().map(|&e| e as f64).sum();
         let stats = StepStats {
             mean_candidates: sum_cand as f64 / n,
             mean_interactions: sum_inter as f64 / n,
             cycles: sum_cycles / n,
             max_cycles,
             potential_energy: pair_energy + embed_energy,
-            kinetic_energy: 0.5
-                * self.material.mass
-                * md_core::units::MVV_TO_ENERGY
-                * kin,
+            kinetic_energy: 0.5 * self.material.mass * md_core::units::MVV_TO_ENERGY * kin,
         };
         self.cycle_trace.push(stats.cycles);
         self.step_count += 1;

@@ -162,8 +162,7 @@ impl Mapping {
             let k = atoms.len();
             let mut cur_col: i64 = -1;
             for (j, &i) in atoms.iter().enumerate() {
-                let nominal = (((positions[i].x - x0) * sx).floor() as i64)
-                    .clamp(0, w as i64 - 1);
+                let nominal = (((positions[i].x - x0) * sx).floor() as i64).clamp(0, w as i64 - 1);
                 let cap = (w - 1 - (k - 1 - j)) as i64;
                 let col = nominal.min(cap).max(cur_col + 1);
                 cur_col = col;

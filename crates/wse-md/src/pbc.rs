@@ -142,9 +142,11 @@ mod tests {
                 let y = j as f64 * 0.1;
                 let mut mi = (x - y).abs();
                 mi = mi.min(l - mi);
-                let fd = (f.fold(V3d::new(x, 0.0, 0.0)).x - f.fold(V3d::new(y, 0.0, 0.0)).x)
-                    .abs();
-                assert!(fd <= mi + 1e-12, "x={x} y={y}: folded {fd} > min-image {mi}");
+                let fd = (f.fold(V3d::new(x, 0.0, 0.0)).x - f.fold(V3d::new(y, 0.0, 0.0)).x).abs();
+                assert!(
+                    fd <= mi + 1e-12,
+                    "x={x} y={y}: folded {fd} > min-image {mi}"
+                );
             }
         }
     }
@@ -195,9 +197,6 @@ mod tests {
 
     #[test]
     fn folded_stage_adds_only_latency() {
-        assert_eq!(
-            folded_line_stage_cycles(4, 8) - line_stage_cycles(4, 8),
-            4
-        );
+        assert_eq!(folded_line_stage_cycles(4, 8) - line_stage_cycles(4, 8), 4);
     }
 }

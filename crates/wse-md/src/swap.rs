@@ -71,8 +71,8 @@ pub fn swap_round(sim: &mut WseMdSim) -> SwapReport {
             let their_xy = folded[pf].unwrap_or((0.0, 0.0));
             let their_there = local_cost(sim, p, their_occ, their_xy);
             let current = my_here.max(their_there);
-            let swapped = local_cost(sim, p, my_occ, my_xy)
-                .max(local_cost(sim, cc, their_occ, their_xy));
+            let swapped =
+                local_cost(sim, p, my_occ, my_xy).max(local_cost(sim, cc, their_occ, their_xy));
             let gain = current - swapped;
             if gain > 1e-12 {
                 match best[c] {
@@ -133,11 +133,7 @@ fn sim_core_snapshot(sim: &WseMdSim, c: usize) -> Option<(f64, f64)> {
 /// Run `steps` timesteps with a swap round every `swap_interval` steps
 /// (0 = never swap), recording the assignment cost after every step —
 /// the Fig. 9 sweep primitive.
-pub fn run_with_swaps(
-    sim: &mut WseMdSim,
-    steps: usize,
-    swap_interval: usize,
-) -> Vec<f64> {
+pub fn run_with_swaps(sim: &mut WseMdSim, steps: usize, swap_interval: usize) -> Vec<f64> {
     let mut costs = Vec::with_capacity(steps);
     for k in 0..steps {
         sim.step();

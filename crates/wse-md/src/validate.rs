@@ -79,9 +79,9 @@ pub fn validate_against_reference(sim: &WseMdSim) -> ValidationReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use md_core::materials::Species;
     use crate::driver::WseMdConfig;
     use md_core::lattice::SlabSpec;
+    use md_core::materials::Species;
     use md_core::thermostat;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -98,7 +98,12 @@ mod tests {
         let pos = spec.generate();
         let mut rng = StdRng::seed_from_u64(5);
         let vel = thermostat::maxwell_boltzmann(&mut rng, pos.len(), m.mass, t);
-        WseMdSim::new(species, &pos, &vel, WseMdConfig::open_for(pos.len(), 0.05, 2e-3))
+        WseMdSim::new(
+            species,
+            &pos,
+            &vel,
+            WseMdConfig::open_for(pos.len(), 0.05, 2e-3),
+        )
     }
 
     #[test]
@@ -150,7 +155,10 @@ mod tests {
         for (a, b) in wse_pos.iter().zip(&ref_pos) {
             max_dev = max_dev.max((*a - *b).norm());
         }
-        assert!(max_dev < 1e-3, "trajectory deviation {max_dev} Å after {steps} steps");
+        assert!(
+            max_dev < 1e-3,
+            "trajectory deviation {max_dev} Å after {steps} steps"
+        );
     }
 
     #[test]
@@ -163,7 +171,10 @@ mod tests {
         }
         let e1 = sim.total_energy();
         let per_atom = (e1 - e0).abs() / sim.n_atoms() as f64;
-        assert!(per_atom < 2e-3, "energy drift {per_atom} eV/atom over 200 steps");
+        assert!(
+            per_atom < 2e-3,
+            "energy drift {per_atom} eV/atom over 200 steps"
+        );
     }
 
     #[test]
@@ -197,7 +208,10 @@ mod tests {
         for (a, b) in pos.iter().zip(&after) {
             max_move = max_move.max((*a - *b).norm());
         }
-        assert!(max_move < 1.0, "max displacement {max_move} Å in a cold crystal");
+        assert!(
+            max_move < 1.0,
+            "max displacement {max_move} Å in a cold crystal"
+        );
         let center = {
             let c: V3d = pos.iter().copied().sum::<V3d>() / pos.len() as f64;
             (0..pos.len())

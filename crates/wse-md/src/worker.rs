@@ -33,10 +33,7 @@ impl WorkerMemoryPlan {
     /// Lay out a worker for a potential and an interior candidate count
     /// `n_candidates = (2b+1)² − 1`. The potential's tables are resampled
     /// to [`TILE_TABLE_KNOTS`] f32 knots, as the tile would store them.
-    pub fn plan(
-        potential: &EamPotential<f32>,
-        n_candidates: usize,
-    ) -> Result<Self, SramOverflow> {
+    pub fn plan(potential: &EamPotential<f32>, n_candidates: usize) -> Result<Self, SramOverflow> {
         let tile_tables: EamPotential<f32> = potential.cast_resampled(TILE_TABLE_KNOTS);
         let mut budget = SramBudget::default();
         // Own atom: id, position, velocity, force accumulator, ρ, F'.
@@ -55,10 +52,7 @@ impl WorkerMemoryPlan {
         // Neighbor list ordinals (u16 suffices for ≤ 65k candidates).
         budget.alloc("neighbor list", n_candidates * 2)?;
         // Received embedding derivatives, one per candidate slot.
-        budget.alloc(
-            "embedding buffer",
-            n_candidates * EMBEDDING_RECORD_BYTES,
-        )?;
+        budget.alloc("embedding buffer", n_candidates * EMBEDDING_RECORD_BYTES)?;
         // Per-interaction scratch (r², r⁻¹, spline segments) for the
         // vectorized force pass.
         budget.alloc("force scratch", n_candidates * 16)?;
@@ -67,7 +61,6 @@ impl WorkerMemoryPlan {
         Ok(Self { budget })
     }
 }
-
 
 /// Memory plan for a *multi-atom worker*: `k` atoms per core, the
 /// capacity extension Sec. V-C notes "could further increase the problem
@@ -100,10 +93,7 @@ impl MultiAtomMemoryPlan {
         )?;
         budget.alloc("gathered neighbors", n_candidates * 12)?;
         budget.alloc("neighbor list", k * n_candidates_per_atom * 2)?;
-        budget.alloc(
-            "embedding buffer",
-            n_candidates * EMBEDDING_RECORD_BYTES,
-        )?;
+        budget.alloc("embedding buffer", n_candidates * EMBEDDING_RECORD_BYTES)?;
         budget.alloc("force scratch", n_candidates * 16)?;
         budget.alloc("code + control reserve", 8 * 1024)?;
         Ok(Self {
@@ -163,8 +153,8 @@ mod tests {
             (Species::W, 224),
         ] {
             let pot = tile_potential(sp);
-            let plan = WorkerMemoryPlan::plan(&pot, cand)
-                .unwrap_or_else(|e| panic!("{:?}: {e}", sp));
+            let plan =
+                WorkerMemoryPlan::plan(&pot, cand).unwrap_or_else(|e| panic!("{:?}: {e}", sp));
             assert!(
                 plan.budget.used() <= plan.budget.capacity(),
                 "{:?} uses {} bytes",
@@ -185,7 +175,10 @@ mod tests {
             .filter(|(n, _)| n.contains("buffer") || n.contains("neighbor"))
             .map(|(_, b)| b)
             .sum();
-        assert!(table_bytes > buffer_bytes, "{table_bytes} vs {buffer_bytes}");
+        assert!(
+            table_bytes > buffer_bytes,
+            "{table_bytes} vs {buffer_bytes}"
+        );
     }
 
     #[test]

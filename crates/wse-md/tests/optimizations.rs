@@ -49,9 +49,7 @@ fn symmetric_forces_match_full_computation() {
         assert!(err < 1e-5, "atom {i}: {a:?} vs {b:?}");
     }
     // Energies identical (same density pass).
-    assert!(
-        (full.last_stats.potential_energy - sym.last_stats.potential_energy).abs() < 1e-6
-    );
+    assert!((full.last_stats.potential_energy - sym.last_stats.potential_energy).abs() < 1e-6);
 }
 
 #[test]
@@ -82,8 +80,7 @@ fn symmetric_forces_halve_the_interaction_charge() {
     assert!(ss.cycles < sf.cycles);
     let model = wse_fabric::cost::CostModel::paper_baseline();
     let expected_saving_ns = 0.5 * model.interaction_ns * sf.mean_interactions;
-    let actual_saving_ns =
-        (sf.cycles - ss.cycles) / wse_fabric::cost::WSE2_CLOCK_GHZ;
+    let actual_saving_ns = (sf.cycles - ss.cycles) / wse_fabric::cost::WSE2_CLOCK_GHZ;
     assert!(
         (actual_saving_ns - expected_saving_ns).abs() < 1.0,
         "saved {actual_saving_ns} ns vs expected {expected_saving_ns}"
@@ -175,5 +172,8 @@ fn swaps_invalidate_reused_lists() {
         }
     }
     let drift = (sim.total_energy() - e0).abs() / sim.n_atoms() as f64;
-    assert!(drift < 5e-3, "energy drift {drift} eV/atom across swaps+reuse");
+    assert!(
+        drift < 5e-3,
+        "energy drift {drift} eV/atom across swaps+reuse"
+    );
 }

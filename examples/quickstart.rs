@@ -35,8 +35,7 @@ fn main() {
     };
     let positions = spec.generate();
     let mut rng = StdRng::seed_from_u64(2024);
-    let velocities =
-        thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
+    let velocities = thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
 
     // One atom per core, 5% spare tiles, 2 fs timestep.
     let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);

@@ -42,8 +42,12 @@ fn main() {
     let g_gb = rdf(&gb, &gb_box, 6.0, 60);
 
     println!("== tungsten RDF: perfect BCC vs grain-boundary bicrystal ==");
-    println!("(shell radii: 1st {:.2} Å, 2nd {:.2} Å, 3rd {:.2} Å)\n",
-        Crystal::Bcc.nearest_neighbor_distance(a), a, std::f64::consts::SQRT_2 * a);
+    println!(
+        "(shell radii: 1st {:.2} Å, 2nd {:.2} Å, 3rd {:.2} Å)\n",
+        Crystal::Bcc.nearest_neighbor_distance(a),
+        a,
+        std::f64::consts::SQRT_2 * a
+    );
     println!("  r (Å) | g(r) perfect | g(r) boundary");
     for k in 24..55 {
         println!(

@@ -17,7 +17,10 @@ use wafer_md::wse::{WseMdConfig, WseMdSim};
 fn main() {
     let species = Species::Ta;
     let material = Material::new(species);
-    println!("== weak scaling (Fig. 8): {} thin slabs, 1 atom/core ==\n", species.name());
+    println!(
+        "== weak scaling (Fig. 8): {} thin slabs, 1 atom/core ==\n",
+        species.name()
+    );
     println!("    atoms |     cores | cand | inter | cycles/step | ts/s");
 
     let mut baseline_rate = None;

@@ -201,7 +201,9 @@ fn main() {
     let final_pos = sim.positions_by_atom();
     let bbox = Box3::with_periodicity(spec.dimensions(), args.periodic);
     let g = analysis::rdf(&final_pos, &bbox, material.cutoff + 1.0, 200);
-    let nn = material.crystal.nearest_neighbor_distance(material.lattice_a);
+    let nn = material
+        .crystal
+        .nearest_neighbor_distance(material.lattice_a);
     println!(
         "  RDF main peak at {:.2} Å (ideal nearest-neighbor distance {:.2} Å)",
         g.main_peak(),

@@ -1,0 +1,38 @@
+//! Invocation tests for the `wafer-md-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wafer-md-cli"))
+}
+
+#[test]
+fn help_prints_usage_and_exits_nonzero() {
+    let out = cli().arg("--help").output().expect("spawn wafer-md-cli");
+    assert_eq!(out.status.code(), Some(2), "--help exits with usage status");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: wafer-md-cli"), "stderr: {stderr}");
+    assert!(stderr.contains("--species"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = cli().arg("--no-such-flag").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
+}
+
+#[test]
+fn tiny_simulation_reports_physics_and_rate() {
+    let out = cli()
+        .args(["--nx", "4", "--ny", "4", "--nz", "1", "--steps", "5"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wafer-md:"), "stdout: {stdout}");
+    assert!(stdout.contains("atoms on"), "stdout: {stdout}");
+    assert!(stdout.contains("timesteps/s"), "stdout: {stdout}");
+    assert!(stdout.contains("RDF main peak"), "stdout: {stdout}");
+}

@@ -23,8 +23,7 @@ fn matched_pair(species: Species, nx: usize, t: f64, seed: u64) -> (WseMdSim, Ba
     };
     let positions = spec.generate();
     let mut rng = StdRng::seed_from_u64(seed);
-    let velocities =
-        thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, t);
+    let velocities = thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, t);
 
     let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
     let wse = WseMdSim::new(species, &positions, &velocities, config);
@@ -63,9 +62,12 @@ fn engines_agree_on_energy() {
     // *entering* the step; the baseline computes it at construction for
     // the same configuration.
     wse.step();
-    let per_atom = (wse.last_stats.potential_energy - baseline.potential_energy).abs()
-        / wse.n_atoms() as f64;
-    assert!(per_atom < 1e-4, "potential energy differs by {per_atom} eV/atom");
+    let per_atom =
+        (wse.last_stats.potential_energy - baseline.potential_energy).abs() / wse.n_atoms() as f64;
+    assert!(
+        per_atom < 1e-4,
+        "potential energy differs by {per_atom} eV/atom"
+    );
 }
 
 #[test]
@@ -124,8 +126,7 @@ fn periodic_boundaries_match_the_periodic_reference() {
     let positions = spec.generate();
     let dims = spec.dimensions();
     let mut rng = StdRng::seed_from_u64(23);
-    let velocities =
-        thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
+    let velocities = thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
 
     let mut config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
     config.periodic = [true, true, false];
@@ -140,8 +141,8 @@ fn periodic_boundaries_match_the_periodic_reference() {
 
     // Energy of the shared initial configuration.
     wse.step();
-    let per_atom = (wse.last_stats.potential_energy - baseline.potential_energy).abs()
-        / wse.n_atoms() as f64;
+    let per_atom =
+        (wse.last_stats.potential_energy - baseline.potential_energy).abs() / wse.n_atoms() as f64;
     assert!(per_atom < 1e-4, "PBC energy differs by {per_atom} eV/atom");
 
     // Short trajectory agreement, positions compared modulo the box.

@@ -57,15 +57,14 @@ mod wafer_md_bench_shim {
     use wafer_md::md::vec3::V3d;
     use wafer_md::wse::{WseMdConfig, WseMdSim};
 
-    pub fn controlled_grid_sim(
-        species: Species,
-        side: usize,
-        spacing: f64,
-        b: i32,
-    ) -> WseMdSim {
+    pub fn controlled_grid_sim(species: Species, side: usize, spacing: f64, b: i32) -> WseMdSim {
         let positions: Vec<V3d> = (0..side * side)
             .map(|k| {
-                V3d::new((k % side) as f64 * spacing, (k / side) as f64 * spacing, 0.0)
+                V3d::new(
+                    (k % side) as f64 * spacing,
+                    (k / side) as f64 * spacing,
+                    0.0,
+                )
             })
             .collect();
         let velocities = vec![V3d::zero(); positions.len()];

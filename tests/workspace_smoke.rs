@@ -1,0 +1,70 @@
+//! Workspace wiring smoke tests: the `wafer_md` facade must re-export
+//! every sub-crate, and the re-exported APIs must be callable end to end.
+
+use wafer_md::{baseline, fabric, md, model, wse, VERSION};
+
+#[test]
+fn version_resolves_to_the_workspace_version() {
+    assert!(!VERSION.is_empty());
+    let mut parts = VERSION.split('.');
+    for _ in 0..3 {
+        let part = parts.next().expect("semver has three components");
+        part.parse::<u64>().expect("numeric version component");
+    }
+}
+
+#[test]
+fn facade_reexports_every_subcrate() {
+    // md → md-core: materials and lattices.
+    let material = md::materials::Material::new(md::materials::Species::Cu);
+    assert_eq!(material.crystal, md::lattice::Crystal::Fcc);
+
+    // fabric → wse-fabric: geometry and the WSE-2 constants.
+    let extent = fabric::geometry::Extent::new(4, 3);
+    assert_eq!(extent.count(), 12);
+    let wse2 = fabric::geometry::WSE2_EXTENT;
+    assert!(wse2.count() >= fabric::geometry::WSE2_CORES);
+
+    // model → perf-model: the linear cost model's fit API.
+    let samples = vec![
+        model::SweepSample {
+            n_candidates: 10.0,
+            n_interactions: 2.0,
+            t_wall_ns: 120.0,
+        },
+        model::SweepSample {
+            n_candidates: 20.0,
+            n_interactions: 4.0,
+            t_wall_ns: 220.0,
+        },
+        model::SweepSample {
+            n_candidates: 40.0,
+            n_interactions: 9.0,
+            t_wall_ns: 460.0,
+        },
+    ];
+    let fit = model::fit(&samples);
+    assert!(fit.r_squared > 0.9, "r² = {}", fit.r_squared);
+
+    // baseline → md-baseline: the calibrated cluster models.
+    let gpu = baseline::ClusterModel::calibrated(
+        baseline::Machine::FrontierGpu,
+        md::materials::Species::Cu,
+    );
+    assert!(gpu.rate_at_paper_size(64.0) > 0.0);
+
+    // wse → wse-md: a real (tiny) simulation through the facade.
+    let spec = md::lattice::SlabSpec {
+        crystal: material.crystal,
+        lattice_a: material.lattice_a,
+        nx: 3,
+        ny: 3,
+        nz: 1,
+    };
+    let positions = spec.generate();
+    let velocities = vec![md::vec3::V3d::new(0.0, 0.0, 0.0); positions.len()];
+    let config = wse::WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+    let mut sim = wse::WseMdSim::new(md::materials::Species::Cu, &positions, &velocities, config);
+    sim.step();
+    assert!(sim.last_stats.potential_energy < 0.0, "cohesive slab");
+}
