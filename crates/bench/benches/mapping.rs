@@ -2,7 +2,7 @@
 //! or after major reconfiguration) and the assignment-cost evaluation
 //! (done every sampled step of the Fig. 9 experiment).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use md_core::lattice::{Crystal, SlabSpec};
 use wse_fabric::geometry::Extent;
 use wse_md::Mapping;
@@ -26,6 +26,7 @@ fn bench_mapping_build(c: &mut Criterion) {
         let cores = (pos.len() as f64 * 1.04).ceil() as usize;
         let w = (cores as f64).sqrt().ceil() as usize;
         let extent = Extent::new(w, cores.div_ceil(w));
+        group.throughput(Throughput::Elements(pos.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(pos.len()), &(), |bench, _| {
             bench.iter(|| black_box(Mapping::greedy(black_box(&pos), extent)))
         });

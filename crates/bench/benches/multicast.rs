@@ -1,7 +1,7 @@
 //! Benchmarks of the router-level marching-multicast simulation — the
 //! cycle-mode substrate that validates the communication schedule.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wse_fabric::geometry::Extent;
 use wse_fabric::multicast::{simulate_line_stage, simulate_neighborhood_exchange};
 
@@ -26,6 +26,7 @@ fn bench_full_exchange(c: &mut Criterion) {
     for (w, h, b) in [(16usize, 16usize, 2usize), (24, 24, 4)] {
         let extent = Extent::new(w, h);
         let payloads: Vec<Vec<u32>> = (0..extent.count()).map(|i| vec![i as u32; 4]).collect();
+        group.throughput(Throughput::Elements(extent.count() as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{w}x{h}_b{b}")),
             &(),

@@ -3,7 +3,7 @@
 //! and Figs. 7/8) and the LAMMPS-style baseline step it is validated
 //! against.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use md_core::materials::{Material, Species};
 use md_core::system::System;
 use wafer_md_bench::thermal_slab_sim;
@@ -13,6 +13,9 @@ fn bench_wse_step(c: &mut Criterion) {
     group.sample_size(20);
     for sp in [Species::Ta, Species::W, Species::Cu] {
         let mut sim = thermal_slab_sim(sp, 16, 2, 290.0, 0.05, 4);
+        // One iteration = one timestep over n atoms, so the recorded
+        // throughput is host atoms·steps/sec.
+        group.throughput(Throughput::Elements(sim.n_atoms() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(sp.symbol()), &(), |b, _| {
             b.iter(|| black_box(sim.step()))
         });
@@ -28,6 +31,7 @@ fn bench_wse_step_scaling(c: &mut Criterion) {
     for nx in [8usize, 16, 32] {
         let mut sim = thermal_slab_sim(Species::Ta, nx, 2, 290.0, 0.05, 4);
         let atoms = sim.n_atoms();
+        group.throughput(Throughput::Elements(atoms as u64));
         group.bench_with_input(BenchmarkId::from_parameter(atoms), &(), |b, _| {
             b.iter(|| black_box(sim.step()))
         });
@@ -47,8 +51,9 @@ fn bench_baseline_step(c: &mut Criterion) {
             ny: 16,
             nz: 2,
         };
-        let mut engine =
-            md_baseline::equilibrated_engine(System::from_slab(sp, spec), 290.0, 2e-3, 5, 4);
+        let system = System::from_slab(sp, spec);
+        group.throughput(Throughput::Elements(system.len() as u64));
+        let mut engine = md_baseline::equilibrated_engine(system, 290.0, 2e-3, 5, 4);
         group.bench_with_input(BenchmarkId::from_parameter(sp.symbol()), &(), |b, _| {
             b.iter(|| {
                 engine.step();
@@ -62,12 +67,16 @@ fn bench_baseline_step(c: &mut Criterion) {
 fn bench_swap_round(c: &mut Criterion) {
     let mut sim = thermal_slab_sim(Species::W, 12, 2, 900.0, 0.1, 4);
     sim.run(10);
-    c.bench_function("swap_round_576_atoms", |b| {
+    let atoms = sim.n_atoms() as u64;
+    let mut group = c.benchmark_group("swap");
+    group.throughput(Throughput::Elements(atoms));
+    group.bench_function("swap_round_576_atoms", |b| {
         b.iter(|| {
             sim.step();
             black_box(wse_md::swap_round(&mut sim))
         })
     });
+    group.finish();
 }
 
 criterion_group!(

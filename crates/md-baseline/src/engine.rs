@@ -5,6 +5,14 @@
 //! (Sec. IV-B): it reuses neighbor lists across timesteps (the very
 //! optimization Table V projects for the WSE), integrates in double
 //! precision, and serves as the correctness oracle for the wafer engine.
+//!
+//! The force/energy passes run on rayon's worker pool (sized by
+//! `WAFER_MD_THREADS`). Per-atom results are `collect`ed in atom order
+//! and the scalar energy accumulation is a sequential in-order fold, so
+//! trajectories are bit-identical at any thread count. (Audit note for
+//! the chunked executor: this engine has no two-argument `reduce` call
+//! sites; the only one in the workspace is the stats reduction in
+//! `wse-md`'s driver, whose identity is checked there.)
 
 use md_core::integrate;
 use md_core::neighbor::VerletList;

@@ -3,9 +3,10 @@
 //! Everything the paper compares the wafer engine against:
 //!
 //! * [`engine`] — a LAMMPS-style reference EAM engine (f64, cell-binned
-//!   Verlet lists with skin reuse, rayon-parallel force passes). This is
-//!   the correctness oracle for `wse-md` and the kernel whose per-node
-//!   performance the cluster models abstract.
+//!   Verlet lists with skin reuse, force passes fanned out over rayon's
+//!   `WAFER_MD_THREADS` worker pool with bit-deterministic reductions).
+//!   This is the correctness oracle for `wse-md` and the kernel whose
+//!   per-node performance the cluster models abstract.
 //! * [`cluster`] — calibrated strong-scaling models of Frontier (GPU) and
 //!   Quartz (CPU), solved from the paper's published peak rates and
 //!   scaling-stall node counts.

@@ -10,6 +10,7 @@
 
 use crate::system::Box3;
 use crate::vec3::V3d;
+use rayon::prelude::*;
 
 /// Uniform spatial bins of edge ≥ `cell_size` covering the atom extent.
 #[derive(Clone, Debug)]
@@ -141,6 +142,13 @@ impl CellList {
         }
     }
 
+    /// True when the 27-bin stencil can revisit a bin through periodic
+    /// wraparound (a periodic axis narrower than three cells), in which
+    /// case stencil visitors must deduplicate candidates.
+    pub fn stencil_wraps(&self, bbox: &Box3) -> bool {
+        (0..3).any(|k| bbox.periodic[k] && self.dims[k] < 3)
+    }
+
     /// Grid origin (spatial position of bin (0,0,0)).
     pub fn origin(&self) -> V3d {
         self.origin
@@ -180,36 +188,37 @@ impl VerletList {
         }
     }
 
-    /// (Re)build the lists from scratch using a cell list.
+    /// (Re)build the lists from scratch using a cell list. Per-atom
+    /// lists are built in parallel (each atom only reads the shared
+    /// cell bins), in the same stencil order as a sequential build, so
+    /// the lists — and every force sum iterating them — are identical
+    /// at any thread count.
     pub fn rebuild(&mut self, positions: &[V3d], bbox: &Box3) {
         let reach = self.cutoff + self.skin;
         let reach2 = reach * reach;
         let cells = CellList::build(positions, bbox, reach);
         let n = positions.len();
-        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
-        // Dedup guard for tiny periodic grids where the 27-stencil wraps
-        // onto the same bin more than once.
-        let mut seen = vec![usize::MAX; n];
-        for i in 0..n {
-            let list = &mut neighbors[i];
-            cells.for_each_in_stencil(cells.bin_of[i], bbox, |j| {
-                if j == i || seen[j] == i {
-                    return;
-                }
-                let d = bbox.displacement(positions[i], positions[j]);
-                if d.norm_sq() < reach2 {
-                    seen[j] = i;
-                    list.push(j);
-                }
-            });
-            // Reset the guard entries we used (cheap: only the found ones
-            // plus rejected ones remain; full reset keeps it simple and
-            // correct for the next atom).
-            for &j in list.iter() {
-                seen[j] = usize::MAX;
-            }
-        }
-        self.neighbors = neighbors;
+        // Candidate duplicates only exist when the stencil wraps onto the
+        // same bin (tiny periodic grids, where lists are short and a
+        // linear membership scan is cheap).
+        let dedup = cells.stencil_wraps(bbox);
+        let cells = &cells;
+        self.neighbors = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut list = Vec::new();
+                cells.for_each_in_stencil(cells.bin_of[i], bbox, |j| {
+                    if j == i || (dedup && list.contains(&j)) {
+                        return;
+                    }
+                    let d = bbox.displacement(positions[i], positions[j]);
+                    if d.norm_sq() < reach2 {
+                        list.push(j);
+                    }
+                });
+                list
+            })
+            .collect();
         self.ref_positions = positions.to_vec();
         self.rebuild_count += 1;
     }

@@ -2,14 +2,25 @@
 //!
 //! Provides the surface the workspace's benches use — `Criterion`,
 //! `benchmark_group`/`bench_with_input`/`bench_function`, `BenchmarkId`,
-//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
-//! backed by a minimal wall-clock harness: each benchmark is warmed up
-//! once, then timed over a batch sized to the group's `sample_size`, and
-//! the mean time per iteration is printed. No statistics, plots, or
-//! baselines; CI only compiles benches (`cargo bench --no-run`), and
-//! local runs give a rough-but-honest per-iteration number.
+//! [`Throughput`], `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — backed by a minimal wall-clock harness:
+//! each benchmark is warmed up once, then timed over a batch sized to
+//! the group's `sample_size`, and the mean time per iteration is
+//! printed. No statistics, plots, or baselines.
+//!
+//! On top of the console report, every bench binary records its
+//! measurements and — from `criterion_main!` — merges them into a
+//! machine-readable **`BENCH_results.json`** (path overridable via
+//! `BENCH_RESULTS_PATH`): one entry per benchmark with the name, mean
+//! wall time per iteration, iteration count, optional throughput
+//! element count (atoms × steps for the MD benches), the derived
+//! elements/sec rate, and the `WAFER_MD_THREADS` worker-pool size the
+//! numbers were taken at. CI's `bench-smoke` job uploads this file as
+//! the perf-regression trajectory; `BENCH_SAMPLE_SIZE` overrides every
+//! group's sample size so a short CI budget still produces entries.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -34,6 +45,52 @@ impl BenchmarkId {
     }
 }
 
+/// Work performed per iteration, for derived rates (real criterion's
+/// `Throughput`, reduced to the one variant the workspace uses).
+/// `Elements` is atoms stepped per iteration for the MD benches, making
+/// the derived rate atoms·steps/sec.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+}
+
+impl Throughput {
+    fn elements(&self) -> u64 {
+        match *self {
+            Throughput::Elements(n) => n,
+        }
+    }
+}
+
+/// One recorded measurement, destined for `BENCH_results.json`.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub name: String,
+    pub nanos_per_iter: f64,
+    pub iters: u64,
+    pub elements_per_iter: Option<u64>,
+    /// Worker-pool size this entry was measured at. Recorded per entry
+    /// because a merged file can mix measurements from different runs.
+    pub threads: usize,
+}
+
+fn recorder() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// `BENCH_SAMPLE_SIZE` overrides every group's sample size (CI's short
+/// bench-smoke budget).
+fn sample_size_override() -> Option<u64> {
+    static OVERRIDE: OnceLock<Option<u64>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
 /// Passed to the measured closure; `iter` runs and times the payload.
 pub struct Bencher {
     iters: u64,
@@ -52,8 +109,8 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, nanos: f64) {
-    let (value, unit) = if nanos >= 1e9 {
+fn fmt_nanos(nanos: f64) -> (f64, &'static str) {
+    if nanos >= 1e9 {
         (nanos / 1e9, "s")
     } else if nanos >= 1e6 {
         (nanos / 1e6, "ms")
@@ -61,14 +118,33 @@ fn report(name: &str, nanos: f64) {
         (nanos / 1e3, "µs")
     } else {
         (nanos, "ns")
-    };
-    println!("{name:<40} time: {value:>10.3} {unit}/iter");
+    }
 }
 
-/// A named group of benchmarks sharing a sample size.
+fn report(name: &str, nanos: f64, iters: u64, throughput: Option<Throughput>) {
+    let (value, unit) = fmt_nanos(nanos);
+    let elements = throughput.map(|t| t.elements());
+    match elements.filter(|_| nanos > 0.0) {
+        Some(n) => {
+            let rate = n as f64 * 1e9 / nanos;
+            println!("{name:<40} time: {value:>10.3} {unit}/iter   thrpt: {rate:>14.0} elem/s");
+        }
+        None => println!("{name:<40} time: {value:>10.3} {unit}/iter"),
+    }
+    recorder().lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        nanos_per_iter: nanos,
+        iters,
+        elements_per_iter: elements,
+        threads: rayon::current_num_threads(),
+    });
+}
+
+/// A named group of benchmarks sharing a sample size and throughput.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -78,17 +154,34 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Set the per-iteration work accounted to subsequent benches in
+    /// this group (set it again per input inside sweep loops).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn effective_sample_size(&self) -> u64 {
+        sample_size_override().unwrap_or(self.sample_size)
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        let iters = self.effective_sample_size();
         let mut b = Bencher {
-            iters: self.sample_size,
+            iters,
             nanos_per_iter: 0.0,
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.id), b.nanos_per_iter);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.nanos_per_iter,
+            iters,
+            self.throughput,
+        );
         self
     }
 
@@ -101,12 +194,18 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        let iters = self.effective_sample_size();
         let mut b = Bencher {
-            iters: self.sample_size,
+            iters,
             nanos_per_iter: 0.0,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), b.nanos_per_iter);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.nanos_per_iter,
+            iters,
+            self.throughput,
+        );
         self
     }
 
@@ -148,6 +247,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.default_sample_size,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -156,16 +256,153 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        let iters = sample_size_override().unwrap_or(self.default_sample_size);
         let mut b = Bencher {
-            iters: self.default_sample_size,
+            iters,
             nanos_per_iter: 0.0,
         };
         f(&mut b);
-        report(name, b.nanos_per_iter);
+        report(name, b.nanos_per_iter, iters, None);
         self
     }
 
     pub fn final_summary(&mut self) {}
+}
+
+// ---------------------------------------------------------------------
+// BENCH_results.json emission
+// ---------------------------------------------------------------------
+
+/// Default output file name, placed at the workspace root.
+pub const DEFAULT_RESULTS_FILE: &str = "BENCH_results.json";
+
+/// Resolve the output path: `BENCH_RESULTS_PATH` wins; otherwise walk
+/// up from the bench binary's working directory (cargo sets it to the
+/// *package* root) to the nearest ancestor holding a `Cargo.lock` — the
+/// workspace root — so all bench binaries merge into one file.
+fn results_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_RESULTS_PATH") {
+        return p.into();
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join(DEFAULT_RESULTS_FILE);
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join(DEFAULT_RESULTS_FILE),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract `"key": <string>` from one machine-written entry line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract `"key": <number>` from one machine-written entry line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find([',', '}']).map(|e| e + start)?;
+    line[start..end].trim().parse().ok()
+}
+
+/// Parse entries out of a previously-written results file. This is not
+/// a general JSON parser — it understands exactly the one-entry-per-line
+/// format [`write_results`] emits, which is all it ever reads.
+fn parse_existing(contents: &str) -> Vec<BenchRecord> {
+    contents
+        .lines()
+        .filter(|l| l.contains("\"name\":"))
+        .filter_map(|line| {
+            Some(BenchRecord {
+                name: json_str_field(line, "name")?,
+                nanos_per_iter: json_num_field(line, "nanos_per_iter")?,
+                iters: json_num_field(line, "iters")? as u64,
+                elements_per_iter: json_num_field(line, "elements_per_iter").map(|v| v as u64),
+                threads: json_num_field(line, "threads")
+                    .map(|v| v as usize)
+                    .unwrap_or(1),
+            })
+        })
+        .collect()
+}
+
+fn render_results(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let mut entry = format!(
+            "    {{\"name\": \"{}\", \"nanos_per_iter\": {:.3}, \"iters\": {}, \"threads\": {}",
+            json_escape(&r.name),
+            r.nanos_per_iter,
+            r.iters,
+            r.threads
+        );
+        if let Some(n) = r.elements_per_iter {
+            let rate = if r.nanos_per_iter > 0.0 {
+                n as f64 * 1e9 / r.nanos_per_iter
+            } else {
+                0.0
+            };
+            entry.push_str(&format!(
+                ", \"elements_per_iter\": {n}, \"elements_per_sec\": {rate:.1}"
+            ));
+        }
+        entry.push_str(&format!("}}{sep}\n"));
+        out.push_str(&entry);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Merge this process's recorded measurements into the results file:
+/// entries re-measured here replace their previous values, entries from
+/// other bench binaries are kept, and the output is sorted by name so
+/// the perf trajectory diffs cleanly between commits.
+///
+/// Called automatically by `criterion_main!`; harmless when no
+/// measurements were recorded.
+pub fn write_results() {
+    let fresh = recorder().lock().unwrap().clone();
+    if fresh.is_empty() {
+        return;
+    }
+    let path = results_path();
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+        .map(|s| parse_existing(&s))
+        .unwrap_or_default();
+    merged.retain(|old| !fresh.iter().any(|new| new.name == old.name));
+    merged.extend(fresh);
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    let body = render_results(&merged);
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("\nwrote {} entries to {}", merged.len(), path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Declare a group function that runs each benchmark target in order.
@@ -180,11 +417,14 @@ macro_rules! criterion_group {
 }
 
 /// Declare `main` for a bench binary (requires `harness = false`).
+/// After all groups run, the recorded measurements are merged into
+/// `BENCH_results.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_results();
         }
     };
 }
@@ -211,5 +451,54 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::from_parameter("Cu").id, "Cu");
         assert_eq!(BenchmarkId::new("step", 64).id, "step/64");
+    }
+
+    #[test]
+    fn throughput_is_recorded_per_bench() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("thrpt_smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(400));
+        group.bench_function("stepper", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        let records = recorder().lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.name == "thrpt_smoke/stepper")
+            .expect("record missing");
+        assert_eq!(r.elements_per_iter, Some(400));
+        assert_eq!(r.iters, 2);
+    }
+
+    #[test]
+    fn results_render_and_reparse_round_trip() {
+        let records = vec![
+            BenchRecord {
+                name: "a/b".into(),
+                nanos_per_iter: 1234.5,
+                iters: 10,
+                elements_per_iter: Some(400),
+                threads: 4,
+            },
+            BenchRecord {
+                name: "c".into(),
+                nanos_per_iter: 7.0,
+                iters: 3,
+                elements_per_iter: None,
+                threads: 1,
+            },
+        ];
+        let body = render_results(&records);
+        assert!(body.contains("\"threads\": 4"));
+        assert!(body.contains("\"elements_per_sec\""));
+        let parsed = parse_existing(&body);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a/b");
+        assert_eq!(parsed[0].elements_per_iter, Some(400));
+        assert_eq!(parsed[0].iters, 10);
+        assert_eq!(parsed[0].threads, 4);
+        assert!((parsed[0].nanos_per_iter - 1234.5).abs() < 1e-9);
+        assert_eq!(parsed[1].elements_per_iter, None);
+        assert_eq!(parsed[1].threads, 1);
     }
 }

@@ -1,116 +1,287 @@
-//! Offline, API-compatible subset of the `rayon` parallel-iterator API.
+//! Offline, API-compatible subset of the `rayon` parallel-iterator API
+//! with a real multithreaded executor.
 //!
-//! The build environment cannot reach crates.io, so this crate mirrors the
-//! slice of rayon the workspace uses — `into_par_iter()` on ranges,
-//! vectors, slices, and tuples (rayon's multi-zip), `par_iter_mut()`, and
-//! the adaptor/consumer methods on [`ParIter`] including rayon's
-//! two-argument `reduce(identity, op)` — but executes **sequentially** on
-//! the calling thread. Every call site keeps rayon semantics (closures
-//! must still be side-effect-free per item; reduction must still be
-//! associative), so swapping the real rayon back in is a manifest change,
-//! not a code change.
+//! The build environment cannot reach crates.io, so this crate mirrors
+//! the slice of rayon the workspace uses — `into_par_iter()` on ranges,
+//! vectors, slices, and tuples (rayon's multi-zip), `par_iter()` /
+//! `par_iter_mut()`, and the adaptor/consumer methods on [`ParIter`]
+//! including rayon's two-argument `reduce(identity, op)` — and executes
+//! it on a `std::thread` worker pool (see [`pool`]'s module docs) sized
+//! from `WAFER_MD_THREADS` (default: available parallelism; `1` keeps
+//! everything on the calling thread).
+//!
+//! ## Execution model
+//!
+//! A parallel iterator is a materialized vector of *base items* plus a
+//! composed per-item transform built up by `map`/`filter`/`filter_map`.
+//! Consumers split the base into chunks and run the transform plus the
+//! consuming operation chunk-by-chunk on the pool.
+//!
+//! ## Determinism
+//!
+//! Unlike real rayon, every reduction here is **bit-deterministic across
+//! thread counts**: the chunk layout is a pure function of the item
+//! count (never of the thread count — see [`chunk_len`]), per-chunk
+//! folds run left-to-right in item order, and chunk partials are
+//! combined left-to-right in chunk-index order. Changing
+//! `WAFER_MD_THREADS` changes which thread executes a chunk, never what
+//! is computed. CI's determinism job relies on this.
+//!
+//! ## Contract differences from sequential iterators
+//!
+//! * Closures passed to adaptors and consumers must be `Fn` (not
+//!   `FnMut`) and, at the consumers, `Sync`: they run concurrently.
+//! * `reduce(identity, op)` folds `identity()` into **every chunk**, so
+//!   `identity()` must be a true identity of `op` (rayon's own
+//!   contract), and `op` must be associative.
+//! * `enumerate`/`zip` index the *base* items; like real rayon (where
+//!   both require `IndexedParallelIterator`) they must not be applied
+//!   after a `filter`/`filter_map`.
 
-/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
-/// exposing rayon's method surface.
-pub struct ParIter<I> {
-    inner: I,
+mod pool;
+
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+pub use pool::{current_num_threads, set_num_threads, THREADS_ENV};
+
+/// Largest number of chunks a parallel region is split into.
+const MAX_CHUNKS: usize = 64;
+
+/// Chunk length for `n` items — a pure function of `n`, never of the
+/// thread count, so every reduction's combine tree is fixed and results
+/// are bit-identical at any `WAFER_MD_THREADS`. Small item counts get
+/// one-item chunks: coarse-grained loops (e.g. one item = a whole
+/// fabric row simulation) are exactly the ones that need every item to
+/// be schedulable on its own.
+fn chunk_len(n: usize) -> usize {
+    n.div_ceil(MAX_CHUNKS)
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+/// Split `items` into deterministic chunks, run `f` over each chunk on
+/// the pool, and return the per-chunk results in chunk-index order.
+fn run_chunked<B, R, F>(items: Vec<B>, f: F) -> Vec<R>
+where
+    B: Send,
+    R: Send,
+    F: Fn(Vec<B>) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let len = chunk_len(n);
+    let n_chunks = n.div_ceil(len);
+    // Split from the back so each split_off copies only the chunk it
+    // removes (splitting from the front would recopy the whole tail at
+    // every boundary — O(n × chunks) moves instead of O(n)).
+    let mut chunks: Vec<Mutex<Option<Vec<B>>>> = Vec::with_capacity(n_chunks);
+    let mut rest = items;
+    for i in (0..n_chunks).rev() {
+        let tail = rest.split_off(i * len);
+        chunks.push(Mutex::new(Some(tail)));
+    }
+    chunks.reverse();
+    let results: Vec<Mutex<Option<R>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let task = |i: usize| {
+        let chunk = chunks[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("chunk dispensed twice");
+        let r = f(chunk);
+        *results[i].lock().unwrap() = Some(r);
+    };
+    pool::run(chunks.len(), &task);
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("missing chunk result"))
+        .collect()
+}
+
+/// A parallel iterator: materialized base items of type `B` plus a
+/// composed per-item transform `B -> Option<T>` (`None` = filtered out).
+pub struct ParIter<B, T, F> {
+    base: Vec<B>,
+    f: F,
+    _item: PhantomData<fn() -> T>,
+}
+
+impl<B, T, F> ParIter<B, T, F>
+where
+    F: Fn(B) -> Option<T>,
+{
+    fn with(base: Vec<B>, f: F) -> Self {
+        ParIter {
+            base,
+            f,
+            _item: PhantomData,
+        }
+    }
+
+    pub fn map<R, G>(self, g: G) -> ParIter<B, R, impl Fn(B) -> Option<R>>
     where
-        F: FnMut(I::Item) -> R,
+        G: Fn(T) -> R,
     {
-        ParIter {
-            inner: self.inner.map(f),
-        }
+        let f = self.f;
+        ParIter::with(self.base, move |b| f(b).map(&g))
     }
 
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    pub fn filter<P>(self, p: P) -> ParIter<B, T, impl Fn(B) -> Option<T>>
     where
-        F: FnMut(&I::Item) -> bool,
+        P: Fn(&T) -> bool,
     {
-        ParIter {
-            inner: self.inner.filter(f),
-        }
+        let f = self.f;
+        ParIter::with(self.base, move |b| f(b).filter(&p))
     }
 
-    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    pub fn filter_map<R, G>(self, g: G) -> ParIter<B, R, impl Fn(B) -> Option<R>>
     where
-        F: FnMut(I::Item) -> Option<R>,
+        G: Fn(T) -> Option<R>,
     {
-        ParIter {
-            inner: self.inner.filter_map(f),
-        }
+        let f = self.f;
+        ParIter::with(self.base, move |b| f(b).and_then(&g))
     }
 
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter {
-            inner: self.inner.enumerate(),
-        }
+    /// Pair every item with its base index. Must precede any filtering
+    /// (rayon: `enumerate` requires an indexed iterator).
+    #[allow(clippy::type_complexity)]
+    pub fn enumerate(
+        self,
+    ) -> ParIter<(usize, B), (usize, T), impl Fn((usize, B)) -> Option<(usize, T)>> {
+        let f = self.f;
+        let base: Vec<(usize, B)> = self.base.into_iter().enumerate().collect();
+        ParIter::with(base, move |(i, b)| f(b).map(|t| (i, t)))
     }
 
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
-        ParIter {
-            inner: self.inner.zip(other.into_par_iter().inner),
-        }
-    }
-
-    pub fn for_each<F>(self, f: F)
+    /// Iterate in lockstep with another parallel iterable, stopping at
+    /// the shorter one. Must precede any filtering (rayon: `zip`
+    /// requires indexed iterators).
+    #[allow(clippy::type_complexity)]
+    pub fn zip<J>(
+        self,
+        other: J,
+    ) -> ParIter<(B, J::Item), (T, J::Item), impl Fn((B, J::Item)) -> Option<(T, J::Item)>>
     where
-        F: FnMut(I::Item),
+        J: IntoParallelIterator,
     {
-        self.inner.for_each(f)
+        let f = self.f;
+        let base: Vec<(B, J::Item)> = self.base.into_iter().zip(other.into_par_vec()).collect();
+        ParIter::with(base, move |(b, o)| f(b).map(|t| (t, o)))
+    }
+}
+
+impl<B, T, F> ParIter<B, T, F>
+where
+    B: Send,
+    T: Send,
+    F: Fn(B) -> Option<T> + Sync,
+{
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let f = self.f;
+        run_chunked(self.base, |chunk| {
+            for b in chunk {
+                if let Some(t) = f(b) {
+                    g(t);
+                }
+            }
+        });
     }
 
     pub fn count(self) -> usize {
-        self.inner.count()
+        let f = self.f;
+        run_chunked(self.base, |chunk| chunk.into_iter().filter_map(&f).count())
+            .into_iter()
+            .sum()
     }
 
+    /// Sum per chunk, then sum the chunk partials in chunk-index order
+    /// (the fixed combine order that makes float sums bit-stable across
+    /// thread counts).
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: Send + Sum<T> + Sum<S>,
     {
-        self.inner.sum()
+        let f = self.f;
+        run_chunked(self.base, |chunk| {
+            chunk.into_iter().filter_map(&f).sum::<S>()
+        })
+        .into_iter()
+        .sum()
     }
 
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<T>,
     {
-        self.inner.collect()
+        let f = self.f;
+        run_chunked(self.base, |chunk| {
+            chunk.into_iter().filter_map(&f).collect::<Vec<T>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
-    /// Rayon-style reduction: fold from an identity with an associative
-    /// operator. (Sequentially this is exactly a left fold.)
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon-style reduction: every chunk folds from `identity()` in
+    /// item order, and the chunk partials fold from `identity()` in
+    /// chunk-index order. `identity()` must be a true identity of `op`
+    /// and `op` must be associative — the combine *tree* differs from a
+    /// sequential left fold, but never varies with the thread count.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
     {
-        self.inner.fold(identity(), op)
+        let f = self.f;
+        run_chunked(self.base, |chunk| {
+            chunk.into_iter().filter_map(&f).fold(identity(), &op)
+        })
+        .into_iter()
+        .fold(identity(), op)
     }
 
-    pub fn max(self) -> Option<I::Item>
+    pub fn max(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.inner.max()
+        let f = self.f;
+        run_chunked(self.base, |chunk| chunk.into_iter().filter_map(&f).max())
+            .into_iter()
+            .flatten()
+            .max()
     }
 
-    pub fn min(self) -> Option<I::Item>
+    pub fn min(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.inner.min()
+        let f = self.f;
+        run_chunked(self.base, |chunk| chunk.into_iter().filter_map(&f).min())
+            .into_iter()
+            .flatten()
+            .min()
     }
 }
 
 /// Conversion into a [`ParIter`] — rayon's `IntoParallelIterator`.
 pub trait IntoParallelIterator {
     type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+
+    /// Materialize the base items in sequential order.
+    fn into_par_vec(self) -> Vec<Self::Item>;
+
+    #[allow(clippy::type_complexity)]
+    fn into_par_iter(self) -> ParIter<Self::Item, Self::Item, fn(Self::Item) -> Option<Self::Item>>
+    where
+        Self: Sized,
+    {
+        ParIter::with(self.into_par_vec(), Some)
+    }
 }
 
 impl<T> IntoParallelIterator for std::ops::Range<T>
@@ -118,127 +289,114 @@ where
     std::ops::Range<T>: Iterator<Item = T>,
 {
     type Item = T;
-    type Iter = std::ops::Range<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
+    fn into_par_vec(self) -> Vec<T> {
+        self.collect()
     }
 }
 
 impl<T> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter {
-            inner: self.into_iter(),
-        }
+    fn into_par_vec(self) -> Vec<T> {
+        self
     }
 }
 
 impl<'a, T> IntoParallelIterator for &'a Vec<T> {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+    fn into_par_vec(self) -> Vec<&'a T> {
+        self.iter().collect()
     }
 }
 
 impl<'a, T> IntoParallelIterator for &'a [T] {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+    fn into_par_vec(self) -> Vec<&'a T> {
+        self.iter().collect()
     }
 }
 
 impl<'a, T> IntoParallelIterator for &'a mut Vec<T> {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter {
-            inner: self.iter_mut(),
-        }
+    fn into_par_vec(self) -> Vec<&'a mut T> {
+        self.iter_mut().collect()
     }
 }
 
 impl<'a, T> IntoParallelIterator for &'a mut [T] {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter {
-            inner: self.iter_mut(),
-        }
+    fn into_par_vec(self) -> Vec<&'a mut T> {
+        self.iter_mut().collect()
     }
 }
 
-/// Rayon's multi-zip: a tuple of parallel-iterables iterates in lockstep,
-/// yielding a flat tuple per step and stopping at the shortest member.
+/// Rayon's multi-zip: a tuple of parallel-iterables iterates in
+/// lockstep, yielding a flat tuple per step, stopping at the shortest
+/// member.
 macro_rules! tuple_multizip {
-    ($zip:ident; $($T:ident : $idx:tt),+) => {
-        pub struct $zip<$($T),+> {
-            iters: ($($T,)+)
-        }
-
-        impl<$($T: Iterator),+> Iterator for $zip<$($T),+> {
-            type Item = ($($T::Item,)+);
-            #[inline]
-            fn next(&mut self) -> Option<Self::Item> {
-                Some(($(self.iters.$idx.next()?,)+))
-            }
-        }
-
+    ($($T:ident : $idx:tt),+) => {
         impl<$($T: IntoParallelIterator),+> IntoParallelIterator for ($($T,)+) {
             type Item = ($($T::Item,)+);
-            type Iter = $zip<$($T::Iter),+>;
-            fn into_par_iter(self) -> ParIter<Self::Iter> {
-                ParIter {
-                    inner: $zip {
-                        iters: ($(self.$idx.into_par_iter().inner,)+),
-                    },
+            #[allow(non_snake_case)]
+            fn into_par_vec(self) -> Vec<Self::Item> {
+                // Type idents double as value idents (separate
+                // namespaces): each member becomes its own iterator.
+                $(let mut $T = self.$idx.into_par_vec().into_iter();)+
+                let mut out = Vec::new();
+                loop {
+                    let item = ($(
+                        match $T.next() {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => break,
+                        },
+                    )+);
+                    out.push(item);
                 }
+                out
             }
         }
     };
 }
 
-tuple_multizip!(MultiZip2; A:0, B:1);
-tuple_multizip!(MultiZip3; A:0, B:1, C:2);
-tuple_multizip!(MultiZip4; A:0, B:1, C:2, D:3);
-tuple_multizip!(MultiZip5; A:0, B:1, C:2, D:3, E:4);
-tuple_multizip!(MultiZip6; A:0, B:1, C:2, D:3, E:4, F:5);
+tuple_multizip!(A:0, B:1);
+tuple_multizip!(A:0, B:1, C:2);
+tuple_multizip!(A:0, B:1, C:2, D:3);
+tuple_multizip!(A:0, B:1, C:2, D:3, E:4);
+tuple_multizip!(A:0, B:1, C:2, D:3, E:4, F:5);
 
 /// Rayon's `par_iter` (by shared reference).
 pub trait IntoParallelRefIterator<'a> {
     type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    #[allow(clippy::type_complexity)]
+    fn par_iter(&'a self) -> ParIter<Self::Item, Self::Item, fn(Self::Item) -> Option<Self::Item>>;
 }
 
 impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'a self) -> ParIter<&'a T, &'a T, fn(&'a T) -> Option<&'a T>> {
+        ParIter::with(self.iter().collect(), Some)
     }
 }
 
 /// Rayon's `par_iter_mut` (by unique reference).
 pub trait IntoParallelRefMutIterator<'a> {
     type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    #[allow(clippy::type_complexity)]
+    fn par_iter_mut(
+        &'a mut self,
+    ) -> ParIter<Self::Item, Self::Item, fn(Self::Item) -> Option<Self::Item>>;
 }
 
 impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
     type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
-        ParIter {
-            inner: self.iter_mut(),
-        }
+    fn par_iter_mut(
+        &'a mut self,
+    ) -> ParIter<&'a mut T, &'a mut T, fn(&'a mut T) -> Option<&'a mut T>> {
+        ParIter::with(self.iter_mut().collect(), Some)
     }
 }
 
-/// Sequential stand-in for `rayon::join`.
+/// Sequential stand-in for `rayon::join` (no call sites need true
+/// fork-join; the iterator layer is where the parallelism lives).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
@@ -299,5 +457,83 @@ mod tests {
             .enumerate()
             .for_each(|(i, x)| *x *= i as f64);
         assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn filter_and_filter_map_drop_items() {
+        let evens: Vec<u32> = (0..100u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        let halves: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x / 2))
+            .collect();
+        assert_eq!(halves, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a: Vec<u32> = (0..40).collect();
+        let b: Vec<u32> = (100..140).collect();
+        let pairs: Vec<(u32, u32)> = a.into_par_iter().zip(b).collect();
+        assert_eq!(pairs[0], (0, 100));
+        assert_eq!(pairs[39], (39, 139));
+    }
+
+    /// The determinism contract: float reductions are bit-identical at
+    /// every thread count because the chunk-combine order is fixed.
+    #[test]
+    fn float_sums_are_bit_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64) * 0.7311).sin() * 1e-3 + 1.0 / (i as f64 + 1.0))
+            .collect();
+        let sum_at = |threads: usize| -> u64 {
+            crate::set_num_threads(threads);
+            let s: f64 = data.par_iter().map(|&x| x * x + 0.5 * x).sum();
+            crate::set_num_threads(0);
+            s.to_bits()
+        };
+        let reference = sum_at(1);
+        for threads in [2usize, 3, 4, 8] {
+            assert_eq!(sum_at(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..5_000).map(|i| ((i as f64) * 1.313).cos()).collect();
+        let reduce_at = |threads: usize| -> (u64, u64) {
+            crate::set_num_threads(threads);
+            let (sum, max) = data.par_iter().map(|&x| (x, x)).reduce(
+                || (0.0f64, f64::NEG_INFINITY),
+                |a, b| (a.0 + b.0, a.1.max(b.1)),
+            );
+            crate::set_num_threads(0);
+            (sum.to_bits(), max.to_bits())
+        };
+        let reference = reduce_at(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(reduce_at(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn large_for_each_writes_every_slot() {
+        crate::set_num_threads(4);
+        let mut v = vec![0u64; 4096];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = (i as u64) * 3 + 1);
+        crate::set_num_threads(0);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i as u64) * 3 + 1, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_order_under_parallelism() {
+        crate::set_num_threads(4);
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        crate::set_num_threads(0);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
     }
 }

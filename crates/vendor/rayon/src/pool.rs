@@ -1,0 +1,339 @@
+//! The `std::thread` worker pool behind the parallel iterators.
+//!
+//! One process-wide pool executes *parallel regions*: a region is a set
+//! of `n_tasks` independent chunk tasks drawn from a shared atomic
+//! dispenser. The calling thread always participates; up to
+//! `threads − 1` pool workers join it. Workers are spawned lazily (and
+//! grown on demand when the configured thread count rises) and parked on
+//! a condvar between regions, so a region dispatch costs one mutex
+//! critical section plus a wakeup — cheap enough to run inside an MD
+//! timestep loop.
+//!
+//! The thread count comes from the `WAFER_MD_THREADS` environment
+//! variable (default: the machine's available parallelism; `1` disables
+//! the pool and preserves sequential execution). [`set_num_threads`]
+//! overrides it at runtime, which the determinism test suite uses to
+//! prove results are identical at any thread count.
+//!
+//! Safety: the region descriptor holds raw pointers into the stack frame
+//! of the thread inside [`run`]. That frame cannot unwind or return
+//! until the chunk dispenser is exhausted **and** every worker has
+//! checked out of the region (`workers_in_region == 0`), and workers
+//! only dereference the pointers while holding a check-in slot, so the
+//! pointers are dereferenced only while the frame is pinned.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Environment variable selecting the worker-pool size.
+pub const THREADS_ENV: &str = "WAFER_MD_THREADS";
+
+/// Hard ceiling on pool workers regardless of configuration.
+const MAX_WORKERS: usize = 63;
+
+/// First panic payload captured inside a region, re-thrown by the caller.
+type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
+
+/// A parallel region: `n_tasks` chunk tasks executed cooperatively.
+#[derive(Clone, Copy)]
+struct Region {
+    task: *const (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    /// Next undispensed chunk index.
+    next: *const AtomicUsize,
+    /// First panic payload from any chunk, if one panicked.
+    panic: *const PanicSlot,
+}
+
+// SAFETY: the pointers are dereferenced only under the check-in protocol
+// documented at module level; the pointed-to values are Sync.
+unsafe impl Send for Region {}
+
+struct State {
+    region: Option<Region>,
+    /// Bumped once per region so a worker can tell fresh work from a
+    /// region it already left.
+    generation: u64,
+    /// Workers currently checked into the active region.
+    workers_in_region: usize,
+    /// Workers that have joined the active region (monotonic per region).
+    region_entries: usize,
+    /// Cap on `region_entries` (the caller participates on top of this).
+    region_limit: usize,
+    workers_spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers park here between regions.
+    work_cv: Condvar,
+    /// The region caller parks here while workers drain the dispenser.
+    done_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            region: None,
+            generation: 0,
+            workers_in_region: 0,
+            region_entries: 0,
+            region_limit: 0,
+            workers_spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runtime override of the thread count; 0 means "use the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let default = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                // 0 or garbage: fall back to the hardware default.
+                _ => default(),
+            },
+            Err(_) => default(),
+        }
+    })
+}
+
+/// The number of threads parallel regions currently use (caller
+/// included). Mirrors rayon's `current_num_threads`.
+pub fn current_num_threads() -> usize {
+    let n = match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    };
+    n.clamp(1, MAX_WORKERS + 1)
+}
+
+/// Override the thread count for subsequent parallel regions (`0`
+/// reverts to the `WAFER_MD_THREADS` / hardware default).
+///
+/// This is an offline-subset extension used by the determinism tests:
+/// because every reduction combines fixed chunks in a fixed order,
+/// results must be bit-identical under any value passed here.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+fn run_inline(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    for i in 0..n_tasks {
+        task(i);
+    }
+}
+
+/// Execute chunk indices from the region's dispenser until exhausted.
+fn execute_chunks(region: Region) {
+    // SAFETY: see the module-level check-in protocol.
+    let (task, next, panic_slot) = unsafe { (&*region.task, &*region.next, &*region.panic) };
+    loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= region.n_tasks {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            let mut slot = panic_slot.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    let mut last_generation = 0u64;
+    loop {
+        let region = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                match st.region {
+                    Some(region)
+                        if st.generation != last_generation
+                            && st.region_entries < st.region_limit =>
+                    {
+                        st.region_entries += 1;
+                        st.workers_in_region += 1;
+                        last_generation = st.generation;
+                        break region;
+                    }
+                    _ => st = pool.work_cv.wait(st).unwrap(),
+                }
+            }
+        };
+        execute_chunks(region);
+        let mut st = pool.state.lock().unwrap();
+        st.workers_in_region -= 1;
+        drop(st);
+        pool.done_cv.notify_all();
+    }
+}
+
+fn spawn_missing_workers(st: &mut State, wanted: usize) {
+    while st.workers_spawned < wanted.min(MAX_WORKERS) {
+        let handle = std::thread::Builder::new()
+            .name("wafer-md-worker".into())
+            .spawn(|| worker_loop(pool()));
+        match handle {
+            Ok(_) => st.workers_spawned += 1,
+            // Resource exhaustion: run with the workers we have.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Run `n_tasks` independent tasks, cooperatively across the pool.
+///
+/// Tasks may execute on any thread in any order; callers that need
+/// determinism must make the *combination* of task results
+/// order-independent (the iterator layer combines per-chunk results in
+/// fixed chunk-index order for exactly this reason).
+pub fn run(n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    let threads = current_num_threads();
+    let nested = IS_POOL_WORKER.with(|w| w.get());
+    if threads <= 1 || n_tasks <= 1 || nested {
+        // Sequential mode, a trivially small region, or a nested call
+        // from inside a worker: execute on the calling thread.
+        run_inline(n_tasks, task);
+        return;
+    }
+
+    let pool = pool();
+    let next = AtomicUsize::new(0);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    // SAFETY: erase the borrow's lifetime so the descriptor can cross
+    // into worker threads; validity is enforced by the check-in
+    // protocol (this frame is pinned until every worker checks out).
+    let erased_task: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync + '_),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(task)
+    };
+    let region = Region {
+        task: erased_task,
+        n_tasks,
+        next: &next,
+        panic: &panic_slot,
+    };
+    {
+        let mut st = pool.state.lock().unwrap();
+        if st.region.is_some() {
+            // Another thread's region is active (e.g. concurrent test
+            // threads). Chunk layout does not depend on who executes, so
+            // running inline yields bit-identical results.
+            drop(st);
+            run_inline(n_tasks, task);
+            return;
+        }
+        let limit = threads - 1;
+        spawn_missing_workers(&mut st, limit);
+        st.region = Some(region);
+        st.generation = st.generation.wrapping_add(1);
+        st.region_entries = 0;
+        st.region_limit = limit;
+    }
+    pool.work_cv.notify_all();
+
+    // The caller is a full participant.
+    execute_chunks(region);
+
+    // Close the region and wait for every worker to check out; only then
+    // are the borrows behind `task`/`next`/`panic` free to die.
+    let mut st = pool.state.lock().unwrap();
+    st.region = None;
+    while st.workers_in_region > 0 {
+        st = pool.done_cv.wait(st).unwrap();
+    }
+    drop(st);
+
+    let payload = panic_slot.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        set_num_threads(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        set_num_threads(0);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn uses_more_than_one_thread_when_forced() {
+        set_num_threads(4);
+        let ids = Mutex::new(HashSet::new());
+        let spin = AtomicU64::new(0);
+        // Enough tasks with enough work that workers get a chance to
+        // steal some before the caller drains the dispenser.
+        run(64, &|_| {
+            for _ in 0..20_000 {
+                spin.fetch_add(1, Ordering::Relaxed);
+            }
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        set_num_threads(0);
+        assert!(
+            !ids.lock().unwrap().is_empty(),
+            "tasks recorded no thread ids"
+        );
+        // On a single-core machine the scheduler may still let the
+        // caller win every chunk, so only assert when workers ran.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(ids.lock().unwrap().len() > 1, "pool never parallelized");
+        }
+    }
+
+    #[test]
+    fn task_panics_propagate_with_payload() {
+        set_num_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            run(8, &|i| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+            });
+        });
+        set_num_threads(0);
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 5"), "payload was {msg:?}");
+    }
+}

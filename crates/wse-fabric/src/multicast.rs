@@ -24,6 +24,7 @@
 //! cycles from the calibrated [`crate::cost::CostModel`].
 
 use crate::geometry::Extent;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// A payload delivered to one tile during a line stage.
@@ -184,8 +185,11 @@ impl<W> ExchangeResult<W> {
 
 /// Simulate the complete neighborhood exchange on an `extent` fabric at
 /// the router level: horizontal marching multicast of each tile's own
-/// payload, then vertical marching multicast of the accumulated row data.
-pub fn simulate_neighborhood_exchange<W: Clone>(
+/// payload, then vertical marching multicast of the accumulated row
+/// data. Rows (then columns) are mutually independent line stages, so
+/// each stage fans out across the worker pool; the stage cycle count is
+/// the max over lines, combined in line order.
+pub fn simulate_neighborhood_exchange<W: Clone + Send + Sync>(
     extent: Extent,
     payloads: &[Vec<W>],
     b: usize,
@@ -194,66 +198,90 @@ pub fn simulate_neighborhood_exchange<W: Clone>(
     let (w, h) = (extent.width, extent.height);
 
     // ---- Horizontal stage: rows exchange single-atom payloads. ----
-    let mut row_data: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); extent.count()];
-    let mut horizontal_cycles = 0;
-    for y in 0..h {
-        let row_payloads: Vec<Vec<W>> = (0..w).map(|x| payloads[y * w + x].clone()).collect();
-        let res = simulate_line_stage(&row_payloads, b);
-        horizontal_cycles = horizontal_cycles.max(res.cycles);
-        for x in 0..w {
-            let flat = y * w + x;
-            // Own payload plus everything received, ordered by source x so
-            // the vertical payload layout is deterministic.
-            row_data[flat].push((flat, payloads[flat].clone()));
-            for d in &res.delivered[x] {
-                row_data[flat].push((y * w + d.source, d.words.clone()));
+    type RowData<W> = Vec<Vec<(usize, Vec<W>)>>;
+    let row_results: Vec<(u64, RowData<W>)> = (0..h)
+        .into_par_iter()
+        .map(|y| {
+            let row_payloads: Vec<Vec<W>> = (0..w).map(|x| payloads[y * w + x].clone()).collect();
+            let res = simulate_line_stage(&row_payloads, b);
+            let mut row: RowData<W> = vec![Vec::new(); w];
+            for (x, tile) in row.iter_mut().enumerate() {
+                let flat = y * w + x;
+                // Own payload plus everything received, ordered by source
+                // x so the vertical payload layout is deterministic.
+                tile.push((flat, payloads[flat].clone()));
+                for d in &res.delivered[x] {
+                    tile.push((y * w + d.source, d.words.clone()));
+                }
+                tile.sort_by_key(|(src, _)| *src);
             }
-            row_data[flat].sort_by_key(|(src, _)| *src);
-        }
+            (res.cycles, row)
+        })
+        .collect();
+    let mut horizontal_cycles = 0;
+    let mut row_data: RowData<W> = Vec::with_capacity(extent.count());
+    for (cycles, row) in row_results {
+        horizontal_cycles = horizontal_cycles.max(cycles);
+        row_data.extend(row);
     }
 
     // ---- Vertical stage: columns exchange the accumulated row data,
     //      each word tagged with its original source tile. ----
-    let mut received: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); extent.count()];
-    let mut vertical_cycles = 0;
-    for x in 0..w {
-        let col_payloads: Vec<Vec<(usize, W)>> = (0..h)
-            .map(|y| {
-                row_data[y * w + x]
-                    .iter()
-                    .flat_map(|(src, words)| words.iter().map(|wd| (*src, wd.clone())))
-                    .collect()
-            })
-            .collect();
-        let res = simulate_line_stage(&col_payloads, b);
-        vertical_cycles = vertical_cycles.max(res.cycles);
-        for y in 0..h {
-            let flat = y * w + x;
-            let mut entries: Vec<(usize, Vec<W>)> = row_data[flat]
-                .iter()
-                .filter(|(src, _)| *src != flat)
-                .cloned()
+    let row_data = &row_data;
+    // Per column: (stage cycles, per-tile (flat index, gathered entries)).
+    type ColData<W> = Vec<(usize, Vec<(usize, Vec<W>)>)>;
+    let col_results: Vec<(u64, ColData<W>)> = (0..w)
+        .into_par_iter()
+        .map(|x| {
+            let col_payloads: Vec<Vec<(usize, W)>> = (0..h)
+                .map(|y| {
+                    row_data[y * w + x]
+                        .iter()
+                        .flat_map(|(src, words)| words.iter().map(|wd| (*src, wd.clone())))
+                        .collect()
+                })
                 .collect();
-            for d in &res.delivered[y] {
-                // Ungroup the tagged word stream back into per-source
-                // payloads (words from one source are contiguous).
-                let mut it = d.words.iter();
-                if let Some(first) = it.next() {
-                    let mut cur_src = first.0;
-                    let mut cur: Vec<W> = vec![first.1.clone()];
-                    for (src, word) in it {
-                        if *src == cur_src {
-                            cur.push(word.clone());
-                        } else {
-                            entries.push((cur_src, std::mem::take(&mut cur)));
-                            cur_src = *src;
-                            cur.push(word.clone());
+            let res = simulate_line_stage(&col_payloads, b);
+            let col = (0..h)
+                .map(|y| {
+                    let flat = y * w + x;
+                    let mut entries: Vec<(usize, Vec<W>)> = row_data[flat]
+                        .iter()
+                        .filter(|(src, _)| *src != flat)
+                        .cloned()
+                        .collect();
+                    for d in &res.delivered[y] {
+                        // Ungroup the tagged word stream back into
+                        // per-source payloads (words from one source are
+                        // contiguous).
+                        let mut it = d.words.iter();
+                        if let Some(first) = it.next() {
+                            let mut cur_src = first.0;
+                            let mut cur: Vec<W> = vec![first.1.clone()];
+                            for (src, word) in it {
+                                if *src == cur_src {
+                                    cur.push(word.clone());
+                                } else {
+                                    entries.push((cur_src, std::mem::take(&mut cur)));
+                                    cur_src = *src;
+                                    cur.push(word.clone());
+                                }
+                            }
+                            entries.push((cur_src, cur));
                         }
                     }
-                    entries.push((cur_src, cur));
-                }
-            }
-            entries.sort_by_key(|(src, _)| *src);
+                    entries.sort_by_key(|(src, _)| *src);
+                    (flat, entries)
+                })
+                .collect();
+            (res.cycles, col)
+        })
+        .collect();
+    let mut vertical_cycles = 0;
+    let mut received: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); extent.count()];
+    for (cycles, col) in col_results {
+        vertical_cycles = vertical_cycles.max(cycles);
+        for (flat, entries) in col {
             received[flat] = entries;
         }
     }

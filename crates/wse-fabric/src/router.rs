@@ -20,6 +20,9 @@
 //! the same closed-form cycle count — i.e., the distributed state machine
 //! and the global schedule are two views of one protocol.
 
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
 /// Fig. 4 router roles for one virtual channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Role {
@@ -73,10 +76,24 @@ pub struct RouterStageResult<W> {
     pub cycles: u64,
 }
 
+/// Deliver `word` from `source` into one tile's receive assembly,
+/// grouping consecutive words from the same source.
+fn deliver_to<W>(slot: &mut Vec<(usize, Vec<W>)>, source: usize, word: W) {
+    match slot.last_mut() {
+        Some((s, words)) if *s == source => words.push(word),
+        _ => slot.push((source, vec![word])),
+    }
+}
+
 /// Execute one marching-multicast direction along a line of `n` tiles
 /// using only per-router Fig. 4 rules. `dir` is +1 (rightward) or −1.
-#[allow(clippy::needless_range_loop)] // x indexes lanes/outgoing/inbox in lockstep
-pub fn run_line_stage_event_driven<W: Clone>(
+///
+/// Within a cycle each router reads only its own lane state and inbox
+/// and writes only its own outgoing link and core delivery buffer, so
+/// the per-tile rule evaluation runs in parallel; the link-transfer
+/// step between cycles stays sequential (it scatters across tiles).
+#[allow(clippy::needless_range_loop)] // x indexes outgoing/inbox in lockstep
+pub fn run_line_stage_event_driven<W: Clone + Send>(
     payloads: &[Vec<W>],
     b: usize,
     dir: i64,
@@ -128,129 +145,138 @@ pub fn run_line_stage_event_driven<W: Clone>(
 
     // Per-tile receive assembly: (source, words so far).
     let mut delivered: Vec<Vec<(usize, Vec<W>)>> = vec![Vec::new(); n];
-    let mut deliver = |tile: usize, source: usize, word: W| match delivered[tile].last_mut() {
-        Some((s, words)) if *s == source => words.push(word),
-        _ => delivered[tile].push((source, vec![word])),
-    };
 
     let mut cycles: u64 = 0;
     let max_cycles = 8 * (b as u64 + 2) * (l_max as u64 + 2) * (n as u64 + 2); // divergence guard
     loop {
         // 1. Decide what each router puts on its downstream link this
-        //    cycle (reading only local state + inbox).
+        //    cycle (reading only local state + inbox). Per-tile
+        //    independent: run across the worker pool.
         let mut outgoing: Vec<Option<Wavelet<W>>> = vec![None; n];
         let mut next_inbox: Vec<Option<Wavelet<W>>> = vec![None; n];
-        let mut any_activity = false;
+        let any_activity = AtomicBool::new(false);
 
-        for x in 0..n {
-            let lane = &mut lanes[x];
-            let downstream = x as i64 + dir;
-            let has_downstream = downstream >= 0 && (downstream as usize) < n;
+        (&mut lanes, &mut outgoing)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(x, (lane, out))| {
+                let downstream = x as i64 + dir;
+                let has_downstream = downstream >= 0 && (downstream as usize) < n;
 
-            match lane.role {
-                Role::Head => {
-                    any_activity = true;
-                    if !lane.pending.is_empty() {
-                        let word = lane.pending.remove(0);
-                        let last = lane.pending.is_empty();
-                        if has_downstream {
-                            outgoing[x] = Some(Wavelet::Data {
-                                source: x,
-                                word,
-                                last,
-                            });
-                        } else if lane.pending.is_empty() {
-                            // Edge head with no downstream: retire.
+                match lane.role {
+                    Role::Head => {
+                        any_activity.store(true, Ordering::Relaxed);
+                        if !lane.pending.is_empty() {
+                            let word = lane.pending.remove(0);
+                            let last = lane.pending.is_empty();
+                            if has_downstream {
+                                *out = Some(Wavelet::Data {
+                                    source: x,
+                                    word,
+                                    last,
+                                });
+                            } else if lane.pending.is_empty() {
+                                // Edge head with no downstream: retire.
+                                lane.role = Role::Tail;
+                                lane.has_transmitted = true;
+                            }
+                        } else {
+                            // Vector done: emit the Fig. 4c command list
+                            // and retire to Tail ("the head proceeds to
+                            // the tail state").
+                            if has_downstream {
+                                *out = Some(Wavelet::Command(vec![Command::Adv, Command::Rst]));
+                            }
                             lane.role = Role::Tail;
                             lane.has_transmitted = true;
                         }
-                    } else {
-                        // Vector done: emit the Fig. 4c command list and
-                        // retire to Tail ("the head proceeds to the tail
-                        // state").
-                        if has_downstream {
-                            outgoing[x] = Some(Wavelet::Command(vec![Command::Adv, Command::Rst]));
-                        }
-                        lane.role = Role::Tail;
-                        lane.has_transmitted = true;
                     }
+                    Role::Body | Role::Tail => {}
                 }
-                Role::Body | Role::Tail => {}
-            }
-        }
+            });
 
         // 2. Process arrivals from the previous cycle: Body forwards and
-        //    delivers; Tail delivers; commands mutate roles.
-        for x in 0..n {
-            let Some(wavelet) = lanes[x].inbox.take() else {
-                continue;
-            };
-            any_activity = true;
-            let downstream = x as i64 + dir;
-            let has_downstream = downstream >= 0 && (downstream as usize) < n;
-            match wavelet {
-                Wavelet::Data { source, word, last } => {
-                    deliver(x, source, word.clone());
-                    let forwards = lanes[x].role == Role::Body;
-                    if forwards && has_downstream {
-                        // Store-and-forward: occupies the link next cycle.
-                        debug_assert!(outgoing[x].is_none(), "link contention at {x}");
-                        outgoing[x] = Some(Wavelet::Data { source, word, last });
-                    }
-                }
-                Wavelet::Command(mut list) => {
-                    match lanes[x].role {
-                        Role::Body => {
-                            match list.first() {
-                                Some(Command::Adv) if !lanes[x].has_transmitted => {
-                                    // First body pops the ADV and becomes
-                                    // Head ("the next tile in line
-                                    // proceeds to the head state"); the
-                                    // rest of the list travels on for the
-                                    // old tail.
-                                    list.remove(0);
-                                    lanes[x].role = Role::Head;
-                                }
-                                Some(Command::Adv) => {
-                                    // Every tile in this strip has had
-                                    // its turn: the march is complete and
-                                    // the command is spent.
-                                    list.clear();
-                                }
-                                Some(Command::Rst) | None => {
-                                    // Interior bodies are configured to
-                                    // pass RST through untouched; it is
-                                    // addressed to the old tail.
-                                }
-                            }
-                            if !list.is_empty() && has_downstream {
-                                debug_assert!(outgoing[x].is_none());
-                                outgoing[x] = Some(Wavelet::Command(list));
-                            }
-                        }
-                        Role::Tail => {
-                            // The old tail pops the RST and resets to
-                            // Body ("the tail proceeds to the body
-                            // state") — unless it is also a retired head
-                            // still holding Tail from its own phase; the
-                            // strip periodicity makes that unambiguous.
-                            if list.first() == Some(&Command::Rst) {
-                                lanes[x].role = Role::Body;
-                            } else if list.first() == Some(&Command::Adv)
-                                && !lanes[x].has_transmitted
-                            {
-                                lanes[x].role = Role::Head;
-                            }
-                        }
-                        Role::Head => {
-                            // A head never receives commands in a correct
-                            // run (the marching order prevents it).
-                            debug_assert!(false, "command reached an active head at {x}");
+        //    delivers; Tail delivers; commands mutate roles. Also
+        //    per-tile independent (each tile drains its own inbox and
+        //    touches only its own role/link/delivery buffer).
+        (&mut lanes, &mut outgoing, &mut delivered)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(x, (lane, out, del))| {
+                let Some(wavelet) = lane.inbox.take() else {
+                    return;
+                };
+                any_activity.store(true, Ordering::Relaxed);
+                let downstream = x as i64 + dir;
+                let has_downstream = downstream >= 0 && (downstream as usize) < n;
+                match wavelet {
+                    Wavelet::Data { source, word, last } => {
+                        deliver_to(del, source, word.clone());
+                        let forwards = lane.role == Role::Body;
+                        if forwards && has_downstream {
+                            // Store-and-forward: occupies the link next
+                            // cycle.
+                            debug_assert!(out.is_none(), "link contention at {x}");
+                            *out = Some(Wavelet::Data { source, word, last });
                         }
                     }
+                    Wavelet::Command(mut list) => {
+                        match lane.role {
+                            Role::Body => {
+                                match list.first() {
+                                    Some(Command::Adv) if !lane.has_transmitted => {
+                                        // First body pops the ADV and
+                                        // becomes Head ("the next tile in
+                                        // line proceeds to the head
+                                        // state"); the rest of the list
+                                        // travels on for the old tail.
+                                        list.remove(0);
+                                        lane.role = Role::Head;
+                                    }
+                                    Some(Command::Adv) => {
+                                        // Every tile in this strip has
+                                        // had its turn: the march is
+                                        // complete and the command is
+                                        // spent.
+                                        list.clear();
+                                    }
+                                    Some(Command::Rst) | None => {
+                                        // Interior bodies are configured
+                                        // to pass RST through untouched;
+                                        // it is addressed to the old
+                                        // tail.
+                                    }
+                                }
+                                if !list.is_empty() && has_downstream {
+                                    debug_assert!(out.is_none());
+                                    *out = Some(Wavelet::Command(list));
+                                }
+                            }
+                            Role::Tail => {
+                                // The old tail pops the RST and resets to
+                                // Body ("the tail proceeds to the body
+                                // state") — unless it is also a retired
+                                // head still holding Tail from its own
+                                // phase; the strip periodicity makes that
+                                // unambiguous.
+                                if list.first() == Some(&Command::Rst) {
+                                    lane.role = Role::Body;
+                                } else if list.first() == Some(&Command::Adv)
+                                    && !lane.has_transmitted
+                                {
+                                    lane.role = Role::Head;
+                                }
+                            }
+                            Role::Head => {
+                                // A head never receives commands in a
+                                // correct run (the marching order
+                                // prevents it).
+                                debug_assert!(false, "command reached an active head at {x}");
+                            }
+                        }
+                    }
                 }
-            }
-        }
+            });
 
         // 3. Move link contents to the downstream inboxes (1 cycle/hop).
         for x in 0..n {
@@ -266,7 +292,7 @@ pub fn run_line_stage_event_driven<W: Clone>(
         }
 
         cycles += 1;
-        if !any_activity {
+        if !any_activity.load(Ordering::Relaxed) {
             break;
         }
         assert!(cycles < max_cycles, "router state machine diverged");

@@ -19,6 +19,11 @@
 //! cycles from the calibrated [`CostModel`]; per-step cycle samples are
 //! recorded exactly like the paper's hardware-counter scratch buffer.
 //! All tile arithmetic is f32, as on the WSE; energy reductions use f64.
+//!
+//! The per-core phase loops fan out over rayon's worker pool (sized by
+//! `WAFER_MD_THREADS`); every reduction uses the executor's fixed
+//! chunk-combine order, so a trajectory is bit-identical at any thread
+//! count.
 
 use md_core::eam::EamPotential;
 use md_core::materials::{Material, Species};
@@ -316,15 +321,27 @@ impl WseMdSim {
 
         // ---- Phase 3b: embedding energy and derivative, then the F'
         // exchange (functionally: F' is published in the fprime array).
+        // The spline evaluations fan out over the pool; the energy sum
+        // stays a sequential in-order fold over the collected pairs so
+        // it is bit-identical at any thread count.
+        let occ = &self.occ;
+        let rho = &self.rho;
+        let potential = &self.potential;
+        let embed: Vec<(f32, f64)> = (0..occ.len())
+            .into_par_iter()
+            .map(|c| {
+                if occ[c] {
+                    let (f, fp) = potential.embedding(rho[c]);
+                    (fp, f as f64)
+                } else {
+                    (0.0, 0.0)
+                }
+            })
+            .collect();
         let mut embed_energy = 0.0f64;
-        for c in 0..self.occ.len() {
-            if self.occ[c] {
-                let (f, fp) = self.potential.embedding(self.rho[c]);
-                embed_energy += f as f64;
-                self.fprime[c] = fp;
-            } else {
-                self.fprime[c] = 0.0;
-            }
+        for (c, (fp, f)) in embed.into_iter().enumerate() {
+            self.fprime[c] = fp;
+            embed_energy += f;
         }
 
         // ---- Phase 4a: force evaluation from the gathered neighbor list
@@ -453,6 +470,14 @@ impl WseMdSim {
                 )
             })
             .reduce(
+                // Audited for the chunked executor: the executor folds
+                // this identity into *every* chunk, so it must be a true
+                // identity of the operator — zeros are neutral for the
+                // three sums, and 0.0 is neutral for the max because
+                // per-core cycle counts are non-negative. The operator
+                // itself is associative and commutative (component-wise
+                // + / max), so the fixed chunk-combine order gives the
+                // same bits at any `WAFER_MD_THREADS`.
                 || (0, 0, 0.0, 0.0, 0.0),
                 |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3.max(b.3), a.4 + b.4),
             );

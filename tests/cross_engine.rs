@@ -160,6 +160,110 @@ fn periodic_boundaries_match_the_periodic_reference() {
     assert!(max_dev < 5e-3, "PBC trajectories diverged by {max_dev} Å");
 }
 
+/// Parallel/sequential equivalence: forces and energies must be
+/// **bit-identical** (not merely close) at every thread count, on
+/// random lattices. This is the executable form of the vendored rayon
+/// executor's determinism contract — chunk layout and combine order are
+/// pure functions of the item count, so `WAFER_MD_THREADS` can never
+/// change physics.
+mod thread_count_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+    use wafer_md::md::vec3::V3d;
+
+    /// Everything a thread count could plausibly perturb, as exact bits.
+    #[derive(Debug, PartialEq)]
+    struct TrajectoryBits {
+        baseline_forces: Vec<[u64; 3]>,
+        baseline_energy: u64,
+        wse_forces: Vec<[u64; 3]>,
+        wse_potential: u64,
+        wse_kinetic: u64,
+    }
+
+    fn v3_bits(vs: &[V3d]) -> Vec<[u64; 3]> {
+        vs.iter()
+            .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+            .collect()
+    }
+
+    /// Run both engines for `steps` on identical initial conditions at
+    /// the given worker-pool size and capture the resulting bits.
+    fn trajectory_at(
+        threads: usize,
+        species: Species,
+        spec: SlabSpec,
+        positions: &[V3d],
+        velocities: &[V3d],
+        steps: usize,
+    ) -> TrajectoryBits {
+        rayon::set_num_threads(threads);
+        let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+        let mut wse = WseMdSim::new(species, positions, velocities, config);
+        let mut system = System::from_slab(species, spec);
+        system.velocities = velocities.to_vec();
+        let mut baseline = BaselineEngine::new(system, 2e-3);
+        for _ in 0..steps {
+            wse.step();
+            baseline.step();
+        }
+        rayon::set_num_threads(0);
+        TrajectoryBits {
+            baseline_forces: v3_bits(baseline.forces()),
+            baseline_energy: baseline.potential_energy.to_bits(),
+            wse_forces: v3_bits(&wse.forces_by_atom()),
+            wse_potential: wse.last_stats.potential_energy.to_bits(),
+            wse_kinetic: wse.last_stats.kinetic_energy.to_bits(),
+        }
+    }
+
+    proptest! {
+        // Each case runs both engines at three thread counts; a handful
+        // of random lattices is plenty to exercise every kernel.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn forces_and_energies_identical_across_thread_counts(
+            species_idx in 0usize..3,
+            nx in 3usize..5,
+            seed in 0u64..1_000_000,
+            temperature in 50.0f64..400.0,
+        ) {
+            let species = [Species::Ta, Species::Cu, Species::W][species_idx];
+            let material = Material::new(species);
+            let spec = SlabSpec {
+                crystal: material.crystal,
+                lattice_a: material.lattice_a,
+                nx,
+                ny: nx,
+                nz: 2,
+            };
+            let positions = spec.generate();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let velocities = thermostat::maxwell_boltzmann(
+                &mut rng,
+                positions.len(),
+                material.mass,
+                temperature,
+            );
+
+            let reference = trajectory_at(1, species, spec, &positions, &velocities, 3);
+            for threads in [2usize, 4] {
+                let run = trajectory_at(threads, species, spec, &positions, &velocities, 3);
+                prop_assert_eq!(
+                    &reference,
+                    &run,
+                    "trajectory bits changed at {} threads (species {:?}, nx {}, seed {})",
+                    threads,
+                    species,
+                    nx,
+                    seed
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn periodic_folding_doubles_the_folded_axis_reach() {
     // Interleaving both halves of the coordinate circle doubles the
