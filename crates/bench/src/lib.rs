@@ -42,28 +42,14 @@ pub fn thermal_slab_sim(
 /// the neighborhood-size parameter `b` forced and the interaction count
 /// controlled by the grid `spacing` relative to the cutoff.
 pub fn controlled_grid_sim(species: Species, side: usize, spacing: f64, b: i32) -> WseMdSim {
-    let positions: Vec<V3d> = (0..side * side)
-        .map(|k| {
-            V3d::new(
-                (k % side) as f64 * spacing,
-                (k / side) as f64 * spacing,
-                0.0,
-            )
-        })
-        .collect();
+    let positions = wse_md::controlled_grid_positions(side, spacing);
     let velocities = vec![V3d::zero(); positions.len()];
-    let config = WseMdConfig {
-        extent: wse_fabric::geometry::Extent::new(side, side),
-        dt: 0.0, // "Atoms hold their position throughout performance measurement"
-        cost_model: wse_fabric::cost::CostModel::paper_baseline(),
-        periodic: [false; 3],
-        box_lengths: V3d::zero(),
-        b_override: Some((b, b)),
-        symmetric_forces: false,
-        neighbor_reuse_interval: 1,
-        neighbor_skin: 0.0,
-    };
-    WseMdSim::new(species, &positions, &velocities, config)
+    WseMdSim::new(
+        species,
+        &positions,
+        &velocities,
+        WseMdConfig::controlled_grid(side, b),
+    )
 }
 
 /// Print a section header.

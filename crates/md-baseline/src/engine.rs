@@ -14,6 +14,7 @@
 //! sites; the only one in the workspace is the stats reduction in
 //! `wse-md`'s driver, whose identity is checked there.)
 
+use md_core::engine::{Engine, Observables};
 use md_core::integrate;
 use md_core::neighbor::VerletList;
 use md_core::system::System;
@@ -176,6 +177,50 @@ impl BaselineEngine {
             })
             .sum();
         total as f64 / pos.len().max(1) as f64
+    }
+}
+
+impl Engine for BaselineEngine {
+    fn backend(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn n_atoms(&self) -> usize {
+        self.system.len()
+    }
+
+    fn step(&mut self) {
+        BaselineEngine::step(self);
+    }
+
+    fn positions(&self) -> Vec<V3d> {
+        self.system.positions.clone()
+    }
+
+    fn velocities(&self) -> Vec<V3d> {
+        self.system.velocities.clone()
+    }
+
+    fn set_velocities(&mut self, velocities: &[V3d]) {
+        assert_eq!(velocities.len(), self.system.len());
+        self.system.velocities.copy_from_slice(velocities);
+    }
+
+    fn forces(&self) -> Vec<V3d> {
+        self.forces.clone()
+    }
+
+    fn observables(&self) -> Observables {
+        let candidate_total: usize = self.vlist.neighbors.iter().map(|l| l.len()).sum();
+        Observables {
+            potential_energy: self.potential_energy,
+            mean_interactions: self.mean_interactions(),
+            mean_candidates: candidate_total as f64 / self.system.len().max(1) as f64,
+            modeled_cycles: None,
+            modeled_rate: None,
+            ..Default::default()
+        }
+        .with_temperature_from(self.system.kinetic_energy(), self.system.len())
     }
 }
 

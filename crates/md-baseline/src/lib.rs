@@ -25,4 +25,5 @@ pub use cluster::{ClusterModel, Machine, PAPER_ATOMS};
 pub use energy::{wse_timesteps_per_joule, EfficiencyPoint, RelativePoint, WSE_POWER_WATTS};
 pub use engine::{equilibrated_engine, BaselineEngine};
 pub use lj::LjPotential;
+pub use md_core::engine::{Engine, Observables};
 pub use strongscale::{strong_scaling_data, wse_model_rate, StrongScalingData};

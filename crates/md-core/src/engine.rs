@@ -1,0 +1,190 @@
+//! The unified engine abstraction shared by every MD backend.
+//!
+//! The paper's evaluation repeatedly runs *the same workload* on two
+//! implementations — the LAMMPS-style f64 reference (`md-baseline`) and
+//! the one-atom-per-core wafer engine (`wse-md`) — and compares their
+//! observables. [`Engine`] is the seam that makes that comparison
+//! first-class: both backends implement it, so drivers (the `wafer-md`
+//! scenario registry, examples, experiment tests) can be written once
+//! against `dyn Engine` and switched between backends with a flag.
+//!
+//! The contract is deliberately small: advance time ([`Engine::step`] /
+//! [`Engine::run`]), expose per-atom state in **atom-id order and f64**
+//! regardless of internal layout or precision, and report an
+//! [`Observables`] snapshot. Cost-model quantities (cycles, modeled
+//! timesteps/s) are optional — only engines simulating instrumented
+//! hardware provide them.
+//!
+//! # Example
+//!
+//! A toy single-atom engine showing the contract end to end:
+//!
+//! ```
+//! use md_core::engine::{Engine, Observables};
+//! use md_core::vec3::V3d;
+//!
+//! /// A free particle drifting at constant velocity.
+//! struct Drift {
+//!     pos: V3d,
+//!     vel: V3d,
+//! }
+//!
+//! impl Engine for Drift {
+//!     fn backend(&self) -> &'static str {
+//!         "drift"
+//!     }
+//!     fn n_atoms(&self) -> usize {
+//!         1
+//!     }
+//!     fn step(&mut self) {
+//!         self.pos += self.vel;
+//!     }
+//!     fn positions(&self) -> Vec<V3d> {
+//!         vec![self.pos]
+//!     }
+//!     fn velocities(&self) -> Vec<V3d> {
+//!         vec![self.vel]
+//!     }
+//!     fn set_velocities(&mut self, v: &[V3d]) {
+//!         self.vel = v[0];
+//!     }
+//!     fn forces(&self) -> Vec<V3d> {
+//!         vec![V3d::zero()]
+//!     }
+//!     fn observables(&self) -> Observables {
+//!         Observables::default()
+//!     }
+//! }
+//!
+//! // Drivers are written once, against the trait.
+//! fn advance(engine: &mut dyn Engine, steps: usize) -> Vec<V3d> {
+//!     engine.run(steps);
+//!     engine.positions()
+//! }
+//!
+//! let mut e = Drift { pos: V3d::zero(), vel: V3d::new(1.0, 0.0, 0.0) };
+//! assert_eq!(advance(&mut e, 3)[0], V3d::new(3.0, 0.0, 0.0));
+//! ```
+
+use crate::units;
+use crate::vec3::V3d;
+
+/// A uniform snapshot of what every backend can report after a step.
+///
+/// Physics fields are always populated; the `modeled_*` fields are
+/// `None` for backends without a hardware cost model (the f64 reference
+/// engine) and `Some` for the wafer engine, whose simulator charges
+/// every core cycles from the calibrated per-phase model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Observables {
+    /// Total potential energy (eV).
+    pub potential_energy: f64,
+    /// Total kinetic energy (eV).
+    pub kinetic_energy: f64,
+    /// Instantaneous temperature (K), derived from the kinetic energy.
+    pub temperature: f64,
+    /// Mean accepted interactions per atom (the paper's n_interaction).
+    pub mean_interactions: f64,
+    /// Mean examined neighbor candidates per atom (the paper's
+    /// n_candidate): atoms whose distance was tested before the cutoff
+    /// filter — neighborhood-square occupants on the wafer, Verlet-list
+    /// entries (cutoff + skin) on the reference engine.
+    pub mean_candidates: f64,
+    /// Modeled array-level cycles charged for the last step, if the
+    /// backend has a cost model.
+    pub modeled_cycles: Option<f64>,
+    /// Modeled simulation rate (timesteps/s) over the recent cycle
+    /// trace, if the backend has a cost model.
+    pub modeled_rate: Option<f64>,
+}
+
+impl Observables {
+    /// Total energy (eV): potential + kinetic.
+    pub fn total_energy(&self) -> f64 {
+        self.potential_energy + self.kinetic_energy
+    }
+
+    /// Populate the temperature field from a kinetic energy and atom
+    /// count (helper for backend implementations).
+    pub fn with_temperature_from(mut self, kinetic_energy: f64, n_atoms: usize) -> Self {
+        self.kinetic_energy = kinetic_energy;
+        self.temperature = units::temperature_from_ke(kinetic_energy, n_atoms);
+        self
+    }
+}
+
+/// A molecular-dynamics backend that can advance a trajectory and
+/// report uniform observables.
+///
+/// Implemented by `md_baseline::BaselineEngine` (f64 reference) and
+/// `wse_md::WseMdSim` (one atom per core on the simulated wafer).
+/// Per-atom accessors return state in **atom-id order** as f64 vectors,
+/// independent of the backend's internal storage (the wafer engine
+/// stores f32 state per *core* and translates through its atom→core
+/// mapping).
+///
+/// Determinism: both workspace backends run their hot loops on the
+/// chunk-deterministic worker pool, so for a fixed backend every method
+/// here returns bit-identical results at any `WAFER_MD_THREADS`.
+pub trait Engine {
+    /// Short stable backend identifier (`"baseline"`, `"wse"`), used in
+    /// scenario output headers and CLI `--engine` matching.
+    fn backend(&self) -> &'static str;
+
+    /// Number of atoms in the simulation.
+    fn n_atoms(&self) -> usize;
+
+    /// Advance one timestep.
+    fn step(&mut self);
+
+    /// Advance `n` timesteps.
+    fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Positions (Å) in atom-id order.
+    fn positions(&self) -> Vec<V3d>;
+
+    /// Velocities (Å/ps) in atom-id order.
+    fn velocities(&self) -> Vec<V3d>;
+
+    /// Overwrite velocities (Å/ps), atom-id order. Thermostats are
+    /// driven through this: rescale the vector returned by
+    /// [`Engine::velocities`] and write it back.
+    fn set_velocities(&mut self, velocities: &[V3d]);
+
+    /// Forces (eV/Å) from the last evaluation, atom-id order.
+    fn forces(&self) -> Vec<V3d>;
+
+    /// Uniform observables after the last completed step.
+    fn observables(&self) -> Observables;
+
+    /// Total energy (eV) after the last completed step.
+    fn total_energy(&self) -> f64 {
+        self.observables().total_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observables_total_energy_sums_components() {
+        let o = Observables {
+            potential_energy: -3.0,
+            kinetic_energy: 1.25,
+            ..Default::default()
+        };
+        assert_eq!(o.total_energy(), -1.75);
+    }
+
+    #[test]
+    fn temperature_helper_matches_units() {
+        let o = Observables::default().with_temperature_from(1.0, 100);
+        assert!((o.temperature - units::temperature_from_ke(1.0, 100)).abs() < 1e-12);
+        assert_eq!(o.kinetic_energy, 1.0);
+    }
+}

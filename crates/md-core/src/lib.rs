@@ -10,10 +10,13 @@
 //! Timescale Barrier Using a Wafer-Scale System* (SC 2024), Secs. II-A
 //! and IV-B. Both the LAMMPS-like reference engine (`md-baseline`) and
 //! the wafer-scale mapping (`wse-md`) build on these types, so the two
-//! performance worlds share one physics implementation.
+//! performance worlds share one physics implementation — and both
+//! implement the unified [`engine::Engine`] trait, so drivers compare
+//! them through one interface.
 
 pub mod analysis;
 pub mod eam;
+pub mod engine;
 pub mod grain;
 pub mod integrate;
 pub mod lattice;
@@ -27,6 +30,7 @@ pub mod units;
 pub mod vec3;
 
 pub use eam::{EamOutput, EamPotential};
+pub use engine::{Engine, Observables};
 pub use lattice::{Crystal, SlabSpec};
 pub use materials::{Material, Species};
 pub use system::{Box3, System};

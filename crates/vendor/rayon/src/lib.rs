@@ -6,7 +6,7 @@
 //! vectors, slices, and tuples (rayon's multi-zip), `par_iter()` /
 //! `par_iter_mut()`, and the adaptor/consumer methods on [`ParIter`]
 //! including rayon's two-argument `reduce(identity, op)` — and executes
-//! it on a `std::thread` worker pool (see [`pool`]'s module docs) sized
+//! it on a `std::thread` worker pool (see `pool`'s module docs) sized
 //! from `WAFER_MD_THREADS` (default: available parallelism; `1` keeps
 //! everything on the calling thread).
 //!
@@ -21,7 +21,7 @@
 //!
 //! Unlike real rayon, every reduction here is **bit-deterministic across
 //! thread counts**: the chunk layout is a pure function of the item
-//! count (never of the thread count — see [`chunk_len`]), per-chunk
+//! count (never of the thread count — see `chunk_len`), per-chunk
 //! folds run left-to-right in item order, and chunk partials are
 //! combined left-to-right in chunk-index order. Changing
 //! `WAFER_MD_THREADS` changes which thread executes a chunk, never what

@@ -26,6 +26,7 @@
 //! count.
 
 use md_core::eam::EamPotential;
+use md_core::engine::{Engine, Observables};
 use md_core::materials::{Material, Species};
 use md_core::units::FORCE_TO_ACCEL;
 use md_core::vec3::{V3d, V3f, Vec3};
@@ -87,6 +88,44 @@ impl WseMdConfig {
             neighbor_skin: 0.0,
         }
     }
+
+    /// The paper's controlled performance configuration (Sec. IV-B,
+    /// condition 2): a `side × side` fabric with the neighborhood
+    /// radius forced to `b`, no integration (dt = 0, "atoms hold their
+    /// position throughout performance measurement"), open boundaries,
+    /// and no list reuse — the fixture behind the Table II fit. The
+    /// single source for this config: the bench workload builders and
+    /// the scenario subsystem both construct it here.
+    pub fn controlled_grid(side: usize, b: i32) -> Self {
+        Self {
+            extent: Extent::new(side, side),
+            dt: 0.0,
+            cost_model: CostModel::paper_baseline(),
+            periodic: [false; 3],
+            box_lengths: V3d::zero(),
+            b_override: Some((b, b)),
+            symmetric_forces: false,
+            neighbor_reuse_interval: 1,
+            neighbor_skin: 0.0,
+        }
+    }
+}
+
+/// Positions for the controlled performance grid: a frozen `side ×
+/// side` 2-D lattice at `spacing` Å, one atom per core of the matching
+/// [`WseMdConfig::controlled_grid`] fabric. Single source for the
+/// fixture's layout (used by the bench workload builders and the
+/// scenario subsystem).
+pub fn controlled_grid_positions(side: usize, spacing: f64) -> Vec<V3d> {
+    (0..side * side)
+        .map(|k| {
+            V3d::new(
+                (k % side) as f64 * spacing,
+                (k / side) as f64 * spacing,
+                0.0,
+            )
+        })
+        .collect()
 }
 
 /// Per-step measurement record (one entry per timestep).
@@ -592,6 +631,68 @@ impl WseMdSim {
 
     pub(crate) fn fold_spec(&self) -> &FoldSpec {
         &self.fold
+    }
+}
+
+impl Engine for WseMdSim {
+    fn backend(&self) -> &'static str {
+        "wse"
+    }
+
+    fn n_atoms(&self) -> usize {
+        WseMdSim::n_atoms(self)
+    }
+
+    fn step(&mut self) {
+        WseMdSim::step(self);
+    }
+
+    fn positions(&self) -> Vec<V3d> {
+        self.positions_by_atom()
+    }
+
+    fn velocities(&self) -> Vec<V3d> {
+        self.velocities_by_atom()
+    }
+
+    fn set_velocities(&mut self, velocities: &[V3d]) {
+        assert_eq!(velocities.len(), self.mapping.core_of_atom.len());
+        for (i, &core) in self.mapping.core_of_atom.iter().enumerate() {
+            self.vel[core] = velocities[i].cast();
+        }
+        // Keep the observables snapshot consistent with the state it
+        // claims to describe: the baseline engine computes kinetic
+        // energy live, so a stale last-step value here would make the
+        // two backends disagree through the trait until the next step.
+        let kin: f64 = self
+            .mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.vel[c].norm_sq() as f64)
+            .sum();
+        self.last_stats.kinetic_energy =
+            0.5 * self.material.mass * md_core::units::MVV_TO_ENERGY * kin;
+    }
+
+    fn forces(&self) -> Vec<V3d> {
+        self.forces_by_atom()
+    }
+
+    fn observables(&self) -> Observables {
+        let s = self.last_stats;
+        Observables {
+            potential_energy: s.potential_energy,
+            mean_interactions: s.mean_interactions,
+            mean_candidates: s.mean_candidates,
+            modeled_cycles: Some(s.cycles),
+            modeled_rate: if self.cycle_trace.is_empty() {
+                None
+            } else {
+                Some(self.timesteps_per_second(100))
+            },
+            ..Default::default()
+        }
+        .with_temperature_from(s.kinetic_energy, WseMdSim::n_atoms(self))
     }
 }
 

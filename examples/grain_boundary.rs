@@ -1,67 +1,18 @@
-//! Grain boundary with online atom-swap remapping (the Fig. 9 workload).
+//! Grain boundary with online atom-swap remapping (the Fig. 9
+//! workload), via the registered `grain-boundary` scenario: a tungsten
+//! bicrystal at 1400 K, following the atom-to-core assignment cost
+//! under different swap intervals.
 //!
-//! Builds a tungsten bicrystal (two grains misoriented about z meeting at
-//! a planar boundary), heats it, and follows the atom-to-core assignment
-//! cost over time under different swap intervals — demonstrating that
-//! swapping every 10–100 steps keeps the neighborhood-exchange distance
-//! bounded while atoms diffuse (paper Sec. V-E).
+//! Equivalent to `wafer-md run grain-boundary`; `--engine baseline`
+//! runs the same bicrystal on the reference engine instead.
 //!
 //! Run with: `cargo run --release --example grain_boundary`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use wafer_md::md::grain::GrainBoundarySpec;
-use wafer_md::md::materials::{Material, Species};
-use wafer_md::md::thermostat;
-use wafer_md::md::vec3::V3d;
-use wafer_md::wse::{run_with_swaps, WseMdConfig, WseMdSim};
-
-fn build_sim(seed: u64) -> WseMdSim {
-    let material = Material::new(Species::W);
-    let spec = GrainBoundarySpec::tungsten_like(V3d::new(38.0, 38.0, 2.0 * material.lattice_a));
-    let positions = spec.generate();
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Hot (1400 K) so grain-boundary atoms visibly diffuse within the
-    // short demo horizon.
-    let velocities =
-        thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 1400.0);
-    let config = WseMdConfig::open_for(positions.len(), 0.15, 2e-3);
-    WseMdSim::new(Species::W, &positions, &velocities, config)
-}
+use wafer_md::scenario::{self, RunOptions};
 
 fn main() {
-    println!("== tungsten grain boundary: assignment cost vs swap interval ==");
-    let probe = build_sim(7);
-    println!(
-        "{} atoms on {} cores ({} empty), initial assignment cost {:.2} Å\n",
-        probe.n_atoms(),
-        probe.extent().count(),
-        probe.extent().count() - probe.n_atoms(),
-        probe.initial_cost
-    );
-
-    let steps = 150;
-    let intervals = [0usize, 100, 25, 10, 1];
-    println!("swap interval | final cost (Å) | mean cost over last 50 steps (Å)");
-    for &interval in &intervals {
-        let mut sim = build_sim(7);
-        let costs = run_with_swaps(&mut sim, steps, interval);
-        let tail = &costs[steps - 50..];
-        let mean_tail: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
-        let label = if interval == 0 {
-            "never".to_string()
-        } else {
-            format!("{interval}")
-        };
-        println!(
-            "{label:>13} | {:>14.2} | {:.2}",
-            costs[steps - 1],
-            mean_tail
-        );
-    }
-    println!(
-        "\nPaper Fig. 9: swap intervals of 100 steps or less hold the exchange\n\
-         distance to within ~3 Å plus the EAM cutoff; a swap costs about one\n\
-         timestep, so every 10-100 steps is a modest overhead."
-    );
+    scenario::find("grain-boundary")
+        .expect("registered scenario")
+        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .expect("write scenario report");
 }

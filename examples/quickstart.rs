@@ -1,79 +1,17 @@
-//! Quickstart: simulate a small tantalum slab one-atom-per-core.
+//! Quickstart: the registered `quickstart` scenario — a small tantalum
+//! slab mapped one atom per core, reporting the paper's Table I
+//! observables (energy, temperature, interactions, modeled rate).
 //!
-//! Builds a BCC tantalum thin slab at 290 K, maps it onto a simulated
-//! WSE fabric, runs 200 timesteps, and reports physics (energy,
-//! temperature) and performance (candidates, interactions, implied
-//! timesteps/s) — the same observables the paper reports in Table I.
+//! Equivalent to `wafer-md run quickstart`; pass `--engine baseline`
+//! there to run the same workload on the f64 reference engine.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use wafer_md::md::lattice::SlabSpec;
-use wafer_md::md::materials::{Material, Species};
-use wafer_md::md::thermostat;
-use wafer_md::wse::{validate_against_reference, WseMdConfig, WseMdSim};
+use wafer_md::scenario::{self, RunOptions};
 
 fn main() {
-    let species = Species::Ta;
-    let material = Material::new(species);
-    println!(
-        "== wafer-md quickstart: {} ({:?}, a0 = {} Å, rcut = {} Å) ==",
-        species.name(),
-        material.crystal,
-        material.lattice_a,
-        material.cutoff
-    );
-
-    // A 10×10×2-cell BCC slab (400 atoms) at 290 K.
-    let spec = SlabSpec {
-        crystal: material.crystal,
-        lattice_a: material.lattice_a,
-        nx: 10,
-        ny: 10,
-        nz: 2,
-    };
-    let positions = spec.generate();
-    let mut rng = StdRng::seed_from_u64(2024);
-    let velocities = thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
-
-    // One atom per core, 5% spare tiles, 2 fs timestep.
-    let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
-    let mut sim = WseMdSim::new(species, &positions, &velocities, config);
-    println!(
-        "fabric {}x{} cores, {} atoms ({:.1}% occupancy), b = ({}, {}), assignment cost {:.2} Å",
-        sim.extent().width,
-        sim.extent().height,
-        sim.n_atoms(),
-        100.0 * sim.mapping.occupancy(),
-        sim.b.0,
-        sim.b.1,
-        sim.initial_cost
-    );
-
-    let first = sim.step();
-    println!(
-        "step 1: {:.1} candidates, {:.1} interactions per atom; U = {:.2} eV",
-        first.mean_candidates, first.mean_interactions, first.potential_energy
-    );
-
-    let report = validate_against_reference(&sim);
-    println!(
-        "validation vs f64 reference: max force error {:.2e}, energy error {:.2e} eV/atom",
-        report.max_force_error, report.energy_error_per_atom
-    );
-
-    let e0 = sim.total_energy();
-    for _ in 0..199 {
-        sim.step();
-    }
-    let e1 = sim.total_energy();
-    println!(
-        "200 steps: energy drift {:.3e} eV/atom, implied rate {:.0} timesteps/s",
-        (e1 - e0).abs() / sim.n_atoms() as f64,
-        sim.timesteps_per_second(100)
-    );
-    println!(
-        "(the paper's 801,792-atom Ta slab with 80 candidates / 14 interactions runs at 274,016 ts/s)"
-    );
+    scenario::find("quickstart")
+        .expect("registered scenario")
+        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .expect("write scenario report");
 }

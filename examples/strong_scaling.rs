@@ -1,43 +1,16 @@
-//! Strong scaling: the WSE against Frontier (GPU) and Quartz (CPU).
+//! Strong scaling: the WSE against Frontier (GPU) and Quartz (CPU),
+//! via the registered `strong-scaling` scenario — the Fig. 7a sweep and
+//! the Table I speedup factors for all three benchmark metals.
 //!
-//! Regenerates the Fig. 7a comparison for all three benchmark metals:
-//! cluster rates from the calibrated models swept over node counts, the
-//! WSE point from the cost model, and the Table I speedup factors.
+//! Equivalent to `wafer-md run strong-scaling`.
 //!
 //! Run with: `cargo run --release --example strong_scaling`
 
-use wafer_md::baseline::strongscale::{strong_scaling_data, wse_model_rate};
-use wafer_md::md::materials::Species;
+use wafer_md::scenario::{self, RunOptions};
 
 fn main() {
-    println!("== strong scaling at 801,792 atoms (paper Fig. 7a / Table I) ==\n");
-    for species in Species::ALL {
-        let wse_rate = wse_model_rate(species);
-        let data = strong_scaling_data(species, wse_rate);
-
-        println!("--- {} ---", species.name());
-        println!("nodes      GPU ts/s      CPU ts/s");
-        for k in [0.125, 0.5, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0] {
-            let gpu = data
-                .gpu
-                .iter()
-                .find(|p| (p.nodes - k).abs() < 1e-9)
-                .map(|p| format!("{:>10.0}", p.timesteps_per_second))
-                .unwrap_or_else(|| "         -".into());
-            let cpu = data
-                .cpu
-                .iter()
-                .find(|p| (p.nodes - k).abs() < 1e-9)
-                .map(|p| format!("{:>10.0}", p.timesteps_per_second))
-                .unwrap_or_else(|| "         -".into());
-            println!("{k:>6} {gpu}    {cpu}");
-        }
-        println!(
-            "WSE (1 system): {:>10.0} ts/s  ->  {:.0}x vs best GPU, {:.0}x vs best CPU\n",
-            wse_rate,
-            data.speedup_vs_gpu(),
-            data.speedup_vs_cpu()
-        );
-    }
-    println!("Paper Table I: Ta 179x/55x, Cu 109x/34x, W 96x/26x.");
+    scenario::find("strong-scaling")
+        .expect("registered scenario")
+        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .expect("write scenario report");
 }

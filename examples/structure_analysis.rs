@@ -1,81 +1,17 @@
-//! Structure analysis: RDF fingerprints of a perfect crystal vs a grain
-//! boundary, plus LAMMPS potential interchange.
+//! Structure analysis via the registered `structure` scenario: RDF
+//! fingerprints of a perfect tungsten crystal vs a grain-boundary
+//! bicrystal (paper Fig. 2), plus the LAMMPS `eam/alloy` potential
+//! export/re-import round trip.
 //!
-//! The paper's Fig. 2 shows how grain-boundary atoms form "complex and
-//! less clearly defined" structure compared to the bulk lattice. The
-//! radial distribution function makes that quantitative: sharp shells
-//! for the perfect crystal, broadened and filled-in structure near the
-//! boundary. This example also exports the calibrated tungsten potential
-//! as a LAMMPS `eam/alloy` file and re-imports it, demonstrating the
-//! interop path for users who have the paper's original potentials.
+//! Equivalent to `wafer-md run structure`.
 //!
 //! Run with: `cargo run --release --example structure_analysis`
 
-use wafer_md::md::analysis::rdf;
-use wafer_md::md::grain::GrainBoundarySpec;
-use wafer_md::md::lattice::{Crystal, SlabSpec};
-use wafer_md::md::materials::{Material, Species};
-use wafer_md::md::setfl;
-use wafer_md::md::system::Box3;
-use wafer_md::md::vec3::V3d;
+use wafer_md::scenario::{self, RunOptions};
 
 fn main() {
-    let material = Material::new(Species::W);
-    let a = material.lattice_a;
-
-    // Perfect BCC crystal.
-    let spec = SlabSpec {
-        crystal: Crystal::Bcc,
-        lattice_a: a,
-        nx: 8,
-        ny: 8,
-        nz: 4,
-    };
-    let perfect = spec.generate();
-    let bbox = Box3::periodic(spec.dimensions());
-    let g_perfect = rdf(&perfect, &bbox, 6.0, 60);
-
-    // Grain-boundary bicrystal of comparable size.
-    let gb_spec = GrainBoundarySpec::tungsten_like(V3d::new(8.0 * a, 8.0 * a, 4.0 * a));
-    let gb = gb_spec.generate();
-    let gb_box = Box3::open(V3d::new(8.0 * a, 8.0 * a, 4.0 * a));
-    let g_gb = rdf(&gb, &gb_box, 6.0, 60);
-
-    println!("== tungsten RDF: perfect BCC vs grain-boundary bicrystal ==");
-    println!(
-        "(shell radii: 1st {:.2} Å, 2nd {:.2} Å, 3rd {:.2} Å)\n",
-        Crystal::Bcc.nearest_neighbor_distance(a),
-        a,
-        std::f64::consts::SQRT_2 * a
-    );
-    println!("  r (Å) | g(r) perfect | g(r) boundary");
-    for k in 24..55 {
-        println!(
-            "{:>7.2} | {:>12.2} | {:>12.2}",
-            g_perfect.r[k], g_perfect.g[k], g_gb.g[k]
-        );
-    }
-    println!(
-        "\nmain peaks: perfect {:.2} Å, bicrystal {:.2} Å — same lattice, but the\n\
-         boundary fills the inter-shell gaps (disorder the swaps of Fig. 9 chase)",
-        g_perfect.main_peak(),
-        g_gb.main_peak()
-    );
-
-    // setfl round trip.
-    println!("\n== LAMMPS eam/alloy interchange ==");
-    let text = setfl::export_material(&material, 1000, 1000);
-    println!(
-        "exported W potential: {} lines, cutoff {:.2} Å",
-        text.lines().count(),
-        material.cutoff
-    );
-    let parsed = setfl::parse(&text).expect("round trip");
-    let pot = parsed.to_potential();
-    let r = Crystal::Bcc.nearest_neighbor_distance(a);
-    println!(
-        "re-imported: phi({r:.2} Å) = {:.4} eV (analytic {:.4} eV)",
-        pot.phi.eval(r),
-        material.phi(r)
-    );
+    scenario::find("structure")
+        .expect("registered scenario")
+        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .expect("write scenario report");
 }

@@ -1,63 +1,18 @@
-//! Weak scaling on the wafer: one atom per core across problem sizes.
+//! Weak scaling on the wafer, via the registered `weak-scaling`
+//! scenario: grow the slab and the fabric together at one atom per
+//! core and watch the modeled per-step rate stay flat (paper Fig. 8).
 //!
-//! Reproduces the Fig. 8 experiment in miniature: simultaneously grow
-//! the slab and the fabric (always one atom per core) and verify the
-//! per-step rate stays flat — the paper measures perfect weak scaling
-//! within 1% across three orders of magnitude of core counts.
+//! Equivalent to `wafer-md run weak-scaling`; `--engine baseline` runs
+//! the same size sweep on the reference engine (physics columns only —
+//! the host has no per-step cost model).
 //!
 //! Run with: `cargo run --release --example weak_scaling`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use wafer_md::md::lattice::SlabSpec;
-use wafer_md::md::materials::{Material, Species};
-use wafer_md::md::thermostat;
-use wafer_md::wse::{WseMdConfig, WseMdSim};
+use wafer_md::scenario::{self, RunOptions};
 
 fn main() {
-    let species = Species::Ta;
-    let material = Material::new(species);
-    println!(
-        "== weak scaling (Fig. 8): {} thin slabs, 1 atom/core ==\n",
-        species.name()
-    );
-    println!("    atoms |     cores | cand | inter | cycles/step | ts/s");
-
-    let mut baseline_rate = None;
-    for nx in [4usize, 8, 16, 32, 48] {
-        let spec = SlabSpec {
-            crystal: material.crystal,
-            lattice_a: material.lattice_a,
-            nx,
-            ny: nx,
-            nz: 2,
-        };
-        let positions = spec.generate();
-        let mut rng = StdRng::seed_from_u64(42);
-        let velocities =
-            thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
-        let config = WseMdConfig::open_for(positions.len(), 0.04, 2e-3);
-        let mut sim = WseMdSim::new(species, &positions, &velocities, config);
-        let cycles = sim.run(10);
-        let rate = sim.timesteps_per_second(10);
-        let s = sim.last_stats;
-        println!(
-            "{:>9} | {:>9} | {:>4.0} | {:>5.1} | {:>11.0} | {:>7.0}",
-            sim.n_atoms(),
-            sim.extent().count(),
-            s.mean_candidates,
-            s.mean_interactions,
-            cycles,
-            rate
-        );
-        let base = *baseline_rate.get_or_insert(rate);
-        let dev = (rate / base - 1.0) * 100.0;
-        if dev.abs() > 25.0 {
-            println!("          (deviation {dev:+.1}% — edge effects at small sizes)");
-        }
-    }
-    println!(
-        "\nRates converge as the surface-to-volume ratio falls; at the paper's\n\
-         801,792-atom scale weak scaling is flat to within 1% (Fig. 8)."
-    );
+    scenario::find("weak-scaling")
+        .expect("registered scenario")
+        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .expect("write scenario report");
 }

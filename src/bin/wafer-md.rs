@@ -1,0 +1,110 @@
+//! `wafer-md` — run the registered scenarios from the command line.
+//!
+//! ```text
+//! wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]
+//! wafer-md list
+//! wafer-md export-setfl <cu|w|ta> <path>
+//! ```
+//!
+//! `run` executes a scenario from the declarative registry
+//! (`wafer_md::scenario`) and prints its deterministic report; `list`
+//! enumerates the registry with the one-line description of each
+//! scenario; `export-setfl` writes a calibrated potential as a LAMMPS
+//! `eam/alloy` file for interop with the paper's original toolchain.
+
+use wafer_md::md::materials::{Material, Species};
+use wafer_md::md::setfl;
+use wafer_md::scenario::{self, EngineKind, RunOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]\n\
+         \x20      wafer-md list\n\
+         \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
+         \n\
+         scenarios:\n{}",
+        indent(&scenario::list_text())
+    );
+    std::process::exit(2);
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("  {l}\n"))
+        .collect::<String>()
+        .trim_end_matches('\n')
+        .to_string()
+}
+
+fn parse_run(args: &[String]) -> (String, RunOptions) {
+    let Some(name) = args.first() else { usage() };
+    let mut opts = RunOptions::default();
+    let mut i = 1;
+    let value = |i: &mut usize| -> &String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--engine" => {
+                let v = value(&mut i);
+                opts.engine = Some(EngineKind::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown engine '{v}' (expected baseline|wse)");
+                    usage()
+                }));
+            }
+            "--atoms" => opts.atoms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--steps" => opts.steps = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    (name.clone(), opts)
+}
+
+fn export_setfl(args: &[String]) {
+    let [species, path] = args else { usage() };
+    let species = match species.to_lowercase().as_str() {
+        "cu" | "copper" => Species::Cu,
+        "w" | "tungsten" => Species::W,
+        "ta" | "tantalum" => Species::Ta,
+        other => {
+            eprintln!("unknown species '{other}'");
+            usage()
+        }
+    };
+    let material = Material::new(species);
+    let text = setfl::export_material(&material, 2000, 2000);
+    std::fs::write(path, text).expect("write setfl file");
+    println!(
+        "wrote LAMMPS eam/alloy potential for {} to {path}",
+        species.symbol()
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("run") => {
+            let (name, opts) = parse_run(&argv[1..]);
+            let Some(entry) = scenario::find(&name) else {
+                eprintln!("unknown scenario '{name}'");
+                usage()
+            };
+            let stdout = std::io::stdout();
+            if let Err(e) = entry.run(&opts, &mut stdout.lock()) {
+                // A closed pipe (`wafer-md run ... | head`) is a normal
+                // way to stop reading, not an error.
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    panic!("write scenario report: {e}");
+                }
+            }
+        }
+        Some("list") => print!("{}", scenario::list_text()),
+        Some("export-setfl") => export_setfl(&argv[1..]),
+        _ => usage(),
+    }
+}

@@ -19,15 +19,25 @@
 //! | [`baseline`] | LAMMPS-style reference engine + calibrated GPU/CPU cluster models |
 //! | [`model`] | analytic models: Tables II–VI and Fig. 1 |
 //!
-//! See `examples/quickstart.rs` for a five-line simulation and
-//! EXPERIMENTS.md for the paper-vs-measured record of every table and
-//! figure.
+//! On top of the re-exports, the [`scenario`] module is the unified
+//! entry point: a declarative [`scenario::Scenario`] builder, the
+//! [`scenario::Engine`] trait both backends implement, and a named
+//! registry of every workload (`wafer-md run <name>` / `wafer-md list`
+//! on the command line; `cargo run --example quickstart` etc. are thin
+//! wrappers over the same registry).
+//!
+//! See docs/ARCHITECTURE.md for the crate map and how a scenario flows
+//! through an engine.
+
+#![warn(missing_docs)]
 
 pub use md_baseline as baseline;
 pub use md_core as md;
 pub use perf_model as model;
 pub use wse_fabric as fabric;
 pub use wse_md as wse;
+
+pub mod scenario;
 
 /// The workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

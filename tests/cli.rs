@@ -1,38 +1,111 @@
-//! Invocation tests for the `wafer-md-cli` binary.
+//! Invocation tests for the `wafer-md` binary: usage handling, the
+//! `list`/registry contract, and byte-exact golden output for the
+//! `quickstart` scenario on both engines.
 
 use std::process::Command;
 
+use wafer_md::scenario;
+
 fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_wafer-md-cli"))
+    Command::new(env!("CARGO_BIN_EXE_wafer-md"))
 }
 
 #[test]
 fn help_prints_usage_and_exits_nonzero() {
-    let out = cli().arg("--help").output().expect("spawn wafer-md-cli");
+    let out = cli().arg("--help").output().expect("spawn wafer-md");
     assert_eq!(out.status.code(), Some(2), "--help exits with usage status");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("usage: wafer-md-cli"), "stderr: {stderr}");
-    assert!(stderr.contains("--species"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: wafer-md run"), "stderr: {stderr}");
+    assert!(stderr.contains("--engine baseline|wse"), "stderr: {stderr}");
+    assert!(stderr.contains("quickstart"), "usage lists scenarios");
+}
+
+#[test]
+fn unknown_scenario_is_rejected() {
+    let out = cli()
+        .args(["run", "no-such-scenario"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario"), "stderr: {stderr}");
 }
 
 #[test]
 fn unknown_flag_is_rejected() {
-    let out = cli().arg("--no-such-flag").output().expect("spawn");
+    let out = cli()
+        .args(["run", "quickstart", "--no-such-flag"])
+        .output()
+        .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
 }
 
 #[test]
-fn tiny_simulation_reports_physics_and_rate() {
+fn list_matches_the_registry_exactly() {
+    let out = cli().arg("list").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(
+        stdout,
+        scenario::list_text(),
+        "`wafer-md list` must render the registry verbatim"
+    );
+    // And the registry itself covers every scenario the paper names.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), scenario::registry().len());
+    for (line, entry) in lines.iter().zip(scenario::registry()) {
+        assert!(
+            line.starts_with(entry.name),
+            "line '{line}' out of registry order"
+        );
+        assert!(line.contains(entry.summary), "summary missing in '{line}'");
+    }
+}
+
+#[test]
+fn run_accepts_overrides_and_reports_observables() {
     let out = cli()
-        .args(["--nx", "4", "--ny", "4", "--nz", "1", "--steps", "5"])
+        .args([
+            "run",
+            "quickstart",
+            "--atoms",
+            "64",
+            "--steps",
+            "5",
+            "--engine",
+            "wse",
+        ])
         .output()
         .expect("spawn");
     assert!(out.status.success(), "status: {:?}", out.status);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("wafer-md:"), "stdout: {stdout}");
-    assert!(stdout.contains("atoms on"), "stdout: {stdout}");
-    assert!(stdout.contains("timesteps/s"), "stdout: {stdout}");
+    assert!(stdout.contains("engine wse"), "stdout: {stdout}");
+    assert!(stdout.contains("after 5 steps"), "stdout: {stdout}");
     assert!(stdout.contains("RDF main peak"), "stdout: {stdout}");
+}
+
+/// The CI smoke contract: `wafer-md run quickstart` must byte-match the
+/// committed golden file for each engine, at any thread count.
+#[test]
+fn quickstart_matches_committed_golden_output() {
+    for engine in ["baseline", "wse"] {
+        let out = cli()
+            .args(["run", "quickstart", "--engine", engine])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "status: {:?}", out.status);
+        let golden_path = format!(
+            "{}/tests/golden/quickstart-{engine}.txt",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let golden = std::fs::read(&golden_path).expect("read committed golden file");
+        assert!(
+            out.stdout == golden,
+            "quickstart --engine {engine} diverged from {golden_path}:\n--- got ---\n{}\n--- want ---\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&golden)
+        );
+    }
 }

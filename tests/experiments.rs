@@ -1,10 +1,12 @@
 //! End-to-end smoke tests of every experiment-regeneration path, so the
-//! bench binaries can't rot: each paper table/figure's pipeline is
-//! exercised with reduced parameters.
+//! pipelines behind the paper's tables and figures can't rot. All
+//! engine construction goes through the declarative scenario subsystem
+//! (`wafer_md::scenario`) — no experiment wires a backend by hand.
 
 use wafer_md::baseline::strongscale::{strong_scaling_data, wse_model_rate};
 use wafer_md::md::materials::Species;
 use wafer_md::model;
+use wafer_md::scenario::{registry, run_to_string, EngineKind, RunOptions, Scenario};
 
 #[test]
 fn fig1_timescale_pipeline() {
@@ -23,23 +25,21 @@ fn table1_pipeline_reproduces_speedups() {
 #[test]
 fn table2_pipeline_recovers_cost_model() {
     // Controlled-sweep fit over the simulator must recover Table II.
+    // The controlled grid is the scenario subsystem's Sec. IV-B fixture,
+    // driven through the unified Engine trait.
     use wafer_md::fabric::cost::WSE2_CLOCK_GHZ;
     let mut samples = Vec::new();
     for b in [2i32, 4, 6] {
         for spacing_frac in [0.3, 0.6, 0.9] {
             let m = wafer_md::md::materials::Material::new(Species::Ta);
-            let mut sim = wafer_md_bench_shim::controlled_grid_sim(
-                Species::Ta,
-                18,
-                m.cutoff * spacing_frac,
-                b,
-            );
+            let mut sim = Scenario::controlled_grid(Species::Ta, 18, m.cutoff * spacing_frac, b)
+                .build_engine();
             sim.run(3);
-            let s = sim.last_stats;
+            let o = sim.observables();
             samples.push(model::linear::SweepSample {
-                n_candidates: s.mean_candidates,
-                n_interactions: s.mean_interactions,
-                t_wall_ns: s.cycles / WSE2_CLOCK_GHZ,
+                n_candidates: o.mean_candidates,
+                n_interactions: o.mean_interactions,
+                t_wall_ns: o.modeled_cycles.expect("wse engine has a cost model") / WSE2_CLOCK_GHZ,
             });
         }
     }
@@ -50,47 +50,16 @@ fn table2_pipeline_recovers_cost_model() {
     assert!(fit.r_squared > 0.999);
 }
 
-/// Local copy of the bench crate's controlled-grid builder (the bench
-/// crate is not a dependency of the facade).
-mod wafer_md_bench_shim {
-    use wafer_md::md::materials::Species;
-    use wafer_md::md::vec3::V3d;
-    use wafer_md::wse::{WseMdConfig, WseMdSim};
-
-    pub fn controlled_grid_sim(species: Species, side: usize, spacing: f64, b: i32) -> WseMdSim {
-        let positions: Vec<V3d> = (0..side * side)
-            .map(|k| {
-                V3d::new(
-                    (k % side) as f64 * spacing,
-                    (k / side) as f64 * spacing,
-                    0.0,
-                )
-            })
-            .collect();
-        let velocities = vec![V3d::zero(); positions.len()];
-        let config = WseMdConfig {
-            extent: wafer_md::fabric::geometry::Extent::new(side, side),
-            dt: 0.0,
-            cost_model: wafer_md::fabric::cost::CostModel::paper_baseline(),
-            periodic: [false; 3],
-            box_lengths: V3d::zero(),
-            b_override: Some((b, b)),
-            symmetric_forces: false,
-            neighbor_reuse_interval: 1,
-            neighbor_skin: 0.0,
-        };
-        WseMdSim::new(species, &positions, &velocities, config)
-    }
-}
-
 #[test]
 fn fig8_weak_scaling_is_flat_under_controlled_workload() {
     let rates: Vec<f64> = [24usize, 48, 96]
         .iter()
         .map(|&side| {
-            let mut sim = wafer_md_bench_shim::controlled_grid_sim(Species::Ta, side, 1.3, 4);
+            let mut sim = Scenario::controlled_grid(Species::Ta, side, 1.3, 4).build_engine();
             sim.run(4);
-            sim.timesteps_per_second(4)
+            sim.observables()
+                .modeled_rate
+                .expect("wse engine has a cost model")
         })
         .collect();
     // Same per-core workload except edge tiles, whose share falls with
@@ -142,4 +111,44 @@ fn sec2b_pipeline_lj_rates() {
     use wafer_md::baseline::lj;
     assert!(lj::v100_lj_rate(1000.0) < 10_000.0);
     assert!(lj::skylake36_lj_rate(1000.0) > 20_000.0);
+}
+
+#[test]
+fn every_registered_scenario_reports_through_the_registry() {
+    // Reduced budgets: this is a pipeline-rot smoke test, not a physics
+    // run. Every scenario must execute and produce a non-empty report.
+    let opts = RunOptions {
+        engine: None,
+        atoms: Some(36),
+        steps: Some(30),
+    };
+    for entry in registry() {
+        let text = run_to_string(entry.name, &opts)
+            .expect("registered name")
+            .expect("scenario runs");
+        assert!(
+            text.lines().count() >= 3,
+            "{} report too short:\n{text}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn quickstart_scenario_agrees_across_backends() {
+    // The cross-engine contract at registry level: the same scenario on
+    // both backends reports the same physics to f32 accuracy.
+    let mut energies = Vec::new();
+    for kind in [EngineKind::Baseline, EngineKind::Wse] {
+        let sc = Scenario::slab(Species::Ta, 4, 4, 2)
+            .temperature(290.0)
+            .seed(2024)
+            .engine(kind);
+        let mut engine = sc.build_engine();
+        engine.run(20);
+        let o = engine.observables();
+        energies.push(o.total_energy() / engine.n_atoms() as f64);
+    }
+    let rel = (energies[0] - energies[1]).abs() / energies[0].abs();
+    assert!(rel < 1e-3, "per-atom energies diverge: {energies:?}");
 }

@@ -1,7 +1,7 @@
 //! Workspace wiring smoke tests: the `wafer_md` facade must re-export
 //! every sub-crate, and the re-exported APIs must be callable end to end.
 
-use wafer_md::{baseline, fabric, md, model, wse, VERSION};
+use wafer_md::{baseline, fabric, md, model, scenario, wse, VERSION};
 
 #[test]
 fn version_resolves_to_the_workspace_version() {
@@ -67,4 +67,18 @@ fn facade_reexports_every_subcrate() {
     let mut sim = wse::WseMdSim::new(md::materials::Species::Cu, &positions, &velocities, config);
     sim.step();
     assert!(sim.last_stats.potential_energy < 0.0, "cohesive slab");
+}
+
+#[test]
+fn scenario_registry_reaches_both_backends_through_the_facade() {
+    // The unified entry point: a declarative scenario builds either
+    // backend behind the shared Engine trait.
+    assert!(scenario::registry().len() >= 6);
+    assert!(scenario::find("quickstart").is_some());
+    let sc = scenario::Scenario::slab(md::materials::Species::Ta, 3, 3, 1)
+        .temperature(150.0)
+        .engine(scenario::EngineKind::Wse);
+    let mut engine = sc.build_engine();
+    engine.run(2);
+    assert!(engine.observables().modeled_rate.is_some());
 }
