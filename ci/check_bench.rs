@@ -1,0 +1,215 @@
+//! `check-bench` — the CI perf-regression gate.
+//!
+//! ```text
+//! check-bench <baseline.json> <fresh.json> [--report PATH] [--max-regress FRACTION]
+//! ```
+//!
+//! Compares a freshly produced `BENCH_results.json` against the
+//! committed baseline and **fails (exit 1) when any throughput entry
+//! regresses by more than the threshold** (default 25%, overridable via
+//! `--max-regress` or the `BENCH_MAX_REGRESSION` environment variable).
+//! Only entries reporting `elements_per_sec` participate: wall-clock
+//! `nanos_per_iter` values are listed in the report for context but not
+//! gated, since absolute nanoseconds shift with the runner while
+//! throughput entries are tracked at a pinned `WAFER_MD_THREADS`.
+//!
+//! A markdown comparison table is written to `--report` (default
+//! `BENCH_compare.md`) so CI can upload it as an artifact.
+//!
+//! The parser is a minimal hand-rolled reader for the flat schema the
+//! vendored criterion emits (`{"schema": 1, "results": [{...}, ...]}`);
+//! the workspace deliberately has no serde dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::exit;
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    nanos_per_iter: Option<f64>,
+    threads: Option<f64>,
+    elements_per_sec: Option<f64>,
+}
+
+/// Extract the string value of `"key": "..."` from one JSON object.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract the numeric value of `"key": <number>` from one JSON object.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the `results` array into name → entry (names are unique: the
+/// emitter merges by name across bench binaries).
+fn parse(path: &str) -> BTreeMap<String, Entry> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-bench: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    let mut out = BTreeMap::new();
+    let Some(start) = text.find("\"results\"") else {
+        eprintln!("check-bench: {path} has no \"results\" array");
+        exit(2);
+    };
+    // Objects in the results array are flat (no nesting), so brace
+    // matching degenerates to scanning `{...}` spans.
+    let mut rest = &text[start..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close + 1];
+        if let Some(name) = string_field(obj, "name") {
+            out.insert(
+                name,
+                Entry {
+                    nanos_per_iter: number_field(obj, "nanos_per_iter"),
+                    threads: number_field(obj, "threads"),
+                    elements_per_sec: number_field(obj, "elements_per_sec"),
+                },
+            );
+        }
+        rest = &rest[open + close + 1..];
+    }
+    if out.is_empty() {
+        eprintln!("check-bench: {path} contains no bench entries");
+        exit(2);
+    }
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: check-bench <baseline.json> <fresh.json> [--report PATH] [--max-regress FRACTION]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut report_path = "BENCH_compare.md".to_string();
+    let mut threshold: f64 = std::env::var("BENCH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => {
+                i += 1;
+                report_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--max-regress" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        usage()
+    };
+
+    let baseline = parse(baseline_path);
+    let fresh = parse(fresh_path);
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# Bench comparison\n");
+    let _ = writeln!(
+        report,
+        "Baseline `{baseline_path}` vs fresh `{fresh_path}`; gate: \
+         elements_per_sec regression > {:.0}% fails.\n",
+        threshold * 100.0
+    );
+    let _ = writeln!(
+        report,
+        "| bench | baseline elem/s | fresh elem/s | Δ | ns/iter (fresh) | status |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|");
+
+    let mut regressions = Vec::new();
+    let mut gated = 0usize;
+    for (name, base) in &baseline {
+        let Some(new) = fresh.get(name) else {
+            let _ = writeln!(report, "| {name} | — | — | — | — | missing in fresh run |");
+            regressions.push(format!("{name}: present in baseline but not in fresh run"));
+            continue;
+        };
+        let ns = new
+            .nanos_per_iter
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "—".into());
+        match (base.elements_per_sec, new.elements_per_sec) {
+            (Some(b), Some(f)) if b > 0.0 => {
+                gated += 1;
+                let delta = f / b - 1.0;
+                let mismatched_threads = base.threads != new.threads;
+                let status = if mismatched_threads {
+                    "skipped (thread count differs)".to_string()
+                } else if delta < -threshold {
+                    regressions.push(format!(
+                        "{name}: {b:.0} -> {f:.0} elements/sec ({:+.1}%)",
+                        delta * 100.0
+                    ));
+                    "**REGRESSED**".to_string()
+                } else {
+                    "ok".to_string()
+                };
+                let _ = writeln!(
+                    report,
+                    "| {name} | {b:.0} | {f:.0} | {:+.1}% | {ns} | {status} |",
+                    delta * 100.0
+                );
+            }
+            _ => {
+                let _ = writeln!(report, "| {name} | — | — | — | {ns} | not gated |");
+            }
+        }
+    }
+    for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
+        let _ = writeln!(report, "| {name} | — | — | — | — | new entry |");
+    }
+
+    if let Err(e) = std::fs::write(&report_path, &report) {
+        eprintln!("check-bench: cannot write {report_path}: {e}");
+        exit(2);
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "check-bench: {gated} throughput entries within {:.0}% of baseline ({report_path})",
+            threshold * 100.0
+        );
+    } else {
+        eprintln!(
+            "check-bench: {} of {gated} throughput entries regressed more than {:.0}%:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        exit(1);
+    }
+}

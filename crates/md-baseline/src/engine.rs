@@ -8,13 +8,16 @@
 //!
 //! The force/energy passes run on rayon's worker pool (sized by
 //! `WAFER_MD_THREADS`). Per-atom results are `collect`ed in atom order
-//! and the scalar energy accumulation is a sequential in-order fold, so
-//! trajectories are bit-identical at any thread count. (Audit note for
-//! the chunked executor: this engine has no two-argument `reduce` call
-//! sites; the only one in the workspace is the stats reduction in
-//! `wse-md`'s driver, whose identity is checked there.)
+//! and the scalar energy accumulation is a sequential in-order fold
+//! over per-atom terms, so trajectories are bit-identical at any thread
+//! count — and, because the per-atom terms are pure functions of each
+//! atom's neighborhood enumerated in canonical (ascending-index) order,
+//! across spatial shard decompositions too (the `HaloEngine` contract;
+//! see `wafer_md::shard`). Audit note for the chunked executor: the
+//! workspace no longer has any two-argument `reduce` call sites — both
+//! engines assemble statistics through sequential atom-id-order folds.
 
-use md_core::engine::{Engine, Observables};
+use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 use md_core::integrate;
 use md_core::neighbor::VerletList;
 use md_core::system::System;
@@ -32,6 +35,10 @@ pub struct BaselineEngine {
     /// Potential energy after the last force evaluation (eV).
     pub potential_energy: f64,
     forces: Vec<V3d>,
+    /// Per-atom potential-energy terms (pair half-sum + embedding) from
+    /// the last force evaluation; `potential_energy` is their in-order
+    /// fold (the canonical per-atom accounting of the halo contract).
+    per_atom_pot: Vec<f64>,
 }
 
 impl BaselineEngine {
@@ -48,6 +55,7 @@ impl BaselineEngine {
             step_count: 0,
             potential_energy: 0.0,
             forces: vec![V3d::zero(); n],
+            per_atom_pot: vec![0.0; n],
         };
         e.vlist.rebuild(&e.system.positions, &e.system.bbox);
         e.compute_forces();
@@ -85,9 +93,12 @@ impl BaselineEngine {
 
         let mut fprime = vec![0.0f64; pos.len()];
         let mut energy = 0.0;
+        self.per_atom_pot.resize(pos.len(), 0.0);
         for (i, (rho, pair)) in per_atom.iter().enumerate() {
             let (f, fp) = pot.embed.eval_both(*rho);
-            energy += pair + f;
+            let e = pair + f;
+            energy += e;
+            self.per_atom_pot[i] = e;
             fprime[i] = fp;
         }
 
@@ -116,7 +127,17 @@ impl BaselineEngine {
     }
 
     /// Advance one timestep (list update → kick/drift → new forces).
+    ///
+    /// Exactly equivalent to [`HaloEngine::advance_positions`] followed
+    /// by [`HaloEngine::refresh_forces`] — the [`StepSplit::MoveThenForce`]
+    /// halves a sharded driver interleaves with its ghost exchange.
     pub fn step(&mut self) {
+        self.advance_positions_impl();
+        self.refresh_forces_impl();
+    }
+
+    /// Kick/drift with the stored forces (the move half of the step).
+    fn advance_positions_impl(&mut self) {
         self.vlist.update(&self.system.positions, &self.system.bbox);
         // Forces correspond to current positions (computed at the end of
         // the previous step, or in new()).
@@ -132,9 +153,14 @@ impl BaselineEngine {
                 *p = self.system.bbox.wrap(*p);
             }
         }
+        self.step_count += 1;
+    }
+
+    /// Neighbor-list update + force evaluation at the current positions
+    /// (the force half of the step).
+    fn refresh_forces_impl(&mut self) {
         self.vlist.update(&self.system.positions, &self.system.bbox);
         self.compute_forces();
-        self.step_count += 1;
     }
 
     /// Run `n` steps.
@@ -221,6 +247,57 @@ impl Engine for BaselineEngine {
             ..Default::default()
         }
         .with_temperature_from(self.system.kinetic_energy(), self.system.len())
+    }
+}
+
+impl HaloEngine for BaselineEngine {
+    fn step_split(&self) -> StepSplit {
+        StepSplit::MoveThenForce
+    }
+
+    fn advance_positions(&mut self) {
+        self.advance_positions_impl();
+    }
+
+    fn refresh_forces(&mut self) {
+        self.refresh_forces_impl();
+    }
+
+    fn overwrite_atom(&mut self, atom: usize, position: V3d, velocity: V3d) {
+        self.system.positions[atom] = position;
+        self.system.velocities[atom] = velocity;
+    }
+
+    fn per_atom_potential_energies(&self) -> Vec<f64> {
+        self.per_atom_pot.clone()
+    }
+
+    fn per_atom_squared_speeds(&self) -> Vec<f64> {
+        self.system.velocities.iter().map(|v| v.norm_sq()).collect()
+    }
+
+    fn per_atom_counts(&self) -> Vec<(u32, u32)> {
+        let pot = &self.system.potential;
+        let rc2 = pot.cutoff * pot.cutoff;
+        let pos = &self.system.positions;
+        (0..pos.len())
+            .into_par_iter()
+            .map(|i| {
+                let inter = self.vlist.neighbors[i]
+                    .iter()
+                    .filter(|&&j| {
+                        let d = self.system.bbox.displacement(pos[i], pos[j]);
+                        let r2 = d.norm_sq();
+                        r2 < rc2 && r2 > 0.0
+                    })
+                    .count();
+                (self.vlist.neighbors[i].len() as u32, inter as u32)
+            })
+            .collect()
+    }
+
+    fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>> {
+        None
     }
 }
 

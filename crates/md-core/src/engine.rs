@@ -167,6 +167,90 @@ pub trait Engine {
     }
 }
 
+/// Where a backend's timestep splits around the halo-exchange point of
+/// a sharded (ghost-region) run.
+///
+/// A spatially sharded driver must refresh every shard's ghost atoms
+/// between the moment positions change and the moment forces are
+/// evaluated from them. The two workspace backends order those moments
+/// differently inside one `step()`, so the driver asks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepSplit {
+    /// `step()` first integrates with the stored forces, then evaluates
+    /// new forces at the new positions (the reference engine): exchange
+    /// ghosts *between* [`HaloEngine::advance_positions`] and
+    /// [`HaloEngine::refresh_forces`].
+    MoveThenForce,
+    /// `step()` first evaluates forces at the current positions, then
+    /// integrates (the wafer engine): exchange ghosts *after*
+    /// [`HaloEngine::advance_positions`], ready for the next refresh.
+    ForceThenMove,
+}
+
+/// Halo support: the contract a backend adds to [`Engine`] so a sharded
+/// driver can run it as one spatial shard of a larger simulation and
+/// merge per-atom results **bit-identically** with the unsharded run.
+///
+/// Three capabilities make that possible:
+///
+/// 1. **A split timestep.** `step()` must be exactly equivalent to its
+///    two halves called in [`StepSplit`] order, so the driver can
+///    overwrite ghost-atom state at the point where the unsharded
+///    engine would simply have read its own (already-current) atoms.
+/// 2. **Ghost overwrite.** [`HaloEngine::overwrite_atom`] replaces one
+///    atom's phase-space state in place; the shard's ghost copies are
+///    refreshed from the owning shard every step.
+/// 3. **Canonical per-atom accounting.** Every scalar an [`Observables`]
+///    reports must be reproducible as a left-to-right fold of per-atom
+///    terms in **atom-id order**. Both workspace backends compute their
+///    own observables through exactly these folds, so a driver that
+///    gathers per-atom terms from shard owners and folds them in global
+///    atom-id order reproduces the unsharded bits — for any shard count
+///    and any `WAFER_MD_THREADS`.
+///
+/// Atoms an engine hosts but does not own (ghosts) return garbage in
+/// the per-atom accessors near the halo's outer edge; the driver only
+/// ever reads an atom's terms from its owner.
+pub trait HaloEngine: Engine {
+    /// Which half of [`Engine::step`] runs first in this backend.
+    fn step_split(&self) -> StepSplit;
+
+    /// Integrate positions/velocities from the last force evaluation
+    /// (no force work). One half of [`Engine::step`].
+    fn advance_positions(&mut self);
+
+    /// Recompute forces, energies, and neighbor counters at the current
+    /// positions (no motion). The other half of [`Engine::step`].
+    fn refresh_forces(&mut self);
+
+    /// Overwrite one atom's position and velocity (Å, Å/ps; atom-id
+    /// indexing) — the ghost-refresh primitive. Does not recompute
+    /// forces or observables.
+    fn overwrite_atom(&mut self, atom: usize, position: V3d, velocity: V3d);
+
+    /// Per-atom potential-energy terms (eV) from the last force
+    /// evaluation, atom-id order. Folding them left-to-right reproduces
+    /// [`Observables::potential_energy`] bit-for-bit.
+    fn per_atom_potential_energies(&self) -> Vec<f64>;
+
+    /// Per-atom squared speeds `|v|²` ((Å/ps)²), atom-id order, in the
+    /// exact precision path of the backend's own kinetic-energy sum:
+    /// `0.5 · m · MVV_TO_ENERGY · fold` reproduces the backend's
+    /// kinetic energy bit-for-bit.
+    fn per_atom_squared_speeds(&self) -> Vec<f64>;
+
+    /// Per-atom `(candidates, interactions)` counters from the last
+    /// force evaluation, atom-id order. Integer totals divided by the
+    /// atom count reproduce the mean fields of [`Observables`].
+    fn per_atom_counts(&self) -> Vec<(u32, u32)>;
+
+    /// Per-atom modeled cycle charges from the last force evaluation,
+    /// atom-id order, if the backend has a hardware cost model.
+    /// Folding them left-to-right and dividing by the atom count
+    /// reproduces [`Observables::modeled_cycles`].
+    fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

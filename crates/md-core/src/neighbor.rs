@@ -190,9 +190,14 @@ impl VerletList {
 
     /// (Re)build the lists from scratch using a cell list. Per-atom
     /// lists are built in parallel (each atom only reads the shared
-    /// cell bins), in the same stencil order as a sequential build, so
-    /// the lists — and every force sum iterating them — are identical
-    /// at any thread count.
+    /// cell bins) and then sorted into **ascending neighbor-index
+    /// order**. The sort makes the enumeration order of each list a
+    /// pure function of the atom set itself rather than of the cell
+    /// grid: the grid's origin follows the atoms' bounding extent, so
+    /// stencil order would differ between a full system and a sharded
+    /// subsystem holding the same atoms. With the canonical order, any
+    /// force or density sum iterating a list is bit-identical at any
+    /// thread count *and* across spatial shard decompositions.
     pub fn rebuild(&mut self, positions: &[V3d], bbox: &Box3) {
         let reach = self.cutoff + self.skin;
         let reach2 = reach * reach;
@@ -216,6 +221,7 @@ impl VerletList {
                         list.push(j);
                     }
                 });
+                list.sort_unstable();
                 list
             })
             .collect();

@@ -21,12 +21,17 @@
 //! All tile arithmetic is f32, as on the WSE; energy reductions use f64.
 //!
 //! The per-core phase loops fan out over rayon's worker pool (sized by
-//! `WAFER_MD_THREADS`); every reduction uses the executor's fixed
-//! chunk-combine order, so a trajectory is bit-identical at any thread
-//! count.
+//! `WAFER_MD_THREADS`); per-core results land in per-core buffers and
+//! every statistic is assembled by a sequential **atom-id-order** fold,
+//! so a trajectory is bit-identical at any thread count — and across
+//! spatial shard decompositions (the timestep splits into
+//! [`HaloEngine::refresh_forces`] / [`HaloEngine::advance_positions`]
+//! around the ghost-exchange point, and a prescribed-assignment
+//! constructor carves one global mapping into per-shard fabric strips;
+//! see `wafer_md::shard`).
 
 use md_core::eam::EamPotential;
-use md_core::engine::{Engine, Observables};
+use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 use md_core::materials::{Material, Species};
 use md_core::units::FORCE_TO_ACCEL;
 use md_core::vec3::{V3d, V3f, Vec3};
@@ -168,6 +173,10 @@ pub struct WseMdSim {
     ninter: Vec<u32>,
     nlist: Vec<Vec<u32>>,
     pair_e: Vec<f32>,
+    /// Per-core embedding energy (f64) from the last force refresh.
+    embed_e: Vec<f64>,
+    /// Per-core modeled cycle charge from the last force refresh.
+    core_cycles: Vec<f64>,
     steps_since_rebuild: usize,
     lists_dirty: bool,
     /// Per-step cycle trace (array level), like the paper's scratch
@@ -186,15 +195,38 @@ impl WseMdSim {
         velocities: &[V3d],
         config: WseMdConfig,
     ) -> Self {
+        // Map atoms by their *folded* projections so periodic dimensions
+        // interleave on the wafer (Sec. III-E, Fig. 5).
+        let fold = FoldSpec::new(config.periodic, config.box_lengths);
+        let folded: Vec<V3d> = positions.iter().map(|p| fold.fold(*p)).collect();
+        let mapping = Mapping::greedy(&folded, config.extent);
+        Self::with_assignment(species, positions, velocities, config, mapping)
+    }
+
+    /// Build a simulator on a **prescribed** atom → core assignment
+    /// instead of the greedy mapping — how a sharded driver carves one
+    /// global mapping into per-shard fabric strips whose local
+    /// neighborhoods (and therefore candidate counts, forces, and
+    /// modeled cycles) reproduce the global run's bits exactly.
+    /// Callers that prescribe a mapping normally also prescribe the
+    /// neighborhood radius through [`WseMdConfig::b_override`].
+    pub fn with_assignment(
+        species: Species,
+        positions: &[V3d],
+        velocities: &[V3d],
+        config: WseMdConfig,
+        mapping: Mapping,
+    ) -> Self {
         assert_eq!(positions.len(), velocities.len());
+        assert_eq!(mapping.core_of_atom.len(), positions.len());
+        assert_eq!(
+            mapping.extent, config.extent,
+            "mapping/config extent mismatch"
+        );
         let material = Material::new(species);
         let potential: EamPotential<f32> = material.potential().cast();
         let fold = FoldSpec::new(config.periodic, config.box_lengths);
-
-        // Map atoms by their *folded* projections so periodic dimensions
-        // interleave on the wafer (Sec. III-E, Fig. 5).
         let folded: Vec<V3d> = positions.iter().map(|p| fold.fold(*p)).collect();
-        let mapping = Mapping::greedy(&folded, config.extent);
         let cost = mapping.assignment_cost_angstroms(&folded);
         let (bx, by) = config.b_override.unwrap_or_else(|| {
             // "At runtime we set b so that every (2b+1)-wide square
@@ -236,6 +268,8 @@ impl WseMdSim {
             ninter: vec![0; n_cores],
             nlist: vec![Vec::new(); n_cores],
             pair_e: vec![0.0; n_cores],
+            embed_e: vec![0.0; n_cores],
+            core_cycles: vec![0.0; n_cores],
             steps_since_rebuild: 0,
             lists_dirty: true,
             cycle_trace: Vec::new(),
@@ -266,7 +300,20 @@ impl WseMdSim {
     }
 
     /// Advance one timestep; returns the step's statistics.
+    ///
+    /// Exactly equivalent to [`HaloEngine::refresh_forces`] followed by
+    /// [`HaloEngine::advance_positions`] — the
+    /// [`StepSplit::ForceThenMove`] halves a sharded driver interleaves
+    /// with its ghost exchange.
     pub fn step(&mut self) -> StepStats {
+        self.refresh_forces_impl();
+        self.advance_positions_impl()
+    }
+
+    /// Phases 1–4a: candidate exchange, neighbor list, densities and
+    /// embedding, force evaluation, and per-core cycle charging — all at
+    /// the current positions, no motion.
+    fn refresh_forces_impl(&mut self) {
         let extent = self.config.extent;
         let (w, h) = (extent.width as i32, extent.height as i32);
         let (bx, by) = self.b;
@@ -360,28 +407,26 @@ impl WseMdSim {
 
         // ---- Phase 3b: embedding energy and derivative, then the F'
         // exchange (functionally: F' is published in the fprime array).
-        // The spline evaluations fan out over the pool; the energy sum
-        // stays a sequential in-order fold over the collected pairs so
-        // it is bit-identical at any thread count.
+        // The spline evaluations fan out over the pool; the per-core
+        // embedding energies are stored and folded into the potential in
+        // **atom-id order** by `advance_positions_impl`, so the energy is
+        // bit-identical at any thread count and under spatial sharding.
         let occ = &self.occ;
         let rho = &self.rho;
         let potential = &self.potential;
-        let embed: Vec<(f32, f64)> = (0..occ.len())
+        (&mut self.fprime, &mut self.embed_e)
             .into_par_iter()
-            .map(|c| {
+            .enumerate()
+            .for_each(|(c, (fp_c, fe_c))| {
                 if occ[c] {
                     let (f, fp) = potential.embedding(rho[c]);
-                    (fp, f as f64)
+                    *fp_c = fp;
+                    *fe_c = f as f64;
                 } else {
-                    (0.0, 0.0)
+                    *fp_c = 0.0;
+                    *fe_c = 0.0;
                 }
-            })
-            .collect();
-        let mut embed_energy = 0.0f64;
-        for (c, (fp, f)) in embed.into_iter().enumerate() {
-            self.fprime[c] = fp;
-            embed_energy += f;
-        }
+            });
 
         // ---- Phase 4a: force evaluation from the gathered neighbor list
         // (skin entries are re-filtered against the true cutoff).
@@ -450,6 +495,52 @@ impl WseMdSim {
             });
         }
 
+        // ---- Measurement, part 1: charge cycles per core from the cost
+        // model. Positions are multicast every step (mcast · ncand);
+        // reject processing applies to scanned candidates on rebuild
+        // steps and only to skin entries on reuse steps; the interaction
+        // term halves under force symmetry (the partner's share arrives
+        // via the reduction instead of being recomputed).
+        let model = self.config.cost_model;
+        let inter_scale = if self.config.symmetric_forces {
+            0.5
+        } else {
+            1.0
+        };
+        let clock = wse_fabric::cost::WSE2_CLOCK_GHZ;
+        let occ = &self.occ;
+        let ncand = &self.ncand;
+        let ninter = &self.ninter;
+        let nlist = &self.nlist;
+        self.core_cycles
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(c, out)| {
+                if !occ[c] {
+                    *out = 0.0;
+                    return;
+                }
+                let nc = ncand[c] as f64;
+                let ni = ninter[c] as f64;
+                let misses = if rebuild {
+                    nc - ni
+                } else {
+                    (nlist[c].len() as f64 - ni).max(0.0)
+                };
+                let ns = model.mcast_ns * nc
+                    + model.miss_ns * misses
+                    + model.interaction_ns * ni * inter_scale
+                    + model.fixed_ns;
+                *out = ns * clock;
+            });
+    }
+
+    /// Phase 4b plus measurement: Verlet leap-frog integration, then the
+    /// canonical **atom-id-order** folds that assemble [`StepStats`].
+    /// Every scalar here is a left-to-right fold of per-atom terms, so a
+    /// sharded driver that gathers the same terms from shard owners and
+    /// folds them in global atom-id order reproduces these bits exactly.
+    fn advance_positions_impl(&mut self) -> StepStats {
         // ---- Phase 4b: Verlet leap-frog integration.
         let f2a = (FORCE_TO_ACCEL / self.material.mass) as f32;
         let dt = self.config.dt as f32;
@@ -468,67 +559,35 @@ impl WseMdSim {
                 *p = fold.wrap_f32(*p);
             });
 
-        // ---- Measurement: charge cycles per core from the cost model.
-        // Positions are multicast every step (mcast · ncand); reject
-        // processing applies to scanned candidates on rebuild steps and
-        // only to skin entries on reuse steps; the interaction term
-        // halves under force symmetry (the partner's share arrives via
-        // the reduction instead of being recomputed).
-        let model = self.config.cost_model;
-        let inter_scale = if self.config.symmetric_forces {
-            0.5
-        } else {
-            1.0
-        };
-        let clock = wse_fabric::cost::WSE2_CLOCK_GHZ;
-        let (sum_cand, sum_inter, sum_cycles, max_cycles, kin) = (0..self.occ.len())
-            .into_par_iter()
-            .map(|c| {
-                if !self.occ[c] {
-                    return (0u64, 0u64, 0.0f64, 0.0f64, 0.0f64);
-                }
-                let nc = self.ncand[c] as f64;
-                let ni = self.ninter[c] as f64;
-                let misses = if rebuild {
-                    nc - ni
-                } else {
-                    (self.nlist[c].len() as f64 - ni).max(0.0)
-                };
-                let ns = model.mcast_ns * nc
-                    + model.miss_ns * misses
-                    + model.interaction_ns * ni * inter_scale
-                    + model.fixed_ns;
-                let cyc = ns * clock;
-                let v = self.vel[c];
-                (
-                    self.ncand[c] as u64,
-                    self.ninter[c] as u64,
-                    cyc,
-                    cyc,
-                    v.norm_sq() as f64,
-                )
-            })
-            .reduce(
-                // Audited for the chunked executor: the executor folds
-                // this identity into *every* chunk, so it must be a true
-                // identity of the operator — zeros are neutral for the
-                // three sums, and 0.0 is neutral for the max because
-                // per-core cycle counts are non-negative. The operator
-                // itself is associative and commutative (component-wise
-                // + / max), so the fixed chunk-combine order gives the
-                // same bits at any `WAFER_MD_THREADS`.
-                || (0, 0, 0.0, 0.0, 0.0),
-                |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3.max(b.3), a.4 + b.4),
-            );
-
+        // ---- Measurement, part 2: fold the per-core records into step
+        // statistics in **atom-id order**. The integer counters are
+        // order-free; the f64 sums (cycles, kinetic, potential) take
+        // their bits from this canonical fold, which is what makes the
+        // statistics reproducible bit-for-bit across thread counts *and*
+        // across spatial shard decompositions (a sharded driver gathers
+        // the same per-atom terms from shard owners and folds them in
+        // the same global order).
         let n = self.n_atoms() as f64;
-        let pair_energy: f64 = self.pair_e.iter().map(|&e| e as f64).sum();
+        let mut sum_cand = 0u64;
+        let mut sum_inter = 0u64;
+        let mut sum_cycles = 0.0f64;
+        let mut max_cycles = 0.0f64;
+        let mut kin = 0.0f64;
+        let mut pot = 0.0f64;
+        for &c in &self.mapping.core_of_atom {
+            sum_cand += self.ncand[c] as u64;
+            sum_inter += self.ninter[c] as u64;
+            sum_cycles += self.core_cycles[c];
+            max_cycles = max_cycles.max(self.core_cycles[c]);
+            kin += self.vel[c].norm_sq() as f64;
+            pot += self.pair_e[c] as f64 + self.embed_e[c];
+        }
         let stats = StepStats {
             mean_candidates: sum_cand as f64 / n,
             mean_interactions: sum_inter as f64 / n,
             cycles: sum_cycles / n,
             max_cycles,
-            potential_energy: pair_energy + embed_energy,
+            potential_energy: pot,
             kinetic_energy: 0.5 * self.material.mass * md_core::units::MVV_TO_ENERGY * kin,
         };
         self.cycle_trace.push(stats.cycles);
@@ -554,6 +613,24 @@ impl WseMdSim {
         let n = last_n.min(t.len());
         let mean_cycles: f64 = t[t.len() - n..].iter().sum::<f64>() / n as f64;
         wse_fabric::cost::WSE2_CLOCK_GHZ * 1e9 / mean_cycles
+    }
+
+    /// Trailing-window length (steps) of the cycle trace behind the
+    /// reported [`Observables::modeled_rate`]. Shared with the sharded
+    /// driver so both report the same rate from the same trace.
+    pub const RATE_WINDOW: usize = 100;
+
+    /// The [`Observables::modeled_rate`] a cycle trace implies: the
+    /// [`Self::RATE_WINDOW`]-step trailing mean, `None` when no step
+    /// has run. Single source for the wafer engine and the sharded
+    /// driver, whose reports must agree bit-for-bit.
+    pub fn rate_from_cycle_trace(trace: &[f64]) -> Option<f64> {
+        if trace.is_empty() {
+            return None;
+        }
+        let n = Self::RATE_WINDOW.min(trace.len());
+        let mean_cycles: f64 = trace[trace.len() - n..].iter().sum::<f64>() / n as f64;
+        Some(wse_fabric::cost::WSE2_CLOCK_GHZ * 1e9 / mean_cycles)
     }
 
     /// Total energy (eV) from the last step's statistics.
@@ -685,14 +762,64 @@ impl Engine for WseMdSim {
             mean_interactions: s.mean_interactions,
             mean_candidates: s.mean_candidates,
             modeled_cycles: Some(s.cycles),
-            modeled_rate: if self.cycle_trace.is_empty() {
-                None
-            } else {
-                Some(self.timesteps_per_second(100))
-            },
+            modeled_rate: Self::rate_from_cycle_trace(&self.cycle_trace),
             ..Default::default()
         }
         .with_temperature_from(s.kinetic_energy, WseMdSim::n_atoms(self))
+    }
+}
+
+impl HaloEngine for WseMdSim {
+    fn step_split(&self) -> StepSplit {
+        StepSplit::ForceThenMove
+    }
+
+    fn advance_positions(&mut self) {
+        self.advance_positions_impl();
+    }
+
+    fn refresh_forces(&mut self) {
+        self.refresh_forces_impl();
+    }
+
+    fn overwrite_atom(&mut self, atom: usize, position: V3d, velocity: V3d) {
+        let c = self.mapping.core_of_atom[atom];
+        self.pos[c] = position.cast();
+        self.vel[c] = velocity.cast();
+    }
+
+    fn per_atom_potential_energies(&self) -> Vec<f64> {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.pair_e[c] as f64 + self.embed_e[c])
+            .collect()
+    }
+
+    fn per_atom_squared_speeds(&self) -> Vec<f64> {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.vel[c].norm_sq() as f64)
+            .collect()
+    }
+
+    fn per_atom_counts(&self) -> Vec<(u32, u32)> {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| (self.ncand[c], self.ninter[c]))
+            .collect()
+    }
+
+    fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>> {
+        Some(
+            self.mapping
+                .core_of_atom
+                .iter()
+                .map(|&c| self.core_cycles[c])
+                .collect(),
+        )
     }
 }
 

@@ -41,7 +41,7 @@ pub mod worker;
 
 pub use driver::{controlled_grid_positions, StepStats, WseMdConfig, WseMdSim};
 pub use mapping::Mapping;
-pub use md_core::engine::{Engine, Observables};
+pub use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 pub use pbc::FoldSpec;
 pub use swap::{run_with_swaps, swap_round, SwapReport};
 pub use validate::{validate_against_reference, ValidationReport};

@@ -175,6 +175,37 @@ impl Mapping {
         m
     }
 
+    /// Build a mapping from a **prescribed** assignment (one core per
+    /// atom, within `extent`), carrying an existing projection
+    /// `scale`/`origin` — how a sharded driver restricts a global
+    /// mapping to one fabric strip while keeping every atom on the same
+    /// relative core it occupies in the global run. Panics if two atoms
+    /// share a core or a core index is out of range.
+    pub fn from_assignment(
+        core_of_atom: Vec<usize>,
+        extent: Extent,
+        scale: (f64, f64),
+        origin: (f64, f64),
+    ) -> Self {
+        assert!(!core_of_atom.is_empty(), "mapping of empty system");
+        let mut atom_of_core = vec![None; extent.count()];
+        for (i, &flat) in core_of_atom.iter().enumerate() {
+            assert!(flat < extent.count(), "core {flat} outside extent");
+            assert!(
+                atom_of_core[flat].is_none(),
+                "core {flat} assigned to two atoms"
+            );
+            atom_of_core[flat] = Some(i);
+        }
+        Self {
+            extent,
+            core_of_atom,
+            atom_of_core,
+            scale,
+            origin,
+        }
+    }
+
     /// The core whose cell contains the projection of `p` (clamped).
     pub fn nominal_core(&self, p: V3d) -> Coord {
         let cx = ((p.x - self.origin.0) * self.scale.0).floor() as i64;

@@ -1,0 +1,19 @@
+//! Multi-wafer: the registered `multi-wafer` scenario — the Table VI
+//! ghost-region decomposition executed for real as K spatial shards,
+//! bit-identical to the single-engine run, reconciled with the paper's
+//! period model.
+//!
+//! Equivalent to `wafer-md run multi-wafer`; pass `--shards K` there to
+//! change the executed decomposition (the report is byte-identical at
+//! any K — that is the guarantee).
+//!
+//! Run with: `cargo run --release --example multi_wafer`
+
+use wafer_md::scenario::{self, RunOptions};
+
+fn main() {
+    scenario::find("multi-wafer")
+        .expect("registered scenario")
+        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .expect("write scenario report");
+}

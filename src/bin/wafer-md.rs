@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]
+//!                         [--shards K] [--xyz PATH]
 //! wafer-md list
 //! wafer-md export-setfl <cu|w|ta> <path>
 //! ```
@@ -19,11 +20,23 @@ use wafer_md::scenario::{self, EngineKind, RunOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]\n\
+         \x20                           [--shards K] [--xyz PATH]\n\
          \x20      wafer-md list\n\
          \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
          \n\
          scenarios:\n{}",
         indent(&scenario::list_text())
+    );
+    std::process::exit(2);
+}
+
+/// Reject an unknown scenario name: the error must surface the valid
+/// names directly (not just the generic usage text) and exit nonzero.
+fn unknown_scenario(name: &str) -> ! {
+    let names: Vec<&str> = scenario::registry().iter().map(|e| e.name).collect();
+    eprintln!(
+        "unknown scenario '{name}'; available scenarios: {}",
+        names.join(", ")
     );
     std::process::exit(2);
 }
@@ -55,6 +68,15 @@ fn parse_run(args: &[String]) -> (String, RunOptions) {
             }
             "--atoms" => opts.atoms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--steps" => opts.steps = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--shards" => {
+                let k: usize = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if k == 0 {
+                    eprintln!("--shards must be at least 1");
+                    usage()
+                }
+                opts.shards = Some(k);
+            }
+            "--xyz" => opts.xyz = Some(value(&mut i).into()),
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage()
@@ -91,8 +113,7 @@ fn main() {
         Some("run") => {
             let (name, opts) = parse_run(&argv[1..]);
             let Some(entry) = scenario::find(&name) else {
-                eprintln!("unknown scenario '{name}'");
-                usage()
+                unknown_scenario(&name)
             };
             let stdout = std::io::stdout();
             if let Err(e) = entry.run(&opts, &mut stdout.lock()) {

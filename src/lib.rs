@@ -24,7 +24,10 @@
 //! [`scenario::Engine`] trait both backends implement, and a named
 //! registry of every workload (`wafer-md run <name>` / `wafer-md list`
 //! on the command line; `cargo run --example quickstart` etc. are thin
-//! wrappers over the same registry).
+//! wrappers over the same registry). The [`shard`] module runs any
+//! registered MD workload as K spatial shards with ghost-region
+//! exchange — bit-identical to the single-engine run — and [`traj`]
+//! dumps XYZ trajectories for end-to-end byte comparison.
 //!
 //! See docs/ARCHITECTURE.md for the crate map and how a scenario flows
 //! through an engine.
@@ -38,6 +41,8 @@ pub use wse_fabric as fabric;
 pub use wse_md as wse;
 
 pub mod scenario;
+pub mod shard;
+pub mod traj;
 
 /// The workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -42,6 +42,7 @@
 //!     engine: Some(EngineKind::Baseline),
 //!     atoms: Some(36),
 //!     steps: Some(2),
+//!     ..RunOptions::default()
 //! };
 //! let mut buf = Vec::new();
 //! entry.run(&opts, &mut buf).unwrap();
@@ -49,6 +50,7 @@
 //! ```
 
 use std::io::{self, Write};
+use std::path::PathBuf;
 
 use md_baseline::engine::BaselineEngine;
 use md_core::analysis;
@@ -61,6 +63,9 @@ use md_core::vec3::V3d;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wse_md::{run_with_swaps, WseMdConfig, WseMdSim};
+
+use crate::shard::ShardedEngine;
+use crate::traj;
 
 pub use md_core::engine::{Engine, Observables};
 
@@ -167,6 +172,10 @@ pub struct Scenario {
     pub spare: f64,
     /// Thermostat applied by [`Scenario::advance`].
     pub thermostat: Thermostat,
+    /// Spatial shards along x (1 = single engine). Sharded runs exchange
+    /// ghost regions every step and are bit-identical to the single
+    /// engine (see [`crate::shard`]).
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -182,6 +191,7 @@ impl Scenario {
             periodic: [false; 3],
             spare: 0.05,
             thermostat: Thermostat::None,
+            shards: 1,
         }
     }
 
@@ -248,6 +258,14 @@ impl Scenario {
     /// Set the thermostat applied by [`Scenario::advance`].
     pub fn thermostat(mut self, thermostat: Thermostat) -> Self {
         self.thermostat = thermostat;
+        self
+    }
+
+    /// Set the spatial shard count (1 = single engine). Physics is
+    /// bit-identical at any value; the controlled-grid fixture ignores
+    /// it (its geometry *is* a fabric assignment).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -345,11 +363,42 @@ impl Scenario {
     }
 
     /// Materialize whichever backend the scenario selects, behind the
-    /// unified [`Engine`] trait.
+    /// unified [`Engine`] trait. With `shards > 1` (and a workload
+    /// other than the controlled grid) the backend runs as K spatial
+    /// shards with ghost-region exchange — bit-identical to the single
+    /// engine.
     pub fn build_engine(&self) -> Box<dyn Engine> {
-        match self.engine {
-            EngineKind::Baseline => Box::new(self.build_baseline()),
-            EngineKind::Wse => Box::new(self.build_wse()),
+        let sharded = self.shards > 1 && !matches!(self.workload, Workload::ControlledGrid { .. });
+        match (self.engine, sharded) {
+            (EngineKind::Baseline, false) => Box::new(self.build_baseline()),
+            (EngineKind::Wse, false) => Box::new(self.build_wse()),
+            (kind, true) => {
+                let positions = self.positions();
+                let velocities = self.initial_velocities(positions.len());
+                match kind {
+                    EngineKind::Baseline => Box::new(ShardedEngine::baseline(
+                        self.species,
+                        positions,
+                        velocities,
+                        self.bounding_box(),
+                        self.dt,
+                        self.shards,
+                    )),
+                    EngineKind::Wse => {
+                        let mut config =
+                            WseMdConfig::open_for(positions.len(), self.spare, self.dt);
+                        config.periodic = self.periodic;
+                        config.box_lengths = self.bounding_box().lengths;
+                        Box::new(ShardedEngine::wse(
+                            self.species,
+                            positions,
+                            velocities,
+                            config,
+                            self.shards,
+                        ))
+                    }
+                }
+            }
         }
     }
 
@@ -375,12 +424,13 @@ impl Scenario {
 }
 
 /// Per-invocation overrides accepted by every registered scenario
-/// (`wafer-md run <name> [--engine ...] [--atoms N] [--steps N]`).
+/// (`wafer-md run <name> [--engine ...] [--atoms N] [--steps N]
+/// [--shards K] [--xyz PATH]`).
 ///
 /// `None` fields keep the scenario's declarative defaults. Analytic
 /// scenarios (strong-scaling, perf-model, structure) have no engine or
-/// step budget and ignore all three.
-#[derive(Clone, Copy, Debug, Default)]
+/// step budget and ignore all overrides.
+#[derive(Clone, Debug, Default)]
 pub struct RunOptions {
     /// Backend override.
     pub engine: Option<EngineKind>,
@@ -390,6 +440,44 @@ pub struct RunOptions {
     pub atoms: Option<usize>,
     /// Step-budget override.
     pub steps: Option<usize>,
+    /// Spatial shard count (quickstart, multi-wafer). Scenario reports
+    /// are byte-identical at any value — that is the point — so CI can
+    /// diff them across shard counts.
+    pub shards: Option<usize>,
+    /// Dump an XYZ trajectory to this path (quickstart, multi-wafer):
+    /// one frame every 10 steps plus the final step, positions in
+    /// shortest-round-trip precision so two dumps are byte-identical
+    /// iff the trajectories are bit-identical.
+    pub xyz: Option<PathBuf>,
+}
+
+/// XYZ trajectory sink for a scenario run: open lazily from the
+/// options, write a frame per call when active.
+struct Traj {
+    out: Option<io::BufWriter<std::fs::File>>,
+    symbol: &'static str,
+    label: &'static str,
+}
+
+impl Traj {
+    fn open(opts: &RunOptions, label: &'static str, species: Species) -> io::Result<Self> {
+        let out = match &opts.xyz {
+            Some(path) => Some(io::BufWriter::new(std::fs::File::create(path)?)),
+            None => None,
+        };
+        Ok(Traj {
+            out,
+            symbol: species.symbol(),
+            label,
+        })
+    }
+
+    fn frame(&mut self, step: usize, engine: &dyn Engine) -> io::Result<()> {
+        if let Some(out) = &mut self.out {
+            traj::write_xyz_frame(out, self.symbol, self.label, step, &engine.positions())?;
+        }
+        Ok(())
+    }
 }
 
 /// A named, registered scenario: what `wafer-md run <name>` executes.
@@ -471,6 +559,8 @@ scenarios! {
         "Grow slab and fabric together at one atom per core; the per-step rate stays flat (Fig. 8).",
     "perf-model" => run_perf_model / perf_model_impl :
         "Multi-wafer ghost-region projection: Table VI rates and the 64-node cluster scale.",
+    "multi-wafer" => run_multi_wafer / multi_wafer_impl :
+        "Ghost-region sharding executed for real: K slabs, bit-identical, reconciled with Table VI.",
     "structure" => run_structure / structure_impl :
         "RDF fingerprints of perfect crystal vs grain boundary, plus LAMMPS setfl interchange.",
 }
@@ -487,7 +577,8 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         .temperature(290.0)
         .seed(2024)
         .steps(200)
-        .engine(opts.engine.unwrap_or(EngineKind::Wse));
+        .engine(opts.engine.unwrap_or(EngineKind::Wse))
+        .shards(opts.shards.unwrap_or(1));
     if let Some(n) = opts.atoms {
         sc = sc.approx_atoms(n);
     }
@@ -495,6 +586,7 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     let material = Material::new(sc.species);
 
     let mut engine = sc.build_engine();
+    let mut traj = Traj::open(opts, "quickstart", sc.species)?;
     writeln!(
         out,
         "== quickstart: {} slab, {} atoms, engine {} ==",
@@ -503,6 +595,7 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         engine.backend()
     )?;
 
+    traj.frame(0, engine.as_ref())?;
     engine.step();
     let first = engine.observables();
     let e0 = first.total_energy();
@@ -512,7 +605,15 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         first.potential_energy, first.temperature, first.mean_candidates, first.mean_interactions
     )?;
 
-    engine.run(steps - 1);
+    for s in 2..=steps {
+        engine.step();
+        if s % 10 == 0 || s == steps {
+            traj.frame(s, engine.as_ref())?;
+        }
+    }
+    if steps == 1 {
+        traj.frame(1, engine.as_ref())?;
+    }
     let o = engine.observables();
     writeln!(
         out,
@@ -788,6 +889,180 @@ fn weak_scaling_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     )
 }
 
+fn multi_wafer_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
+    use perf_model::multiwafer::GhostMeasurement;
+
+    let kind = opts.engine.unwrap_or(EngineKind::Wse);
+    let mut sc = Scenario::slab(Species::Ta, 10, 10, 2)
+        .temperature(290.0)
+        .seed(2024)
+        .steps(60)
+        .engine(kind)
+        .shards(opts.shards.unwrap_or(4));
+    if let Some(n) = opts.atoms {
+        sc = sc.approx_atoms(n);
+    }
+    let steps = opts.steps.unwrap_or(sc.steps).max(10);
+    let material = Material::new(sc.species);
+
+    // The measured run: whatever decomposition --shards selects. Every
+    // number printed below is bit-identical at any shard count — that
+    // is the guarantee, and CI byte-diffs this report to enforce it.
+    let mut engine = sc.build_engine();
+    let mut traj = Traj::open(opts, "multi-wafer", sc.species)?;
+    writeln!(
+        out,
+        "== multi-wafer: {} slab, {} atoms, engine {}; ghost-region sharded run ==",
+        sc.species.name(),
+        engine.n_atoms(),
+        engine.backend()
+    )?;
+    traj.frame(0, engine.as_ref())?;
+    engine.step();
+    let e0 = engine.observables().total_energy();
+    for s in 2..=steps {
+        engine.step();
+        if s % 10 == 0 || s == steps {
+            traj.frame(s, engine.as_ref())?;
+        }
+    }
+    let o = engine.observables();
+    writeln!(
+        out,
+        "after {} steps: U = {:.3} eV, T = {:.0} K, drift {:.2e} eV/atom",
+        steps,
+        o.potential_energy,
+        o.temperature,
+        (o.total_energy() - e0).abs() / engine.n_atoms() as f64
+    )?;
+    if let Some(rate) = o.modeled_rate {
+        writeln!(out, "modeled single-wafer rate: {rate:.0} timesteps/s")?;
+    }
+
+    // Bit-identity self-check: rerun the same workload unsharded and
+    // 2-way sharded; all three trajectories and energies must agree to
+    // the last bit. (A divergence would change this line and fail the
+    // CI byte-diff loudly.)
+    let verify = |k: usize| -> (Vec<V3d>, u64) {
+        let mut e = sc.shards(k).build_engine();
+        e.run(steps);
+        let u = e.observables().potential_energy.to_bits();
+        (e.positions(), u)
+    };
+    let (p1, u1) = verify(1);
+    let (p2, u2) = verify(2);
+    let same_pos = |a: &[V3d], b: &[V3d]| {
+        a.iter()
+            .zip(b)
+            .all(|(x, y)| (*x - *y).to_array().iter().all(|d| *d == 0.0))
+    };
+    let pos = engine.positions();
+    let identical = u1 == u2
+        && u1 == o.potential_energy.to_bits()
+        && same_pos(&pos, &p1)
+        && same_pos(&pos, &p2);
+    writeln!(
+        out,
+        "bit-identity across shard counts: {}",
+        if identical { "confirmed" } else { "DIVERGED" }
+    )?;
+
+    // Measured shard geometry for the fixed 2- and 4-way decompositions
+    // of this workload (construction only; independent of --shards).
+    writeln!(out, "\nshard geometry ({} backend):", kind.label())?;
+    writeln!(out, "  K | interior/shard | ghosts/shard | ghost overhead")?;
+    let mut measured = Vec::new();
+    for k in [2usize, 4] {
+        let probe = sc.shards(k);
+        let positions = probe.positions();
+        let velocities_n = positions.len();
+        let sharded: ShardedEngine = match kind {
+            EngineKind::Baseline => ShardedEngine::baseline(
+                probe.species,
+                positions,
+                vec![V3d::zero(); velocities_n],
+                probe.bounding_box(),
+                probe.dt,
+                k,
+            ),
+            EngineKind::Wse => {
+                let mut config = WseMdConfig::open_for(velocities_n, probe.spare, probe.dt);
+                config.periodic = probe.periodic;
+                config.box_lengths = probe.bounding_box().lengths;
+                ShardedEngine::wse(
+                    probe.species,
+                    positions,
+                    vec![V3d::zero(); velocities_n],
+                    config,
+                    k,
+                )
+            }
+        };
+        let shards = sharded.shard_count();
+        let interior = velocities_n as f64 / shards as f64;
+        let ghosts = sharded.ghost_copies() as f64 / shards as f64;
+        writeln!(
+            out,
+            "{:>3} | {:>14.1} | {:>12.1} | {:>13.1}%",
+            shards,
+            interior,
+            ghosts,
+            100.0 * ghosts / interior
+        )?;
+        measured.push((shards, interior, ghosts, sharded.ghost_strip_angstroms()));
+    }
+
+    // Reconcile the measured decomposition with the Table VI period
+    // model: treat each shard as a WSE node, feed the measured ghost
+    // counts and the modeled single-wafer rate through the same
+    // formula the paper's table rows use.
+    if let Some(rate) = o.modeled_rate {
+        writeln!(
+            out,
+            "\nTable VI reconciliation (measured ghosts + modeled rate -> multi-node ts/s):"
+        )?;
+        writeln!(
+            out,
+            "  K | λ (lattice) | k_max | ts/s @k=1 | ts/s @k_max | % of single @k_max"
+        )?;
+        for (shards, interior, ghosts, strip) in &measured {
+            let lambda = strip.unwrap_or(0.0) / material.lattice_a;
+            let m = GhostMeasurement {
+                n_interior: *interior,
+                n_ghost: *ghosts,
+                single_wafer_rate: rate,
+                lambda,
+                rcut_over_rlattice: material.cutoff / material.lattice_a,
+            };
+            let executed = m.project(1.0);
+            let amortized = m.project(m.k_max());
+            writeln!(
+                out,
+                "{:>3} | {:>11.2} | {:>5.0} | {:>9.0} | {:>11.0} | {:>18.1}%",
+                shards,
+                lambda,
+                m.k_max(),
+                executed.rate,
+                amortized.rate,
+                100.0 * amortized.performance
+            )?;
+        }
+        writeln!(
+            out,
+            "(the executed exchange refreshes ghosts every step, k = 1; the paper's\n\
+             Table VI amortizes λ-wide ghosts over k steps — see the perf-model scenario\n\
+             for the paper-scale rows)"
+        )?;
+    } else {
+        writeln!(
+            out,
+            "(reference engine: no cost model; run with --engine wse for the\n\
+             Table VI reconciliation)"
+        )?;
+    }
+    Ok(())
+}
+
 fn perf_model_impl(_opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     use perf_model::multiwafer::MultiWaferConfig;
     writeln!(
@@ -977,6 +1252,7 @@ mod tests {
             engine: None,
             atoms: Some(36),
             steps: Some(30),
+            ..RunOptions::default()
         };
         for e in registry() {
             let a = run_to_string(e.name, &opts).unwrap().unwrap();
@@ -993,6 +1269,7 @@ mod tests {
                 engine: Some(kind),
                 atoms: Some(36),
                 steps: Some(5),
+                ..RunOptions::default()
             };
             let text = run_to_string("quickstart", &opts).unwrap().unwrap();
             assert!(text.contains(&format!("engine {}", kind.label())), "{text}");

@@ -1,0 +1,628 @@
+//! Sharded multi-wafer execution: K spatial shards with ghost-region
+//! exchange, bit-identical to the single-engine run.
+//!
+//! The paper's Table VI projects weak scaling across WSE nodes by
+//! decomposing the box into subdomains that exchange *ghost* atoms — a
+//! boundary strip wide enough that every owned atom sees exact forces.
+//! [`ShardedEngine`] is that decomposition running for real: the box is
+//! split into K slabs along x, each slab runs on its own inner
+//! [`HaloEngine`] (either backend), and every timestep the ghost copies
+//! are refreshed from the shard that owns them. Shards advance
+//! concurrently on the worker pool.
+//!
+//! # The determinism guarantee, extended to shards
+//!
+//! Forces, energies, and trajectories are **bit-identical** to the
+//! unsharded run and across any shard count. Three mechanisms carry the
+//! guarantee:
+//!
+//! 1. **Halos wide enough for exact EAM forces.** An owned atom's force
+//!    involves its neighbors' embedding derivatives, which in turn
+//!    involve *their* neighbors' densities — so the halo spans two
+//!    cutoffs (plus the neighbor-list skin on the reference engine; two
+//!    full neighborhood radii of fabric columns on the wafer engine).
+//!    Every f32/f64 operation behind an owned atom's force therefore
+//!    sees exactly the operands of the unsharded run.
+//! 2. **Canonical enumeration order.** `md-core` neighbor lists are
+//!    sorted by atom index and the wafer engine scans its candidate
+//!    square in fixed geometric order, so per-atom sums accumulate in
+//!    an order independent of the decomposition.
+//! 3. **Atom-id-order merge.** Both backends define their observables
+//!    as left-to-right folds of per-atom terms in atom-id order (the
+//!    [`HaloEngine`] contract); the sharded merge gathers each atom's
+//!    terms from its owner and folds them in the same global order.
+//!
+//! The timestep is interleaved with the exchange according to the
+//! backend's [`StepSplit`]: the reference engine moves then computes
+//! forces (exchange in between), the wafer engine computes forces then
+//! moves (exchange afterwards, ready for the next refresh).
+//!
+//! One diagnostic is *not* bit-stable on the reference backend: the
+//! candidate count (Verlet-list length) depends on when each engine
+//! last rebuilt its lists, and rebuild schedules are engine-local.
+//! Physics never reads the skin entries, so forces and energies are
+//! unaffected.
+
+use md_baseline::engine::BaselineEngine;
+use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
+use md_core::materials::{Material, Species};
+use md_core::system::{Box3, System};
+use md_core::units;
+use md_core::vec3::V3d;
+use rayon::prelude::*;
+use wse_fabric::geometry::Extent;
+use wse_md::{Mapping, WseMdConfig, WseMdSim};
+
+/// An engine a shard can host: halo-capable and movable across the
+/// worker pool.
+pub type BoxedHaloEngine = Box<dyn HaloEngine + Send>;
+
+/// One spatial shard: an inner engine holding its owned atoms plus the
+/// ghost copies its force evaluations need.
+struct Shard {
+    engine: BoxedHaloEngine,
+    /// Global ids of the atoms this shard owns (ascending).
+    owned: Vec<usize>,
+    /// Global ids of every atom the engine hosts (ascending); the local
+    /// index of an atom is its position here.
+    atoms: Vec<usize>,
+    /// Local indices of owned atoms, parallel to `owned`.
+    owned_local: Vec<usize>,
+    /// Local indices of ghost atoms.
+    ghost_local: Vec<usize>,
+    /// Rebuilt this step (its constructor already evaluated forces at
+    /// the current state, so the refresh half is skipped once).
+    fresh: bool,
+}
+
+impl Shard {
+    fn assemble(engine: BoxedHaloEngine, owned: Vec<usize>, atoms: Vec<usize>) -> Self {
+        let mut owned_local = Vec::with_capacity(owned.len());
+        let mut ghost_local = Vec::with_capacity(atoms.len() - owned.len());
+        let mut oi = 0;
+        for (l, &gid) in atoms.iter().enumerate() {
+            if oi < owned.len() && owned[oi] == gid {
+                owned_local.push(l);
+                oi += 1;
+            } else {
+                ghost_local.push(l);
+            }
+        }
+        assert_eq!(oi, owned.len(), "owned atoms must be a subset of atoms");
+        Shard {
+            engine,
+            owned,
+            atoms,
+            owned_local,
+            ghost_local,
+            fresh: false,
+        }
+    }
+}
+
+/// Dynamic re-sharding context for the reference backend (the wafer
+/// backend's shard membership is static — atoms never change cores).
+struct ReshardCtx {
+    species: Species,
+    bbox: Box3,
+    dt: f64,
+    /// Halo width (Å): two cutoffs plus the neighbor-list skin.
+    halo: f64,
+}
+
+/// K spatial shards behind one [`Engine`] facade, exchanging ghost
+/// regions every step with a deterministic atom-id-ordered merge.
+///
+/// Build one with [`ShardedEngine::baseline`] or [`ShardedEngine::wse`]
+/// (or declaratively through `Scenario::shards`). The merged per-atom
+/// state and every [`Observables`] scalar are bit-identical to the
+/// corresponding single-engine run at any shard count and any
+/// `WAFER_MD_THREADS`.
+pub struct ShardedEngine {
+    backend: &'static str,
+    split: StepSplit,
+    mass: f64,
+    n: usize,
+    shards: Vec<Shard>,
+    /// Shard index owning each atom.
+    owner: Vec<usize>,
+    // ---- merged per-atom state, global atom-id order ----
+    positions: Vec<V3d>,
+    velocities: Vec<V3d>,
+    forces: Vec<V3d>,
+    pot: Vec<f64>,
+    v2: Vec<f64>,
+    cycles: Option<Vec<f64>>,
+    /// Merged per-step cycle trace (wafer backend).
+    cycle_trace: Vec<f64>,
+    /// Mirrors the wafer engine's quirk of reporting zero kinetic
+    /// energy until the first step or velocity overwrite.
+    kinetic_live: bool,
+    reshard: Option<ReshardCtx>,
+    /// Ghost strip width (Å) of the wafer decomposition, if applicable.
+    ghost_strip: Option<f64>,
+}
+
+impl ShardedEngine {
+    /// Shard the reference (f64) engine into `k` x-slabs of near-equal
+    /// atom count. Ghost membership is recomputed every step from the
+    /// current positions (atoms drift), with a halo of two cutoffs plus
+    /// the neighbor-list skin; a shard whose ghost set changes rebuilds
+    /// its inner engine from the merged state.
+    pub fn baseline(
+        species: Species,
+        positions: Vec<V3d>,
+        velocities: Vec<V3d>,
+        bbox: Box3,
+        dt: f64,
+        k: usize,
+    ) -> Self {
+        let n = positions.len();
+        assert_eq!(n, velocities.len());
+        assert!(n > 0, "sharding an empty system");
+        let k = k.clamp(1, n);
+        let material = Material::new(species);
+        let halo = 2.0 * material.cutoff + BaselineEngine::DEFAULT_SKIN;
+
+        // Partition by initial x into k contiguous near-equal groups.
+        let mut by_x: Vec<usize> = (0..n).collect();
+        by_x.sort_by(|&a, &b| {
+            positions[a]
+                .x
+                .partial_cmp(&positions[b].x)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut owner = vec![0usize; n];
+        let mut owned_sets: Vec<Vec<usize>> = Vec::with_capacity(k);
+        let mut start = 0;
+        for s in 0..k {
+            let take = n / k + usize::from(s < n % k);
+            let mut ids: Vec<usize> = by_x[start..start + take].to_vec();
+            ids.sort_unstable();
+            for &i in &ids {
+                owner[i] = s;
+            }
+            owned_sets.push(ids);
+            start += take;
+        }
+
+        let ctx = ReshardCtx {
+            species,
+            bbox,
+            dt,
+            halo,
+        };
+        let shards = owned_sets
+            .into_iter()
+            .map(|owned| build_baseline_shard(owned, &positions, &velocities, &owner, &ctx))
+            .collect();
+
+        let mut e = ShardedEngine {
+            backend: "baseline",
+            split: StepSplit::MoveThenForce,
+            mass: material.mass,
+            n,
+            shards,
+            owner,
+            positions,
+            velocities,
+            forces: vec![V3d::zero(); n],
+            pot: vec![0.0; n],
+            v2: vec![0.0; n],
+            cycles: None,
+            cycle_trace: Vec::new(),
+            kinetic_live: true,
+            reshard: Some(ctx),
+            ghost_strip: None,
+        };
+        e.gather_static();
+        e.gather_motion();
+        e
+    }
+
+    /// Shard the wafer engine into `k` fabric-column strips. The global
+    /// atom → core mapping and neighborhood radius are computed once;
+    /// each shard hosts its strip's cores plus two neighborhood radii
+    /// of ghost columns on each side, so owned cores see exactly the
+    /// global run's candidate sets, forces, and modeled cycle charges.
+    ///
+    /// Requires an unfolded x axis (`!config.periodic[0]`) and the
+    /// default force path (`!config.symmetric_forces`).
+    pub fn wse(
+        species: Species,
+        positions: Vec<V3d>,
+        velocities: Vec<V3d>,
+        config: WseMdConfig,
+        k: usize,
+    ) -> Self {
+        let n = positions.len();
+        assert_eq!(n, velocities.len());
+        assert!(n > 0, "sharding an empty system");
+        assert!(
+            !config.periodic[0],
+            "column sharding requires a non-folded x axis"
+        );
+        assert!(
+            !config.symmetric_forces,
+            "column sharding requires the default force path"
+        );
+
+        // One global construction fixes the mapping and the
+        // neighborhood radius every shard must reproduce.
+        let global = WseMdSim::new(species, &positions, &velocities, config.clone());
+        let gmap = global.mapping.clone();
+        let (bx, by) = global.b;
+        let material = Material::new(species);
+        drop(global);
+
+        let w = config.extent.width;
+        let h = config.extent.height;
+        let k = k.clamp(1, w);
+        let col_of = |gid: usize| gmap.core_of_atom[gid] % w;
+
+        // Partition columns into k contiguous groups of near-equal atom
+        // count (cut at cumulative-count thresholds).
+        let mut col_counts = vec![0usize; w];
+        for i in 0..n {
+            col_counts[col_of(i)] += 1;
+        }
+        let mut col_group = vec![0usize; w];
+        let mut cum = 0usize;
+        let mut group = 0usize;
+        for (c, &cnt) in col_counts.iter().enumerate() {
+            col_group[c] = group.min(k - 1);
+            cum += cnt;
+            while group + 1 < k && cum * k >= (group + 1) * n {
+                group += 1;
+            }
+        }
+
+        let mut owner = vec![0usize; n];
+        let strip = 2 * bx.max(1) as usize;
+        let mut shards = Vec::new();
+        for g in 0..k {
+            let cols: Vec<usize> = (0..w).filter(|&c| col_group[c] == g).collect();
+            let (Some(&c0), Some(&c1)) = (cols.first(), cols.last()) else {
+                continue;
+            };
+            let c1 = c1 + 1; // owned columns are [c0, c1)
+            let owned: Vec<usize> = (0..n).filter(|&i| (c0..c1).contains(&col_of(i))).collect();
+            if owned.is_empty() {
+                continue;
+            }
+            let s = shards.len();
+            for &i in &owned {
+                owner[i] = s;
+            }
+            let xlo = c0.saturating_sub(strip);
+            let xhi = (c1 + strip).min(w);
+            let atoms: Vec<usize> = (0..n)
+                .filter(|&i| (xlo..xhi).contains(&col_of(i)))
+                .collect();
+
+            let local_w = xhi - xlo;
+            let local_extent = Extent::new(local_w, h);
+            let local_cores: Vec<usize> = atoms
+                .iter()
+                .map(|&i| {
+                    let flat = gmap.core_of_atom[i];
+                    (flat / w) * local_w + (flat % w - xlo)
+                })
+                .collect();
+            let local_map = Mapping::from_assignment(
+                local_cores,
+                local_extent,
+                gmap.scale,
+                (gmap.origin.0 + xlo as f64 / gmap.scale.0, gmap.origin.1),
+            );
+            let mut shard_config = config.clone();
+            shard_config.extent = local_extent;
+            shard_config.b_override = Some((bx, by));
+            let pos: Vec<V3d> = atoms.iter().map(|&i| positions[i]).collect();
+            let vel: Vec<V3d> = atoms.iter().map(|&i| velocities[i]).collect();
+            let engine = WseMdSim::with_assignment(species, &pos, &vel, shard_config, local_map);
+            shards.push(Shard::assemble(Box::new(engine), owned, atoms));
+        }
+
+        let mut e = ShardedEngine {
+            backend: "wse",
+            split: StepSplit::ForceThenMove,
+            mass: material.mass,
+            n,
+            shards,
+            owner,
+            positions,
+            velocities,
+            forces: vec![V3d::zero(); n],
+            pot: vec![0.0; n],
+            v2: vec![0.0; n],
+            cycles: Some(vec![0.0; n]),
+            cycle_trace: Vec::new(),
+            kinetic_live: false,
+            reshard: None,
+            ghost_strip: Some(strip as f64 / gmap.scale.0),
+        };
+        e.gather_static();
+        // Adopt the engines' own (f32-quantized) view of the initial
+        // state so positions()/velocities() match the single wafer
+        // engine bit-for-bit from step 0 onward.
+        e.gather_motion();
+        e
+    }
+
+    /// Number of shards actually running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Atoms owned by each shard.
+    pub fn owned_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.owned.len()).collect()
+    }
+
+    /// Total ghost copies currently hosted across all shards — the
+    /// redundant state the ghost-region model charges for.
+    pub fn ghost_copies(&self) -> usize {
+        self.shards.iter().map(|s| s.ghost_local.len()).sum()
+    }
+
+    /// Ghost strip width (Å) of the wafer-column decomposition, if this
+    /// is a wafer-backend engine.
+    pub fn ghost_strip_angstroms(&self) -> Option<f64> {
+        self.ghost_strip
+    }
+
+    /// Gather force-side per-atom terms (forces, potential energies,
+    /// cycle charges) from each atom's owner. Candidate/interaction
+    /// counters are *not* gathered here — observables() sums them on
+    /// demand, since the reference backend recomputes them with a full
+    /// pair-filter pass.
+    fn gather_static(&mut self) {
+        for shard in &self.shards {
+            let f = shard.engine.forces();
+            let pot = shard.engine.per_atom_potential_energies();
+            let cycles = shard.engine.per_atom_modeled_cycles();
+            for (&gid, &l) in shard.owned.iter().zip(&shard.owned_local) {
+                self.forces[gid] = f[l];
+                self.pot[gid] = pot[l];
+                if let (Some(dst), Some(src)) = (self.cycles.as_mut(), cycles.as_ref()) {
+                    dst[gid] = src[l];
+                }
+            }
+        }
+    }
+
+    /// Gather motion-side per-atom terms (positions, velocities,
+    /// squared speeds) from each atom's owner.
+    fn gather_motion(&mut self) {
+        for shard in &self.shards {
+            let p = shard.engine.positions();
+            let v = shard.engine.velocities();
+            let v2 = shard.engine.per_atom_squared_speeds();
+            for (&gid, &l) in shard.owned.iter().zip(&shard.owned_local) {
+                self.positions[gid] = p[l];
+                self.velocities[gid] = v[l];
+                self.v2[gid] = v2[l];
+            }
+        }
+    }
+
+    /// Refresh every shard's ghost copies from the merged state. For
+    /// the reference backend, first recompute ghost membership from the
+    /// current positions and rebuild any shard whose atom set changed.
+    fn exchange_ghosts(&mut self) {
+        if let Some(ctx) = &self.reshard {
+            let positions = &self.positions;
+            let velocities = &self.velocities;
+            let owner = &self.owner;
+            self.shards.par_iter_mut().for_each(|shard| {
+                let desired = desired_atom_set(&shard.owned, positions, owner, ctx);
+                if desired != shard.atoms {
+                    let owned = std::mem::take(&mut shard.owned);
+                    *shard = build_baseline_shard(owned, positions, velocities, owner, ctx);
+                    shard.fresh = true;
+                } else {
+                    for &l in &shard.ghost_local {
+                        let gid = shard.atoms[l];
+                        shard
+                            .engine
+                            .overwrite_atom(l, positions[gid], velocities[gid]);
+                    }
+                }
+            });
+        } else {
+            let positions = &self.positions;
+            let velocities = &self.velocities;
+            self.shards.par_iter_mut().for_each(|shard| {
+                for &l in &shard.ghost_local {
+                    let gid = shard.atoms[l];
+                    shard
+                        .engine
+                        .overwrite_atom(l, positions[gid], velocities[gid]);
+                }
+            });
+        }
+    }
+
+    /// The merged kinetic energy (eV): the canonical atom-id-order fold
+    /// of squared speeds, scaled exactly as both backends scale it.
+    fn kinetic_energy(&self) -> f64 {
+        if !self.kinetic_live {
+            return 0.0;
+        }
+        let mut kin = 0.0f64;
+        for t in &self.v2 {
+            kin += t;
+        }
+        0.5 * self.mass * units::MVV_TO_ENERGY * kin
+    }
+}
+
+/// Ghost membership test along x, minimum-image when x is periodic.
+fn within_halo_x(x: f64, lo: f64, hi: f64, halo: f64, bbox: &Box3) -> bool {
+    if !bbox.periodic[0] {
+        return x >= lo - halo && x <= hi + halo;
+    }
+    let l = bbox.lengths.x;
+    (x - (lo - halo)).rem_euclid(l) <= (hi - lo) + 2.0 * halo
+}
+
+/// The atom set a reference-backend shard must host for exact owned
+/// forces: its owned atoms plus every other atom within the halo of the
+/// owned slab's current x extent.
+fn desired_atom_set(
+    owned: &[usize],
+    positions: &[V3d],
+    owner: &[usize],
+    ctx: &ReshardCtx,
+) -> Vec<usize> {
+    let me = owner[owned[0]];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &i in owned {
+        lo = lo.min(positions[i].x);
+        hi = hi.max(positions[i].x);
+    }
+    (0..positions.len())
+        .filter(|&j| owner[j] == me || within_halo_x(positions[j].x, lo, hi, ctx.halo, &ctx.bbox))
+        .collect()
+}
+
+/// Build (or rebuild) one reference-backend shard from merged state.
+fn build_baseline_shard(
+    owned: Vec<usize>,
+    positions: &[V3d],
+    velocities: &[V3d],
+    owner: &[usize],
+    ctx: &ReshardCtx,
+) -> Shard {
+    let atoms = desired_atom_set(&owned, positions, owner, ctx);
+    let pos: Vec<V3d> = atoms.iter().map(|&i| positions[i]).collect();
+    let vel: Vec<V3d> = atoms.iter().map(|&i| velocities[i]).collect();
+    let mut system = System::from_positions(ctx.species, pos, ctx.bbox);
+    system.velocities = vel;
+    let engine = BaselineEngine::new(system, ctx.dt);
+    Shard::assemble(Box::new(engine), owned, atoms)
+}
+
+impl Engine for ShardedEngine {
+    fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    fn n_atoms(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) {
+        match self.split {
+            StepSplit::MoveThenForce => {
+                self.shards
+                    .par_iter_mut()
+                    .for_each(|s| s.engine.advance_positions());
+                self.gather_motion();
+                self.exchange_ghosts();
+                self.shards.par_iter_mut().for_each(|s| {
+                    if !s.fresh {
+                        s.engine.refresh_forces();
+                    }
+                    s.fresh = false;
+                });
+                self.gather_static();
+            }
+            StepSplit::ForceThenMove => {
+                self.shards
+                    .par_iter_mut()
+                    .for_each(|s| s.engine.refresh_forces());
+                self.gather_static();
+                self.shards
+                    .par_iter_mut()
+                    .for_each(|s| s.engine.advance_positions());
+                self.gather_motion();
+                self.exchange_ghosts();
+            }
+        }
+        if self.cycles.is_some() {
+            let o = self.fold_cycles();
+            self.cycle_trace.push(o);
+        }
+        self.kinetic_live = true;
+    }
+
+    fn positions(&self) -> Vec<V3d> {
+        self.positions.clone()
+    }
+
+    fn velocities(&self) -> Vec<V3d> {
+        self.velocities.clone()
+    }
+
+    fn set_velocities(&mut self, velocities: &[V3d]) {
+        assert_eq!(velocities.len(), self.n);
+        self.velocities.copy_from_slice(velocities);
+        let positions = &self.positions;
+        let vel = &self.velocities;
+        self.shards.par_iter_mut().for_each(|shard| {
+            for (l, &gid) in shard.atoms.iter().enumerate() {
+                shard.engine.overwrite_atom(l, positions[gid], vel[gid]);
+            }
+        });
+        for shard in &self.shards {
+            let v2 = shard.engine.per_atom_squared_speeds();
+            for (&gid, &l) in shard.owned.iter().zip(&shard.owned_local) {
+                self.v2[gid] = v2[l];
+            }
+        }
+        self.kinetic_live = true;
+    }
+
+    fn forces(&self) -> Vec<V3d> {
+        self.forces.clone()
+    }
+
+    fn observables(&self) -> Observables {
+        let n = self.n as f64;
+        let mut pot = 0.0f64;
+        for e in &self.pot {
+            pot += e;
+        }
+        // Counters are gathered on demand: the integer sums are
+        // order-free, and the reference backend's per-atom counter pass
+        // re-filters every Verlet pair — too expensive to pay per step
+        // for a value only observables() reads.
+        let mut sum_cand = 0u64;
+        let mut sum_inter = 0u64;
+        for shard in &self.shards {
+            let counts = shard.engine.per_atom_counts();
+            for &l in &shard.owned_local {
+                sum_cand += counts[l].0 as u64;
+                sum_inter += counts[l].1 as u64;
+            }
+        }
+        let modeled_cycles = self.cycles.as_ref().map(|_| self.fold_cycles());
+        let modeled_rate = WseMdSim::rate_from_cycle_trace(&self.cycle_trace);
+        Observables {
+            potential_energy: pot,
+            mean_interactions: sum_inter as f64 / n,
+            mean_candidates: sum_cand as f64 / n,
+            modeled_cycles,
+            modeled_rate,
+            ..Default::default()
+        }
+        .with_temperature_from(self.kinetic_energy(), self.n)
+    }
+}
+
+impl ShardedEngine {
+    /// The canonical per-step cycle statistic: the atom-id-order fold of
+    /// per-atom cycle charges divided by the atom count — exactly the
+    /// wafer engine's own `StepStats::cycles`.
+    fn fold_cycles(&self) -> f64 {
+        let cc = self.cycles.as_ref().expect("wafer backend");
+        let mut sum = 0.0f64;
+        for c in cc {
+            sum += c;
+        }
+        sum / self.n as f64
+    }
+}

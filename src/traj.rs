@@ -1,0 +1,57 @@
+//! Trajectory sinks: XYZ frame dumps for end-to-end byte comparison.
+//!
+//! The shard determinism guarantee is strongest when checked on the
+//! full trajectory rather than a summary report, so scenarios can dump
+//! frames in the ubiquitous XYZ format. Coordinates are written with
+//! Rust's shortest-round-trip `f64` formatting: two dumps are
+//! byte-identical **iff** every position is bit-identical, which is
+//! exactly the property CI diffs across shard counts and thread
+//! counts. Any lossy fixed-precision format would hide divergence.
+
+use std::io::{self, Write};
+
+use md_core::vec3::V3d;
+
+/// Write one XYZ frame: atom count, a comment line carrying the step
+/// index and a caller label, then `symbol x y z` per atom in atom-id
+/// order.
+pub fn write_xyz_frame(
+    out: &mut dyn Write,
+    symbol: &str,
+    label: &str,
+    step: usize,
+    positions: &[V3d],
+) -> io::Result<()> {
+    writeln!(out, "{}", positions.len())?;
+    writeln!(out, "step={step} {label}")?;
+    for p in positions {
+        writeln!(out, "{symbol} {} {} {}", p.x, p.y, p.z)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_byte_stable_and_bit_sensitive() {
+        let pos = vec![V3d::new(1.25, -0.5, 3.0e-7)];
+        let mut a = Vec::new();
+        write_xyz_frame(&mut a, "Ta", "test", 3, &pos).unwrap();
+        let mut b = Vec::new();
+        write_xyz_frame(&mut b, "Ta", "test", 3, &pos).unwrap();
+        assert_eq!(a, b);
+        // One ulp of drift must change the bytes.
+        let nudged = vec![V3d::new(
+            f64::from_bits(1.25f64.to_bits() + 1),
+            -0.5,
+            3.0e-7,
+        )];
+        let mut c = Vec::new();
+        write_xyz_frame(&mut c, "Ta", "test", 3, &nudged).unwrap();
+        assert_ne!(a, c);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("1\nstep=3 test\nTa 1.25 -0.5 0.0000003\n"));
+    }
+}

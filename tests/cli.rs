@@ -21,14 +21,33 @@ fn help_prints_usage_and_exits_nonzero() {
 }
 
 #[test]
-fn unknown_scenario_is_rejected() {
+fn unknown_scenario_is_rejected_and_lists_the_registry() {
     let out = cli()
         .args(["run", "no-such-scenario"])
         .output()
         .expect("spawn");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(2), "unknown scenario exits nonzero");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown scenario"), "stderr: {stderr}");
+    // The error itself must surface every valid name, not just fail.
+    for entry in scenario::registry() {
+        assert!(
+            stderr.contains(entry.name),
+            "error does not list '{}': {stderr}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn zero_shards_is_rejected() {
+    let out = cli()
+        .args(["run", "quickstart", "--shards", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--shards"), "stderr: {stderr}");
 }
 
 #[test]
@@ -86,6 +105,86 @@ fn run_accepts_overrides_and_reports_observables() {
     assert!(stdout.contains("RDF main peak"), "stdout: {stdout}");
 }
 
+/// The sharded determinism contract, end to end through the CLI: the
+/// scenario report and the XYZ trajectory must be byte-identical at any
+/// `--shards` value, on both engines.
+#[test]
+fn sharded_runs_are_byte_identical_through_the_cli() {
+    let dir = std::env::temp_dir();
+    for engine in ["baseline", "wse"] {
+        let mut reference: Option<(Vec<u8>, Vec<u8>)> = None;
+        for shards in ["1", "2", "4"] {
+            let xyz = dir.join(format!("wafer-md-cli-{engine}-{shards}.xyz"));
+            let out = cli()
+                .args([
+                    "run",
+                    "quickstart",
+                    "--engine",
+                    engine,
+                    "--atoms",
+                    "100",
+                    "--steps",
+                    "25",
+                    "--shards",
+                    shards,
+                    "--xyz",
+                    xyz.to_str().unwrap(),
+                ])
+                .output()
+                .expect("spawn");
+            assert!(out.status.success(), "status: {:?}", out.status);
+            let traj = std::fs::read(&xyz).expect("trajectory written");
+            let _ = std::fs::remove_file(&xyz);
+            match &reference {
+                None => reference = Some((out.stdout, traj)),
+                Some((ref_stdout, ref_traj)) => {
+                    assert!(
+                        *ref_stdout == out.stdout,
+                        "{engine}: report differs at --shards {shards}"
+                    );
+                    assert!(
+                        *ref_traj == traj,
+                        "{engine}: trajectory differs at --shards {shards}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The committed XYZ golden pins the trajectory format and the bits of
+/// a short reduced run.
+#[test]
+fn quickstart_xyz_matches_committed_golden() {
+    let dir = std::env::temp_dir();
+    let xyz = dir.join("wafer-md-cli-golden.xyz");
+    let out = cli()
+        .args([
+            "run",
+            "quickstart",
+            "--atoms",
+            "36",
+            "--steps",
+            "30",
+            "--xyz",
+            xyz.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let traj = std::fs::read(&xyz).expect("trajectory written");
+    let _ = std::fs::remove_file(&xyz);
+    let golden_path = format!(
+        "{}/tests/golden/quickstart-36.xyz",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read(&golden_path).expect("read committed golden");
+    assert!(
+        traj == golden,
+        "quickstart trajectory diverged from {golden_path}"
+    );
+}
+
 /// The CI smoke contract: `wafer-md run quickstart` must byte-match the
 /// committed golden file for each engine, at any thread count.
 #[test]
@@ -108,4 +207,25 @@ fn quickstart_matches_committed_golden_output() {
             String::from_utf8_lossy(&golden)
         );
     }
+}
+
+/// The multi-wafer scenario's report is itself a determinism assertion
+/// ("bit-identity across shard counts: confirmed"); pin it byte-exactly.
+#[test]
+fn multi_wafer_matches_committed_golden_output() {
+    let out = cli().args(["run", "multi-wafer"]).output().expect("spawn");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let golden_path = format!(
+        "{}/tests/golden/multi-wafer.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read(&golden_path).expect("read committed golden file");
+    assert!(
+        out.stdout == golden,
+        "multi-wafer diverged from {golden_path}:\n--- got ---\n{}\n--- want ---\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&golden)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout)
+        .contains("bit-identity across shard counts: confirmed"));
 }

@@ -121,6 +121,7 @@ fn every_registered_scenario_reports_through_the_registry() {
         engine: None,
         atoms: Some(36),
         steps: Some(30),
+        ..RunOptions::default()
     };
     for entry in registry() {
         let text = run_to_string(entry.name, &opts)

@@ -1,0 +1,199 @@
+//! Sharded multi-wafer execution vs the single-engine run: positions,
+//! velocities, forces, and energies must be **bit-identical** (`to_bits`,
+//! not merely close) for any shard count, on both backends. This is the
+//! executable form of the ghost-region determinism guarantee:
+//! halos two cutoffs wide + canonical neighbor enumeration + atom-id-order
+//! merge folds mean a spatial decomposition can never change physics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wafer_md::baseline::BaselineEngine;
+use wafer_md::md::engine::Engine;
+use wafer_md::md::lattice::SlabSpec;
+use wafer_md::md::materials::{Material, Species};
+use wafer_md::md::system::System;
+use wafer_md::md::thermostat;
+use wafer_md::md::vec3::V3d;
+use wafer_md::shard::ShardedEngine;
+use wafer_md::wse::{WseMdConfig, WseMdSim};
+
+fn slab(species: Species, nx: usize, nz: usize) -> (SlabSpec, Vec<V3d>) {
+    let material = Material::new(species);
+    let spec = SlabSpec {
+        crystal: material.crystal,
+        lattice_a: material.lattice_a,
+        nx,
+        ny: nx,
+        nz,
+    };
+    let positions = spec.generate();
+    (spec, positions)
+}
+
+fn mb_velocities(species: Species, n: usize, t: f64, seed: u64) -> Vec<V3d> {
+    let material = Material::new(species);
+    let mut rng = StdRng::seed_from_u64(seed);
+    thermostat::maxwell_boltzmann(&mut rng, n, material.mass, t)
+}
+
+/// Everything the shard merge must reproduce exactly, as bits.
+#[derive(Debug, PartialEq)]
+struct Bits {
+    positions: Vec<[u64; 3]>,
+    velocities: Vec<[u64; 3]>,
+    forces: Vec<[u64; 3]>,
+    potential: u64,
+    kinetic: u64,
+    temperature: u64,
+    mean_interactions: u64,
+    modeled_cycles: Option<u64>,
+    modeled_rate: Option<u64>,
+}
+
+fn v3_bits(vs: &[V3d]) -> Vec<[u64; 3]> {
+    vs.iter()
+        .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect()
+}
+
+fn bits_of(engine: &dyn Engine) -> Bits {
+    let o = engine.observables();
+    Bits {
+        positions: v3_bits(&engine.positions()),
+        velocities: v3_bits(&engine.velocities()),
+        forces: v3_bits(&engine.forces()),
+        potential: o.potential_energy.to_bits(),
+        kinetic: o.kinetic_energy.to_bits(),
+        temperature: o.temperature.to_bits(),
+        mean_interactions: o.mean_interactions.to_bits(),
+        modeled_cycles: o.modeled_cycles.map(f64::to_bits),
+        modeled_rate: o.modeled_rate.map(f64::to_bits),
+    }
+}
+
+fn baseline_single(species: Species, spec: SlabSpec, velocities: &[V3d]) -> BaselineEngine {
+    let mut system = System::from_slab(species, spec);
+    system.velocities = velocities.to_vec();
+    BaselineEngine::new(system, 2e-3)
+}
+
+fn run_pair(
+    species: Species,
+    nx: usize,
+    temperature: f64,
+    seed: u64,
+    steps: usize,
+    shards: usize,
+    wse: bool,
+) -> (Bits, Bits) {
+    let (spec, positions) = slab(species, nx, 2);
+    let velocities = mb_velocities(species, positions.len(), temperature, seed);
+    if wse {
+        let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+        let mut single = WseMdSim::new(species, &positions, &velocities, config.clone());
+        let mut sharded = ShardedEngine::wse(species, positions, velocities, config, shards);
+        assert!(sharded.shard_count() > 1, "decomposition degenerated");
+        for _ in 0..steps {
+            single.step();
+            Engine::step(&mut sharded);
+        }
+        (bits_of(&single), bits_of(&sharded))
+    } else {
+        let system = System::from_slab(species, spec);
+        let bbox = system.bbox;
+        let mut single = baseline_single(species, spec, &velocities);
+        let mut sharded =
+            ShardedEngine::baseline(species, positions, velocities, bbox, 2e-3, shards);
+        assert!(sharded.shard_count() > 1, "decomposition degenerated");
+        for _ in 0..steps {
+            single.step();
+            Engine::step(&mut sharded);
+        }
+        (bits_of(&single), bits_of(&sharded))
+    }
+}
+
+#[test]
+fn quickstart_scale_slab_is_bit_identical_across_shard_counts() {
+    for wse in [false, true] {
+        let mut merged = Vec::new();
+        for shards in [2usize, 3, 4] {
+            let (single, sharded) = run_pair(Species::Ta, 10, 290.0, 2024, 5, shards, wse);
+            assert_eq!(
+                single, sharded,
+                "wse={wse} shards={shards}: sharded run diverged from single engine"
+            );
+            merged.push(sharded);
+        }
+        assert!(
+            merged.windows(2).all(|w| w[0] == w[1]),
+            "wse={wse}: shard counts disagree among themselves"
+        );
+    }
+}
+
+#[test]
+fn hot_baseline_run_survives_dynamic_resharding() {
+    // 1400 K for 25 steps: atoms drift across halo boundaries, so ghost
+    // membership changes and shards rebuild mid-run — the merge must
+    // stay bit-exact through every rebuild.
+    let (single, sharded) = run_pair(Species::Cu, 6, 1400.0, 7, 25, 3, false);
+    assert_eq!(single, sharded);
+}
+
+#[test]
+fn wse_candidate_counters_match_globally() {
+    // The wafer decomposition must reproduce the global candidate
+    // statistics exactly (owned cores see the global neighborhoods).
+    let (spec, positions) = slab(Species::W, 6, 2);
+    let _ = spec;
+    let velocities = mb_velocities(Species::W, positions.len(), 200.0, 11);
+    let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+    let mut single = WseMdSim::new(Species::W, &positions, &velocities, config.clone());
+    let mut sharded = ShardedEngine::wse(Species::W, positions, velocities, config, 4);
+    for _ in 0..3 {
+        single.step();
+        Engine::step(&mut sharded);
+    }
+    let a = single.observables();
+    let b = sharded.observables();
+    assert_eq!(a.mean_candidates.to_bits(), b.mean_candidates.to_bits());
+    assert_eq!(a.mean_interactions.to_bits(), b.mean_interactions.to_bits());
+}
+
+mod proptest_sharding {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Random slab workloads on both backends at random shard counts;
+        // a handful of cases exercises uneven decompositions, both
+        // species' cutoffs, and hot/cold dynamics.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn sharded_equals_single_engine_bitwise(
+            species_idx in 0usize..3,
+            nx in 4usize..7,
+            seed in 0u64..1_000_000,
+            temperature in 50.0f64..600.0,
+            shards in 2usize..5,
+            wse_idx in 0usize..2,
+        ) {
+            let wse = wse_idx == 1;
+            let species = [Species::Ta, Species::Cu, Species::W][species_idx];
+            let (single, sharded) =
+                run_pair(species, nx, temperature, seed, 3, shards, wse);
+            prop_assert_eq!(
+                single,
+                sharded,
+                "species {:?}, nx {}, seed {}, shards {}, wse {}",
+                species,
+                nx,
+                seed,
+                shards,
+                wse
+            );
+        }
+    }
+}
