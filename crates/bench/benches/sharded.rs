@@ -1,0 +1,65 @@
+//! Sharded-engine stepping: the in-process wall-clock cost of the
+//! ghost-region decomposition at exchange period 1 (refresh every step,
+//! the unamortized baseline) vs 4 (the amortized Table VI k-column).
+//!
+//! Amortization trades per-step exchange work (membership recompute,
+//! ghost overwrites, engine rebuilds) for a period-scaled halo of
+//! redundant force work, so the in-process winner depends on the
+//! geometry; the recorded `elements_per_sec` (owned atoms · steps/sec)
+//! makes the tradeoff visible in `BENCH_results.json` either way. On
+//! real multi-node hardware the redundant halo work is spatially
+//! parallel (extra cores, not extra time) and the saved exchanges are
+//! saved latency — the regime the perf-model reconciliation projects.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use md_core::lattice::SlabSpec;
+use md_core::materials::{Material, Species};
+use md_core::system::Box3;
+use md_core::thermostat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wafer_md::md::engine::Engine;
+use wafer_md::shard::ShardedEngine;
+
+fn bench_sharded_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_step");
+    group.sample_size(10);
+    let material = Material::new(Species::Ta);
+    let spec = SlabSpec {
+        crystal: material.crystal,
+        lattice_a: material.lattice_a,
+        nx: 24,
+        ny: 8,
+        nz: 2,
+    };
+    let positions = spec.generate();
+    let mut rng = StdRng::seed_from_u64(42);
+    let velocities = thermostat::maxwell_boltzmann(&mut rng, positions.len(), material.mass, 290.0);
+    let bbox = Box3::open(spec.dimensions());
+    for period in [1usize, 4] {
+        let mut engine = ShardedEngine::baseline(
+            Species::Ta,
+            positions.clone(),
+            velocities.clone(),
+            bbox,
+            2e-3,
+            2,
+            period,
+        );
+        group.throughput(Throughput::Elements(engine.n_atoms() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{period}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    Engine::step(&mut engine);
+                    black_box(engine.ghost_copies())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_step);
+criterion_main!(benches);

@@ -39,6 +39,9 @@ pub struct BaselineEngine {
     /// the last force evaluation; `potential_energy` is their in-order
     /// fold (the canonical per-atom accounting of the halo contract).
     per_atom_pot: Vec<f64>,
+    /// Positions at the last halo reference (ghost exchange), for the
+    /// skin-validity drift check of the halo contract.
+    halo_ref: Vec<V3d>,
 }
 
 impl BaselineEngine {
@@ -48,6 +51,7 @@ impl BaselineEngine {
     pub fn new(system: System, dt: f64) -> Self {
         let cutoff = system.potential.cutoff;
         let n = system.len();
+        let halo_ref = system.positions.clone();
         let mut e = Self {
             system,
             vlist: VerletList::new(cutoff, Self::DEFAULT_SKIN),
@@ -56,6 +60,7 @@ impl BaselineEngine {
             potential_energy: 0.0,
             forces: vec![V3d::zero(); n],
             per_atom_pot: vec![0.0; n],
+            halo_ref,
         };
         e.vlist.rebuild(&e.system.positions, &e.system.bbox);
         e.compute_forces();
@@ -298,6 +303,27 @@ impl HaloEngine for BaselineEngine {
 
     fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>> {
         None
+    }
+
+    fn halo_drift_limit_sq(&self) -> f64 {
+        // The Verlet-list reuse criterion: past half the skin, a pair
+        // outside the retained list can come under the cutoff — and a
+        // halo membership computed at the reference positions can stop
+        // covering the shard's force neighborhoods.
+        (self.vlist.skin / 2.0) * (self.vlist.skin / 2.0)
+    }
+
+    fn mark_halo_reference(&mut self) {
+        self.halo_ref.clone_from(&self.system.positions);
+    }
+
+    fn halo_drift_sq(&self) -> f64 {
+        self.system
+            .positions
+            .iter()
+            .zip(&self.halo_ref)
+            .map(|(p, r)| self.system.bbox.displacement(*r, *p).norm_sq())
+            .fold(0.0, f64::max)
     }
 }
 

@@ -191,7 +191,7 @@ pub enum StepSplit {
 /// driver can run it as one spatial shard of a larger simulation and
 /// merge per-atom results **bit-identically** with the unsharded run.
 ///
-/// Three capabilities make that possible:
+/// Four capabilities make that possible:
 ///
 /// 1. **A split timestep.** `step()` must be exactly equivalent to its
 ///    two halves called in [`StepSplit`] order, so the driver can
@@ -199,7 +199,7 @@ pub enum StepSplit {
 ///    engine would simply have read its own (already-current) atoms.
 /// 2. **Ghost overwrite.** [`HaloEngine::overwrite_atom`] replaces one
 ///    atom's phase-space state in place; the shard's ghost copies are
-///    refreshed from the owning shard every step.
+///    refreshed from the owning shard at every ghost exchange.
 /// 3. **Canonical per-atom accounting.** Every scalar an [`Observables`]
 ///    reports must be reproducible as a left-to-right fold of per-atom
 ///    terms in **atom-id order**. Both workspace backends compute their
@@ -207,6 +207,17 @@ pub enum StepSplit {
 ///    gathers per-atom terms from shard owners and folds them in global
 ///    atom-id order reproduces the unsharded bits — for any shard count
 ///    and any `WAFER_MD_THREADS`.
+/// 4. **Skin-validity tracking.** A driver that amortizes the exchange
+///    over several steps (the paper's Table VI k-column) keeps ghost
+///    *membership* fixed between exchanges while every hosted atom
+///    integrates locally. That is valid only while atoms stay close to
+///    where they were when membership was computed, so the backend
+///    reports the max squared displacement since the last exchange
+///    ([`HaloEngine::halo_drift_sq`], referenced by
+///    [`HaloEngine::mark_halo_reference`]) and the threshold beyond
+///    which the membership may no longer cover its force neighborhoods
+///    ([`HaloEngine::halo_drift_limit_sq`]) — for the reference engine
+///    the same half-skin criterion its Verlet lists use for reuse.
 ///
 /// Atoms an engine hosts but does not own (ghosts) return garbage in
 /// the per-atom accessors near the halo's outer edge; the driver only
@@ -249,6 +260,27 @@ pub trait HaloEngine: Engine {
     /// Folding them left-to-right and dividing by the atom count
     /// reproduces [`Observables::modeled_cycles`].
     fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>>;
+
+    /// Squared drift threshold (Å²) beyond which ghost membership
+    /// computed at the last halo reference may no longer cover this
+    /// engine's force neighborhoods. The reference engine returns
+    /// `(skin/2)²` — the very criterion its Verlet lists use for list
+    /// reuse; the wafer engine returns `f64::INFINITY` because its
+    /// candidate sets are core-geometric (atoms never change cores
+    /// under sharding), so membership never decays with drift.
+    fn halo_drift_limit_sq(&self) -> f64;
+
+    /// Snapshot the current positions as the halo reference. The
+    /// sharded driver calls this right after every ghost exchange (and
+    /// the backend's constructor establishes the initial reference).
+    fn mark_halo_reference(&mut self);
+
+    /// Max squared displacement (Å², minimum-image where periodic) of
+    /// any hosted atom since the last [`HaloEngine::mark_halo_reference`]
+    /// call. A pure f64 `max` fold, so the value — and therefore the
+    /// driver's exchange schedule — is deterministic at any thread
+    /// count.
+    fn halo_drift_sq(&self) -> f64;
 }
 
 #[cfg(test)]

@@ -168,12 +168,38 @@ impl GhostMeasurement {
 
     /// The largest refresh interval the measured ghost width supports
     /// under the model's 2·r_cut-per-step invalidation (at least 1 —
-    /// the every-step exchange the sharded engine actually performs).
+    /// an every-step exchange).
     pub fn k_max(&self) -> f64 {
         (self.lambda / (2.0 * self.rcut_over_rlattice))
             .floor()
             .max(1.0)
     }
+
+    /// Project the operating point at the amortization a real sharded
+    /// run **measured**: `steps / exchanges` timesteps per ghost
+    /// refresh (see [`measured_amortization`]).
+    ///
+    /// This is the execution of the Table VI k-column: a scheduler that
+    /// exchanges purely on period expiry performs `floor(steps / k)`
+    /// exchanges in `steps` timesteps, so whenever `steps` is a
+    /// multiple of `k` the measured amortization equals the configured
+    /// period exactly and this reconciliation reproduces
+    /// [`GhostMeasurement::project`]`(k)` bit for bit. Otherwise the
+    /// measured k deviates in either direction: early (drift-triggered)
+    /// exchanges lower it, while tail steps after the final exchange
+    /// raise it (60 steps at period 8 → 7 exchanges → measured
+    /// k = 60/7 ≈ 8.6).
+    pub fn reconcile(&self, steps: u64, exchanges: u64) -> MultiWaferPoint {
+        self.project(measured_amortization(steps, exchanges))
+    }
+}
+
+/// The amortization a measured run achieved: timesteps per ghost
+/// exchange (the model's k). A run that never exchanged amortized over
+/// (at least) its whole length.
+pub fn measured_amortization(steps: u64, exchanges: u64) -> f64 {
+    assert!(steps > 0, "amortization of an empty run");
+    steps as f64 / exchanges.max(1) as f64
 }
 
 /// Choose λ to hit a target interior-atom utilization
@@ -321,6 +347,33 @@ mod tests {
         let amortized = m.project(m.k_max());
         assert!(executed.rate < amortized.rate);
         assert!(executed.performance < 1.0);
+    }
+
+    #[test]
+    fn measured_exchange_count_reconciles_to_the_period_projection() {
+        // 60 steps with a period-4 scheduler and no drift violations:
+        // 15 exchanges, measured k = 4.0 — the reconciliation must be
+        // the k = 4 projection to the bit.
+        let m = GhostMeasurement {
+            n_interior: 400.0,
+            n_ghost: 220.0,
+            single_wafer_rate: 300_000.0,
+            lambda: 12.0,
+            rcut_over_rlattice: 1.39,
+        };
+        assert_eq!(measured_amortization(60, 15), 4.0);
+        let reconciled = m.reconcile(60, 15);
+        let projected = m.project(4.0);
+        assert_eq!(reconciled.rate.to_bits(), projected.rate.to_bits());
+        assert_eq!(reconciled.t_period.to_bits(), projected.t_period.to_bits());
+        // Early exchanges lower the measured k and never raise the rate.
+        assert!(m.reconcile(60, 20).rate <= projected.rate);
+        // A run that never exchanged amortized over its whole length.
+        assert_eq!(measured_amortization(60, 0), 60.0);
+        assert_eq!(
+            m.reconcile(60, 0).rate.to_bits(),
+            m.project(60.0).rate.to_bits()
+        );
     }
 
     #[test]

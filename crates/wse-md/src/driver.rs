@@ -179,6 +179,9 @@ pub struct WseMdSim {
     core_cycles: Vec<f64>,
     steps_since_rebuild: usize,
     lists_dirty: bool,
+    /// Per-core positions at the last halo reference (ghost exchange),
+    /// for the drift tracking of the halo contract.
+    halo_ref: Vec<V3f>,
     /// Per-step cycle trace (array level), like the paper's scratch
     /// buffer of hardware clock samples.
     pub cycle_trace: Vec<f64>,
@@ -272,6 +275,7 @@ impl WseMdSim {
             core_cycles: vec![0.0; n_cores],
             steps_since_rebuild: 0,
             lists_dirty: true,
+            halo_ref: vec![V3f::new(0.0, 0.0, 0.0); n_cores],
             cycle_trace: Vec::new(),
             step_count: 0,
             last_stats: StepStats::default(),
@@ -282,6 +286,7 @@ impl WseMdSim {
             sim.pos[core] = positions[i].cast();
             sim.vel[core] = velocities[i].cast();
         }
+        sim.halo_ref.clone_from(&sim.pos);
         sim
     }
 
@@ -820,6 +825,25 @@ impl HaloEngine for WseMdSim {
                 .map(|&c| self.core_cycles[c])
                 .collect(),
         )
+    }
+
+    fn halo_drift_limit_sq(&self) -> f64 {
+        // Candidate sets are core-geometric and the atom → core mapping
+        // is static under sharding, so ghost membership never decays
+        // with drift — only the period (strip width) bounds reuse.
+        f64::INFINITY
+    }
+
+    fn mark_halo_reference(&mut self) {
+        self.halo_ref.clone_from(&self.pos);
+    }
+
+    fn halo_drift_sq(&self) -> f64 {
+        self.mapping
+            .core_of_atom
+            .iter()
+            .map(|&c| self.fold.disp_f32(self.halo_ref[c], self.pos[c]).norm_sq() as f64)
+            .fold(0.0, f64::max)
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]
-//!                         [--shards K] [--xyz PATH]
+//!                         [--shards K] [--ghost-period k|auto] [--xyz PATH]
 //! wafer-md list
 //! wafer-md export-setfl <cu|w|ta> <path>
 //! ```
@@ -15,12 +15,12 @@
 
 use wafer_md::md::materials::{Material, Species};
 use wafer_md::md::setfl;
-use wafer_md::scenario::{self, EngineKind, RunOptions};
+use wafer_md::scenario::{self, EngineKind, GhostPeriod, RunOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]\n\
-         \x20                           [--shards K] [--xyz PATH]\n\
+         \x20                           [--shards K] [--ghost-period k|auto] [--xyz PATH]\n\
          \x20      wafer-md list\n\
          \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
          \n\
@@ -75,6 +75,13 @@ fn parse_run(args: &[String]) -> (String, RunOptions) {
                     usage()
                 }
                 opts.shards = Some(k);
+            }
+            "--ghost-period" => {
+                let v = value(&mut i);
+                opts.ghost_period = Some(GhostPeriod::parse(v).unwrap_or_else(|| {
+                    eprintln!("--ghost-period must be a positive integer or 'auto' (got '{v}')");
+                    usage()
+                }));
             }
             "--xyz" => opts.xyz = Some(value(&mut i).into()),
             other => {

@@ -1,28 +1,33 @@
-//! Sharded multi-wafer execution: K spatial shards with ghost-region
-//! exchange, bit-identical to the single-engine run.
+//! Sharded multi-wafer execution: K spatial shards with amortized
+//! ghost-region exchange, bit-identical to the single-engine run.
 //!
 //! The paper's Table VI projects weak scaling across WSE nodes by
 //! decomposing the box into subdomains that exchange *ghost* atoms — a
 //! boundary strip wide enough that every owned atom sees exact forces.
 //! [`ShardedEngine`] is that decomposition running for real: the box is
 //! split into K slabs along x, each slab runs on its own inner
-//! [`HaloEngine`] (either backend), and every timestep the ghost copies
-//! are refreshed from the shard that owns them. Shards advance
-//! concurrently on the worker pool.
+//! [`HaloEngine`] (either backend), and the ghost copies are refreshed
+//! from the shard that owns them on a configurable period (the
+//! [`GhostPeriod`], Table VI's k-column). Shards advance concurrently
+//! on the worker pool.
 //!
 //! # The determinism guarantee, extended to shards
 //!
 //! Forces, energies, and trajectories are **bit-identical** to the
-//! unsharded run and across any shard count. Three mechanisms carry the
-//! guarantee:
+//! unsharded run, across any shard count *and any ghost period*. Three
+//! mechanisms carry the guarantee:
 //!
-//! 1. **Halos wide enough for exact EAM forces.** An owned atom's force
-//!    involves its neighbors' embedding derivatives, which in turn
-//!    involve *their* neighbors' densities — so the halo spans two
-//!    cutoffs (plus the neighbor-list skin on the reference engine; two
-//!    full neighborhood radii of fabric columns on the wafer engine).
-//!    Every f32/f64 operation behind an owned atom's force therefore
-//!    sees exactly the operands of the unsharded run.
+//! 1. **Halos wide enough for exact EAM forces over a whole period.**
+//!    An owned atom's force involves its neighbors' embedding
+//!    derivatives, which in turn involve *their* neighbors' densities —
+//!    so one force evaluation reaches two cutoffs. Between exchanges
+//!    every hosted atom (ghosts included) integrates locally, and
+//!    exactness erodes inward from the halo's outer edge by one such
+//!    reach per step; a halo of `k · (2·cutoff + skin)` on the
+//!    reference engine (`k · 2bₓ` ghost fabric columns on the wafer
+//!    engine) therefore keeps every owned force exact for `k`
+//!    consecutive steps. Every f32/f64 operation behind an owned atom's
+//!    force sees exactly the operands of the unsharded run.
 //! 2. **Canonical enumeration order.** `md-core` neighbor lists are
 //!    sorted by atom index and the wafer engine scans its candidate
 //!    square in fixed geometric order, so per-atom sums accumulate in
@@ -31,6 +36,20 @@
 //!    as left-to-right folds of per-atom terms in atom-id order (the
 //!    [`HaloEngine`] contract); the sharded merge gathers each atom's
 //!    terms from its owner and folds them in the same global order.
+//!
+//! # Skin validity
+//!
+//! The erosion bound above prices drift at half the neighbor-list skin
+//! per period: membership computed at exchange time keeps covering the
+//! owned force neighborhoods while no atom has moved more than
+//! `skin/2` since the exchange — the same criterion `md_core::neighbor`
+//! uses for Verlet-list reuse. The driver checks it at every exchange
+//! point through [`HaloEngine::halo_drift_sq`] and exchanges *early*
+//! when any shard reports a violation, so a hot shard can never read a
+//! stale ghost whose membership has decayed. Exchanging early is always
+//! safe: ghost overwrites rewrite exact bits with the same exact bits
+//! (only the eroded outer edge actually changes), so the schedule never
+//! affects physics — only how much redundant halo work is paid.
 //!
 //! The timestep is interleaved with the exchange according to the
 //! backend's [`StepSplit`]: the reference engine moves then computes
@@ -56,6 +75,66 @@ use wse_md::{Mapping, WseMdConfig, WseMdSim};
 /// An engine a shard can host: halo-capable and movable across the
 /// worker pool.
 pub type BoxedHaloEngine = Box<dyn HaloEngine + Send>;
+
+/// Largest period [`auto_ghost_period`] will pick: widening halos pays
+/// redundant force work linearly in the period, so auto stops where the
+/// Table VI rows stop gaining materially from latency amortization.
+pub const AUTO_PERIOD_CAP: usize = 8;
+
+/// The drift-limited ghost-exchange period for a workload: how many
+/// timesteps the fastest initial atom takes to cover half the
+/// reference neighbor-list skin. Beyond that period the skin-validity
+/// check would force an early exchange anyway, so a longer period buys
+/// nothing but halo width. A frozen workload (or `dt = 0`) resolves to
+/// [`AUTO_PERIOD_CAP`].
+///
+/// The value is a pure function of the initial velocities and the
+/// timestep — independent of shard count and thread count — so an
+/// `auto` run resolves identically at any decomposition.
+pub fn auto_ghost_period(velocities: &[V3d], dt: f64) -> usize {
+    let vmax = velocities
+        .iter()
+        .map(|v| v.norm_sq())
+        .fold(0.0, f64::max)
+        .sqrt();
+    let step = vmax * dt.abs();
+    if step <= 0.0 {
+        return AUTO_PERIOD_CAP;
+    }
+    let k = (0.5 * BaselineEngine::DEFAULT_SKIN / step).floor() as usize;
+    k.clamp(1, AUTO_PERIOD_CAP)
+}
+
+/// Ghost-exchange period selection (the Table VI k-column): refresh
+/// ghost regions every k-th step instead of every step, with an early
+/// exchange whenever the skin-validity check trips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhostPeriod {
+    /// Exchange every `k`-th step (`k ≥ 1`; 1 = every step, the
+    /// unamortized baseline).
+    Every(usize),
+    /// Resolve the drift-limited period via [`auto_ghost_period`].
+    Auto,
+}
+
+impl GhostPeriod {
+    /// Parse a CLI spelling: `"auto"` or a positive integer.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "auto" {
+            return Some(Self::Auto);
+        }
+        s.parse::<usize>().ok().filter(|&k| k >= 1).map(Self::Every)
+    }
+
+    /// Resolve to a concrete period for a workload's initial velocities
+    /// and timestep.
+    pub fn resolve(self, velocities: &[V3d], dt: f64) -> usize {
+        match self {
+            Self::Every(k) => k.max(1),
+            Self::Auto => auto_ghost_period(velocities, dt),
+        }
+    }
+}
 
 /// One spatial shard: an inner engine holding its owned atoms plus the
 /// ghost copies its force evaluations need.
@@ -106,17 +185,20 @@ struct ReshardCtx {
     species: Species,
     bbox: Box3,
     dt: f64,
-    /// Halo width (Å): two cutoffs plus the neighbor-list skin.
+    /// Halo width (Å): the ghost period times two cutoffs plus the
+    /// neighbor-list skin (one period's worth of erosion headroom).
     halo: f64,
 }
 
 /// K spatial shards behind one [`Engine`] facade, exchanging ghost
-/// regions every step with a deterministic atom-id-ordered merge.
+/// regions on an amortized period with a deterministic
+/// atom-id-ordered merge.
 ///
 /// Build one with [`ShardedEngine::baseline`] or [`ShardedEngine::wse`]
-/// (or declaratively through `Scenario::shards`). The merged per-atom
-/// state and every [`Observables`] scalar are bit-identical to the
-/// corresponding single-engine run at any shard count and any
+/// (or declaratively through `Scenario::shards` +
+/// `Scenario::ghost_period`). The merged per-atom state and every
+/// [`Observables`] scalar are bit-identical to the corresponding
+/// single-engine run at any shard count, any ghost period, and any
 /// `WAFER_MD_THREADS`.
 pub struct ShardedEngine {
     backend: &'static str,
@@ -126,6 +208,21 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     /// Shard index owning each atom.
     owner: Vec<usize>,
+    /// Ghost-exchange period (Table VI k): halos are provisioned for
+    /// this many steps of local ghost integration between exchanges.
+    period: usize,
+    /// Steps advanced since the last ghost exchange (or construction).
+    steps_since_exchange: usize,
+    /// Steps advanced in total.
+    steps_run: u64,
+    /// Ghost exchanges performed (exchanges are synchronized across
+    /// shards, so one counter is the whole truth; the per-shard view
+    /// is synthesized on demand).
+    exchanges: u64,
+    /// Exchanges forced early by the skin-validity check.
+    early_exchanges: u64,
+    /// Exchanges taken on period expiry.
+    periodic_exchanges: u64,
     // ---- merged per-atom state, global atom-id order ----
     positions: Vec<V3d>,
     velocities: Vec<V3d>,
@@ -139,16 +236,20 @@ pub struct ShardedEngine {
     /// energy until the first step or velocity overwrite.
     kinetic_live: bool,
     reshard: Option<ReshardCtx>,
-    /// Ghost strip width (Å) of the wafer decomposition, if applicable.
+    /// Ghost strip width (Å) the decomposition provisions: the
+    /// reference halo, or the wafer column strip in Å.
     ghost_strip: Option<f64>,
 }
 
 impl ShardedEngine {
     /// Shard the reference (f64) engine into `k` x-slabs of near-equal
-    /// atom count. Ghost membership is recomputed every step from the
-    /// current positions (atoms drift), with a halo of two cutoffs plus
-    /// the neighbor-list skin; a shard whose ghost set changes rebuilds
-    /// its inner engine from the merged state.
+    /// atom count, exchanging ghosts every `ghost_period` steps. Ghost
+    /// membership is recomputed at each exchange from the current
+    /// positions (atoms drift), with a halo of `ghost_period` times two
+    /// cutoffs plus the neighbor-list skin; a shard whose ghost set
+    /// changes rebuilds its inner engine from the merged state. Between
+    /// exchanges ghosts integrate locally, guarded by the half-skin
+    /// drift check (see the module docs).
     pub fn baseline(
         species: Species,
         positions: Vec<V3d>,
@@ -156,13 +257,15 @@ impl ShardedEngine {
         bbox: Box3,
         dt: f64,
         k: usize,
+        ghost_period: usize,
     ) -> Self {
         let n = positions.len();
         assert_eq!(n, velocities.len());
         assert!(n > 0, "sharding an empty system");
         let k = k.clamp(1, n);
+        let ghost_period = ghost_period.max(1);
         let material = Material::new(species);
-        let halo = 2.0 * material.cutoff + BaselineEngine::DEFAULT_SKIN;
+        let halo = ghost_period as f64 * (2.0 * material.cutoff + BaselineEngine::DEFAULT_SKIN);
 
         // Partition by initial x into k contiguous near-equal groups.
         let mut by_x: Vec<usize> = (0..n).collect();
@@ -193,7 +296,7 @@ impl ShardedEngine {
             dt,
             halo,
         };
-        let shards = owned_sets
+        let shards: Vec<Shard> = owned_sets
             .into_iter()
             .map(|owned| build_baseline_shard(owned, &positions, &velocities, &owner, &ctx))
             .collect();
@@ -205,6 +308,12 @@ impl ShardedEngine {
             n,
             shards,
             owner,
+            period: ghost_period,
+            steps_since_exchange: 0,
+            steps_run: 0,
+            exchanges: 0,
+            early_exchanges: 0,
+            periodic_exchanges: 0,
             positions,
             velocities,
             forces: vec![V3d::zero(); n],
@@ -214,18 +323,20 @@ impl ShardedEngine {
             cycle_trace: Vec::new(),
             kinetic_live: true,
             reshard: Some(ctx),
-            ghost_strip: None,
+            ghost_strip: Some(halo),
         };
         e.gather_static();
         e.gather_motion();
         e
     }
 
-    /// Shard the wafer engine into `k` fabric-column strips. The global
-    /// atom → core mapping and neighborhood radius are computed once;
-    /// each shard hosts its strip's cores plus two neighborhood radii
-    /// of ghost columns on each side, so owned cores see exactly the
-    /// global run's candidate sets, forces, and modeled cycle charges.
+    /// Shard the wafer engine into `k` fabric-column strips, exchanging
+    /// ghosts every `ghost_period` steps. The global atom → core
+    /// mapping and neighborhood radius are computed once; each shard
+    /// hosts its strip's cores plus `ghost_period` times two
+    /// neighborhood radii of ghost columns on each side, so owned cores
+    /// see exactly the global run's candidate sets, forces, and modeled
+    /// cycle charges for a whole period of local ghost integration.
     ///
     /// Requires an unfolded x axis (`!config.periodic[0]`) and the
     /// default force path (`!config.symmetric_forces`).
@@ -235,6 +346,7 @@ impl ShardedEngine {
         velocities: Vec<V3d>,
         config: WseMdConfig,
         k: usize,
+        ghost_period: usize,
     ) -> Self {
         let n = positions.len();
         assert_eq!(n, velocities.len());
@@ -278,8 +390,9 @@ impl ShardedEngine {
             }
         }
 
+        let ghost_period = ghost_period.max(1);
         let mut owner = vec![0usize; n];
-        let strip = 2 * bx.max(1) as usize;
+        let strip = ghost_period * 2 * bx.max(1) as usize;
         let mut shards = Vec::new();
         for g in 0..k {
             let cols: Vec<usize> = (0..w).filter(|&c| col_group[c] == g).collect();
@@ -332,6 +445,12 @@ impl ShardedEngine {
             n,
             shards,
             owner,
+            period: ghost_period,
+            steps_since_exchange: 0,
+            steps_run: 0,
+            exchanges: 0,
+            early_exchanges: 0,
+            periodic_exchanges: 0,
             positions,
             velocities,
             forces: vec![V3d::zero(); n],
@@ -367,10 +486,60 @@ impl ShardedEngine {
         self.shards.iter().map(|s| s.ghost_local.len()).sum()
     }
 
-    /// Ghost strip width (Å) of the wafer-column decomposition, if this
-    /// is a wafer-backend engine.
+    /// Ghost strip width (Å) the decomposition provisions per side: the
+    /// reference-engine halo, or the wafer column strip converted to Å.
     pub fn ghost_strip_angstroms(&self) -> Option<f64> {
         self.ghost_strip
+    }
+
+    /// The ghost-exchange period this engine was provisioned for
+    /// (Table VI k): ghosts are refreshed every `period` steps, or
+    /// earlier when the skin-validity check trips.
+    pub fn ghost_period(&self) -> usize {
+        self.period
+    }
+
+    /// Steps advanced since construction.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Ghost exchanges performed per shard since construction (the
+    /// measured counterpart of the period model's per-node refresh
+    /// count). Exchanges are synchronized across shards — one counter
+    /// is the whole truth — so this view is synthesized from it.
+    pub fn exchange_counts(&self) -> Vec<u64> {
+        vec![self.exchanges; self.shards.len()]
+    }
+
+    /// Total ghost exchanges performed since construction.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Exchanges forced early by the skin-validity check (an atom
+    /// drifted past half the skin before the period expired).
+    pub fn early_exchanges(&self) -> u64 {
+        self.early_exchanges
+    }
+
+    /// Exchanges taken on period expiry.
+    pub fn periodic_exchanges(&self) -> u64 {
+        self.periodic_exchanges
+    }
+
+    /// Steps per exchange actually achieved — the measured amortization
+    /// `k` to reconcile against
+    /// `perf_model::multiwafer::GhostMeasurement` (the model's own
+    /// [`perf_model::multiwafer::measured_amortization`], so the engine
+    /// and the reconciliation can never disagree on the definition). A
+    /// run that never stepped or never exchanged amortized over (at
+    /// least) its whole length.
+    pub fn measured_amortization(&self) -> f64 {
+        if self.steps_run == 0 {
+            return 1.0;
+        }
+        perf_model::multiwafer::measured_amortization(self.steps_run, self.exchanges())
     }
 
     /// Gather force-side per-atom terms (forces, potential energies,
@@ -408,9 +577,10 @@ impl ShardedEngine {
         }
     }
 
-    /// Refresh every shard's ghost copies from the merged state. For
-    /// the reference backend, first recompute ghost membership from the
-    /// current positions and rebuild any shard whose atom set changed.
+    /// Refresh every shard's ghost copies from the merged state and
+    /// reset the skin-validity reference. For the reference backend,
+    /// first recompute ghost membership from the current positions and
+    /// rebuild any shard whose atom set changed.
     fn exchange_ghosts(&mut self) {
         if let Some(ctx) = &self.reshard {
             let positions = &self.positions;
@@ -430,6 +600,7 @@ impl ShardedEngine {
                             .overwrite_atom(l, positions[gid], velocities[gid]);
                     }
                 }
+                shard.engine.mark_halo_reference();
             });
         } else {
             let positions = &self.positions;
@@ -441,8 +612,42 @@ impl ShardedEngine {
                         .engine
                         .overwrite_atom(l, positions[gid], velocities[gid]);
                 }
+                shard.engine.mark_halo_reference();
             });
         }
+        self.exchanges += 1;
+        self.steps_since_exchange = 0;
+    }
+
+    /// The per-step exchange decision at the exchange point: period
+    /// expiry, or the skin-validity check — any shard whose hosted
+    /// atoms drifted past the backend's drift limit since the last
+    /// exchange forces an early one (ghost membership computed then may
+    /// no longer cover the force neighborhoods). Every atom is hosted
+    /// by its owner, so the per-shard checks jointly cover the whole
+    /// system.
+    fn exchange_due(&mut self) -> bool {
+        if self.steps_since_exchange >= self.period {
+            self.periodic_exchanges += 1;
+            return true;
+        }
+        // The drift scans are O(hosted atoms) per shard, so they fan
+        // out over the worker pool like every other per-shard pass
+        // (order-free booleans; the wafer backend's infinite limit
+        // short-circuits its scan away entirely).
+        let flags: Vec<bool> = self
+            .shards
+            .par_iter_mut()
+            .map(|s| {
+                let limit = s.engine.halo_drift_limit_sq();
+                limit.is_finite() && s.engine.halo_drift_sq() > limit
+            })
+            .collect();
+        let drifted = flags.into_iter().any(|b| b);
+        if drifted {
+            self.early_exchanges += 1;
+        }
+        drifted
     }
 
     /// The merged kinetic energy (eV): the canonical atom-id-order fold
@@ -521,7 +726,10 @@ impl Engine for ShardedEngine {
                     .par_iter_mut()
                     .for_each(|s| s.engine.advance_positions());
                 self.gather_motion();
-                self.exchange_ghosts();
+                self.steps_since_exchange += 1;
+                if self.exchange_due() {
+                    self.exchange_ghosts();
+                }
                 self.shards.par_iter_mut().for_each(|s| {
                     if !s.fresh {
                         s.engine.refresh_forces();
@@ -539,7 +747,10 @@ impl Engine for ShardedEngine {
                     .par_iter_mut()
                     .for_each(|s| s.engine.advance_positions());
                 self.gather_motion();
-                self.exchange_ghosts();
+                self.steps_since_exchange += 1;
+                if self.exchange_due() {
+                    self.exchange_ghosts();
+                }
             }
         }
         if self.cycles.is_some() {
@@ -547,6 +758,7 @@ impl Engine for ShardedEngine {
             self.cycle_trace.push(o);
         }
         self.kinetic_live = true;
+        self.steps_run += 1;
     }
 
     fn positions(&self) -> Vec<V3d> {
@@ -562,6 +774,12 @@ impl Engine for ShardedEngine {
         self.velocities.copy_from_slice(velocities);
         let positions = &self.positions;
         let vel = &self.velocities;
+        // Overwriting every hosted atom from the merged (exact) state
+        // is a bonus ghost refresh (it restores any eroded outer-edge
+        // ghosts), but the scheduler is deliberately left untouched:
+        // ghost *membership* was computed at the last real exchange, so
+        // the skin-validity reference must keep accumulating drift
+        // against those positions until the next membership recompute.
         self.shards.par_iter_mut().for_each(|shard| {
             for (l, &gid) in shard.atoms.iter().enumerate() {
                 shard.engine.overwrite_atom(l, positions[gid], vel[gid]);

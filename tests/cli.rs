@@ -50,6 +50,106 @@ fn zero_shards_is_rejected() {
     assert!(stderr.contains("--shards"), "stderr: {stderr}");
 }
 
+/// Invalid `--ghost-period` values exit 2 with a usage hint naming the
+/// flag and the accepted spellings.
+#[test]
+fn invalid_ghost_period_is_rejected_with_a_hint() {
+    for bad in ["0", "banana", "-3", "1.5"] {
+        let out = cli()
+            .args(["run", "quickstart", "--ghost-period", bad])
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--ghost-period {bad} must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--ghost-period"), "stderr: {stderr}");
+        assert!(
+            stderr.contains("positive integer or 'auto'"),
+            "stderr lacks the accepted spellings: {stderr}"
+        );
+        assert!(stderr.contains("usage: wafer-md run"), "stderr: {stderr}");
+    }
+}
+
+/// `--ghost-period` is accepted on the sharded scenarios, and physics
+/// is bit-identical at any value: an amortized sharded quickstart must
+/// still byte-match the committed (unsharded, every-step) golden.
+#[test]
+fn ghost_period_is_accepted_and_does_not_change_quickstart_bytes() {
+    let out = cli()
+        .args([
+            "run",
+            "quickstart",
+            "--engine",
+            "wse",
+            "--shards",
+            "2",
+            "--ghost-period",
+            "4",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let golden_path = format!(
+        "{}/tests/golden/quickstart-wse.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read(&golden_path).expect("read committed golden");
+    assert!(
+        out.stdout == golden,
+        "amortized sharded quickstart diverged from the golden:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// `auto` resolves to a concrete period and the multi-wafer report
+/// prints the resolution; an explicit period is echoed as given; and
+/// the physics lines agree across periods.
+#[test]
+fn ghost_period_auto_resolves_and_is_printed_in_the_report() {
+    let run = |period: &str| {
+        let out = cli()
+            .args([
+                "run",
+                "multi-wafer",
+                "--steps",
+                "20",
+                "--ghost-period",
+                period,
+            ])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "status: {:?}", out.status);
+        String::from_utf8(out.stdout).expect("utf-8")
+    };
+    let auto = run("auto");
+    let line = auto
+        .lines()
+        .find(|l| l.starts_with("ghost period: auto -> "))
+        .unwrap_or_else(|| panic!("no resolved auto line in:\n{auto}"));
+    let resolved: usize = line["ghost period: auto -> ".len()..]
+        .split_whitespace()
+        .next()
+        .expect("resolved value")
+        .parse()
+        .expect("auto resolves to an integer period");
+    assert!((1..=8).contains(&resolved), "resolved {resolved}");
+
+    let fixed = run("2");
+    assert!(fixed.contains("ghost period: 2 "), "report: {fixed}");
+    // Physics is schedule-invariant: the observables line matches.
+    let physics = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("after "))
+            .map(str::to_owned)
+            .expect("observables line")
+    };
+    assert_eq!(physics(&auto), physics(&fixed));
+}
+
 #[test]
 fn unknown_flag_is_rejected() {
     let out = cli()
@@ -227,5 +327,5 @@ fn multi_wafer_matches_committed_golden_output() {
         String::from_utf8_lossy(&golden)
     );
     assert!(String::from_utf8_lossy(&out.stdout)
-        .contains("bit-identity across shard counts: confirmed"));
+        .contains("bit-identity across shard counts and ghost periods: confirmed"));
 }

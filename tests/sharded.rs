@@ -1,9 +1,10 @@
 //! Sharded multi-wafer execution vs the single-engine run: positions,
 //! velocities, forces, and energies must be **bit-identical** (`to_bits`,
-//! not merely close) for any shard count, on both backends. This is the
-//! executable form of the ghost-region determinism guarantee:
-//! halos two cutoffs wide + canonical neighbor enumeration + atom-id-order
-//! merge folds mean a spatial decomposition can never change physics.
+//! not merely close) for any shard count *and any ghost-exchange
+//! period*, on both backends. This is the executable form of the
+//! ghost-region determinism guarantee: period-scaled halos + canonical
+//! neighbor enumeration + atom-id-order merge folds mean neither the
+//! spatial decomposition nor the exchange schedule can change physics.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,7 +15,7 @@ use wafer_md::md::materials::{Material, Species};
 use wafer_md::md::system::System;
 use wafer_md::md::thermostat;
 use wafer_md::md::vec3::V3d;
-use wafer_md::shard::ShardedEngine;
+use wafer_md::shard::{auto_ghost_period, GhostPeriod, ShardedEngine, AUTO_PERIOD_CAP};
 use wafer_md::wse::{WseMdConfig, WseMdSim};
 
 fn slab(species: Species, nx: usize, nz: usize) -> (SlabSpec, Vec<V3d>) {
@@ -77,6 +78,7 @@ fn baseline_single(species: Species, spec: SlabSpec, velocities: &[V3d]) -> Base
     BaselineEngine::new(system, 2e-3)
 }
 
+#[allow(clippy::too_many_arguments)] // a test matrix axis per argument
 fn run_pair(
     species: Species,
     nx: usize,
@@ -85,13 +87,16 @@ fn run_pair(
     steps: usize,
     shards: usize,
     wse: bool,
+    ghost_period: GhostPeriod,
 ) -> (Bits, Bits) {
     let (spec, positions) = slab(species, nx, 2);
     let velocities = mb_velocities(species, positions.len(), temperature, seed);
+    let period = ghost_period.resolve(&velocities, 2e-3);
     if wse {
         let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
         let mut single = WseMdSim::new(species, &positions, &velocities, config.clone());
-        let mut sharded = ShardedEngine::wse(species, positions, velocities, config, shards);
+        let mut sharded =
+            ShardedEngine::wse(species, positions, velocities, config, shards, period);
         assert!(sharded.shard_count() > 1, "decomposition degenerated");
         for _ in 0..steps {
             single.step();
@@ -103,7 +108,7 @@ fn run_pair(
         let bbox = system.bbox;
         let mut single = baseline_single(species, spec, &velocities);
         let mut sharded =
-            ShardedEngine::baseline(species, positions, velocities, bbox, 2e-3, shards);
+            ShardedEngine::baseline(species, positions, velocities, bbox, 2e-3, shards, period);
         assert!(sharded.shard_count() > 1, "decomposition degenerated");
         for _ in 0..steps {
             single.step();
@@ -114,20 +119,29 @@ fn run_pair(
 }
 
 #[test]
-fn quickstart_scale_slab_is_bit_identical_across_shard_counts() {
+fn quickstart_scale_slab_is_bit_identical_across_shard_counts_and_periods() {
     for wse in [false, true] {
         let mut merged = Vec::new();
-        for shards in [2usize, 3, 4] {
-            let (single, sharded) = run_pair(Species::Ta, 10, 290.0, 2024, 5, shards, wse);
+        for (shards, period) in [(2usize, 1usize), (3, 2), (4, 4)] {
+            let (single, sharded) = run_pair(
+                Species::Ta,
+                10,
+                290.0,
+                2024,
+                5,
+                shards,
+                wse,
+                GhostPeriod::Every(period),
+            );
             assert_eq!(
                 single, sharded,
-                "wse={wse} shards={shards}: sharded run diverged from single engine"
+                "wse={wse} shards={shards} period={period}: sharded run diverged"
             );
             merged.push(sharded);
         }
         assert!(
             merged.windows(2).all(|w| w[0] == w[1]),
-            "wse={wse}: shard counts disagree among themselves"
+            "wse={wse}: shard counts / ghost periods disagree among themselves"
         );
     }
 }
@@ -137,7 +151,16 @@ fn hot_baseline_run_survives_dynamic_resharding() {
     // 1400 K for 25 steps: atoms drift across halo boundaries, so ghost
     // membership changes and shards rebuild mid-run — the merge must
     // stay bit-exact through every rebuild.
-    let (single, sharded) = run_pair(Species::Cu, 6, 1400.0, 7, 25, 3, false);
+    let (single, sharded) = run_pair(
+        Species::Cu,
+        6,
+        1400.0,
+        7,
+        25,
+        3,
+        false,
+        GhostPeriod::Every(1),
+    );
     assert_eq!(single, sharded);
 }
 
@@ -150,7 +173,7 @@ fn wse_candidate_counters_match_globally() {
     let velocities = mb_velocities(Species::W, positions.len(), 200.0, 11);
     let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
     let mut single = WseMdSim::new(Species::W, &positions, &velocities, config.clone());
-    let mut sharded = ShardedEngine::wse(Species::W, positions, velocities, config, 4);
+    let mut sharded = ShardedEngine::wse(Species::W, positions, velocities, config, 4, 1);
     for _ in 0..3 {
         single.step();
         Engine::step(&mut sharded);
@@ -166,10 +189,11 @@ mod proptest_sharding {
     use proptest::prelude::*;
 
     proptest! {
-        // Random slab workloads on both backends at random shard counts;
-        // a handful of cases exercises uneven decompositions, both
-        // species' cutoffs, and hot/cold dynamics.
-        #![proptest_config(ProptestConfig::with_cases(6))]
+        // Random slab workloads on both backends at random shard counts
+        // and ghost-exchange periods; a handful of cases exercises
+        // uneven decompositions, both species' cutoffs, hot/cold
+        // dynamics, and amortized exchange schedules (including auto).
+        #![proptest_config(ProptestConfig::with_cases(8))]
 
         #[test]
         fn sharded_equals_single_engine_bitwise(
@@ -179,21 +203,282 @@ mod proptest_sharding {
             temperature in 50.0f64..600.0,
             shards in 2usize..5,
             wse_idx in 0usize..2,
+            period_idx in 0usize..4,
         ) {
             let wse = wse_idx == 1;
             let species = [Species::Ta, Species::Cu, Species::W][species_idx];
+            let ghost_period = [
+                GhostPeriod::Every(1),
+                GhostPeriod::Every(2),
+                GhostPeriod::Every(4),
+                GhostPeriod::Auto,
+            ][period_idx];
             let (single, sharded) =
-                run_pair(species, nx, temperature, seed, 3, shards, wse);
+                run_pair(species, nx, temperature, seed, 3, shards, wse, ghost_period);
             prop_assert_eq!(
                 single,
                 sharded,
-                "species {:?}, nx {}, seed {}, shards {}, wse {}",
+                "species {:?}, nx {}, seed {}, shards {}, wse {}, period {:?}",
                 species,
                 nx,
                 seed,
                 shards,
-                wse
+                wse,
+                ghost_period
             );
         }
     }
+}
+
+/// Partial-halo erosion: elongated slabs where the period-k halo covers
+/// a strict subset of the box, so ghosts near the outer edge genuinely
+/// erode between exchanges and only the `k·(2·cutoff + skin)` width
+/// keeps owned forces exact. (Small boxes degenerate to full
+/// replication, which would leave the halo math untested.)
+#[test]
+fn partial_halo_baseline_stays_exact_over_amortized_periods() {
+    let species = Species::Ta;
+    let material = Material::new(species);
+    for (nx, period, shards, steps) in [(30usize, 2usize, 2usize, 10usize), (40, 3, 2, 9)] {
+        let spec = SlabSpec {
+            crystal: material.crystal,
+            lattice_a: material.lattice_a,
+            nx,
+            ny: 4,
+            nz: 2,
+        };
+        let positions = spec.generate();
+        let velocities = mb_velocities(species, positions.len(), 290.0, 5);
+        let bbox = System::from_slab(species, spec).bbox;
+        let mut single = baseline_single(species, spec, &velocities);
+        let mut sharded = ShardedEngine::baseline(
+            species,
+            positions.clone(),
+            velocities,
+            bbox,
+            2e-3,
+            shards,
+            period,
+        );
+        // The halo must be partial, or this test proves nothing.
+        let hosted: usize =
+            sharded.owned_per_shard().iter().sum::<usize>() + sharded.ghost_copies();
+        assert!(
+            hosted < shards * positions.len(),
+            "nx={nx} period={period}: halo degenerated to full replication"
+        );
+        for _ in 0..steps {
+            single.step();
+            Engine::step(&mut sharded);
+        }
+        assert_eq!(
+            bits_of(&single),
+            bits_of(&sharded),
+            "nx={nx} period={period}: eroded ghosts leaked into owned forces"
+        );
+        // Cold-ish run: the schedule must have been purely periodic.
+        assert_eq!(sharded.early_exchanges(), 0);
+        assert_eq!(sharded.exchanges(), (steps / period) as u64);
+    }
+}
+
+/// Same erosion coverage for the wafer backend: a fabric wide enough
+/// that the period-k column strip is a strict subset, so ghost cores at
+/// the strip edge erode between exchanges.
+#[test]
+fn partial_strip_wse_stays_exact_over_amortized_periods() {
+    let species = Species::Ta;
+    let (_, positions) = slab(species, 14, 2);
+    let velocities = mb_velocities(species, positions.len(), 200.0, 3);
+    // Prescribe the neighborhood radius (it still covers every
+    // interaction at this scale) so the period-2 strip of 2·period·bx
+    // columns fits strictly inside the fabric; the same override goes
+    // to the single engine, so both run identical candidate geometry.
+    let mut config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+    config.b_override = Some((3, 3));
+    let mut single = WseMdSim::new(species, &positions, &velocities, config.clone());
+    let n = positions.len();
+    let mut sharded = ShardedEngine::wse(species, positions, velocities, config, 2, 2);
+    let hosted: usize = sharded.owned_per_shard().iter().sum::<usize>() + sharded.ghost_copies();
+    assert!(
+        hosted < 2 * n,
+        "strip degenerated to full replication (hosted {hosted} of {n} x2)"
+    );
+    for _ in 0..6 {
+        single.step();
+        Engine::step(&mut sharded);
+    }
+    assert_eq!(bits_of(&single), bits_of(&sharded));
+    assert_eq!(sharded.exchanges(), 3);
+}
+
+/// The adversarial schedule: hot thermostatted atoms violate the
+/// half-skin criterion long before a (deliberately huge) period
+/// expires. The early exchange must fire — visible in the per-shard
+/// exchange counters — and it must fire *before* any stale-ghost force
+/// error, which the bitwise comparison against the single engine
+/// proves. A mid-run rescale thermostat (driven through the trait, as
+/// `Scenario::advance` drives it) keeps the atoms hot and exercises
+/// `set_velocities` mid-period under amortization.
+#[test]
+fn skin_violation_forces_early_exchange_before_stale_forces() {
+    let species = Species::Cu;
+    let (spec, positions) = slab(species, 6, 2);
+    // ~2200 K: the fastest atoms cover half the 1 Å skin in well under
+    // 40 steps.
+    let velocities = mb_velocities(species, positions.len(), 2200.0, 13);
+    let system = System::from_slab(species, spec);
+    let bbox = system.bbox;
+    let material = Material::new(species);
+    let mut single = baseline_single(species, spec, &velocities);
+    let period = 1000;
+    let mut sharded =
+        ShardedEngine::baseline(species, positions, velocities, bbox, 2e-3, 3, period);
+    for step in 0..40 {
+        if step == 20 {
+            // Thermostat kick on both engines: rescale back to 2200 K.
+            for engine in [&mut single as &mut dyn Engine, &mut sharded] {
+                let mut v = engine.velocities();
+                thermostat::rescale_to_temperature(&mut v, material.mass, 2200.0);
+                engine.set_velocities(&v);
+            }
+        }
+        single.step();
+        Engine::step(&mut sharded);
+    }
+    assert_eq!(
+        bits_of(&single),
+        bits_of(&sharded),
+        "stale ghosts corrupted forces despite the skin-validity check"
+    );
+    assert!(
+        sharded.early_exchanges() >= 1,
+        "hot run never tripped the skin-validity check"
+    );
+    assert_eq!(
+        sharded.periodic_exchanges(),
+        0,
+        "period {period} cannot expire in 40 steps"
+    );
+    // The per-shard counters advance in lockstep and meter exactly the
+    // scheduler's exchanges.
+    let counts = sharded.exchange_counts();
+    assert_eq!(counts.len(), sharded.shard_count());
+    assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(
+        counts[0],
+        sharded.early_exchanges() + sharded.periodic_exchanges()
+    );
+    assert!(sharded.measured_amortization() < period as f64);
+}
+
+/// The Table VI k-column executed: a real amortized run's measured
+/// exchange count, fed through `GhostMeasurement`, must reproduce the
+/// period model's own projection (exactly, when the schedule was purely
+/// periodic and the step budget is a multiple of the period — the
+/// documented reconciliation contract).
+#[test]
+fn measured_exchange_count_executes_the_table6_projection() {
+    use wafer_md::model::multiwafer::{measured_amortization, GhostMeasurement};
+
+    let species = Species::Ta;
+    let material = Material::new(species);
+    let (_, positions) = slab(species, 10, 2);
+    // 50 K: drift over a 4-step period is far under half the skin.
+    let velocities = mb_velocities(species, positions.len(), 50.0, 21);
+    let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+    let n = positions.len();
+    let period = 4usize;
+    let steps = 24usize;
+    let mut sharded = ShardedEngine::wse(species, positions, velocities, config, 2, period);
+    let interior = n as f64 / sharded.shard_count() as f64;
+    let ghosts = sharded.ghost_copies() as f64 / sharded.shard_count() as f64;
+    let strip = sharded.ghost_strip_angstroms().expect("wafer strip");
+    Engine::run(&mut sharded, steps);
+
+    // Purely periodic schedule: the measured count is the model's
+    // floor(steps / k), so the measured amortization is exactly k.
+    assert_eq!(sharded.early_exchanges(), 0);
+    assert_eq!(sharded.exchanges(), (steps / period) as u64);
+    let measured_k = measured_amortization(steps as u64, sharded.exchanges());
+    assert_eq!(measured_k, period as f64);
+    assert_eq!(measured_k, sharded.measured_amortization());
+
+    let rate = sharded
+        .observables()
+        .modeled_rate
+        .expect("wafer cost model");
+    let m = GhostMeasurement {
+        n_interior: interior,
+        n_ghost: ghosts,
+        single_wafer_rate: rate,
+        lambda: strip / material.lattice_a,
+        rcut_over_rlattice: material.cutoff / material.lattice_a,
+    };
+    // The provisioned strip supports at least the period we ran.
+    assert!(m.k_max() >= period as f64);
+    let reconciled = m.reconcile(steps as u64, sharded.exchanges());
+    let projected = m.project(period as f64);
+    assert_eq!(reconciled.rate.to_bits(), projected.rate.to_bits());
+    // Amortization pays: the executed k beats an every-step exchange.
+    assert!(reconciled.rate > m.project(1.0).rate);
+}
+
+/// Both backends' halo drift tracking reports real displacement: zero
+/// at the reference, growing as atoms move, zero again after a new
+/// reference — and the limits are the documented ones ((skin/2)² for
+/// the reference engine, unbounded for the geometric wafer mapping).
+#[test]
+fn halo_drift_tracking_reports_real_displacement() {
+    use wafer_md::md::engine::HaloEngine;
+
+    let species = Species::Ta;
+    let (spec, positions) = slab(species, 4, 2);
+    let velocities = mb_velocities(species, positions.len(), 600.0, 17);
+
+    let mut baseline = baseline_single(species, spec, &velocities);
+    assert_eq!(baseline.halo_drift_limit_sq(), 0.25); // (1 Å skin / 2)²
+    assert_eq!(baseline.halo_drift_sq(), 0.0);
+    baseline.run(5);
+    let drifted = baseline.halo_drift_sq();
+    assert!(drifted > 0.0, "hot atoms must register drift");
+    baseline.run(5);
+    assert!(baseline.halo_drift_sq() > drifted, "drift accumulates");
+    baseline.mark_halo_reference();
+    assert_eq!(baseline.halo_drift_sq(), 0.0);
+
+    let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
+    let mut wse = WseMdSim::new(species, &positions, &velocities, config);
+    assert!(wse.halo_drift_limit_sq().is_infinite());
+    assert_eq!(wse.halo_drift_sq(), 0.0);
+    wse.run(5);
+    assert!(wse.halo_drift_sq() > 0.0, "hot atoms must register drift");
+    wse.mark_halo_reference();
+    assert_eq!(wse.halo_drift_sq(), 0.0);
+}
+
+/// `auto` resolves from the workload alone — identically at any shard
+/// count — and stays within its documented clamp.
+#[test]
+fn auto_ghost_period_is_workload_determined() {
+    let (_, positions) = slab(Species::Ta, 6, 2);
+    let hot = mb_velocities(Species::Ta, positions.len(), 1200.0, 9);
+    let cold = vec![V3d::zero(); positions.len()];
+    let k_hot = auto_ghost_period(&hot, 2e-3);
+    let k_cold = auto_ghost_period(&cold, 2e-3);
+    assert!((1..=AUTO_PERIOD_CAP).contains(&k_hot));
+    assert_eq!(
+        k_cold, AUTO_PERIOD_CAP,
+        "frozen workloads are drift-unlimited"
+    );
+    // Faster atoms can only shorten the period.
+    let hotter = mb_velocities(Species::Ta, positions.len(), 20_000.0, 9);
+    assert!(auto_ghost_period(&hotter, 2e-3) <= k_hot);
+    // The resolved value survives the GhostPeriod seam unchanged.
+    assert_eq!(GhostPeriod::Auto.resolve(&hot, 2e-3), k_hot);
+    assert_eq!(GhostPeriod::Every(3).resolve(&hot, 2e-3), 3);
+    assert_eq!(GhostPeriod::parse("auto"), Some(GhostPeriod::Auto));
+    assert_eq!(GhostPeriod::parse("4"), Some(GhostPeriod::Every(4)));
+    assert_eq!(GhostPeriod::parse("0"), None);
+    assert_eq!(GhostPeriod::parse("banana"), None);
 }
