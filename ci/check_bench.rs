@@ -13,6 +13,14 @@
 //! gated, since absolute nanoseconds shift with the runner while
 //! throughput entries are tracked at a pinned `WAFER_MD_THREADS`.
 //!
+//! On top of the relative gate, the hot-kernel entries in [`FLOORS`]
+//! are held to **absolute `elements_per_sec` floors**: a relative gate
+//! alone would let throughput ratchet down 25% per refresh, while the
+//! floors pin the order of magnitude the SoA/f64x4 kernels are sized
+//! for. Floors sit ~3× under locally measured rates so runner-fleet
+//! variance doesn't trip them; a floor violation means the vectorized
+//! path stopped being vectorized, not that the runner was slow.
+//!
 //! A markdown comparison table is written to `--report` (default
 //! `BENCH_compare.md`) so CI can upload it as an artifact.
 //!
@@ -23,6 +31,19 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::exit;
+
+/// Absolute throughput floors (name, min elements_per_sec) for the
+/// kernels the SoA/f64x4 rewrite targets. Every listed entry must be
+/// present in the fresh run and at or above its floor.
+const FLOORS: &[(&str, f64)] = &[
+    ("spline_eval/phi_f64_ring", 40.0e6),
+    ("spline_eval/phi_f64x4_ring", 60.0e6),
+    ("force_loop/baseline_eval", 600.0e3),
+    ("baseline_step/Ta", 600.0e3),
+    ("baseline_step/Cu", 250.0e3),
+    ("sharded_step/k1", 300.0e3),
+    ("sharded_step/k4", 300.0e3),
+];
 
 #[derive(Clone, Debug, Default)]
 struct Entry {
@@ -189,6 +210,32 @@ fn main() {
     }
     for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
         let _ = writeln!(report, "| {name} | — | — | — | — | new entry |");
+    }
+
+    let _ = writeln!(report, "\n## Absolute floors\n");
+    let _ = writeln!(report, "| bench | floor elem/s | fresh elem/s | status |");
+    let _ = writeln!(report, "|---|---|---|---|");
+    for &(name, floor) in FLOORS {
+        match fresh.get(name).and_then(|e| e.elements_per_sec) {
+            Some(rate) if rate >= floor => {
+                let _ = writeln!(report, "| {name} | {floor:.0} | {rate:.0} | ok |");
+            }
+            Some(rate) => {
+                regressions.push(format!(
+                    "{name}: {rate:.0} elements/sec is below the absolute floor {floor:.0}"
+                ));
+                let _ = writeln!(
+                    report,
+                    "| {name} | {floor:.0} | {rate:.0} | **BELOW FLOOR** |"
+                );
+            }
+            None => {
+                regressions.push(format!(
+                    "{name}: floored entry missing from fresh run (floor {floor:.0})"
+                ));
+                let _ = writeln!(report, "| {name} | {floor:.0} | — | **MISSING** |");
+            }
+        }
     }
 
     if let Err(e) = std::fs::write(&report_path, &report) {

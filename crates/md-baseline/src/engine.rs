@@ -1,5 +1,6 @@
 //! LAMMPS-style reference EAM engine: f64, cell-binned Verlet lists with
-//! skin-based reuse, rayon-parallel force evaluation.
+//! skin-based reuse, rayon-parallel force evaluation over
+//! structure-of-arrays columns.
 //!
 //! This is the production-code baseline the paper compares against
 //! (Sec. IV-B): it reuses neighbor lists across timesteps (the very
@@ -7,19 +8,36 @@
 //! precision, and serves as the correctness oracle for the wafer engine.
 //!
 //! The force/energy passes run on rayon's worker pool (sized by
-//! `WAFER_MD_THREADS`). Per-atom results are `collect`ed in atom order
-//! and the scalar energy accumulation is a sequential in-order fold
-//! over per-atom terms, so trajectories are bit-identical at any thread
-//! count — and, because the per-atom terms are pure functions of each
-//! atom's neighborhood enumerated in canonical (ascending-index) order,
-//! across spatial shard decompositions too (the `HaloEngine` contract;
-//! see `wafer_md::shard`). Audit note for the chunked executor: the
-//! workspace no longer has any two-argument `reduce` call sites — both
-//! engines assemble statistics through sequential atom-id-order folds.
+//! `WAFER_MD_THREADS`). Per-atom results are written to per-atom slots
+//! in atom order and the scalar energy accumulation is a sequential
+//! in-order fold over per-atom terms, so trajectories are bit-identical
+//! at any thread count — and, because the per-atom terms are pure
+//! functions of each atom's neighborhood enumerated in canonical
+//! (ascending-index) order, across spatial shard decompositions too
+//! (the `HaloEngine` contract; see `wafer_md::shard`). Audit note for
+//! the chunked executor: the workspace no longer has any two-argument
+//! `reduce` call sites — both engines assemble statistics through
+//! sequential atom-id-order folds.
+//!
+//! # Vectorized inner loops, fixed reduction tree
+//!
+//! The hot spline evaluations run four neighbors at a time
+//! ([`md_core::spline::Spline::eval4`] / `eval_both4`): each atom's
+//! passing neighbors are buffered in list order into `[f64; 4]` lanes,
+//! evaluated as a batch, and folded into the per-atom accumulator lane
+//! 0, 1, 2, 3 — exactly the order the scalar loop would have added
+//! them. Per-lane spline math is the scalar expression verbatim, so
+//! every accumulator sees the identical addend sequence and the result
+//! is bit-identical to the scalar path at every lane tail (n % 4),
+//! thread count, shard count, and ghost period.
+//! [`BaselineEngine::compute_forces_scalar`] keeps the scalar loops
+//! compiled as the test oracle for that claim.
 
 use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 use md_core::integrate;
 use md_core::neighbor::VerletList;
+use md_core::soa::AtomsView;
+use md_core::spline::LANES;
 use md_core::system::System;
 use md_core::vec3::{V3d, Vec3};
 use rayon::prelude::*;
@@ -34,14 +52,26 @@ pub struct BaselineEngine {
     pub step_count: u64,
     /// Potential energy after the last force evaluation (eV).
     pub potential_energy: f64,
-    forces: Vec<V3d>,
     /// Per-atom potential-energy terms (pair half-sum + embedding) from
     /// the last force evaluation; `potential_energy` is their in-order
     /// fold (the canonical per-atom accounting of the halo contract).
     per_atom_pot: Vec<f64>,
+    /// Per-atom squared speeds, refreshed at every velocity change so
+    /// the halo gather path can borrow instead of allocating.
+    v2: Vec<f64>,
+    /// Scratch columns for the density pass (host density, pair energy).
+    scratch_rho: Vec<f64>,
+    scratch_pair: Vec<f64>,
+    /// Embedding derivative F'(ρ_i) per atom from the last evaluation.
+    fprime: Vec<f64>,
     /// Positions at the last halo reference (ghost exchange), for the
-    /// skin-validity drift check of the halo contract.
-    halo_ref: Vec<V3d>,
+    /// skin-validity drift check of the halo contract. SoA columns
+    /// mirroring the particle store, so the per-step drift scan is a
+    /// branch-free column sweep and re-marking copies slices instead of
+    /// allocating.
+    halo_ref_x: Vec<f64>,
+    halo_ref_y: Vec<f64>,
+    halo_ref_z: Vec<f64>,
 }
 
 impl BaselineEngine {
@@ -51,42 +81,165 @@ impl BaselineEngine {
     pub fn new(system: System, dt: f64) -> Self {
         let cutoff = system.potential.cutoff;
         let n = system.len();
-        let halo_ref = system.positions.clone();
+        let halo_ref_x = system.atoms.x.clone();
+        let halo_ref_y = system.atoms.y.clone();
+        let halo_ref_z = system.atoms.z.clone();
         let mut e = Self {
             system,
             vlist: VerletList::new(cutoff, Self::DEFAULT_SKIN),
             dt,
             step_count: 0,
             potential_energy: 0.0,
-            forces: vec![V3d::zero(); n],
             per_atom_pot: vec![0.0; n],
-            halo_ref,
+            v2: vec![0.0; n],
+            scratch_rho: vec![0.0; n],
+            scratch_pair: vec![0.0; n],
+            fprime: vec![0.0; n],
+            halo_ref_x,
+            halo_ref_y,
+            halo_ref_z,
         };
-        e.vlist.rebuild(&e.system.positions, &e.system.bbox);
+        e.vlist.rebuild(&e.system.positions(), &e.system.bbox);
         e.compute_forces();
+        e.refresh_v2();
         e
     }
 
     /// Evaluate EAM forces and potential energy with the current lists.
-    /// Two rayon passes: densities, then forces (paper Eq. 4 layout).
+    /// Two rayon passes over the SoA columns: densities, then forces
+    /// (paper Eq. 4 layout), each with the f64x4 lane batching described
+    /// in the module docs.
     pub fn compute_forces(&mut self) {
         let pot = &self.system.potential;
         let bbox = self.system.bbox;
-        let pos = &self.system.positions;
         let lists = &self.vlist.neighbors;
         let rc2 = pot.cutoff * pot.cutoff;
+        let atoms = &mut self.system.atoms;
+        let (x, y, z) = (&atoms.x, &atoms.y, &atoms.z);
+        let n = x.len();
+        let at = |i: usize| V3d::new(x[i], y[i], z[i]);
 
-        // Pass 1: densities and pair energy (half-counted per atom).
-        let per_atom: Vec<(f64, f64)> = (0..pos.len())
+        // Pass 1: densities and pair energy (half-counted per atom),
+        // four passing neighbors per spline batch.
+        self.scratch_rho.resize(n, 0.0);
+        self.scratch_pair.resize(n, 0.0);
+        (&mut self.scratch_rho[..], &mut self.scratch_pair[..])
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, (rho_out, pair_out))| {
+                let mut rho = 0.0;
+                let mut pair = 0.0;
+                let mut rbuf = [0.0f64; LANES];
+                let mut lanes = 0;
+                for &j in &lists[i] {
+                    let d = bbox.displacement(at(i), at(j));
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 || r2 == 0.0 {
+                        continue; // in the skin, not in the cutoff
+                    }
+                    rbuf[lanes] = r2.sqrt();
+                    lanes += 1;
+                    if lanes == LANES {
+                        let rho4 = pot.rho.eval4(rbuf);
+                        let phi4 = pot.phi.eval4(rbuf);
+                        for l in 0..LANES {
+                            rho += rho4[l];
+                            pair += 0.5 * phi4[l];
+                        }
+                        lanes = 0;
+                    }
+                }
+                for &r in &rbuf[..lanes] {
+                    rho += pot.rho.eval(r);
+                    pair += 0.5 * pot.phi.eval(r);
+                }
+                *rho_out = rho;
+                *pair_out = pair;
+            });
+
+        // Embedding: a sequential atom-id-order fold (the canonical
+        // accounting every sharded gather reproduces).
+        let mut energy = 0.0;
+        self.per_atom_pot.resize(n, 0.0);
+        self.fprime.resize(n, 0.0);
+        for i in 0..n {
+            let (f, fp) = pot.embed.eval_both(self.scratch_rho[i]);
+            let e = self.scratch_pair[i] + f;
+            energy += e;
+            self.per_atom_pot[i] = e;
+            self.fprime[i] = fp;
+        }
+
+        // Pass 2: forces, written straight into the force columns.
+        let fprime = &self.fprime;
+        (&mut atoms.fx[..], &mut atoms.fy[..], &mut atoms.fz[..])
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, (fx, fy, fz))| {
+                let mut acc = Vec3::zero();
+                let fpi = fprime[i];
+                let mut rbuf = [0.0f64; LANES];
+                let mut dbuf = [V3d::zero(); LANES];
+                let mut fpj = [0.0f64; LANES];
+                let mut lanes = 0;
+                for &j in &lists[i] {
+                    let d = bbox.displacement(at(i), at(j));
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 || r2 == 0.0 {
+                        continue;
+                    }
+                    rbuf[lanes] = r2.sqrt();
+                    dbuf[lanes] = d;
+                    fpj[lanes] = fprime[j];
+                    lanes += 1;
+                    if lanes == LANES {
+                        let (_, dphi4) = pot.phi.eval_both4(rbuf);
+                        let (_, drho4) = pot.rho.eval_both4(rbuf);
+                        for l in 0..LANES {
+                            let scalar = (fpi + fpj[l]) * drho4[l] + dphi4[l];
+                            acc += dbuf[l].scale(scalar / rbuf[l]);
+                        }
+                        lanes = 0;
+                    }
+                }
+                for l in 0..lanes {
+                    let r = rbuf[l];
+                    let dphi = pot.phi.eval_deriv(r);
+                    let drho = pot.rho.eval_deriv(r);
+                    let scalar = (fpi + fpj[l]) * drho + dphi;
+                    acc += dbuf[l].scale(scalar / r);
+                }
+                *fx = acc.x;
+                *fy = acc.y;
+                *fz = acc.z;
+            });
+        self.potential_energy = energy;
+    }
+
+    /// The pre-vectorization scalar force loops, kept compiled as the
+    /// bitwise test oracle for the f64x4 path. Returns
+    /// `(potential_energy, per_atom_pot, forces)` computed from the
+    /// current positions and neighbor lists without touching engine
+    /// state.
+    pub fn compute_forces_scalar(&self) -> (f64, Vec<f64>, Vec<V3d>) {
+        let pot = &self.system.potential;
+        let bbox = self.system.bbox;
+        let lists = &self.vlist.neighbors;
+        let rc2 = pot.cutoff * pot.cutoff;
+        let atoms = &self.system.atoms;
+        let n = atoms.len();
+        let at = |i: usize| atoms.position(i);
+
+        let per_atom: Vec<(f64, f64)> = (0..n)
             .into_par_iter()
             .map(|i| {
                 let mut rho = 0.0;
                 let mut pair = 0.0;
                 for &j in &lists[i] {
-                    let d = bbox.displacement(pos[i], pos[j]);
+                    let d = bbox.displacement(at(i), at(j));
                     let r2 = d.norm_sq();
                     if r2 >= rc2 || r2 == 0.0 {
-                        continue; // in the skin, not in the cutoff
+                        continue;
                     }
                     let r = r2.sqrt();
                     rho += pot.rho.eval(r);
@@ -96,25 +249,24 @@ impl BaselineEngine {
             })
             .collect();
 
-        let mut fprime = vec![0.0f64; pos.len()];
+        let mut fprime = vec![0.0f64; n];
         let mut energy = 0.0;
-        self.per_atom_pot.resize(pos.len(), 0.0);
+        let mut per_atom_pot = vec![0.0f64; n];
         for (i, (rho, pair)) in per_atom.iter().enumerate() {
             let (f, fp) = pot.embed.eval_both(*rho);
             let e = pair + f;
             energy += e;
-            self.per_atom_pot[i] = e;
+            per_atom_pot[i] = e;
             fprime[i] = fp;
         }
 
-        // Pass 2: forces.
         let fprime = &fprime;
-        self.forces = (0..pos.len())
+        let forces: Vec<V3d> = (0..n)
             .into_par_iter()
             .map(|i| {
                 let mut acc = Vec3::zero();
                 for &j in &lists[i] {
-                    let d = bbox.displacement(pos[i], pos[j]);
+                    let d = bbox.displacement(at(i), at(j));
                     let r2 = d.norm_sq();
                     if r2 >= rc2 || r2 == 0.0 {
                         continue;
@@ -128,7 +280,7 @@ impl BaselineEngine {
                 acc
             })
             .collect();
-        self.potential_energy = energy;
+        (energy, per_atom_pot, forces)
     }
 
     /// Advance one timestep (list update → kick/drift → new forces).
@@ -143,29 +295,40 @@ impl BaselineEngine {
 
     /// Kick/drift with the stored forces (the move half of the step).
     fn advance_positions_impl(&mut self) {
-        self.vlist.update(&self.system.positions, &self.system.bbox);
+        self.vlist
+            .update(&self.system.positions(), &self.system.bbox);
         // Forces correspond to current positions (computed at the end of
         // the previous step, or in new()).
-        integrate::leapfrog_step(
-            &mut self.system.positions,
-            &mut self.system.velocities,
-            &self.forces,
-            self.system.material.mass,
-            self.dt,
-        );
+        let mass = self.system.material.mass;
+        integrate::leapfrog_step_soa(&mut self.system.atoms, mass, self.dt);
         if self.system.bbox.periodic.iter().any(|&p| p) {
-            for p in &mut self.system.positions {
-                *p = self.system.bbox.wrap(*p);
+            let bbox = self.system.bbox;
+            let atoms = &mut self.system.atoms;
+            for i in 0..atoms.len() {
+                let p = bbox.wrap(atoms.position(i));
+                atoms.set_position(i, p);
             }
         }
+        self.refresh_v2();
         self.step_count += 1;
     }
 
     /// Neighbor-list update + force evaluation at the current positions
     /// (the force half of the step).
     fn refresh_forces_impl(&mut self) {
-        self.vlist.update(&self.system.positions, &self.system.bbox);
+        self.vlist
+            .update(&self.system.positions(), &self.system.bbox);
         self.compute_forces();
+    }
+
+    /// Recompute the squared-speed cache from the velocity columns, in
+    /// the exact expression of the kinetic-energy sum.
+    fn refresh_v2(&mut self) {
+        let atoms = &self.system.atoms;
+        self.v2.resize(atoms.len(), 0.0);
+        for i in 0..atoms.len() {
+            self.v2[i] = atoms.velocity(i).norm_sq();
+        }
     }
 
     /// Run `n` steps.
@@ -173,10 +336,6 @@ impl BaselineEngine {
         for _ in 0..n {
             self.step();
         }
-    }
-
-    pub fn forces(&self) -> &[V3d] {
-        &self.forces
     }
 
     pub fn total_energy(&self) -> f64 {
@@ -193,21 +352,24 @@ impl BaselineEngine {
     pub fn mean_interactions(&self) -> f64 {
         let pot = &self.system.potential;
         let rc2 = pot.cutoff * pot.cutoff;
-        let pos = &self.system.positions;
-        let total: usize = (0..pos.len())
+        let atoms = &self.system.atoms;
+        let total: usize = (0..atoms.len())
             .into_par_iter()
             .map(|i| {
                 self.vlist.neighbors[i]
                     .iter()
                     .filter(|&&j| {
-                        let d = self.system.bbox.displacement(pos[i], pos[j]);
+                        let d = self
+                            .system
+                            .bbox
+                            .displacement(atoms.position(i), atoms.position(j));
                         let r2 = d.norm_sq();
                         r2 < rc2 && r2 > 0.0
                     })
                     .count()
             })
             .sum();
-        total as f64 / pos.len().max(1) as f64
+        total as f64 / atoms.len().max(1) as f64
     }
 }
 
@@ -224,21 +386,22 @@ impl Engine for BaselineEngine {
         BaselineEngine::step(self);
     }
 
-    fn positions(&self) -> Vec<V3d> {
-        self.system.positions.clone()
+    fn positions_view(&self) -> AtomsView<'_> {
+        self.system.atoms.positions()
     }
 
-    fn velocities(&self) -> Vec<V3d> {
-        self.system.velocities.clone()
+    fn velocities_view(&self) -> AtomsView<'_> {
+        self.system.atoms.velocities()
+    }
+
+    fn forces_view(&self) -> AtomsView<'_> {
+        self.system.atoms.forces()
     }
 
     fn set_velocities(&mut self, velocities: &[V3d]) {
         assert_eq!(velocities.len(), self.system.len());
-        self.system.velocities.copy_from_slice(velocities);
-    }
-
-    fn forces(&self) -> Vec<V3d> {
-        self.forces.clone()
+        self.system.atoms.set_velocities(velocities);
+        self.refresh_v2();
     }
 
     fn observables(&self) -> Observables {
@@ -269,29 +432,33 @@ impl HaloEngine for BaselineEngine {
     }
 
     fn overwrite_atom(&mut self, atom: usize, position: V3d, velocity: V3d) {
-        self.system.positions[atom] = position;
-        self.system.velocities[atom] = velocity;
+        self.system.atoms.set_position(atom, position);
+        self.system.atoms.set_velocity(atom, velocity);
+        self.v2[atom] = velocity.norm_sq();
     }
 
-    fn per_atom_potential_energies(&self) -> Vec<f64> {
-        self.per_atom_pot.clone()
+    fn per_atom_potential_energies(&self) -> &[f64] {
+        &self.per_atom_pot
     }
 
-    fn per_atom_squared_speeds(&self) -> Vec<f64> {
-        self.system.velocities.iter().map(|v| v.norm_sq()).collect()
+    fn per_atom_squared_speeds(&self) -> &[f64] {
+        &self.v2
     }
 
     fn per_atom_counts(&self) -> Vec<(u32, u32)> {
         let pot = &self.system.potential;
         let rc2 = pot.cutoff * pot.cutoff;
-        let pos = &self.system.positions;
-        (0..pos.len())
+        let atoms = &self.system.atoms;
+        (0..atoms.len())
             .into_par_iter()
             .map(|i| {
                 let inter = self.vlist.neighbors[i]
                     .iter()
                     .filter(|&&j| {
-                        let d = self.system.bbox.displacement(pos[i], pos[j]);
+                        let d = self
+                            .system
+                            .bbox
+                            .displacement(atoms.position(i), atoms.position(j));
                         let r2 = d.norm_sq();
                         r2 < rc2 && r2 > 0.0
                     })
@@ -301,7 +468,7 @@ impl HaloEngine for BaselineEngine {
             .collect()
     }
 
-    fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>> {
+    fn per_atom_modeled_cycles(&self) -> Option<&[f64]> {
         None
     }
 
@@ -314,15 +481,36 @@ impl HaloEngine for BaselineEngine {
     }
 
     fn mark_halo_reference(&mut self) {
-        self.halo_ref.clone_from(&self.system.positions);
+        let atoms = &self.system.atoms;
+        self.halo_ref_x.clear();
+        self.halo_ref_x.extend_from_slice(&atoms.x);
+        self.halo_ref_y.clear();
+        self.halo_ref_y.extend_from_slice(&atoms.y);
+        self.halo_ref_z.clear();
+        self.halo_ref_z.extend_from_slice(&atoms.z);
     }
 
     fn halo_drift_sq(&self) -> f64 {
-        self.system
-            .positions
-            .iter()
-            .zip(&self.halo_ref)
-            .map(|(p, r)| self.system.bbox.displacement(*r, *p).norm_sq())
+        let atoms = &self.system.atoms;
+        let bbox = &self.system.bbox;
+        if bbox.periodic == [false; 3] {
+            // Open box: displacement degenerates to a subtraction, so
+            // the scan is a contiguous column sweep (max is
+            // order-independent — no reduction-tree contract needed).
+            let mut m = 0.0f64;
+            for i in 0..atoms.len() {
+                let dx = atoms.x[i] - self.halo_ref_x[i];
+                let dy = atoms.y[i] - self.halo_ref_y[i];
+                let dz = atoms.z[i] - self.halo_ref_z[i];
+                m = m.max(dx * dx + dy * dy + dz * dz);
+            }
+            return m;
+        }
+        (0..atoms.len())
+            .map(|i| {
+                let r = V3d::new(self.halo_ref_x[i], self.halo_ref_y[i], self.halo_ref_z[i]);
+                bbox.displacement(r, atoms.position(i)).norm_sq()
+            })
             .fold(0.0, f64::max)
     }
 }
@@ -338,23 +526,22 @@ pub fn equilibrated_engine(
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
-    system.velocities = md_core::thermostat::maxwell_boltzmann(
+    let velocities = md_core::thermostat::maxwell_boltzmann(
         &mut rng,
         system.len(),
         system.material.mass,
         temperature,
     );
+    system.set_velocities(&velocities);
     let mass = system.material.mass;
     let mut engine = BaselineEngine::new(system, dt);
     for k in 0..warmup_steps {
         engine.step();
         if k % 10 == 0 {
             // Velocity-rescale thermostat during warm-up only.
-            md_core::thermostat::rescale_to_temperature(
-                &mut engine.system.velocities,
-                mass,
-                temperature,
-            );
+            let mut v = engine.system.velocities().to_vec();
+            md_core::thermostat::rescale_to_temperature(&mut v, mass, temperature);
+            Engine::set_velocities(&mut engine, &v);
         }
     }
     engine
@@ -386,18 +573,61 @@ mod tests {
     fn forces_match_bruteforce_oracle() {
         let mut sys = small_system(Species::Cu, 3, 2);
         // Perturb to break symmetry.
-        for (k, p) in sys.positions.iter_mut().enumerate() {
+        for k in 0..sys.len() {
             let s = (k as f64 * 0.7).sin() * 0.05;
-            *p += V3d::new(s, -s, 0.5 * s);
+            let p = sys.atoms.position(k) + V3d::new(s, -s, 0.5 * s);
+            sys.atoms.set_position(k, p);
         }
         let engine = BaselineEngine::new(sys.clone(), 2e-3);
-        let oracle = sys.potential.compute_bruteforce(&sys.positions, open_disp);
+        let oracle = sys
+            .potential
+            .compute_bruteforce(&sys.positions().to_vec(), open_disp);
         assert!((engine.potential_energy - oracle.potential_energy).abs() < 1e-8);
         for i in 0..sys.len() {
             assert!(
-                (engine.forces()[i] - oracle.forces[i]).norm() < 1e-9,
+                (engine.system.atoms.force(i) - oracle.forces[i]).norm() < 1e-9,
                 "atom {i}"
             );
+        }
+    }
+
+    #[test]
+    fn vectorized_forces_are_bit_identical_to_scalar_oracle() {
+        // Cover every lane tail: neighbor counts vary per atom, and the
+        // engine sizes below produce lists with n % 4 ∈ {0,1,2,3}.
+        for (species, nx, nz) in [(Species::Cu, 3, 2), (Species::Ta, 4, 2), (Species::W, 3, 3)] {
+            let sys = small_system(species, nx, nz);
+            let mut engine = equilibrated_engine(sys, 290.0, 2e-3, 5, 11);
+            engine.run(3);
+            let (energy, pot, forces) = engine.compute_forces_scalar();
+            assert_eq!(
+                energy.to_bits(),
+                engine.potential_energy.to_bits(),
+                "{species:?} energy"
+            );
+            for i in 0..engine.system.len() {
+                assert_eq!(
+                    pot[i].to_bits(),
+                    engine.per_atom_pot[i].to_bits(),
+                    "{species:?} atom {i} pot"
+                );
+                let f = engine.system.atoms.force(i);
+                assert_eq!(
+                    forces[i].x.to_bits(),
+                    f.x.to_bits(),
+                    "{species:?} atom {i} fx"
+                );
+                assert_eq!(
+                    forces[i].y.to_bits(),
+                    f.y.to_bits(),
+                    "{species:?} atom {i} fy"
+                );
+                assert_eq!(
+                    forces[i].z.to_bits(),
+                    f.z.to_bits(),
+                    "{species:?} atom {i} fz"
+                );
+            }
         }
     }
 
@@ -446,6 +676,22 @@ mod tests {
         sys.bbox = Box3::periodic(spec.dimensions());
         let engine = BaselineEngine::new(sys, 2e-3);
         assert!((engine.mean_interactions() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn squared_speed_cache_tracks_velocities() {
+        let sys = small_system(Species::Cu, 3, 2);
+        let mut engine = equilibrated_engine(sys, 290.0, 2e-3, 5, 23);
+        engine.run(7);
+        let cached = engine.per_atom_squared_speeds().to_vec();
+        for (i, c) in cached.iter().enumerate() {
+            let expect = engine.system.atoms.velocity(i).norm_sq();
+            assert_eq!(c.to_bits(), expect.to_bits(), "atom {i}");
+        }
+        // The contract: folding the cache reproduces the kinetic energy.
+        let m = engine.system.material.mass;
+        let folded = 0.5 * m * md_core::units::MVV_TO_ENERGY * cached.iter().sum::<f64>();
+        assert_eq!(folded.to_bits(), engine.system.kinetic_energy().to_bits());
     }
 
     #[test]

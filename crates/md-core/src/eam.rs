@@ -18,7 +18,7 @@
 //! same module, so any physics discrepancy between the two paths is a
 //! precision effect, never an algorithm difference.
 
-use crate::spline::Spline;
+use crate::spline::{Spline, LANES};
 use crate::vec3::{Real, Vec3};
 
 /// A single-species EAM potential: density ρ(r), pair term φ(r), and
@@ -76,6 +76,27 @@ impl<T: Real> EamPotential<T> {
     #[inline]
     pub fn embedding(&self, rho: T) -> (T, T) {
         self.embed.eval_both(rho)
+    }
+
+    /// Four pair evaluations at once: [`EamPotential::pair`] applied
+    /// per lane, bit-identical to four scalar calls.
+    #[inline]
+    pub fn pair4(&self, r: [T; LANES]) -> ([T; LANES], [T; LANES]) {
+        self.phi.eval_both4(r)
+    }
+
+    /// Four density evaluations at once: [`EamPotential::density`]
+    /// applied per lane, bit-identical to four scalar calls.
+    #[inline]
+    pub fn density4(&self, r: [T; LANES]) -> ([T; LANES], [T; LANES]) {
+        self.rho.eval_both4(r)
+    }
+
+    /// Four embedding evaluations at once: [`EamPotential::embedding`]
+    /// applied per lane, bit-identical to four scalar calls.
+    #[inline]
+    pub fn embedding4(&self, rho: [T; LANES]) -> ([T; LANES], [T; LANES]) {
+        self.embed.eval_both4(rho)
     }
 
     /// Re-tabulate into another precision (f64 master → f32 tile tables).
@@ -400,6 +421,29 @@ mod tests {
         let out = pot.compute_bruteforce(&cluster(), open_disp);
         let sum: f64 = out.per_atom_energy.iter().sum();
         assert!((sum - out.potential_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_potential_lanes_match_scalar_calls() {
+        let pot = toy();
+        let r = [0.9, 1.7, 2.6, 3.9];
+        let (phi4, dphi4) = pot.pair4(r);
+        let (rho4, drho4) = pot.density4(r);
+        for l in 0..r.len() {
+            let (phi, dphi) = pot.pair(r[l]);
+            let (rho, drho) = pot.density(r[l]);
+            assert_eq!(phi.to_bits(), phi4[l].to_bits(), "phi lane {l}");
+            assert_eq!(dphi.to_bits(), dphi4[l].to_bits(), "dphi lane {l}");
+            assert_eq!(rho.to_bits(), rho4[l].to_bits(), "rho lane {l}");
+            assert_eq!(drho.to_bits(), drho4[l].to_bits(), "drho lane {l}");
+        }
+        let d = [0.5, 4.0, 11.0, 31.5];
+        let (f4, fp4) = pot.embedding4(d);
+        for l in 0..d.len() {
+            let (f, fp) = pot.embedding(d[l]);
+            assert_eq!(f.to_bits(), f4[l].to_bits(), "embed lane {l}");
+            assert_eq!(fp.to_bits(), fp4[l].to_bits(), "embed' lane {l}");
+        }
     }
 
     #[test]

@@ -10,23 +10,30 @@
 //!
 //! The contract is deliberately small: advance time ([`Engine::step`] /
 //! [`Engine::run`]), expose per-atom state in **atom-id order and f64**
-//! regardless of internal layout or precision, and report an
-//! [`Observables`] snapshot. Cost-model quantities (cycles, modeled
-//! timesteps/s) are optional — only engines simulating instrumented
-//! hardware provide them.
+//! as zero-copy structure-of-arrays views ([`AtomsView`]) regardless of
+//! internal layout or precision, and report an [`Observables`] snapshot.
+//! Cost-model quantities (cycles, modeled timesteps/s) are optional —
+//! only engines simulating instrumented hardware provide them.
 //!
 //! # Example
 //!
-//! A toy single-atom engine showing the contract end to end:
+//! A toy engine showing the contract end to end — per-atom state lives
+//! in column vectors and the accessors lend them out without cloning:
 //!
 //! ```
 //! use md_core::engine::{Engine, Observables};
+//! use md_core::soa::AtomsView;
 //! use md_core::vec3::V3d;
 //!
-//! /// A free particle drifting at constant velocity.
+//! /// Free particles drifting at constant velocity, stored as columns.
 //! struct Drift {
-//!     pos: V3d,
-//!     vel: V3d,
+//!     px: Vec<f64>,
+//!     py: Vec<f64>,
+//!     pz: Vec<f64>,
+//!     vx: Vec<f64>,
+//!     vy: Vec<f64>,
+//!     vz: Vec<f64>,
+//!     zeros: Vec<f64>,
 //! }
 //!
 //! impl Engine for Drift {
@@ -34,22 +41,30 @@
 //!         "drift"
 //!     }
 //!     fn n_atoms(&self) -> usize {
-//!         1
+//!         self.px.len()
 //!     }
 //!     fn step(&mut self) {
-//!         self.pos += self.vel;
+//!         for i in 0..self.px.len() {
+//!             self.px[i] += self.vx[i];
+//!             self.py[i] += self.vy[i];
+//!             self.pz[i] += self.vz[i];
+//!         }
 //!     }
-//!     fn positions(&self) -> Vec<V3d> {
-//!         vec![self.pos]
+//!     fn positions_view(&self) -> AtomsView<'_> {
+//!         AtomsView::new(&self.px, &self.py, &self.pz)
 //!     }
-//!     fn velocities(&self) -> Vec<V3d> {
-//!         vec![self.vel]
+//!     fn velocities_view(&self) -> AtomsView<'_> {
+//!         AtomsView::new(&self.vx, &self.vy, &self.vz)
+//!     }
+//!     fn forces_view(&self) -> AtomsView<'_> {
+//!         AtomsView::new(&self.zeros, &self.zeros, &self.zeros)
 //!     }
 //!     fn set_velocities(&mut self, v: &[V3d]) {
-//!         self.vel = v[0];
-//!     }
-//!     fn forces(&self) -> Vec<V3d> {
-//!         vec![V3d::zero()]
+//!         for (i, v) in v.iter().enumerate() {
+//!             self.vx[i] = v.x;
+//!             self.vy[i] = v.y;
+//!             self.vz[i] = v.z;
+//!         }
 //!     }
 //!     fn observables(&self) -> Observables {
 //!         Observables::default()
@@ -59,13 +74,22 @@
 //! // Drivers are written once, against the trait.
 //! fn advance(engine: &mut dyn Engine, steps: usize) -> Vec<V3d> {
 //!     engine.run(steps);
-//!     engine.positions()
+//!     engine.positions_view().to_vec()
 //! }
 //!
-//! let mut e = Drift { pos: V3d::zero(), vel: V3d::new(1.0, 0.0, 0.0) };
+//! let mut e = Drift {
+//!     px: vec![0.0],
+//!     py: vec![0.0],
+//!     pz: vec![0.0],
+//!     vx: vec![1.0],
+//!     vy: vec![0.0],
+//!     vz: vec![0.0],
+//!     zeros: vec![0.0],
+//! };
 //! assert_eq!(advance(&mut e, 3)[0], V3d::new(3.0, 0.0, 0.0));
 //! ```
 
+use crate::soa::AtomsView;
 use crate::units;
 use crate::vec3::V3d;
 
@@ -118,10 +142,11 @@ impl Observables {
 ///
 /// Implemented by `md_baseline::BaselineEngine` (f64 reference) and
 /// `wse_md::WseMdSim` (one atom per core on the simulated wafer).
-/// Per-atom accessors return state in **atom-id order** as f64 vectors,
-/// independent of the backend's internal storage (the wafer engine
-/// stores f32 state per *core* and translates through its atom→core
-/// mapping).
+/// Per-atom accessors lend out state in **atom-id order** as f64
+/// structure-of-arrays views ([`AtomsView`]), independent of the
+/// backend's internal storage (the wafer engine stores f32 state per
+/// *core* and maintains atom-ordered f64 mirror columns behind the
+/// views).
 ///
 /// Determinism: both workspace backends run their hot loops on the
 /// chunk-deterministic worker pool, so for a fixed backend every method
@@ -144,19 +169,42 @@ pub trait Engine {
         }
     }
 
-    /// Positions (Å) in atom-id order.
-    fn positions(&self) -> Vec<V3d>;
+    /// Positions (Å) in atom-id order, as a zero-copy column view.
+    fn positions_view(&self) -> AtomsView<'_>;
 
-    /// Velocities (Å/ps) in atom-id order.
-    fn velocities(&self) -> Vec<V3d>;
+    /// Velocities (Å/ps) in atom-id order, as a zero-copy column view.
+    fn velocities_view(&self) -> AtomsView<'_>;
+
+    /// Forces (eV/Å) from the last evaluation, atom-id order, as a
+    /// zero-copy column view.
+    fn forces_view(&self) -> AtomsView<'_>;
 
     /// Overwrite velocities (Å/ps), atom-id order. Thermostats are
-    /// driven through this: rescale the vector returned by
-    /// [`Engine::velocities`] and write it back.
+    /// driven through this: rescale a copy of
+    /// [`Engine::velocities_view`] and write it back.
     fn set_velocities(&mut self, velocities: &[V3d]);
 
-    /// Forces (eV/Å) from the last evaluation, atom-id order.
-    fn forces(&self) -> Vec<V3d>;
+    /// Positions (Å) in atom-id order as an owned vector.
+    #[deprecated(
+        note = "use `positions_view()`; call `.to_vec()` on it if an owned Vec is required"
+    )]
+    fn positions(&self) -> Vec<V3d> {
+        self.positions_view().to_vec()
+    }
+
+    /// Velocities (Å/ps) in atom-id order as an owned vector.
+    #[deprecated(
+        note = "use `velocities_view()`; call `.to_vec()` on it if an owned Vec is required"
+    )]
+    fn velocities(&self) -> Vec<V3d> {
+        self.velocities_view().to_vec()
+    }
+
+    /// Forces (eV/Å) from the last evaluation as an owned vector.
+    #[deprecated(note = "use `forces_view()`; call `.to_vec()` on it if an owned Vec is required")]
+    fn forces(&self) -> Vec<V3d> {
+        self.forces_view().to_vec()
+    }
 
     /// Uniform observables after the last completed step.
     fn observables(&self) -> Observables;
@@ -240,26 +288,31 @@ pub trait HaloEngine: Engine {
     fn overwrite_atom(&mut self, atom: usize, position: V3d, velocity: V3d);
 
     /// Per-atom potential-energy terms (eV) from the last force
-    /// evaluation, atom-id order. Folding them left-to-right reproduces
-    /// [`Observables::potential_energy`] bit-for-bit.
-    fn per_atom_potential_energies(&self) -> Vec<f64>;
+    /// evaluation, atom-id order, borrowed from the backend's own
+    /// storage (no allocation on the gather path). Folding them
+    /// left-to-right reproduces [`Observables::potential_energy`]
+    /// bit-for-bit.
+    fn per_atom_potential_energies(&self) -> &[f64];
 
     /// Per-atom squared speeds `|v|²` ((Å/ps)²), atom-id order, in the
     /// exact precision path of the backend's own kinetic-energy sum:
     /// `0.5 · m · MVV_TO_ENERGY · fold` reproduces the backend's
-    /// kinetic energy bit-for-bit.
-    fn per_atom_squared_speeds(&self) -> Vec<f64>;
+    /// kinetic energy bit-for-bit. Borrowed from a cache the backend
+    /// refreshes whenever velocities change (integration, ghost
+    /// overwrite, thermostat write-back).
+    fn per_atom_squared_speeds(&self) -> &[f64];
 
     /// Per-atom `(candidates, interactions)` counters from the last
     /// force evaluation, atom-id order. Integer totals divided by the
     /// atom count reproduce the mean fields of [`Observables`].
+    /// Diagnostic-path only (allocating is fine here).
     fn per_atom_counts(&self) -> Vec<(u32, u32)>;
 
     /// Per-atom modeled cycle charges from the last force evaluation,
     /// atom-id order, if the backend has a hardware cost model.
     /// Folding them left-to-right and dividing by the atom count
     /// reproduces [`Observables::modeled_cycles`].
-    fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>>;
+    fn per_atom_modeled_cycles(&self) -> Option<&[f64]>;
 
     /// Squared drift threshold (Å²) beyond which ghost membership
     /// computed at the last halo reference may no longer cover this
@@ -302,5 +355,51 @@ mod tests {
         let o = Observables::default().with_temperature_from(1.0, 100);
         assert!((o.temperature - units::temperature_from_ke(1.0, 100)).abs() < 1e-12);
         assert_eq!(o.kinetic_energy, 1.0);
+    }
+
+    /// The deprecated owned-Vec accessors are thin shims over the views;
+    /// they must return exactly what the views iterate (kept one release
+    /// for incremental migration of downstream code).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_vec_shims_match_views() {
+        struct Fixed {
+            x: Vec<f64>,
+            y: Vec<f64>,
+            z: Vec<f64>,
+        }
+        impl Engine for Fixed {
+            fn backend(&self) -> &'static str {
+                "fixed"
+            }
+            fn n_atoms(&self) -> usize {
+                self.x.len()
+            }
+            fn step(&mut self) {}
+            fn positions_view(&self) -> AtomsView<'_> {
+                AtomsView::new(&self.x, &self.y, &self.z)
+            }
+            fn velocities_view(&self) -> AtomsView<'_> {
+                AtomsView::new(&self.y, &self.z, &self.x)
+            }
+            fn forces_view(&self) -> AtomsView<'_> {
+                AtomsView::new(&self.z, &self.x, &self.y)
+            }
+            fn set_velocities(&mut self, _velocities: &[V3d]) {}
+            fn observables(&self) -> Observables {
+                Observables::default()
+            }
+        }
+        let e = Fixed {
+            x: vec![1.0, 2.0],
+            y: vec![3.0, 4.0],
+            z: vec![5.0, 6.0],
+        };
+        assert_eq!(e.positions(), e.positions_view().to_vec());
+        assert_eq!(
+            e.velocities(),
+            vec![V3d::new(3.0, 5.0, 1.0), V3d::new(4.0, 6.0, 2.0)]
+        );
+        assert_eq!(e.forces(), e.forces_view().to_vec());
     }
 }

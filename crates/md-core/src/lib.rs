@@ -23,6 +23,7 @@ pub mod lattice;
 pub mod materials;
 pub mod neighbor;
 pub mod setfl;
+pub mod soa;
 pub mod spline;
 pub mod system;
 pub mod thermostat;
@@ -33,5 +34,6 @@ pub use eam::{EamOutput, EamPotential};
 pub use engine::{Engine, Observables};
 pub use lattice::{Crystal, SlabSpec};
 pub use materials::{Material, Species};
+pub use soa::{AtomsView, ParticleStore, PositionSource};
 pub use system::{Box3, System};
 pub use vec3::{Real, V3d, V3f, Vec3};

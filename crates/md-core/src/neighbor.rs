@@ -8,6 +8,7 @@
 //! This module provides the binning/reuse machinery for the baseline and
 //! for validation of the wafer path.
 
+use crate::soa::PositionSource;
 use crate::system::Box3;
 use crate::vec3::V3d;
 use rayon::prelude::*;
@@ -27,13 +28,15 @@ pub struct CellList {
 impl CellList {
     /// Bin `positions` into cells of edge ≥ `cell_size`. For periodic
     /// dimensions the grid spans the box; for open dimensions it spans
-    /// the atoms' bounding extent.
-    pub fn build(positions: &[V3d], bbox: &Box3, cell_size: f64) -> Self {
+    /// the atoms' bounding extent. Accepts either atom layout (AoS
+    /// slices or SoA views) through [`PositionSource`].
+    pub fn build<S: PositionSource + ?Sized>(positions: &S, bbox: &Box3, cell_size: f64) -> Self {
         assert!(cell_size > 0.0);
         assert!(!positions.is_empty(), "cell list of empty system");
-        let mut lo = positions[0];
-        let mut hi = positions[0];
-        for p in positions {
+        let mut lo = positions.get(0);
+        let mut hi = lo;
+        for i in 1..positions.len() {
+            let p = positions.get(i);
             lo = V3d::new(lo.x.min(p.x), lo.y.min(p.y), lo.z.min(p.z));
             hi = V3d::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z));
         }
@@ -61,9 +64,9 @@ impl CellList {
         let n_bins = dims[0] * dims[1] * dims[2];
         let mut bins = vec![Vec::new(); n_bins];
         let mut bin_of = vec![0usize; positions.len()];
-        for (i, p) in positions.iter().enumerate() {
-            let idx = Self::bin_index_static(origin, extent, dims, bbox, *p);
-            bin_of[i] = idx;
+        for (i, slot) in bin_of.iter_mut().enumerate() {
+            let idx = Self::bin_index_static(origin, extent, dims, bbox, positions.get(i));
+            *slot = idx;
             bins[idx].push(i);
         }
         Self {
@@ -198,7 +201,11 @@ impl VerletList {
     /// subsystem holding the same atoms. With the canonical order, any
     /// force or density sum iterating a list is bit-identical at any
     /// thread count *and* across spatial shard decompositions.
-    pub fn rebuild(&mut self, positions: &[V3d], bbox: &Box3) {
+    ///
+    /// Accepts either atom layout through [`PositionSource`]; candidate
+    /// distances are computed identically, so the lists (and therefore
+    /// every downstream force sum) do not depend on the layout.
+    pub fn rebuild<S: PositionSource + ?Sized>(&mut self, positions: &S, bbox: &Box3) {
         let reach = self.cutoff + self.skin;
         let reach2 = reach * reach;
         let cells = CellList::build(positions, bbox, reach);
@@ -216,7 +223,7 @@ impl VerletList {
                     if j == i || (dedup && list.contains(&j)) {
                         return;
                     }
-                    let d = bbox.displacement(positions[i], positions[j]);
+                    let d = bbox.displacement(positions.get(i), positions.get(j));
                     if d.norm_sq() < reach2 {
                         list.push(j);
                     }
@@ -225,25 +232,26 @@ impl VerletList {
                 list
             })
             .collect();
-        self.ref_positions = positions.to_vec();
+        self.ref_positions = (0..n).map(|i| positions.get(i)).collect();
         self.rebuild_count += 1;
     }
 
     /// True when some atom has drifted more than half the skin since the
     /// last rebuild — the standard LAMMPS "dangerous build" criterion.
-    pub fn needs_rebuild(&self, positions: &[V3d], bbox: &Box3) -> bool {
+    pub fn needs_rebuild<S: PositionSource + ?Sized>(&self, positions: &S, bbox: &Box3) -> bool {
         if self.ref_positions.len() != positions.len() {
             return true;
         }
         let half_skin2 = (self.skin / 2.0) * (self.skin / 2.0);
-        positions
-            .iter()
-            .zip(&self.ref_positions)
-            .any(|(p, r)| bbox.displacement(*r, *p).norm_sq() > half_skin2)
+        (0..positions.len()).any(|i| {
+            bbox.displacement(self.ref_positions[i], positions.get(i))
+                .norm_sq()
+                > half_skin2
+        })
     }
 
     /// Rebuild only if needed; returns whether a rebuild happened.
-    pub fn update(&mut self, positions: &[V3d], bbox: &Box3) -> bool {
+    pub fn update<S: PositionSource + ?Sized>(&mut self, positions: &S, bbox: &Box3) -> bool {
         if self.needs_rebuild(positions, bbox) {
             self.rebuild(positions, bbox);
             true

@@ -1,0 +1,321 @@
+//! Structure-of-arrays particle storage and zero-copy views.
+//!
+//! The hot EAM kernels are memory-bound streams over per-atom scalars:
+//! spline arguments, accumulated densities, force components. Storing
+//! atoms as an array of 3-vectors interleaves the x/y/z streams, which
+//! defeats both hardware prefetch and the compiler's vectorizer. This
+//! module provides the workspace's canonical layout instead: one
+//! contiguous column per component ([`ParticleStore`]), plus a borrowed
+//! column view ([`AtomsView`]) that every [`crate::engine::Engine`]
+//! accessor hands out without cloning.
+//!
+//! The layout change is purely mechanical with respect to physics:
+//! per-atom arithmetic reads and writes exactly the scalars it read and
+//! wrote before, in the same per-atom operation order, so every result
+//! is bit-identical to the array-of-structs layout (the CI golden files
+//! and the sharded byte-diff matrix are the executable proof).
+
+use crate::materials::Species;
+use crate::vec3::V3d;
+
+/// A borrowed structure-of-arrays view of one per-atom vector quantity
+/// (positions, velocities, or forces): three column slices in atom-id
+/// order.
+///
+/// This is the zero-copy return type of the [`crate::engine::Engine`]
+/// accessors. Columns can be consumed directly (`view.x[i]`), per atom
+/// ([`AtomsView::get`]), or through the id-order iteration helper
+/// ([`AtomsView::iter`]); [`AtomsView::to_vec`] reconstructs the owned
+/// `Vec<V3d>` the deprecated accessors used to return.
+#[derive(Clone, Copy, Debug)]
+pub struct AtomsView<'a> {
+    /// X components, atom-id order.
+    pub x: &'a [f64],
+    /// Y components, atom-id order.
+    pub y: &'a [f64],
+    /// Z components, atom-id order.
+    pub z: &'a [f64],
+}
+
+impl<'a> AtomsView<'a> {
+    /// Bundle three equal-length column slices into a view.
+    pub fn new(x: &'a [f64], y: &'a [f64], z: &'a [f64]) -> Self {
+        debug_assert!(x.len() == y.len() && y.len() == z.len());
+        Self { x, y, z }
+    }
+
+    /// Number of atoms in the view.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the view covers no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The vector for atom `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> V3d {
+        V3d::new(self.x[i], self.y[i], self.z[i])
+    }
+
+    /// Iterate the vectors in atom-id order.
+    pub fn iter(&self) -> impl Iterator<Item = V3d> + '_ {
+        let v = *self;
+        (0..v.len()).map(move |i| v.get(i))
+    }
+
+    /// Collect into an owned array-of-structs vector (the shape the
+    /// deprecated `Vec<V3d>` accessors returned).
+    pub fn to_vec(&self) -> Vec<V3d> {
+        self.iter().collect()
+    }
+}
+
+/// Read-only access to positions by atom index, unifying array-of-structs
+/// slices and [`AtomsView`] columns so the neighbor-list builders accept
+/// either layout without copying.
+pub trait PositionSource: Sync {
+    /// Number of atoms.
+    fn len(&self) -> usize;
+    /// Position of atom `i`.
+    fn get(&self, i: usize) -> V3d;
+    /// True when there are no atoms.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PositionSource for [V3d] {
+    fn len(&self) -> usize {
+        <[V3d]>::len(self)
+    }
+    #[inline]
+    fn get(&self, i: usize) -> V3d {
+        self[i]
+    }
+}
+
+impl PositionSource for Vec<V3d> {
+    fn len(&self) -> usize {
+        <[V3d]>::len(self)
+    }
+    #[inline]
+    fn get(&self, i: usize) -> V3d {
+        self[i]
+    }
+}
+
+impl PositionSource for AtomsView<'_> {
+    fn len(&self) -> usize {
+        AtomsView::len(self)
+    }
+    #[inline]
+    fn get(&self, i: usize) -> V3d {
+        AtomsView::get(self, i)
+    }
+}
+
+/// The structure-of-arrays particle store: separate contiguous
+/// x/y/z/species/force/velocity columns.
+///
+/// All columns have equal length (one entry per atom, atom-id order).
+/// The columns are public so kernels can borrow exactly the streams
+/// they touch (e.g. mutate force columns while reading positions);
+/// code that grows or shrinks the store must keep every column the
+/// same length.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleStore {
+    /// Position x column (Å).
+    pub x: Vec<f64>,
+    /// Position y column (Å).
+    pub y: Vec<f64>,
+    /// Position z column (Å).
+    pub z: Vec<f64>,
+    /// Velocity x column (Å/ps).
+    pub vx: Vec<f64>,
+    /// Velocity y column (Å/ps).
+    pub vy: Vec<f64>,
+    /// Velocity z column (Å/ps).
+    pub vz: Vec<f64>,
+    /// Force x column (eV/Å), from the owner's last force evaluation.
+    pub fx: Vec<f64>,
+    /// Force y column (eV/Å).
+    pub fy: Vec<f64>,
+    /// Force z column (eV/Å).
+    pub fz: Vec<f64>,
+    /// Per-atom species tag.
+    pub species: Vec<Species>,
+}
+
+impl ParticleStore {
+    /// Build a store from array-of-structs positions with zero
+    /// velocities and forces, tagging every atom with `species`.
+    pub fn from_positions(species: Species, positions: &[V3d]) -> Self {
+        let n = positions.len();
+        let mut s = Self {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            z: Vec::with_capacity(n),
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            vz: vec![0.0; n],
+            fx: vec![0.0; n],
+            fy: vec![0.0; n],
+            fz: vec![0.0; n],
+            species: vec![species; n],
+        };
+        for p in positions {
+            s.x.push(p.x);
+            s.y.push(p.y);
+            s.z.push(p.z);
+        }
+        s
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the store holds no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Position of atom `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> V3d {
+        V3d::new(self.x[i], self.y[i], self.z[i])
+    }
+
+    /// Overwrite the position of atom `i`.
+    #[inline]
+    pub fn set_position(&mut self, i: usize, p: V3d) {
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.z[i] = p.z;
+    }
+
+    /// Velocity of atom `i`.
+    #[inline]
+    pub fn velocity(&self, i: usize) -> V3d {
+        V3d::new(self.vx[i], self.vy[i], self.vz[i])
+    }
+
+    /// Overwrite the velocity of atom `i`.
+    #[inline]
+    pub fn set_velocity(&mut self, i: usize, v: V3d) {
+        self.vx[i] = v.x;
+        self.vy[i] = v.y;
+        self.vz[i] = v.z;
+    }
+
+    /// Force on atom `i` from the last evaluation.
+    #[inline]
+    pub fn force(&self, i: usize) -> V3d {
+        V3d::new(self.fx[i], self.fy[i], self.fz[i])
+    }
+
+    /// Overwrite the force on atom `i`.
+    #[inline]
+    pub fn set_force(&mut self, i: usize, f: V3d) {
+        self.fx[i] = f.x;
+        self.fy[i] = f.y;
+        self.fz[i] = f.z;
+    }
+
+    /// Zero-copy view of the position columns.
+    pub fn positions(&self) -> AtomsView<'_> {
+        AtomsView::new(&self.x, &self.y, &self.z)
+    }
+
+    /// Zero-copy view of the velocity columns.
+    pub fn velocities(&self) -> AtomsView<'_> {
+        AtomsView::new(&self.vx, &self.vy, &self.vz)
+    }
+
+    /// Zero-copy view of the force columns.
+    pub fn forces(&self) -> AtomsView<'_> {
+        AtomsView::new(&self.fx, &self.fy, &self.fz)
+    }
+
+    /// Overwrite every velocity from an array-of-structs slice.
+    pub fn set_velocities(&mut self, velocities: &[V3d]) {
+        assert_eq!(velocities.len(), self.len());
+        for (i, v) in velocities.iter().enumerate() {
+            self.vx[i] = v.x;
+            self.vy[i] = v.y;
+            self.vz[i] = v.z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParticleStore {
+        let pos = [
+            V3d::new(1.0, 2.0, 3.0),
+            V3d::new(-1.0, 0.5, 0.25),
+            V3d::new(4.0, 5.0, 6.0),
+        ];
+        ParticleStore::from_positions(Species::Ta, &pos)
+    }
+
+    #[test]
+    fn columns_round_trip_per_atom_vectors() {
+        let mut s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.position(1), V3d::new(-1.0, 0.5, 0.25));
+        assert_eq!(s.velocity(1), V3d::zero());
+        assert_eq!(s.species[2], Species::Ta);
+        s.set_velocity(2, V3d::new(7.0, 8.0, 9.0));
+        assert_eq!(s.velocity(2), V3d::new(7.0, 8.0, 9.0));
+        s.set_force(0, V3d::new(0.5, -0.5, 1.5));
+        assert_eq!(s.force(0), V3d::new(0.5, -0.5, 1.5));
+        s.set_position(0, V3d::new(9.0, 9.0, 9.0));
+        assert_eq!(s.x[0], 9.0);
+    }
+
+    #[test]
+    fn views_iterate_in_atom_id_order() {
+        let s = store();
+        let v = s.positions();
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        let collected = v.to_vec();
+        assert_eq!(collected[0], V3d::new(1.0, 2.0, 3.0));
+        assert_eq!(collected[2], V3d::new(4.0, 5.0, 6.0));
+        assert_eq!(v.iter().count(), 3);
+        assert_eq!(v.get(2), V3d::new(4.0, 5.0, 6.0));
+    }
+
+    #[test]
+    fn position_source_unifies_both_layouts() {
+        let s = store();
+        let aos: Vec<V3d> = s.positions().to_vec();
+        let view = s.positions();
+        for i in 0..s.len() {
+            assert_eq!(PositionSource::get(&aos, i), PositionSource::get(&view, i));
+        }
+        assert_eq!(PositionSource::len(&aos), PositionSource::len(&view));
+        assert!(!PositionSource::is_empty(&view));
+    }
+
+    #[test]
+    fn set_velocities_overwrites_all_columns() {
+        let mut s = store();
+        let vels = [
+            V3d::new(1.0, 0.0, 0.0),
+            V3d::new(0.0, 2.0, 0.0),
+            V3d::new(0.0, 0.0, 3.0),
+        ];
+        s.set_velocities(&vels);
+        assert_eq!(s.vx, vec![1.0, 0.0, 0.0]);
+        assert_eq!(s.vy, vec![0.0, 2.0, 0.0]);
+        assert_eq!(s.vz, vec![0.0, 0.0, 3.0]);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::eam::EamPotential;
 use crate::lattice::SlabSpec;
 use crate::materials::{Material, Species};
+use crate::soa::{AtomsView, ParticleStore};
 use crate::units;
 use crate::vec3::V3d;
 
@@ -77,14 +78,15 @@ impl Box3 {
     }
 }
 
-/// The f64 reference simulation state: one species, SoA storage.
+/// The f64 reference simulation state: one species, structure-of-arrays
+/// storage ([`ParticleStore`] columns).
 #[derive(Clone, Debug)]
 pub struct System {
     pub material: Material,
     pub potential: EamPotential<f64>,
     pub bbox: Box3,
-    pub positions: Vec<V3d>,
-    pub velocities: Vec<V3d>,
+    /// Per-atom columns: positions, velocities, forces, species.
+    pub atoms: ParticleStore,
 }
 
 impl System {
@@ -94,15 +96,13 @@ impl System {
         let material = Material::new(species);
         let potential = material.potential();
         let positions = spec.generate();
-        let n = positions.len();
         // Pad the open box slightly beyond the outermost atoms.
         let dims = spec.dimensions();
         Self {
             material,
             potential,
             bbox: Box3::open(dims),
-            positions,
-            velocities: vec![V3d::zero(); n],
+            atoms: ParticleStore::from_positions(species, &positions),
         }
     }
 
@@ -110,28 +110,48 @@ impl System {
     pub fn from_positions(species: Species, positions: Vec<V3d>, bbox: Box3) -> Self {
         let material = Material::new(species);
         let potential = material.potential();
-        let n = positions.len();
         Self {
             material,
             potential,
             bbox,
-            positions,
-            velocities: vec![V3d::zero(); n],
+            atoms: ParticleStore::from_positions(species, &positions),
         }
     }
 
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.atoms.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.atoms.is_empty()
+    }
+
+    /// Zero-copy view of the position columns.
+    pub fn positions(&self) -> AtomsView<'_> {
+        self.atoms.positions()
+    }
+
+    /// Zero-copy view of the velocity columns.
+    pub fn velocities(&self) -> AtomsView<'_> {
+        self.atoms.velocities()
+    }
+
+    /// Overwrite every velocity from an array-of-structs slice.
+    pub fn set_velocities(&mut self, velocities: &[V3d]) {
+        self.atoms.set_velocities(velocities);
     }
 
     /// Total kinetic energy (eV).
     pub fn kinetic_energy(&self) -> f64 {
         let m = self.material.mass;
-        0.5 * m * units::MVV_TO_ENERGY * self.velocities.iter().map(|v| v.norm_sq()).sum::<f64>()
+        0.5 * m
+            * units::MVV_TO_ENERGY
+            * self
+                .atoms
+                .velocities()
+                .iter()
+                .map(|v| v.norm_sq())
+                .sum::<f64>()
     }
 
     /// Instantaneous temperature (K).
@@ -141,9 +161,9 @@ impl System {
 
     /// Net momentum (amu·Å/ps) — conserved by leapfrog integration.
     pub fn net_momentum(&self) -> V3d {
-        self.velocities
+        self.atoms
+            .velocities()
             .iter()
-            .copied()
             .sum::<V3d>()
             .scale(self.material.mass)
     }
@@ -216,7 +236,7 @@ mod tests {
             nz: 1,
         };
         let mut sys = System::from_slab(Species::Cu, spec);
-        sys.velocities[0] = V3d::new(2.0, 0.0, 0.0);
+        sys.atoms.set_velocity(0, V3d::new(2.0, 0.0, 0.0));
         let expected = 0.5 * 63.546 * 4.0 * units::MVV_TO_ENERGY;
         assert!((sys.kinetic_energy() - expected).abs() < 1e-12);
     }

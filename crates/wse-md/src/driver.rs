@@ -33,6 +33,8 @@
 use md_core::eam::EamPotential;
 use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 use md_core::materials::{Material, Species};
+use md_core::soa::AtomsView;
+use md_core::spline::LANES;
 use md_core::units::FORCE_TO_ACCEL;
 use md_core::vec3::{V3d, V3f, Vec3};
 use rayon::prelude::*;
@@ -182,6 +184,26 @@ pub struct WseMdSim {
     /// Per-core positions at the last halo reference (ghost exchange),
     /// for the drift tracking of the halo contract.
     halo_ref: Vec<V3f>,
+    // ---- atom-id-ordered f64 mirror columns behind the zero-copy
+    // Engine views. Values are exactly the per-core f32 state cast to
+    // f64 (resp. the per-atom accounting terms), refreshed whenever the
+    // corresponding per-core state changes, so views always agree
+    // bit-for-bit with the old gather-and-clone accessors.
+    apx: Vec<f64>,
+    apy: Vec<f64>,
+    apz: Vec<f64>,
+    avx: Vec<f64>,
+    avy: Vec<f64>,
+    avz: Vec<f64>,
+    afx: Vec<f64>,
+    afy: Vec<f64>,
+    afz: Vec<f64>,
+    /// Per-atom potential terms (pair + embedding) from the last refresh.
+    atom_pot: Vec<f64>,
+    /// Per-atom squared speeds (f32 norm² widened to f64).
+    atom_v2: Vec<f64>,
+    /// Per-atom modeled cycle charges from the last refresh.
+    atom_cycles: Vec<f64>,
     /// Per-step cycle trace (array level), like the paper's scratch
     /// buffer of hardware clock samples.
     pub cycle_trace: Vec<f64>,
@@ -254,6 +276,7 @@ impl WseMdSim {
         });
 
         let n_cores = config.extent.count();
+        let n_atoms = positions.len();
         let mut sim = WseMdSim {
             material,
             mapping,
@@ -276,6 +299,18 @@ impl WseMdSim {
             steps_since_rebuild: 0,
             lists_dirty: true,
             halo_ref: vec![V3f::new(0.0, 0.0, 0.0); n_cores],
+            apx: vec![0.0; n_atoms],
+            apy: vec![0.0; n_atoms],
+            apz: vec![0.0; n_atoms],
+            avx: vec![0.0; n_atoms],
+            avy: vec![0.0; n_atoms],
+            avz: vec![0.0; n_atoms],
+            afx: vec![0.0; n_atoms],
+            afy: vec![0.0; n_atoms],
+            afz: vec![0.0; n_atoms],
+            atom_pot: vec![0.0; n_atoms],
+            atom_v2: vec![0.0; n_atoms],
+            atom_cycles: vec![0.0; n_atoms],
             cycle_trace: Vec::new(),
             step_count: 0,
             last_stats: StepStats::default(),
@@ -287,7 +322,40 @@ impl WseMdSim {
             sim.vel[core] = velocities[i].cast();
         }
         sim.halo_ref.clone_from(&sim.pos);
+        sim.sync_motion_mirrors();
         sim
+    }
+
+    /// Refresh the atom-id-ordered position/velocity mirror columns (and
+    /// the squared-speed cache) from the per-core f32 state. Each mirror
+    /// entry is the exact widening the old gather accessors produced, so
+    /// the borrowed views are bit-identical to the Vecs they replace.
+    fn sync_motion_mirrors(&mut self) {
+        for (i, &c) in self.mapping.core_of_atom.iter().enumerate() {
+            let p: V3d = self.pos[c].cast();
+            let v: V3d = self.vel[c].cast();
+            self.apx[i] = p.x;
+            self.apy[i] = p.y;
+            self.apz[i] = p.z;
+            self.avx[i] = v.x;
+            self.avy[i] = v.y;
+            self.avz[i] = v.z;
+            self.atom_v2[i] = self.vel[c].norm_sq() as f64;
+        }
+    }
+
+    /// Refresh the atom-id-ordered force, potential-term, and modeled
+    /// cycle mirror columns from the per-core records of the last force
+    /// refresh.
+    fn sync_force_mirrors(&mut self) {
+        for (i, &c) in self.mapping.core_of_atom.iter().enumerate() {
+            let f: V3d = self.force[c].cast();
+            self.afx[i] = f.x;
+            self.afy[i] = f.y;
+            self.afz[i] = f.z;
+            self.atom_pot[i] = self.pair_e[c] as f64 + self.embed_e[c];
+            self.atom_cycles[i] = self.core_cycles[c];
+        }
     }
 
     pub fn n_atoms(&self) -> usize {
@@ -412,26 +480,55 @@ impl WseMdSim {
 
         // ---- Phase 3b: embedding energy and derivative, then the F'
         // exchange (functionally: F' is published in the fprime array).
-        // The spline evaluations fan out over the pool; the per-core
-        // embedding energies are stored and folded into the potential in
-        // **atom-id order** by `advance_positions_impl`, so the energy is
-        // bit-identical at any thread count and under spatial sharding.
+        // The spline evaluations fan out over the pool in `LANES`-wide
+        // batches of `embedding4` (each lane is the scalar expression on
+        // its own input, so lane values equal per-core scalar calls
+        // bit-for-bit); the per-core embedding energies are stored and
+        // folded into the potential in **atom-id order** by
+        // `advance_positions_impl`, so the energy is bit-identical at any
+        // thread count and under spatial sharding.
         let occ = &self.occ;
         let rho = &self.rho;
         let potential = &self.potential;
-        (&mut self.fprime, &mut self.embed_e)
-            .into_par_iter()
-            .enumerate()
-            .for_each(|(c, (fp_c, fe_c))| {
-                if occ[c] {
-                    let (f, fp) = potential.embedding(rho[c]);
-                    *fp_c = fp;
-                    *fe_c = f as f64;
+        let fp_chunks: Vec<&mut [f32]> = self.fprime.chunks_mut(LANES).collect();
+        let fe_chunks: Vec<&mut [f64]> = self.embed_e.chunks_mut(LANES).collect();
+        (fp_chunks, fe_chunks).into_par_iter().enumerate().for_each(
+            |(chunk, (fp_chunk, fe_chunk))| {
+                let base = chunk * LANES;
+                if fp_chunk.len() == LANES {
+                    let mut rho4 = [0.0f32; LANES];
+                    for (l, r) in rho4.iter_mut().enumerate() {
+                        // Unoccupied cores hold rho = 0.0; their lanes
+                        // are evaluated and discarded below.
+                        *r = rho[base + l];
+                    }
+                    let (f4, fp4) = potential.embedding4(rho4);
+                    for l in 0..LANES {
+                        if occ[base + l] {
+                            fp_chunk[l] = fp4[l];
+                            fe_chunk[l] = f4[l] as f64;
+                        } else {
+                            fp_chunk[l] = 0.0;
+                            fe_chunk[l] = 0.0;
+                        }
+                    }
                 } else {
-                    *fp_c = 0.0;
-                    *fe_c = 0.0;
+                    // Fabric-size tail (< LANES cores): scalar fallback.
+                    for (l, (fp_c, fe_c)) in
+                        fp_chunk.iter_mut().zip(fe_chunk.iter_mut()).enumerate()
+                    {
+                        if occ[base + l] {
+                            let (f, fp) = potential.embedding(rho[base + l]);
+                            *fp_c = fp;
+                            *fe_c = f as f64;
+                        } else {
+                            *fp_c = 0.0;
+                            *fe_c = 0.0;
+                        }
+                    }
                 }
-            });
+            },
+        );
 
         // ---- Phase 4a: force evaluation from the gathered neighbor list
         // (skin entries are re-filtered against the true cutoff).
@@ -538,6 +635,8 @@ impl WseMdSim {
                     + model.fixed_ns;
                 *out = ns * clock;
             });
+
+        self.sync_force_mirrors();
     }
 
     /// Phase 4b plus measurement: Verlet leap-frog integration, then the
@@ -563,6 +662,7 @@ impl WseMdSim {
                 *p += v.scale(dt);
                 *p = fold.wrap_f32(*p);
             });
+        self.sync_motion_mirrors();
 
         // ---- Measurement, part 2: fold the per-core records into step
         // statistics in **atom-id order**. The integer counters are
@@ -729,12 +829,16 @@ impl Engine for WseMdSim {
         WseMdSim::step(self);
     }
 
-    fn positions(&self) -> Vec<V3d> {
-        self.positions_by_atom()
+    fn positions_view(&self) -> AtomsView<'_> {
+        AtomsView::new(&self.apx, &self.apy, &self.apz)
     }
 
-    fn velocities(&self) -> Vec<V3d> {
-        self.velocities_by_atom()
+    fn velocities_view(&self) -> AtomsView<'_> {
+        AtomsView::new(&self.avx, &self.avy, &self.avz)
+    }
+
+    fn forces_view(&self) -> AtomsView<'_> {
+        AtomsView::new(&self.afx, &self.afy, &self.afz)
     }
 
     fn set_velocities(&mut self, velocities: &[V3d]) {
@@ -742,6 +846,7 @@ impl Engine for WseMdSim {
         for (i, &core) in self.mapping.core_of_atom.iter().enumerate() {
             self.vel[core] = velocities[i].cast();
         }
+        self.sync_motion_mirrors();
         // Keep the observables snapshot consistent with the state it
         // claims to describe: the baseline engine computes kinetic
         // energy live, so a stale last-step value here would make the
@@ -754,10 +859,6 @@ impl Engine for WseMdSim {
             .sum();
         self.last_stats.kinetic_energy =
             0.5 * self.material.mass * md_core::units::MVV_TO_ENERGY * kin;
-    }
-
-    fn forces(&self) -> Vec<V3d> {
-        self.forces_by_atom()
     }
 
     fn observables(&self) -> Observables {
@@ -791,22 +892,23 @@ impl HaloEngine for WseMdSim {
         let c = self.mapping.core_of_atom[atom];
         self.pos[c] = position.cast();
         self.vel[c] = velocity.cast();
+        let p: V3d = self.pos[c].cast();
+        let v: V3d = self.vel[c].cast();
+        self.apx[atom] = p.x;
+        self.apy[atom] = p.y;
+        self.apz[atom] = p.z;
+        self.avx[atom] = v.x;
+        self.avy[atom] = v.y;
+        self.avz[atom] = v.z;
+        self.atom_v2[atom] = self.vel[c].norm_sq() as f64;
     }
 
-    fn per_atom_potential_energies(&self) -> Vec<f64> {
-        self.mapping
-            .core_of_atom
-            .iter()
-            .map(|&c| self.pair_e[c] as f64 + self.embed_e[c])
-            .collect()
+    fn per_atom_potential_energies(&self) -> &[f64] {
+        &self.atom_pot
     }
 
-    fn per_atom_squared_speeds(&self) -> Vec<f64> {
-        self.mapping
-            .core_of_atom
-            .iter()
-            .map(|&c| self.vel[c].norm_sq() as f64)
-            .collect()
+    fn per_atom_squared_speeds(&self) -> &[f64] {
+        &self.atom_v2
     }
 
     fn per_atom_counts(&self) -> Vec<(u32, u32)> {
@@ -817,14 +919,8 @@ impl HaloEngine for WseMdSim {
             .collect()
     }
 
-    fn per_atom_modeled_cycles(&self) -> Option<Vec<f64>> {
-        Some(
-            self.mapping
-                .core_of_atom
-                .iter()
-                .map(|&c| self.core_cycles[c])
-                .collect(),
-        )
+    fn per_atom_modeled_cycles(&self) -> Option<&[f64]> {
+        Some(&self.atom_cycles)
     }
 
     fn halo_drift_limit_sq(&self) -> f64 {

@@ -13,9 +13,16 @@
 //! scenario; `export-setfl` writes a calibrated potential as a LAMMPS
 //! `eam/alloy` file for interop with the paper's original toolchain.
 
-use wafer_md::md::materials::{Material, Species};
+use wafer_md::md::materials::Material;
 use wafer_md::md::setfl;
-use wafer_md::scenario::{self, EngineKind, GhostPeriod, RunOptions};
+use wafer_md::scenario::{self, EngineKind, RunOptions, ScenarioError};
+
+/// Surface a typed scenario error with the usage text and exit 2: the
+/// error's `Display` *is* the hint line the tests assert on.
+fn scenario_error(e: ScenarioError) -> ! {
+    eprintln!("{e}");
+    usage()
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -61,27 +68,21 @@ fn parse_run(args: &[String]) -> (String, RunOptions) {
         match args[i].as_str() {
             "--engine" => {
                 let v = value(&mut i);
-                opts.engine = Some(EngineKind::parse(v).unwrap_or_else(|| {
-                    eprintln!("unknown engine '{v}' (expected baseline|wse)");
-                    usage()
-                }));
+                opts.engine = Some(EngineKind::parse(v).unwrap_or_else(|e| scenario_error(e)));
             }
             "--atoms" => opts.atoms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--steps" => opts.steps = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--shards" => {
                 let k: usize = value(&mut i).parse().unwrap_or_else(|_| usage());
                 if k == 0 {
-                    eprintln!("--shards must be at least 1");
-                    usage()
+                    scenario_error(ScenarioError::InvalidShards)
                 }
                 opts.shards = Some(k);
             }
             "--ghost-period" => {
                 let v = value(&mut i);
-                opts.ghost_period = Some(GhostPeriod::parse(v).unwrap_or_else(|| {
-                    eprintln!("--ghost-period must be a positive integer or 'auto' (got '{v}')");
-                    usage()
-                }));
+                opts.ghost_period =
+                    Some(scenario::parse_ghost_period(v).unwrap_or_else(|e| scenario_error(e)));
             }
             "--xyz" => opts.xyz = Some(value(&mut i).into()),
             other => {
@@ -96,15 +97,7 @@ fn parse_run(args: &[String]) -> (String, RunOptions) {
 
 fn export_setfl(args: &[String]) {
     let [species, path] = args else { usage() };
-    let species = match species.to_lowercase().as_str() {
-        "cu" | "copper" => Species::Cu,
-        "w" | "tungsten" => Species::W,
-        "ta" | "tantalum" => Species::Ta,
-        other => {
-            eprintln!("unknown species '{other}'");
-            usage()
-        }
-    };
+    let species = scenario::parse_species(species).unwrap_or_else(|e| scenario_error(e));
     let material = Material::new(species);
     let text = setfl::export_material(&material, 2000, 2000);
     std::fs::write(path, text).expect("write setfl file");

@@ -27,7 +27,8 @@
 //! let mut engine = Scenario::slab(Species::Ta, 3, 3, 1)
 //!     .temperature(120.0)
 //!     .engine(EngineKind::Baseline)
-//!     .build_engine();
+//!     .build_engine()
+//!     .expect("consistent scenario");
 //! engine.run(3);
 //! assert!(engine.observables().total_energy().is_finite());
 //! ```
@@ -49,6 +50,7 @@
 //! assert!(String::from_utf8(buf).unwrap().contains("quickstart"));
 //! ```
 
+use std::fmt;
 use std::io::{self, Write};
 use std::path::PathBuf;
 
@@ -70,6 +72,58 @@ use crate::traj;
 pub use crate::shard::GhostPeriod;
 pub use md_core::engine::{Engine, Observables};
 
+/// Why a scenario could not be parsed or materialized.
+///
+/// Every CLI-facing failure mode is a typed variant instead of an ad hoc
+/// string, so callers can match on the cause while the rendered hint
+/// text (the [`fmt::Display`] impl) stays exactly what the CLI has
+/// always printed. The `wafer-md` binary maps every variant to exit
+/// status 2 alongside the usage text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// An engine spelling other than `baseline` or `wse`.
+    UnknownEngine(String),
+    /// A species spelling that names no calibrated material.
+    UnknownSpecies(String),
+    /// A ghost-period spelling that is neither a positive integer nor
+    /// `auto`.
+    InvalidGhostPeriod(String),
+    /// A shard count of zero.
+    InvalidShards,
+    /// A workload that cannot run spatially sharded (the controlled
+    /// grid: its geometry *is* a fabric assignment).
+    ShardedWorkloadConflict,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownEngine(v) => {
+                write!(f, "unknown engine '{v}' (expected baseline|wse)")
+            }
+            Self::UnknownSpecies(v) => write!(f, "unknown species '{v}'"),
+            Self::InvalidGhostPeriod(v) => write!(
+                f,
+                "--ghost-period must be a positive integer or 'auto' (got '{v}')"
+            ),
+            Self::InvalidShards => write!(f, "--shards must be at least 1"),
+            Self::ShardedWorkloadConflict => write!(f, "the controlled grid cannot shard"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Parse a CLI species spelling (symbol or element name, any case).
+pub fn parse_species(s: &str) -> Result<Species, ScenarioError> {
+    match s.to_lowercase().as_str() {
+        "cu" | "copper" => Ok(Species::Cu),
+        "w" | "tungsten" => Ok(Species::W),
+        "ta" | "tantalum" => Ok(Species::Ta),
+        _ => Err(ScenarioError::UnknownSpecies(s.to_string())),
+    }
+}
+
 /// Which backend executes a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
@@ -82,11 +136,11 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// Parse a CLI spelling (`"baseline"` or `"wse"`).
-    pub fn parse(s: &str) -> Option<Self> {
+    pub fn parse(s: &str) -> Result<Self, ScenarioError> {
         match s {
-            "baseline" => Some(Self::Baseline),
-            "wse" => Some(Self::Wse),
-            _ => None,
+            "baseline" => Ok(Self::Baseline),
+            "wse" => Ok(Self::Wse),
+            _ => Err(ScenarioError::UnknownEngine(s.to_string())),
         }
     }
 
@@ -177,10 +231,12 @@ pub struct Scenario {
     /// ghost regions on the configured period and are bit-identical to
     /// the single engine (see [`crate::shard`]).
     pub shards: usize,
-    /// Ghost-exchange period of a sharded run (Table VI k): halos are
-    /// widened so ghosts stay valid for this many steps between
-    /// exchanges, with an early exchange whenever the skin-validity
-    /// check trips. Physics is bit-identical at any value.
+    /// Ghost-exchange period of a sharded run (Table VI k): ghost
+    /// *membership* is recomputed every k-th step (with an early
+    /// exchange whenever the skin-validity check trips), while ghost
+    /// motion stays synced every step on the reference backend; the
+    /// wafer backend provisions its column strips for the whole
+    /// period. Physics is bit-identical at any value.
     pub ghost_period: GhostPeriod,
 }
 
@@ -362,7 +418,7 @@ impl Scenario {
         let positions = self.positions();
         let velocities = self.initial_velocities(positions.len());
         let mut system = System::from_positions(self.species, positions, self.bounding_box());
-        system.velocities = velocities;
+        system.set_velocities(&velocities);
         BaselineEngine::new(system, self.dt)
     }
 
@@ -391,29 +447,37 @@ impl Scenario {
     /// other than the controlled grid) the backend runs as K spatial
     /// shards with ghost-region exchange on the configured period —
     /// bit-identical to the single engine.
-    pub fn build_engine(&self) -> Box<dyn Engine> {
+    ///
+    /// Fails with a typed [`ScenarioError`] instead of panicking when
+    /// the declarative value is inconsistent (today only a zero shard
+    /// count, which the setters already clamp away; the fallible
+    /// signature is the API seam the CLI maps onto exit status 2).
+    pub fn build_engine(&self) -> Result<Box<dyn Engine>, ScenarioError> {
+        if self.shards == 0 {
+            return Err(ScenarioError::InvalidShards);
+        }
         let sharded = self.shards > 1 && !matches!(self.workload, Workload::ControlledGrid { .. });
-        match (self.engine, sharded) {
+        Ok(match (self.engine, sharded) {
             (EngineKind::Baseline, false) => Box::new(self.build_baseline()),
             (EngineKind::Wse, false) => Box::new(self.build_wse()),
-            (_, true) => Box::new(self.build_sharded()),
-        }
+            (_, true) => Box::new(self.build_sharded()?),
+        })
     }
 
     /// Materialize the sharded engine as its concrete type, exposing
     /// the shard geometry and the measured exchange counters that
     /// `Box<dyn Engine>` hides (the multi-wafer report reads both).
-    /// Panics for the controlled-grid fixture, whose geometry *is* a
-    /// fabric assignment.
-    pub fn build_sharded(&self) -> ShardedEngine {
-        assert!(
-            !matches!(self.workload, Workload::ControlledGrid { .. }),
-            "the controlled grid cannot shard"
-        );
+    /// Fails with [`ScenarioError::ShardedWorkloadConflict`] for the
+    /// controlled-grid fixture, whose geometry *is* a fabric
+    /// assignment.
+    pub fn build_sharded(&self) -> Result<ShardedEngine, ScenarioError> {
+        if matches!(self.workload, Workload::ControlledGrid { .. }) {
+            return Err(ScenarioError::ShardedWorkloadConflict);
+        }
         let positions = self.positions();
         let velocities = self.initial_velocities(positions.len());
         let period = self.ghost_period.resolve(&velocities, self.dt);
-        match self.engine {
+        Ok(match self.engine {
             EngineKind::Baseline => ShardedEngine::baseline(
                 self.species,
                 positions,
@@ -436,7 +500,7 @@ impl Scenario {
                     period,
                 )
             }
-        }
+        })
     }
 
     /// Advance `steps` timesteps, applying the scenario's thermostat.
@@ -448,7 +512,7 @@ impl Scenario {
                 let interval = interval.max(1);
                 let mut done = 0;
                 while done < steps {
-                    let mut v = engine.velocities();
+                    let mut v = engine.velocities_view().to_vec();
                     thermostat::rescale_to_temperature(&mut v, mass, target);
                     engine.set_velocities(&v);
                     let chunk = interval.min(steps - done);
@@ -517,7 +581,8 @@ impl Traj {
 
     fn frame(&mut self, step: usize, engine: &dyn Engine) -> io::Result<()> {
         if let Some(out) = &mut self.out {
-            traj::write_xyz_frame(out, self.symbol, self.label, step, &engine.positions())?;
+            let positions = engine.positions_view().to_vec();
+            traj::write_xyz_frame(out, self.symbol, self.label, step, &positions)?;
         }
         Ok(())
     }
@@ -537,6 +602,11 @@ impl ScenarioEntry {
     pub fn run(&self, opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         (self.run)(opts, out)
     }
+}
+
+/// Parse a CLI ghost-period spelling, typing the failure.
+pub fn parse_ghost_period(s: &str) -> Result<GhostPeriod, ScenarioError> {
+    GhostPeriod::parse(s).ok_or_else(|| ScenarioError::InvalidGhostPeriod(s.to_string()))
 }
 
 /// Look up a registered scenario by name.
@@ -629,7 +699,7 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     let steps = opts.steps.unwrap_or(sc.steps).max(1);
     let material = Material::new(sc.species);
 
-    let mut engine = sc.build_engine();
+    let mut engine = sc.build_engine().expect("consistent scenario");
     let mut traj = Traj::open(opts, "quickstart", sc.species)?;
     writeln!(
         out,
@@ -675,7 +745,7 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     }
 
     let g = analysis::rdf(
-        &engine.positions(),
+        &engine.positions_view().to_vec(),
         &sc.bounding_box(),
         material.cutoff + 1.0,
         200,
@@ -708,7 +778,7 @@ fn melt_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     let material = Material::new(sc.species);
     let targets = [300.0, 800.0, 1300.0, 1800.0];
 
-    let mut engine = sc.build_engine();
+    let mut engine = sc.build_engine().expect("consistent scenario");
     writeln!(
         out,
         "== melt: {} slab, {} atoms, engine {}; NVT ladder {} steps/rung ==",
@@ -726,7 +796,7 @@ fn melt_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         rung.advance(engine.as_mut(), segment);
         let o = engine.observables();
         let g = analysis::rdf(
-            &engine.positions(),
+            &engine.positions_view().to_vec(),
             &sc.bounding_box(),
             material.cutoff + 1.0,
             120,
@@ -810,13 +880,13 @@ fn grain_boundary_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()>
             )
         }
         EngineKind::Baseline => {
-            let mut engine = sc.build_engine();
+            let mut engine = sc.build_engine().expect("consistent scenario");
             writeln!(
                 out,
                 "== grain-boundary: tungsten bicrystal, {} atoms, engine baseline ==",
                 engine.n_atoms()
             )?;
-            let start = engine.positions();
+            let start = engine.positions_view().to_vec();
             engine.step();
             let e0 = engine.observables().total_energy();
             engine.run(steps - 1);
@@ -832,7 +902,7 @@ fn grain_boundary_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()>
             writeln!(
                 out,
                 "mean-square displacement {:.3} Å² — boundary atoms diffusing",
-                analysis::msd(&start, &engine.positions())
+                analysis::msd(&start, &engine.positions_view().to_vec())
             )?;
             writeln!(
                 out,
@@ -901,7 +971,7 @@ fn weak_scaling_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     {
         let mut sc = template;
         sc.workload = Workload::Slab { nx, ny: nx, nz: 2 };
-        let mut engine = sc.build_engine();
+        let mut engine = sc.build_engine().expect("consistent scenario");
         engine.run(steps);
         let o = engine.observables();
         let rate = o
@@ -958,7 +1028,7 @@ fn multi_wafer_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     // this report to enforce it. Exchange schedules are measured on the
     // fixed probe decompositions further down, never on the --shards
     // run, so the report text is --shards-independent too.
-    let mut engine = sc.build_engine();
+    let mut engine = sc.build_engine().expect("consistent scenario");
     let mut traj = Traj::open(opts, "multi-wafer", sc.species)?;
     writeln!(
         out,
@@ -1015,10 +1085,14 @@ fn multi_wafer_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         GhostPeriod::Every(1)
     };
     let verify = |k: usize, gp: GhostPeriod| -> (Vec<V3d>, u64) {
-        let mut e = sc.shards(k).ghost_period(gp).build_engine();
+        let mut e = sc
+            .shards(k)
+            .ghost_period(gp)
+            .build_engine()
+            .expect("consistent scenario");
         e.run(steps);
         let u = e.observables().potential_energy.to_bits();
-        (e.positions(), u)
+        (e.positions_view().to_vec(), u)
     };
     let (p1, u1) = verify(1, GhostPeriod::Every(1));
     let (p2, u2) = verify(2, alt);
@@ -1027,7 +1101,7 @@ fn multi_wafer_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
             .zip(b)
             .all(|(x, y)| (*x - *y).to_array().iter().all(|d| *d == 0.0))
     };
-    let pos = engine.positions();
+    let pos = engine.positions_view().to_vec();
     let identical = u1 == u2
         && u1 == o.potential_energy.to_bits()
         && same_pos(&pos, &p1)
@@ -1062,7 +1136,7 @@ fn multi_wafer_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     }
     let mut measured = Vec::new();
     for k in [2usize, 4] {
-        let mut probe = sc.shards(k).build_sharded();
+        let mut probe = sc.shards(k).build_sharded().expect("slab workload shards");
         let shards = probe.shard_count();
         let interior = probe.n_atoms() as f64 / shards as f64;
         let ghosts = probe.ghost_copies() as f64 / shards as f64;
@@ -1278,7 +1352,7 @@ mod tests {
     fn both_backends_build_from_one_scenario() {
         let sc = Scenario::slab(Species::Cu, 3, 3, 1).temperature(100.0);
         for kind in [EngineKind::Baseline, EngineKind::Wse] {
-            let mut engine = sc.engine(kind).build_engine();
+            let mut engine = sc.engine(kind).build_engine().expect("consistent scenario");
             assert_eq!(engine.backend(), kind.label());
             assert_eq!(engine.n_atoms(), 36);
             engine.run(2);
@@ -1299,12 +1373,12 @@ mod tests {
             .seed(5);
         let b = sc.build_baseline();
         let w = sc.build_wse();
-        let (pb, pw) = (Engine::positions(&b), Engine::positions(&w));
+        let (pb, pw) = (b.positions_view().to_vec(), w.positions_view().to_vec());
         for (x, y) in pb.iter().zip(&pw) {
             assert!((*x - *y).norm() < 1e-5, "positions diverge at t=0");
         }
         // Velocities come from the same seeded Maxwell-Boltzmann draw.
-        let (vb, vw) = (Engine::velocities(&b), Engine::velocities(&w));
+        let (vb, vw) = (b.velocities_view().to_vec(), w.velocities_view().to_vec());
         for (x, y) in vb.iter().zip(&vw) {
             assert!((*x - *y).norm() < 1e-3, "velocities diverge at t=0");
         }
@@ -1319,7 +1393,7 @@ mod tests {
                 target: 400.0,
                 interval: 1000, // rescale once, then measure immediately
             });
-        let mut engine = sc.build_engine();
+        let mut engine = sc.build_engine().expect("consistent scenario");
         sc.advance(engine.as_mut(), 1);
         // One leapfrog step after the rescale: T stays near the target.
         let t = engine.observables().temperature;
@@ -1346,6 +1420,57 @@ mod tests {
             assert!(!a.is_empty(), "{} produced no output", e.name);
             assert_eq!(a, b, "{} output is not deterministic", e.name);
         }
+    }
+
+    #[test]
+    fn scenario_errors_are_typed_and_render_the_cli_hints() {
+        assert_eq!(
+            EngineKind::parse("gpu"),
+            Err(ScenarioError::UnknownEngine("gpu".into()))
+        );
+        assert_eq!(
+            EngineKind::parse("gpu").unwrap_err().to_string(),
+            "unknown engine 'gpu' (expected baseline|wse)"
+        );
+        assert_eq!(
+            parse_species("iron"),
+            Err(ScenarioError::UnknownSpecies("iron".into()))
+        );
+        assert_eq!(
+            parse_species("iron").unwrap_err().to_string(),
+            "unknown species 'iron'"
+        );
+        assert_eq!(parse_species("COPPER"), Ok(Species::Cu));
+        for bad in ["0", "banana", "-3", "1.5"] {
+            let err = parse_ghost_period(bad).unwrap_err();
+            assert_eq!(err, ScenarioError::InvalidGhostPeriod(bad.into()));
+            assert_eq!(
+                err.to_string(),
+                format!("--ghost-period must be a positive integer or 'auto' (got '{bad}')")
+            );
+        }
+        assert_eq!(parse_ghost_period("auto"), Ok(GhostPeriod::Auto));
+        assert_eq!(
+            ScenarioError::InvalidShards.to_string(),
+            "--shards must be at least 1"
+        );
+    }
+
+    #[test]
+    fn sharding_the_controlled_grid_is_a_typed_conflict() {
+        let sc = Scenario::controlled_grid(Species::Ta, 8, 1.5, 2).shards(2);
+        assert!(matches!(
+            sc.build_sharded(),
+            Err(ScenarioError::ShardedWorkloadConflict)
+        ));
+        assert_eq!(
+            ScenarioError::ShardedWorkloadConflict.to_string(),
+            "the controlled grid cannot shard"
+        );
+        // build_engine routes the controlled grid to a single engine
+        // instead of surfacing the conflict: shard counts are advisory
+        // for workloads whose geometry is already a fabric assignment.
+        assert!(sc.build_engine().is_ok());
     }
 
     #[test]

@@ -17,17 +17,25 @@
 //! unsharded run, across any shard count *and any ghost period*. Three
 //! mechanisms carry the guarantee:
 //!
-//! 1. **Halos wide enough for exact EAM forces over a whole period.**
-//!    An owned atom's force involves its neighbors' embedding
-//!    derivatives, which in turn involve *their* neighbors' densities —
-//!    so one force evaluation reaches two cutoffs. Between exchanges
-//!    every hosted atom (ghosts included) integrates locally, and
-//!    exactness erodes inward from the halo's outer edge by one such
-//!    reach per step; a halo of `k · (2·cutoff + skin)` on the
-//!    reference engine (`k · 2bₓ` ghost fabric columns on the wafer
-//!    engine) therefore keeps every owned force exact for `k`
-//!    consecutive steps. Every f32/f64 operation behind an owned atom's
-//!    force sees exactly the operands of the unsharded run.
+//! 1. **Exact ghosts at every force evaluation.** An owned atom's
+//!    force involves its neighbors' embedding derivatives, which in
+//!    turn involve *their* neighbors' densities — so one force
+//!    evaluation reaches two cutoffs. On the reference engine each
+//!    shard hosts a halo of `2·cutoff + skin` (independent of the
+//!    ghost period) and every ghost's position and velocity are
+//!    rewritten from its owner's exact merged state **every step**,
+//!    between the move and force halves; the amortized exchange only
+//!    recomputes ghost *membership* and the drift reference. Per-step
+//!    ghost motion sync is what lets the halo stay at the one-step
+//!    width: without it, exactness would erode inward from the halo's
+//!    outer edge by two cutoffs per step and the halo would have to
+//!    grow linearly with the period (the over-provisioning this design
+//!    replaces). The wafer engine instead provisions `k · 2bₓ` ghost
+//!    fabric columns per side and lets ghosts integrate locally for
+//!    the whole period — its candidate sets are core-geometric, so the
+//!    strip is sized for `k` steps of edge erosion. Either way, every
+//!    f32/f64 operation behind an owned atom's force sees exactly the
+//!    operands of the unsharded run.
 //! 2. **Canonical enumeration order.** `md-core` neighbor lists are
 //!    sorted by atom index and the wafer engine scans its candidate
 //!    square in fixed geometric order, so per-atom sums accumulate in
@@ -39,17 +47,18 @@
 //!
 //! # Skin validity
 //!
-//! The erosion bound above prices drift at half the neighbor-list skin
-//! per period: membership computed at exchange time keeps covering the
-//! owned force neighborhoods while no atom has moved more than
-//! `skin/2` since the exchange — the same criterion `md_core::neighbor`
-//! uses for Verlet-list reuse. The driver checks it at every exchange
-//! point through [`HaloEngine::halo_drift_sq`] and exchanges *early*
-//! when any shard reports a violation, so a hot shard can never read a
-//! stale ghost whose membership has decayed. Exchanging early is always
-//! safe: ghost overwrites rewrite exact bits with the same exact bits
-//! (only the eroded outer edge actually changes), so the schedule never
-//! affects physics — only how much redundant halo work is paid.
+//! The halo's `+ skin` margin prices drift at half the neighbor-list
+//! skin per period: membership computed at exchange time keeps
+//! covering the owned force neighborhoods while no atom has moved more
+//! than `skin/2` since the exchange — the same criterion
+//! `md_core::neighbor` uses for Verlet-list reuse. The driver checks it
+//! at every exchange point through [`HaloEngine::halo_drift_sq`] and
+//! exchanges *early* when any shard reports a violation, so a hot
+//! shard can never read a stale ghost whose membership has decayed.
+//! Exchanging early is always safe: ghost state is already synced
+//! per step, so an extra membership recompute rewrites exact bits with
+//! the same exact bits and the schedule never affects physics — only
+//! how much membership work is paid.
 //!
 //! The timestep is interleaved with the exchange according to the
 //! backend's [`StepSplit`]: the reference engine moves then computes
@@ -65,6 +74,7 @@
 use md_baseline::engine::BaselineEngine;
 use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 use md_core::materials::{Material, Species};
+use md_core::soa::{AtomsView, ParticleStore};
 use md_core::system::{Box3, System};
 use md_core::units;
 use md_core::vec3::V3d;
@@ -185,8 +195,10 @@ struct ReshardCtx {
     species: Species,
     bbox: Box3,
     dt: f64,
-    /// Halo width (Å): the ghost period times two cutoffs plus the
-    /// neighbor-list skin (one period's worth of erosion headroom).
+    /// Halo width (Å): two cutoffs plus the neighbor-list skin —
+    /// independent of the ghost period, because ghost motion is synced
+    /// from the owners' exact state every step and only *membership*
+    /// (covered by the half-skin drift check) ages between exchanges.
     halo: f64,
 }
 
@@ -224,9 +236,9 @@ pub struct ShardedEngine {
     /// Exchanges taken on period expiry.
     periodic_exchanges: u64,
     // ---- merged per-atom state, global atom-id order ----
-    positions: Vec<V3d>,
-    velocities: Vec<V3d>,
-    forces: Vec<V3d>,
+    /// SoA columns (positions/velocities/forces) lent out zero-copy
+    /// through the [`Engine`] view accessors.
+    merged: ParticleStore,
     pot: Vec<f64>,
     v2: Vec<f64>,
     cycles: Option<Vec<f64>>,
@@ -243,13 +255,14 @@ pub struct ShardedEngine {
 
 impl ShardedEngine {
     /// Shard the reference (f64) engine into `k` x-slabs of near-equal
-    /// atom count, exchanging ghosts every `ghost_period` steps. Ghost
-    /// membership is recomputed at each exchange from the current
-    /// positions (atoms drift), with a halo of `ghost_period` times two
-    /// cutoffs plus the neighbor-list skin; a shard whose ghost set
-    /// changes rebuilds its inner engine from the merged state. Between
-    /// exchanges ghosts integrate locally, guarded by the half-skin
-    /// drift check (see the module docs).
+    /// atom count, recomputing ghost membership every `ghost_period`
+    /// steps. The halo is a fixed `2·cutoff + skin` regardless of the
+    /// period — ghost positions and velocities are rewritten from the
+    /// owners' exact merged state every step, so only membership (a
+    /// function of drift, guarded by the half-skin check) ages between
+    /// exchanges. A shard whose ghost set changes at an exchange
+    /// rebuilds its inner engine from the merged state (see the module
+    /// docs).
     pub fn baseline(
         species: Species,
         positions: Vec<V3d>,
@@ -265,7 +278,7 @@ impl ShardedEngine {
         let k = k.clamp(1, n);
         let ghost_period = ghost_period.max(1);
         let material = Material::new(species);
-        let halo = ghost_period as f64 * (2.0 * material.cutoff + BaselineEngine::DEFAULT_SKIN);
+        let halo = 2.0 * material.cutoff + BaselineEngine::DEFAULT_SKIN;
 
         // Partition by initial x into k contiguous near-equal groups.
         let mut by_x: Vec<usize> = (0..n).collect();
@@ -290,6 +303,9 @@ impl ShardedEngine {
             start += take;
         }
 
+        let mut merged = ParticleStore::from_positions(species, &positions);
+        merged.set_velocities(&velocities);
+
         let ctx = ReshardCtx {
             species,
             bbox,
@@ -298,7 +314,7 @@ impl ShardedEngine {
         };
         let shards: Vec<Shard> = owned_sets
             .into_iter()
-            .map(|owned| build_baseline_shard(owned, &positions, &velocities, &owner, &ctx))
+            .map(|owned| build_baseline_shard(owned, &merged, &owner, &ctx))
             .collect();
 
         let mut e = ShardedEngine {
@@ -314,9 +330,7 @@ impl ShardedEngine {
             exchanges: 0,
             early_exchanges: 0,
             periodic_exchanges: 0,
-            positions,
-            velocities,
-            forces: vec![V3d::zero(); n],
+            merged,
             pot: vec![0.0; n],
             v2: vec![0.0; n],
             cycles: None,
@@ -438,6 +452,8 @@ impl ShardedEngine {
             shards.push(Shard::assemble(Box::new(engine), owned, atoms));
         }
 
+        let mut merged = ParticleStore::from_positions(species, &positions);
+        merged.set_velocities(&velocities);
         let mut e = ShardedEngine {
             backend: "wse",
             split: StepSplit::ForceThenMove,
@@ -451,9 +467,7 @@ impl ShardedEngine {
             exchanges: 0,
             early_exchanges: 0,
             periodic_exchanges: 0,
-            positions,
-            velocities,
-            forces: vec![V3d::zero(); n],
+            merged,
             pot: vec![0.0; n],
             v2: vec![0.0; n],
             cycles: Some(vec![0.0; n]),
@@ -548,14 +562,17 @@ impl ShardedEngine {
     /// demand, since the reference backend recomputes them with a full
     /// pair-filter pass.
     fn gather_static(&mut self) {
+        let merged = &mut self.merged;
+        let pot = &mut self.pot;
+        let cycles = &mut self.cycles;
         for shard in &self.shards {
-            let f = shard.engine.forces();
-            let pot = shard.engine.per_atom_potential_energies();
-            let cycles = shard.engine.per_atom_modeled_cycles();
+            let f = shard.engine.forces_view();
+            let p = shard.engine.per_atom_potential_energies();
+            let cy = shard.engine.per_atom_modeled_cycles();
             for (&gid, &l) in shard.owned.iter().zip(&shard.owned_local) {
-                self.forces[gid] = f[l];
-                self.pot[gid] = pot[l];
-                if let (Some(dst), Some(src)) = (self.cycles.as_mut(), cycles.as_ref()) {
+                merged.set_force(gid, f.get(l));
+                pot[gid] = p[l];
+                if let (Some(dst), Some(src)) = (cycles.as_mut(), cy) {
                     dst[gid] = src[l];
                 }
             }
@@ -563,16 +580,20 @@ impl ShardedEngine {
     }
 
     /// Gather motion-side per-atom terms (positions, velocities,
-    /// squared speeds) from each atom's owner.
+    /// squared speeds) from each atom's owner. The shard engines lend
+    /// their columns as borrowed views, so the whole merge allocates
+    /// nothing.
     fn gather_motion(&mut self) {
+        let merged = &mut self.merged;
+        let v2 = &mut self.v2;
         for shard in &self.shards {
-            let p = shard.engine.positions();
-            let v = shard.engine.velocities();
-            let v2 = shard.engine.per_atom_squared_speeds();
+            let p = shard.engine.positions_view();
+            let v = shard.engine.velocities_view();
+            let sv2 = shard.engine.per_atom_squared_speeds();
             for (&gid, &l) in shard.owned.iter().zip(&shard.owned_local) {
-                self.positions[gid] = p[l];
-                self.velocities[gid] = v[l];
-                self.v2[gid] = v2[l];
+                merged.set_position(gid, p.get(l));
+                merged.set_velocity(gid, v.get(l));
+                v2[gid] = sv2[l];
             }
         }
     }
@@ -583,40 +604,56 @@ impl ShardedEngine {
     /// rebuild any shard whose atom set changed.
     fn exchange_ghosts(&mut self) {
         if let Some(ctx) = &self.reshard {
-            let positions = &self.positions;
-            let velocities = &self.velocities;
+            let merged = &self.merged;
             let owner = &self.owner;
             self.shards.par_iter_mut().for_each(|shard| {
-                let desired = desired_atom_set(&shard.owned, positions, owner, ctx);
+                let desired = desired_atom_set(&shard.owned, merged, owner, ctx);
                 if desired != shard.atoms {
                     let owned = std::mem::take(&mut shard.owned);
-                    *shard = build_baseline_shard(owned, positions, velocities, owner, ctx);
+                    *shard = build_baseline_shard(owned, merged, owner, ctx);
                     shard.fresh = true;
                 } else {
                     for &l in &shard.ghost_local {
                         let gid = shard.atoms[l];
                         shard
                             .engine
-                            .overwrite_atom(l, positions[gid], velocities[gid]);
+                            .overwrite_atom(l, merged.position(gid), merged.velocity(gid));
                     }
                 }
                 shard.engine.mark_halo_reference();
             });
         } else {
-            let positions = &self.positions;
-            let velocities = &self.velocities;
+            let merged = &self.merged;
             self.shards.par_iter_mut().for_each(|shard| {
                 for &l in &shard.ghost_local {
                     let gid = shard.atoms[l];
                     shard
                         .engine
-                        .overwrite_atom(l, positions[gid], velocities[gid]);
+                        .overwrite_atom(l, merged.position(gid), merged.velocity(gid));
                 }
                 shard.engine.mark_halo_reference();
             });
         }
         self.exchanges += 1;
         self.steps_since_exchange = 0;
+    }
+
+    /// Rewrite every ghost's position and velocity from its owner's
+    /// exact merged state, leaving the exchange schedule untouched:
+    /// membership and the drift reference still age until the next real
+    /// exchange. Runs between the move and force halves of every
+    /// non-exchange step on the reference backend — the sync that lets
+    /// the halo stay at its k-independent one-step width.
+    fn sync_ghost_motion(&mut self) {
+        let merged = &self.merged;
+        self.shards.par_iter_mut().for_each(|shard| {
+            for &l in &shard.ghost_local {
+                let gid = shard.atoms[l];
+                shard
+                    .engine
+                    .overwrite_atom(l, merged.position(gid), merged.velocity(gid));
+            }
+        });
     }
 
     /// The per-step exchange decision at the exchange point: period
@@ -631,19 +668,15 @@ impl ShardedEngine {
             self.periodic_exchanges += 1;
             return true;
         }
-        // The drift scans are O(hosted atoms) per shard, so they fan
-        // out over the worker pool like every other per-shard pass
-        // (order-free booleans; the wafer backend's infinite limit
+        // The drift scans are branch-free column sweeps over the SoA
+        // reference, cheap enough that parallel dispatch would cost
+        // more than the work — run them inline and short-circuit on
+        // the first tripped shard (the wafer backend's infinite limit
         // short-circuits its scan away entirely).
-        let flags: Vec<bool> = self
-            .shards
-            .par_iter_mut()
-            .map(|s| {
-                let limit = s.engine.halo_drift_limit_sq();
-                limit.is_finite() && s.engine.halo_drift_sq() > limit
-            })
-            .collect();
-        let drifted = flags.into_iter().any(|b| b);
+        let drifted = self.shards.iter().any(|s| {
+            let limit = s.engine.halo_drift_limit_sq();
+            limit.is_finite() && s.engine.halo_drift_sq() > limit
+        });
         if drifted {
             self.early_exchanges += 1;
         }
@@ -678,34 +711,33 @@ fn within_halo_x(x: f64, lo: f64, hi: f64, halo: f64, bbox: &Box3) -> bool {
 /// owned slab's current x extent.
 fn desired_atom_set(
     owned: &[usize],
-    positions: &[V3d],
+    merged: &ParticleStore,
     owner: &[usize],
     ctx: &ReshardCtx,
 ) -> Vec<usize> {
     let me = owner[owned[0]];
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &i in owned {
-        lo = lo.min(positions[i].x);
-        hi = hi.max(positions[i].x);
+        lo = lo.min(merged.x[i]);
+        hi = hi.max(merged.x[i]);
     }
-    (0..positions.len())
-        .filter(|&j| owner[j] == me || within_halo_x(positions[j].x, lo, hi, ctx.halo, &ctx.bbox))
+    (0..merged.len())
+        .filter(|&j| owner[j] == me || within_halo_x(merged.x[j], lo, hi, ctx.halo, &ctx.bbox))
         .collect()
 }
 
 /// Build (or rebuild) one reference-backend shard from merged state.
 fn build_baseline_shard(
     owned: Vec<usize>,
-    positions: &[V3d],
-    velocities: &[V3d],
+    merged: &ParticleStore,
     owner: &[usize],
     ctx: &ReshardCtx,
 ) -> Shard {
-    let atoms = desired_atom_set(&owned, positions, owner, ctx);
-    let pos: Vec<V3d> = atoms.iter().map(|&i| positions[i]).collect();
-    let vel: Vec<V3d> = atoms.iter().map(|&i| velocities[i]).collect();
+    let atoms = desired_atom_set(&owned, merged, owner, ctx);
+    let pos: Vec<V3d> = atoms.iter().map(|&i| merged.position(i)).collect();
+    let vel: Vec<V3d> = atoms.iter().map(|&i| merged.velocity(i)).collect();
     let mut system = System::from_positions(ctx.species, pos, ctx.bbox);
-    system.velocities = vel;
+    system.set_velocities(&vel);
     let engine = BaselineEngine::new(system, ctx.dt);
     Shard::assemble(Box::new(engine), owned, atoms)
 }
@@ -729,6 +761,8 @@ impl Engine for ShardedEngine {
                 self.steps_since_exchange += 1;
                 if self.exchange_due() {
                     self.exchange_ghosts();
+                } else {
+                    self.sync_ghost_motion();
                 }
                 self.shards.par_iter_mut().for_each(|s| {
                     if !s.fresh {
@@ -761,41 +795,43 @@ impl Engine for ShardedEngine {
         self.steps_run += 1;
     }
 
-    fn positions(&self) -> Vec<V3d> {
-        self.positions.clone()
+    fn positions_view(&self) -> AtomsView<'_> {
+        self.merged.positions()
     }
 
-    fn velocities(&self) -> Vec<V3d> {
-        self.velocities.clone()
+    fn velocities_view(&self) -> AtomsView<'_> {
+        self.merged.velocities()
+    }
+
+    fn forces_view(&self) -> AtomsView<'_> {
+        self.merged.forces()
     }
 
     fn set_velocities(&mut self, velocities: &[V3d]) {
         assert_eq!(velocities.len(), self.n);
-        self.velocities.copy_from_slice(velocities);
-        let positions = &self.positions;
-        let vel = &self.velocities;
+        self.merged.set_velocities(velocities);
+        let merged = &self.merged;
         // Overwriting every hosted atom from the merged (exact) state
-        // is a bonus ghost refresh (it restores any eroded outer-edge
-        // ghosts), but the scheduler is deliberately left untouched:
-        // ghost *membership* was computed at the last real exchange, so
-        // the skin-validity reference must keep accumulating drift
-        // against those positions until the next membership recompute.
+        // keeps ghosts in motion sync, but the exchange scheduler is
+        // deliberately left untouched: ghost *membership* was computed
+        // at the last real exchange, so the skin-validity reference
+        // must keep accumulating drift against those positions until
+        // the next membership recompute.
         self.shards.par_iter_mut().for_each(|shard| {
             for (l, &gid) in shard.atoms.iter().enumerate() {
-                shard.engine.overwrite_atom(l, positions[gid], vel[gid]);
+                shard
+                    .engine
+                    .overwrite_atom(l, merged.position(gid), merged.velocity(gid));
             }
         });
+        let v2 = &mut self.v2;
         for shard in &self.shards {
-            let v2 = shard.engine.per_atom_squared_speeds();
+            let sv2 = shard.engine.per_atom_squared_speeds();
             for (&gid, &l) in shard.owned.iter().zip(&shard.owned_local) {
-                self.v2[gid] = v2[l];
+                v2[gid] = sv2[l];
             }
         }
         self.kinetic_live = true;
-    }
-
-    fn forces(&self) -> Vec<V3d> {
-        self.forces.clone()
     }
 
     fn observables(&self) -> Observables {

@@ -39,6 +39,41 @@ fn unknown_scenario_is_rejected_and_lists_the_registry() {
     }
 }
 
+/// Unknown `--engine` values exit 2 with a hint naming the accepted
+/// backends (the rendered [`scenario::ScenarioError::UnknownEngine`]).
+#[test]
+fn unknown_engine_is_rejected_with_a_hint() {
+    let out = cli()
+        .args(["run", "quickstart", "--engine", "gpu"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "--engine gpu must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown engine 'gpu'"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("expected baseline|wse"),
+        "stderr lacks the accepted backends: {stderr}"
+    );
+    assert!(stderr.contains("usage: wafer-md run"), "stderr: {stderr}");
+}
+
+/// Unknown species on `export-setfl` exit 2 with the rendered
+/// [`scenario::ScenarioError::UnknownSpecies`] hint.
+#[test]
+fn export_setfl_unknown_species_is_rejected() {
+    let out = cli()
+        .args(["export-setfl", "iron", "/dev/null"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "unknown species must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown species 'iron'"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("usage: wafer-md run"), "stderr: {stderr}");
+}
+
 #[test]
 fn zero_shards_is_rejected() {
     let out = cli()

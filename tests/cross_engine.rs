@@ -29,7 +29,7 @@ fn matched_pair(species: Species, nx: usize, t: f64, seed: u64) -> (WseMdSim, Ba
     let wse = WseMdSim::new(species, &positions, &velocities, config);
 
     let mut system = System::from_slab(species, spec);
-    system.velocities = velocities;
+    system.set_velocities(&velocities);
     let baseline = BaselineEngine::new(system, 2e-3);
     (wse, baseline)
 }
@@ -43,10 +43,10 @@ fn engines_agree_on_trajectories() {
             baseline.step();
         }
         let wse_pos = wse.positions_by_atom();
-        let ref_pos = &baseline.system.positions;
+        let ref_pos = baseline.system.positions();
         let mut max_dev = 0.0f64;
-        for (a, b) in wse_pos.iter().zip(ref_pos) {
-            max_dev = max_dev.max((*a - *b).norm());
+        for (a, b) in wse_pos.iter().zip(ref_pos.iter()) {
+            max_dev = max_dev.max((*a - b).norm());
         }
         assert!(
             max_dev < 5e-3,
@@ -136,7 +136,7 @@ fn periodic_boundaries_match_the_periodic_reference() {
     let bbox = Box3::with_periodicity(dims, [true, true, false]);
     let mut system = System::from_slab(species, spec);
     system.bbox = bbox;
-    system.velocities = velocities;
+    system.set_velocities(&velocities);
     let baseline = BaselineEngine::new(system, 2e-3);
 
     // Energy of the shared initial configuration.
@@ -154,8 +154,8 @@ fn periodic_boundaries_match_the_periodic_reference() {
     baseline.step(); // baseline stepped once fewer inside the loop pairing
     let wse_pos = wse.positions_by_atom();
     let mut max_dev = 0.0f64;
-    for (a, b) in wse_pos.iter().zip(&baseline.system.positions) {
-        max_dev = max_dev.max(bbox.displacement(*a, *b).norm());
+    for (a, b) in wse_pos.iter().zip(baseline.system.positions().iter()) {
+        max_dev = max_dev.max(bbox.displacement(*a, b).norm());
     }
     assert!(max_dev < 5e-3, "PBC trajectories diverged by {max_dev} Å");
 }
@@ -169,6 +169,7 @@ fn periodic_boundaries_match_the_periodic_reference() {
 mod thread_count_equivalence {
     use super::*;
     use proptest::prelude::*;
+    use wafer_md::md::engine::Engine;
     use wafer_md::md::vec3::V3d;
 
     /// Everything a thread count could plausibly perturb, as exact bits.
@@ -201,7 +202,7 @@ mod thread_count_equivalence {
         let config = WseMdConfig::open_for(positions.len(), 0.05, 2e-3);
         let mut wse = WseMdSim::new(species, positions, velocities, config);
         let mut system = System::from_slab(species, spec);
-        system.velocities = velocities.to_vec();
+        system.set_velocities(velocities);
         let mut baseline = BaselineEngine::new(system, 2e-3);
         for _ in 0..steps {
             wse.step();
@@ -209,7 +210,7 @@ mod thread_count_equivalence {
         }
         rayon::set_num_threads(0);
         TrajectoryBits {
-            baseline_forces: v3_bits(baseline.forces()),
+            baseline_forces: v3_bits(&baseline.forces_view().to_vec()),
             baseline_energy: baseline.potential_energy.to_bits(),
             wse_forces: v3_bits(&wse.forces_by_atom()),
             wse_potential: wse.last_stats.potential_energy.to_bits(),

@@ -33,7 +33,8 @@ fn table2_pipeline_recovers_cost_model() {
         for spacing_frac in [0.3, 0.6, 0.9] {
             let m = wafer_md::md::materials::Material::new(Species::Ta);
             let mut sim = Scenario::controlled_grid(Species::Ta, 18, m.cutoff * spacing_frac, b)
-                .build_engine();
+                .build_engine()
+                .expect("consistent scenario");
             sim.run(3);
             let o = sim.observables();
             samples.push(model::linear::SweepSample {
@@ -55,7 +56,9 @@ fn fig8_weak_scaling_is_flat_under_controlled_workload() {
     let rates: Vec<f64> = [24usize, 48, 96]
         .iter()
         .map(|&side| {
-            let mut sim = Scenario::controlled_grid(Species::Ta, side, 1.3, 4).build_engine();
+            let mut sim = Scenario::controlled_grid(Species::Ta, side, 1.3, 4)
+                .build_engine()
+                .expect("consistent scenario");
             sim.run(4);
             sim.observables()
                 .modeled_rate
@@ -145,7 +148,7 @@ fn quickstart_scenario_agrees_across_backends() {
             .temperature(290.0)
             .seed(2024)
             .engine(kind);
-        let mut engine = sc.build_engine();
+        let mut engine = sc.build_engine().expect("consistent scenario");
         engine.run(20);
         let o = engine.observables();
         energies.push(o.total_energy() / engine.n_atoms() as f64);

@@ -2,9 +2,10 @@
 //! velocities, forces, and energies must be **bit-identical** (`to_bits`,
 //! not merely close) for any shard count *and any ghost-exchange
 //! period*, on both backends. This is the executable form of the
-//! ghost-region determinism guarantee: period-scaled halos + canonical
-//! neighbor enumeration + atom-id-order merge folds mean neither the
-//! spatial decomposition nor the exchange schedule can change physics.
+//! ghost-region determinism guarantee: per-step ghost motion sync over
+//! a fixed `2·cutoff + skin` halo + canonical neighbor enumeration +
+//! atom-id-order merge folds mean neither the spatial decomposition nor
+//! the membership-exchange schedule can change physics.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,9 +61,9 @@ fn v3_bits(vs: &[V3d]) -> Vec<[u64; 3]> {
 fn bits_of(engine: &dyn Engine) -> Bits {
     let o = engine.observables();
     Bits {
-        positions: v3_bits(&engine.positions()),
-        velocities: v3_bits(&engine.velocities()),
-        forces: v3_bits(&engine.forces()),
+        positions: v3_bits(&engine.positions_view().to_vec()),
+        velocities: v3_bits(&engine.velocities_view().to_vec()),
+        forces: v3_bits(&engine.forces_view().to_vec()),
         potential: o.potential_energy.to_bits(),
         kinetic: o.kinetic_energy.to_bits(),
         temperature: o.temperature.to_bits(),
@@ -74,7 +75,7 @@ fn bits_of(engine: &dyn Engine) -> Bits {
 
 fn baseline_single(species: Species, spec: SlabSpec, velocities: &[V3d]) -> BaselineEngine {
     let mut system = System::from_slab(species, spec);
-    system.velocities = velocities.to_vec();
+    system.set_velocities(velocities);
     BaselineEngine::new(system, 2e-3)
 }
 
@@ -230,10 +231,11 @@ mod proptest_sharding {
     }
 }
 
-/// Partial-halo erosion: elongated slabs where the period-k halo covers
-/// a strict subset of the box, so ghosts near the outer edge genuinely
-/// erode between exchanges and only the `k·(2·cutoff + skin)` width
-/// keeps owned forces exact. (Small boxes degenerate to full
+/// Partial halos under amortized membership exchange: elongated slabs
+/// where the `2·cutoff + skin` halo covers a strict subset of the box,
+/// so atoms genuinely drift across ghost-region edges between the
+/// period-k membership recomputes and only the per-step ghost motion
+/// sync keeps owned forces exact. (Small boxes degenerate to full
 /// replication, which would leave the halo math untested.)
 #[test]
 fn partial_halo_baseline_stays_exact_over_amortized_periods() {
@@ -338,7 +340,7 @@ fn skin_violation_forces_early_exchange_before_stale_forces() {
         if step == 20 {
             // Thermostat kick on both engines: rescale back to 2200 K.
             for engine in [&mut single as &mut dyn Engine, &mut sharded] {
-                let mut v = engine.velocities();
+                let mut v = engine.velocities_view().to_vec();
                 thermostat::rescale_to_temperature(&mut v, material.mass, 2200.0);
                 engine.set_velocities(&v);
             }

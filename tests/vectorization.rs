@@ -1,0 +1,166 @@
+//! Executable vectorization contract: the f64x4-chunked kernels and the
+//! engines built on them must be **bit-identical** (`to_bits`, not
+//! merely close) to their scalar references — at every lane-tail
+//! residue `n % LANES ∈ {0, 1, 2, 3}` and at every worker-pool size.
+//! Random inputs keep the lane batching honest where hand-picked
+//! lattices would only exercise one rounding pattern.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wafer_md::baseline::BaselineEngine;
+use wafer_md::md::engine::{Engine, HaloEngine};
+use wafer_md::md::materials::{Material, Species};
+use wafer_md::md::spline::LANES;
+use wafer_md::md::system::{Box3, System};
+use wafer_md::md::vec3::V3d;
+use wafer_md::wse::{WseMdConfig, WseMdSim};
+
+const SPECIES: [Species; 3] = [Species::Ta, Species::Cu, Species::W];
+
+/// A jittered cubic cluster of exactly `n` atoms — `n` is free, unlike
+/// the crystal generators, so every lane-tail residue is reachable.
+fn jittered_cluster(material: &Material, n: usize, seed: u64) -> Vec<V3d> {
+    let side = (n as f64).cbrt().ceil() as usize;
+    let spacing = 0.72 * material.lattice_a;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let (x, y, z) = (i % side, (i / side) % side, i / (side * side));
+            let mut jitter = || rng.gen_range(-0.15..0.15);
+            V3d::new(
+                x as f64 * spacing + jitter(),
+                y as f64 * spacing + jitter(),
+                z as f64 * spacing + jitter(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // Kernel level: one lane batch through the tabulated splines must
+    // reproduce four scalar calls exactly. This is the primitive both
+    // backends' force loops are built from.
+    #[test]
+    fn spline_lane_batches_match_scalar_calls_bitwise(
+        species_idx in 0usize..3,
+        radii in proptest::collection::vec(0.1f64..7.0, LANES..LANES + 1),
+        rho_fracs in proptest::collection::vec(0.0f64..2.5, LANES..LANES + 1),
+    ) {
+        let material = Material::new(SPECIES[species_idx]);
+        let potential = material.potential();
+        let r4 = [radii[0], radii[1], radii[2], radii[3]];
+        let (phi4, dphi4) = potential.pair4(r4);
+        let (rho4, drho4) = potential.density4(r4);
+        let mut d4 = [0.0; LANES];
+        for (l, d) in d4.iter_mut().enumerate() {
+            *d = rho_fracs[l] * material.rho_e;
+        }
+        let (f4, fp4) = potential.embedding4(d4);
+        for l in 0..LANES {
+            let (phi, dphi) = potential.pair(r4[l]);
+            let (rho, drho) = potential.density(r4[l]);
+            let (f, fp) = potential.embedding(d4[l]);
+            prop_assert_eq!(phi.to_bits(), phi4[l].to_bits(), "phi lane {}", l);
+            prop_assert_eq!(dphi.to_bits(), dphi4[l].to_bits(), "dphi lane {}", l);
+            prop_assert_eq!(rho.to_bits(), rho4[l].to_bits(), "rho lane {}", l);
+            prop_assert_eq!(drho.to_bits(), drho4[l].to_bits(), "drho lane {}", l);
+            prop_assert_eq!(f.to_bits(), f4[l].to_bits(), "F lane {}", l);
+            prop_assert_eq!(fp.to_bits(), fp4[l].to_bits(), "F' lane {}", l);
+        }
+    }
+}
+
+proptest! {
+    // Engine level, reference backend: the chunked force loops against
+    // the retained scalar oracle, with the atom count sweeping every
+    // lane-tail residue and the worker pool at 1 and 4 threads.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn baseline_vectorized_forces_match_the_scalar_oracle_bitwise(
+        species_idx in 0usize..3,
+        quads in 5usize..10,
+        tail in 0usize..LANES,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = quads * LANES + tail;
+        let species = SPECIES[species_idx];
+        let material = Material::new(species);
+        let positions = jittered_cluster(&material, n, seed);
+        for threads in [1usize, 4] {
+            rayon::set_num_threads(threads);
+            let system = System::from_positions(
+                species,
+                positions.clone(),
+                Box3::open(V3d::splat(1.0e4)),
+            );
+            let engine = BaselineEngine::new(system, 2e-3);
+            let (energy, pot, forces) = engine.compute_forces_scalar();
+            prop_assert_eq!(
+                engine.potential_energy.to_bits(),
+                energy.to_bits(),
+                "energy (n={}, {} threads)", n, threads
+            );
+            let vec_forces = engine.forces_view();
+            let vec_pot = engine.per_atom_potential_energies();
+            for i in 0..n {
+                prop_assert_eq!(
+                    vec_pot[i].to_bits(),
+                    pot[i].to_bits(),
+                    "atom {} pot (n={}, {} threads)", i, n, threads
+                );
+                let f = vec_forces.get(i);
+                prop_assert_eq!(f.x.to_bits(), forces[i].x.to_bits(), "atom {} fx", i);
+                prop_assert_eq!(f.y.to_bits(), forces[i].y.to_bits(), "atom {} fy", i);
+                prop_assert_eq!(f.z.to_bits(), forces[i].z.to_bits(), "atom {} fz", i);
+            }
+            rayon::set_num_threads(0);
+        }
+    }
+}
+
+proptest! {
+    // Engine level, wafer backend: the chunked Phase-3b embedding fold
+    // writes per-core lanes, so its output must be a pure function of
+    // the configuration — identical bits at 1 and 4 threads for every
+    // lane-tail residue of the core count.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn wse_vectorized_fold_is_bit_stable_across_threads_at_every_tail(
+        species_idx in 0usize..3,
+        quads in 5usize..9,
+        tail in 0usize..LANES,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = quads * LANES + tail;
+        let species = SPECIES[species_idx];
+        let material = Material::new(species);
+        let positions = jittered_cluster(&material, n, seed);
+        let velocities = vec![V3d::zero(); n];
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            rayon::set_num_threads(threads);
+            let config = WseMdConfig::open_for(n, 0.05, 2e-3);
+            let mut wse = WseMdSim::new(species, &positions, &velocities, config);
+            wse.step();
+            wse.step();
+            let force_bits: Vec<[u64; 3]> = (0..n)
+                .map(|i| {
+                    let f = wse.forces_view().get(i);
+                    [f.x.to_bits(), f.y.to_bits(), f.z.to_bits()]
+                })
+                .collect();
+            let pot_bits: Vec<u64> = wse
+                .per_atom_potential_energies()
+                .iter()
+                .map(|e| e.to_bits())
+                .collect();
+            let energy_bits = wse.last_stats.potential_energy.to_bits();
+            runs.push((force_bits, pot_bits, energy_bits));
+            rayon::set_num_threads(0);
+        }
+        prop_assert_eq!(&runs[0], &runs[1], "n = {} (tail {})", n, tail);
+    }
+}

@@ -78,7 +78,7 @@ fn scenario_registry_reaches_both_backends_through_the_facade() {
     let sc = scenario::Scenario::slab(md::materials::Species::Ta, 3, 3, 1)
         .temperature(150.0)
         .engine(scenario::EngineKind::Wse);
-    let mut engine = sc.build_engine();
+    let mut engine = sc.build_engine().expect("consistent scenario");
     engine.run(2);
     assert!(engine.observables().modeled_rate.is_some());
 }
