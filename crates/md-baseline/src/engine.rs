@@ -386,6 +386,13 @@ impl Engine for BaselineEngine {
         BaselineEngine::step(self);
     }
 
+    fn run_counters(&self) -> md_core::engine::RunCounters {
+        md_core::engine::RunCounters {
+            steps: self.step_count,
+            ..Default::default()
+        }
+    }
+
     fn positions_view(&self) -> AtomsView<'_> {
         self.system.atoms.positions()
     }

@@ -137,6 +137,25 @@ impl Observables {
     }
 }
 
+/// Monotonic whole-run execution counters reported through
+/// [`Engine::run_counters`].
+///
+/// Unlike [`Observables`] (a physics snapshot after the last step),
+/// these describe the *execution*: how many steps have been advanced
+/// and, for sharded drivers, how the ghost-exchange schedule played
+/// out. The scenario server publishes them per job, and they feed the
+/// Table VI reconciliation (measured exchanges vs the period model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Timesteps advanced since construction.
+    pub steps: u64,
+    /// Ghost exchanges performed (sharded drivers; 0 otherwise).
+    pub exchanges: u64,
+    /// Exchanges forced early by the skin-validity check (sharded
+    /// drivers; 0 otherwise).
+    pub early_exchanges: u64,
+}
+
 /// A molecular-dynamics backend that can advance a trajectory and
 /// report uniform observables.
 ///
@@ -184,26 +203,14 @@ pub trait Engine {
     /// [`Engine::velocities_view`] and write it back.
     fn set_velocities(&mut self, velocities: &[V3d]);
 
-    /// Positions (Å) in atom-id order as an owned vector.
-    #[deprecated(
-        note = "use `positions_view()`; call `.to_vec()` on it if an owned Vec is required"
-    )]
-    fn positions(&self) -> Vec<V3d> {
-        self.positions_view().to_vec()
-    }
-
-    /// Velocities (Å/ps) in atom-id order as an owned vector.
-    #[deprecated(
-        note = "use `velocities_view()`; call `.to_vec()` on it if an owned Vec is required"
-    )]
-    fn velocities(&self) -> Vec<V3d> {
-        self.velocities_view().to_vec()
-    }
-
-    /// Forces (eV/Å) from the last evaluation as an owned vector.
-    #[deprecated(note = "use `forces_view()`; call `.to_vec()` on it if an owned Vec is required")]
-    fn forces(&self) -> Vec<V3d> {
-        self.forces_view().to_vec()
+    /// Monotonic whole-run counters: steps advanced and (for sharded
+    /// drivers) the ghost-exchange schedule. Backends that do not track
+    /// a counter report it as zero; the default reports all zeros.
+    /// Deterministic — counters derive from the execution schedule,
+    /// which is itself a pure function of the workload — so they are
+    /// safe to publish in byte-diffed artifacts.
+    fn run_counters(&self) -> RunCounters {
+        RunCounters::default()
     }
 
     /// Uniform observables after the last completed step.
@@ -357,12 +364,11 @@ mod tests {
         assert_eq!(o.kinetic_energy, 1.0);
     }
 
-    /// The deprecated owned-Vec accessors are thin shims over the views;
-    /// they must return exactly what the views iterate (kept one release
-    /// for incremental migration of downstream code).
+    /// The view accessors are the only per-atom surface (the PR 6
+    /// deprecated Vec shims are gone), and counters default to zeros
+    /// for backends that track none.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_vec_shims_match_views() {
+    fn views_are_the_only_surface_and_counters_default_to_zero() {
         struct Fixed {
             x: Vec<f64>,
             y: Vec<f64>,
@@ -395,11 +401,10 @@ mod tests {
             y: vec![3.0, 4.0],
             z: vec![5.0, 6.0],
         };
-        assert_eq!(e.positions(), e.positions_view().to_vec());
         assert_eq!(
-            e.velocities(),
+            e.velocities_view().to_vec(),
             vec![V3d::new(3.0, 5.0, 1.0), V3d::new(4.0, 6.0, 2.0)]
         );
-        assert_eq!(e.forces(), e.forces_view().to_vec());
+        assert_eq!(e.run_counters(), RunCounters::default());
     }
 }

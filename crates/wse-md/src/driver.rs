@@ -829,6 +829,13 @@ impl Engine for WseMdSim {
         WseMdSim::step(self);
     }
 
+    fn run_counters(&self) -> md_core::engine::RunCounters {
+        md_core::engine::RunCounters {
+            steps: self.step_count,
+            ..Default::default()
+        }
+    }
+
     fn positions_view(&self) -> AtomsView<'_> {
         AtomsView::new(&self.apx, &self.apy, &self.apz)
     }

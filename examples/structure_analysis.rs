@@ -12,6 +12,6 @@ use wafer_md::scenario::{self, RunOptions};
 fn main() {
     scenario::find("structure")
         .expect("registered scenario")
-        .run(&RunOptions::default(), &mut std::io::stdout().lock())
+        .run(&RunOptions::new(), &mut std::io::stdout().lock())
         .expect("write scenario report");
 }

@@ -4,18 +4,25 @@
 //! wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]
 //!                         [--shards K] [--ghost-period k|auto] [--xyz PATH]
 //! wafer-md list
+//! wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]
 //! wafer-md export-setfl <cu|w|ta> <path>
 //! ```
 //!
 //! `run` executes a scenario from the declarative registry
 //! (`wafer_md::scenario`) and prints its deterministic report; `list`
 //! enumerates the registry with the one-line description of each
-//! scenario; `export-setfl` writes a calibrated potential as a LAMMPS
-//! `eam/alloy` file for interop with the paper's original toolchain.
+//! scenario; `serve` answers `ScenarioSpec` requests over HTTP/JSON
+//! from a content-addressed result cache (`--drain FILE` runs a
+//! request file to completion and exits, for CI); `export-setfl`
+//! writes a calibrated potential as a LAMMPS `eam/alloy` file for
+//! interop with the paper's original toolchain.
+
+use std::io::Write;
 
 use wafer_md::md::materials::Material;
 use wafer_md::md::setfl;
-use wafer_md::scenario::{self, EngineKind, RunOptions, ScenarioError};
+use wafer_md::scenario::{self, RunOptions, ScenarioError};
+use wafer_md::serve;
 
 /// Surface a typed scenario error with the usage text and exit 2: the
 /// error's `Display` *is* the hint line the tests assert on.
@@ -29,6 +36,7 @@ fn usage() -> ! {
         "usage: wafer-md run <scenario> [--engine baseline|wse] [--atoms N] [--steps N]\n\
          \x20                           [--shards K] [--ghost-period k|auto] [--xyz PATH]\n\
          \x20      wafer-md list\n\
+         \x20      wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]\n\
          \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
          \n\
          scenarios:\n{}",
@@ -58,33 +66,52 @@ fn indent(s: &str) -> String {
 
 fn parse_run(args: &[String]) -> (String, RunOptions) {
     let Some(name) = args.first() else { usage() };
-    let mut opts = RunOptions::default();
+    let mut opts = RunOptions::new();
     let mut i = 1;
+    let value = |i: &mut usize| -> &String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| usage())
+    };
+    // Every flag routes through a typed RunOptions parse_* setter: the
+    // builder owns validation, and any ScenarioError maps to exit 2
+    // with its rendered hint.
+    while i < args.len() {
+        let fallible = |r: Result<RunOptions, ScenarioError>| -> RunOptions {
+            r.unwrap_or_else(|e| scenario_error(e))
+        };
+        opts = match args[i].as_str() {
+            "--engine" => fallible(opts.parse_engine(value(&mut i))),
+            "--atoms" => fallible(opts.parse_atoms(value(&mut i))),
+            "--steps" => fallible(opts.parse_steps(value(&mut i))),
+            "--shards" => fallible(opts.parse_shards(value(&mut i))),
+            "--ghost-period" => fallible(opts.parse_ghost_period(value(&mut i))),
+            "--xyz" => opts.xyz(value(&mut i).into()),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        };
+        i += 1;
+    }
+    (name.clone(), opts)
+}
+
+fn serve_main(args: &[String]) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cache = "./.wafer-cache".to_string();
+    let mut drain: Option<String> = None;
+    let mut i = 0;
     let value = |i: &mut usize| -> &String {
         *i += 1;
         args.get(*i).unwrap_or_else(|| usage())
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--engine" => {
-                let v = value(&mut i);
-                opts.engine = Some(EngineKind::parse(v).unwrap_or_else(|e| scenario_error(e)));
-            }
-            "--atoms" => opts.atoms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
-            "--steps" => opts.steps = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
-            "--shards" => {
-                let k: usize = value(&mut i).parse().unwrap_or_else(|_| usage());
-                if k == 0 {
-                    scenario_error(ScenarioError::InvalidShards)
-                }
-                opts.shards = Some(k);
-            }
-            "--ghost-period" => {
-                let v = value(&mut i);
-                opts.ghost_period =
-                    Some(scenario::parse_ghost_period(v).unwrap_or_else(|e| scenario_error(e)));
-            }
-            "--xyz" => opts.xyz = Some(value(&mut i).into()),
+            "--addr" => addr = value(&mut i).clone(),
+            "--cache" => cache = value(&mut i).clone(),
+            // `--once` is an alias for `--drain`: run the request file
+            // to completion, then exit.
+            "--drain" | "--once" => drain = Some(value(&mut i).clone()),
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage()
@@ -92,7 +119,27 @@ fn parse_run(args: &[String]) -> (String, RunOptions) {
         }
         i += 1;
     }
-    (name.clone(), opts)
+    if let Some(requests) = drain {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        if let Err(e) = serve::drain_file(cache.as_ref(), requests.as_ref(), &mut out) {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                // A malformed request line is a usage error, not a crash.
+                eprintln!("{requests}: {e}");
+                std::process::exit(2);
+            }
+            panic!("drain {requests}: {e}");
+        }
+        return;
+    }
+    let mut server =
+        serve::Server::bind(&addr, cache.as_ref()).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    let bound = server.local_addr().expect("bound listener has an address");
+    println!("listening on {bound} (cache {cache})");
+    std::io::stdout().flush().expect("flush stdout");
+    if let Err(e) = server.serve() {
+        panic!("serve on {bound}: {e}");
+    }
 }
 
 fn export_setfl(args: &[String]) {
@@ -125,6 +172,7 @@ fn main() {
             }
         }
         Some("list") => print!("{}", scenario::list_text()),
+        Some("serve") => serve_main(&argv[1..]),
         Some("export-setfl") => export_setfl(&argv[1..]),
         _ => usage(),
     }

@@ -20,7 +20,9 @@
 //! | [`model`] | analytic models: Tables II–VI and Fig. 1 |
 //!
 //! On top of the re-exports, the [`scenario`] module is the unified
-//! entry point: a declarative [`scenario::Scenario`] builder, the
+//! entry point: a serializable [`scenario::ScenarioSpec`] (pure data
+//! with a canonical JSON form and a stable content hash), the
+//! declarative [`scenario::Scenario`] builder that materializes it, the
 //! [`scenario::Engine`] trait both backends implement, and a named
 //! registry of every workload (`wafer-md run <name>` / `wafer-md list`
 //! on the command line; `cargo run --example quickstart` etc. are thin
@@ -28,6 +30,13 @@
 //! registered MD workload as K spatial shards with ghost-region
 //! exchange — bit-identical to the single-engine run — and [`traj`]
 //! dumps XYZ trajectories for end-to-end byte comparison.
+//!
+//! The [`serve`] module turns the byte-determinism guarantee into a
+//! service: `wafer-md serve` accepts [`scenario::ScenarioSpec`]
+//! requests over HTTP/JSON ([`json`] is the dependency-free JSON
+//! layer), runs each distinct spec exactly once, and answers repeats
+//! from a content-addressed on-disk result cache keyed by
+//! [`scenario::ScenarioSpec::canonical_hash`].
 //!
 //! See docs/ARCHITECTURE.md for the crate map and how a scenario flows
 //! through an engine.
@@ -40,7 +49,9 @@ pub use perf_model as model;
 pub use wse_fabric as fabric;
 pub use wse_md as wse;
 
+pub mod json;
 pub mod scenario;
+pub mod serve;
 pub mod shard;
 pub mod traj;
 

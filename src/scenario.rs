@@ -39,20 +39,39 @@
 //! use wafer_md::scenario::{find, EngineKind, RunOptions};
 //!
 //! let entry = find("quickstart").expect("registered scenario");
-//! let opts = RunOptions {
-//!     engine: Some(EngineKind::Baseline),
-//!     atoms: Some(36),
-//!     steps: Some(2),
-//!     ..RunOptions::default()
-//! };
+//! let opts = RunOptions::new()
+//!     .engine(EngineKind::Baseline)
+//!     .atoms(36)
+//!     .steps(2);
 //! let mut buf = Vec::new();
 //! entry.run(&opts, &mut buf).unwrap();
 //! assert!(String::from_utf8(buf).unwrap().contains("quickstart"));
 //! ```
+//!
+//! # Describe a run as pure data
+//!
+//! A [`ScenarioSpec`] is the serializable half of a scenario — every
+//! field that determines the physics, as plain data with a canonical
+//! JSON form and a stable content hash. The scenario server
+//! (`wafer-md serve`, [`crate::serve`]) keys its result cache on
+//! [`ScenarioSpec::canonical_hash`]; because every run is
+//! byte-deterministic, the hash of the inputs addresses the outputs.
+//!
+//! ```
+//! use wafer_md::scenario::{Scenario, ScenarioSpec};
+//!
+//! let spec = Scenario::slab(wafer_md::md::materials::Species::Ta, 3, 3, 1)
+//!     .temperature(120.0)
+//!     .to_spec();
+//! let round_tripped = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+//! assert_eq!(spec, round_tripped);
+//! assert_eq!(spec.canonical_hash(), round_tripped.canonical_hash());
+//! ```
 
 use std::fmt;
 use std::io::{self, Write};
-use std::path::PathBuf;
+use std::ops::{Deref, DerefMut};
+use std::path::{Path, PathBuf};
 
 use md_baseline::engine::BaselineEngine;
 use md_core::analysis;
@@ -66,6 +85,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wse_md::{run_with_swaps, WseMdConfig, WseMdSim};
 
+use crate::json::{fnv1a64, Value};
 use crate::shard::ShardedEngine;
 use crate::traj;
 
@@ -90,6 +110,15 @@ pub enum ScenarioError {
     InvalidGhostPeriod(String),
     /// A shard count of zero.
     InvalidShards,
+    /// An `--atoms` spelling that is not a positive integer.
+    InvalidAtoms(String),
+    /// A `--steps` spelling that is not a positive integer.
+    InvalidSteps(String),
+    /// A serialized [`ScenarioSpec`] that does not parse or validate;
+    /// the payload is the human-readable hint (what was wrong, and
+    /// where). The scenario server surfaces it verbatim in its 400
+    /// responses.
+    MalformedSpec(String),
     /// A workload that cannot run spatially sharded (the controlled
     /// grid: its geometry *is* a fabric assignment).
     ShardedWorkloadConflict,
@@ -107,6 +136,13 @@ impl fmt::Display for ScenarioError {
                 "--ghost-period must be a positive integer or 'auto' (got '{v}')"
             ),
             Self::InvalidShards => write!(f, "--shards must be at least 1"),
+            Self::InvalidAtoms(v) => {
+                write!(f, "--atoms must be a positive integer (got '{v}')")
+            }
+            Self::InvalidSteps(v) => {
+                write!(f, "--steps must be a positive integer (got '{v}')")
+            }
+            Self::MalformedSpec(v) => write!(f, "malformed scenario spec: {v}"),
             Self::ShardedWorkloadConflict => write!(f, "the controlled grid cannot shard"),
         }
     }
@@ -154,7 +190,7 @@ impl EngineKind {
 }
 
 /// The atomic configuration a scenario simulates.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Workload {
     /// A perfect-crystal thin slab of `nx × ny × nz` conventional cells.
     Slab {
@@ -185,7 +221,7 @@ pub enum Workload {
 }
 
 /// Thermostat applied while a scenario advances an engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Thermostat {
     /// NVE: no thermostat.
     None,
@@ -198,15 +234,24 @@ pub enum Thermostat {
     },
 }
 
-/// A declarative workload description: what to simulate and how.
+/// The serializable half of a scenario: every field that determines a
+/// run, as pure data.
 ///
-/// Build one with [`Scenario::slab`], [`Scenario::grain_boundary`], or
-/// [`Scenario::controlled_grid`], refine it with the chained setters,
-/// then materialize an engine with [`Scenario::build_engine`] (or the
-/// concrete [`Scenario::build_baseline`] / [`Scenario::build_wse`] when
-/// backend-specific observables like assignment cost are needed).
-#[derive(Clone, Copy, Debug)]
-pub struct Scenario {
+/// A spec carries no sinks, no I/O, and no engine state — it is `Copy`,
+/// comparable, and round-trips losslessly through its canonical JSON
+/// form ([`ScenarioSpec::to_json`] / [`ScenarioSpec::from_json`]).
+/// [`ScenarioSpec::canonical_hash`] hashes that canonical form, so two
+/// specs hash equal iff they describe the same run — regardless of the
+/// field order of the JSON they were parsed from. Because every run in
+/// the repo is byte-deterministic (same inputs → byte-identical output
+/// at any thread count, shard count, or ghost period), the hash of the
+/// inputs is a sound content address for the outputs; the scenario
+/// server's result cache ([`crate::serve`]) is keyed on exactly this.
+///
+/// To *execute* a spec, wrap it in a [`Scenario`] (the spec plus
+/// engine-construction behavior) via [`Scenario::from_spec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioSpec {
     /// Material / EAM potential selection.
     pub species: Species,
     /// Atomic configuration.
@@ -238,10 +283,23 @@ pub struct Scenario {
     /// wafer backend provisions its column strips for the whole
     /// period. Physics is bit-identical at any value.
     pub ghost_period: GhostPeriod,
+    /// Worker threads the run is pinned to (0 = inherit the process
+    /// default). Execution geometry only — physics is byte-identical at
+    /// any value — but part of the spec so a request fully describes
+    /// its run.
+    pub threads: usize,
+    /// Record an XYZ trajectory alongside the report (the server stores
+    /// it in the cache entry; one frame every 10 steps plus step 0 and
+    /// the final step).
+    pub xyz: bool,
 }
 
-impl Scenario {
-    fn base(species: Species, workload: Workload) -> Self {
+impl ScenarioSpec {
+    /// The default spec for a species and workload: the same baseline
+    /// every [`Scenario`] constructor starts from (0 K frozen start,
+    /// 2 fs timestep, 100 steps, seed 2024, wafer engine, open
+    /// boundaries, unsharded).
+    pub fn new(species: Species, workload: Workload) -> Self {
         Self {
             species,
             workload,
@@ -255,7 +313,379 @@ impl Scenario {
             thermostat: Thermostat::None,
             shards: 1,
             ghost_period: GhostPeriod::Every(1),
+            threads: 0,
+            xyz: false,
         }
+    }
+
+    /// Render the canonical JSON form: compact, every field present,
+    /// keys in a fixed alphabetical order at every nesting level. Two
+    /// equal specs always render to the same bytes — this is the
+    /// preimage of [`ScenarioSpec::canonical_hash`].
+    pub fn to_json(&self) -> String {
+        let ghost_period = match self.ghost_period {
+            GhostPeriod::Auto => Value::Str("auto".into()),
+            GhostPeriod::Every(k) => Value::Uint(k as u64),
+        };
+        let workload = match self.workload {
+            Workload::Slab { nx, ny, nz } => Value::Obj(vec![
+                ("kind".into(), Value::Str("slab".into())),
+                ("nx".into(), Value::Uint(nx as u64)),
+                ("ny".into(), Value::Uint(ny as u64)),
+                ("nz".into(), Value::Uint(nz as u64)),
+            ]),
+            Workload::GrainBoundary { size } => {
+                let [x, y, z] = size.to_array();
+                Value::Obj(vec![
+                    ("kind".into(), Value::Str("grain-boundary".into())),
+                    (
+                        "size".into(),
+                        Value::Arr(vec![Value::Num(x), Value::Num(y), Value::Num(z)]),
+                    ),
+                ])
+            }
+            Workload::ControlledGrid { side, spacing, b } => Value::Obj(vec![
+                ("b".into(), Value::Num(b as f64)),
+                ("kind".into(), Value::Str("controlled-grid".into())),
+                ("side".into(), Value::Uint(side as u64)),
+                ("spacing".into(), Value::Num(spacing)),
+            ]),
+        };
+        let thermostat = match self.thermostat {
+            Thermostat::None => Value::Obj(vec![("kind".into(), Value::Str("none".into()))]),
+            Thermostat::Rescale { target, interval } => Value::Obj(vec![
+                ("interval".into(), Value::Uint(interval as u64)),
+                ("kind".into(), Value::Str("rescale".into())),
+                ("target".into(), Value::Num(target)),
+            ]),
+        };
+        Value::Obj(vec![
+            ("dt".into(), Value::Num(self.dt)),
+            ("engine".into(), Value::Str(self.engine.label().into())),
+            ("ghost_period".into(), ghost_period),
+            (
+                "periodic".into(),
+                Value::Arr(self.periodic.iter().map(|&b| Value::Bool(b)).collect()),
+            ),
+            ("seed".into(), Value::Uint(self.seed)),
+            ("shards".into(), Value::Uint(self.shards as u64)),
+            ("spare".into(), Value::Num(self.spare)),
+            ("species".into(), Value::Str(self.species.symbol().into())),
+            ("steps".into(), Value::Uint(self.steps as u64)),
+            ("temperature".into(), Value::Num(self.temperature)),
+            ("thermostat".into(), thermostat),
+            ("threads".into(), Value::Uint(self.threads as u64)),
+            ("workload".into(), workload),
+            ("xyz".into(), Value::Bool(self.xyz)),
+        ])
+        .render()
+    }
+
+    /// Parse a spec from JSON, accepting fields in **any** order.
+    /// `species` and `workload` are required; every other field
+    /// defaults as in [`ScenarioSpec::new`]. Unknown fields are
+    /// rejected (a typo'd override silently ignored would silently
+    /// change which cache entry a request hits), as are out-of-range
+    /// values, with typed [`ScenarioError`]s whose rendered text names
+    /// the offending field.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        let doc = Value::parse(text).map_err(ScenarioError::MalformedSpec)?;
+        Self::from_value(&doc)
+    }
+
+    /// Parse a spec from an already-parsed JSON value (see
+    /// [`ScenarioSpec::from_json`]).
+    pub fn from_value(doc: &Value) -> Result<Self, ScenarioError> {
+        let malformed = |m: &str| ScenarioError::MalformedSpec(m.to_string());
+        let fields = doc
+            .as_obj()
+            .ok_or_else(|| malformed("top level must be an object"))?;
+
+        // Species and workload fix the defaults, so resolve them first;
+        // everything else overrides in a second pass, source order free.
+        let species = match doc.get("species") {
+            Some(v) => parse_species(
+                v.as_str()
+                    .ok_or_else(|| malformed("field 'species' must be a string"))?,
+            )?,
+            None => return Err(malformed("missing required field 'species'")),
+        };
+        let workload = match doc.get("workload") {
+            Some(v) => workload_from_value(v)?,
+            None => return Err(malformed("missing required field 'workload'")),
+        };
+
+        let mut spec = ScenarioSpec::new(species, workload);
+        for (key, v) in fields {
+            match key.as_str() {
+                "species" | "workload" => {}
+                "dt" => spec.dt = finite_field(v, "dt")?,
+                "engine" => {
+                    spec.engine = EngineKind::parse(
+                        v.as_str()
+                            .ok_or_else(|| malformed("field 'engine' must be a string"))?,
+                    )?
+                }
+                "ghost_period" => spec.ghost_period = ghost_period_from_value(v)?,
+                "periodic" => {
+                    let arr = v
+                        .as_arr()
+                        .filter(|a| a.len() == 3)
+                        .ok_or_else(|| malformed("field 'periodic' must be [bool, bool, bool]"))?;
+                    for (slot, item) in spec.periodic.iter_mut().zip(arr) {
+                        *slot = item.as_bool().ok_or_else(|| {
+                            malformed("field 'periodic' must be [bool, bool, bool]")
+                        })?;
+                    }
+                }
+                "seed" => {
+                    spec.seed = v
+                        .as_u64()
+                        .ok_or_else(|| malformed("field 'seed' must be a non-negative integer"))?
+                }
+                "shards" => {
+                    spec.shards = usize_field(v, "shards")?;
+                    if spec.shards == 0 {
+                        return Err(ScenarioError::InvalidShards);
+                    }
+                }
+                "spare" => spec.spare = finite_field(v, "spare")?,
+                "steps" => spec.steps = usize_field(v, "steps")?,
+                "temperature" => spec.temperature = finite_field(v, "temperature")?,
+                "thermostat" => spec.thermostat = thermostat_from_value(v)?,
+                "threads" => spec.threads = usize_field(v, "threads")?,
+                "xyz" => {
+                    spec.xyz = v
+                        .as_bool()
+                        .ok_or_else(|| malformed("field 'xyz' must be a boolean"))?
+                }
+                other => {
+                    return Err(ScenarioError::MalformedSpec(format!(
+                        "unknown field '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The 64-bit FNV-1a hash of the canonical JSON form. Stable across
+    /// processes, platforms, and the field order of any JSON source —
+    /// the content address of the scenario server's result cache.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a64(self.to_json().as_bytes())
+    }
+
+    /// [`ScenarioSpec::canonical_hash`] as the fixed-width lowercase
+    /// hex string used for cache directory names and the server's
+    /// `X-Wafer-Key` header.
+    pub fn key(&self) -> String {
+        format!("{:016x}", self.canonical_hash())
+    }
+}
+
+fn finite_field(v: &Value, name: &str) -> Result<f64, ScenarioError> {
+    v.as_f64().filter(|x| x.is_finite()).ok_or_else(|| {
+        ScenarioError::MalformedSpec(format!("field '{name}' must be a finite number"))
+    })
+}
+
+fn usize_field(v: &Value, name: &str) -> Result<usize, ScenarioError> {
+    v.as_u64().map(|n| n as usize).ok_or_else(|| {
+        ScenarioError::MalformedSpec(format!("field '{name}' must be a non-negative integer"))
+    })
+}
+
+fn ghost_period_from_value(v: &Value) -> Result<GhostPeriod, ScenarioError> {
+    match v {
+        Value::Str(s) if s == "auto" => Ok(GhostPeriod::Auto),
+        _ => match v.as_u64() {
+            Some(k) if k > 0 => Ok(GhostPeriod::Every(k as usize)),
+            _ => Err(ScenarioError::MalformedSpec(
+                "field 'ghost_period' must be a positive integer or \"auto\"".into(),
+            )),
+        },
+    }
+}
+
+fn workload_from_value(v: &Value) -> Result<Workload, ScenarioError> {
+    let malformed = |m: String| ScenarioError::MalformedSpec(m);
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("field 'workload' must be an object with a 'kind'".into()))?;
+    let known = |allowed: &[&str]| -> Result<(), ScenarioError> {
+        for (key, _) in v.as_obj().expect("get succeeded on an object") {
+            if key != "kind" && !allowed.contains(&key.as_str()) {
+                return Err(malformed(format!("unknown field 'workload.{key}'")));
+            }
+        }
+        Ok(())
+    };
+    match kind {
+        "slab" => {
+            known(&["nx", "ny", "nz"])?;
+            let dim = |name: &str| -> Result<usize, ScenarioError> {
+                v.get(name)
+                    .and_then(Value::as_u64)
+                    .filter(|&n| n > 0)
+                    .map(|n| n as usize)
+                    .ok_or_else(|| {
+                        malformed(format!(
+                            "field 'workload.{name}' must be a positive integer"
+                        ))
+                    })
+            };
+            Ok(Workload::Slab {
+                nx: dim("nx")?,
+                ny: dim("ny")?,
+                nz: dim("nz")?,
+            })
+        }
+        "grain-boundary" => {
+            known(&["size"])?;
+            let arr = v
+                .get("size")
+                .and_then(Value::as_arr)
+                .filter(|a| a.len() == 3)
+                .ok_or_else(|| malformed("field 'workload.size' must be [x, y, z]".into()))?;
+            let mut size = [0.0; 3];
+            for (slot, item) in size.iter_mut().zip(arr) {
+                *slot = item
+                    .as_f64()
+                    .filter(|x| x.is_finite())
+                    .ok_or_else(|| malformed("field 'workload.size' must be [x, y, z]".into()))?;
+            }
+            Ok(Workload::GrainBoundary {
+                size: V3d::new(size[0], size[1], size[2]),
+            })
+        }
+        "controlled-grid" => {
+            known(&["side", "spacing", "b"])?;
+            let side = v
+                .get("side")
+                .and_then(Value::as_u64)
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    malformed("field 'workload.side' must be a positive integer".into())
+                })?;
+            let spacing = v
+                .get("spacing")
+                .and_then(Value::as_f64)
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| {
+                    malformed("field 'workload.spacing' must be a positive number".into())
+                })?;
+            let b = v
+                .get("b")
+                .and_then(Value::as_f64)
+                .filter(|x| x.fract() == 0.0 && *x >= i32::MIN as f64 && *x <= i32::MAX as f64)
+                .ok_or_else(|| malformed("field 'workload.b' must be an integer".into()))?;
+            Ok(Workload::ControlledGrid {
+                side: side as usize,
+                spacing,
+                b: b as i32,
+            })
+        }
+        other => Err(malformed(format!(
+            "unknown workload kind '{other}' (expected slab|grain-boundary|controlled-grid)"
+        ))),
+    }
+}
+
+fn thermostat_from_value(v: &Value) -> Result<Thermostat, ScenarioError> {
+    let malformed = |m: String| ScenarioError::MalformedSpec(m);
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("field 'thermostat' must be an object with a 'kind'".into()))?;
+    match kind {
+        "none" => {
+            if v.as_obj().expect("get succeeded on an object").len() > 1 {
+                return Err(malformed("thermostat 'none' takes no other fields".into()));
+            }
+            Ok(Thermostat::None)
+        }
+        "rescale" => {
+            for (key, _) in v.as_obj().expect("get succeeded on an object") {
+                if !matches!(key.as_str(), "kind" | "target" | "interval") {
+                    return Err(malformed(format!("unknown field 'thermostat.{key}'")));
+                }
+            }
+            let target = v
+                .get("target")
+                .and_then(Value::as_f64)
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| {
+                    malformed("field 'thermostat.target' must be a finite number".into())
+                })?;
+            let interval = v
+                .get("interval")
+                .and_then(Value::as_u64)
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    malformed("field 'thermostat.interval' must be a positive integer".into())
+                })?;
+            Ok(Thermostat::Rescale {
+                target,
+                interval: interval as usize,
+            })
+        }
+        other => Err(malformed(format!(
+            "unknown thermostat kind '{other}' (expected none|rescale)"
+        ))),
+    }
+}
+
+/// A declarative workload description: what to simulate and how.
+///
+/// A `Scenario` is a [`ScenarioSpec`] plus behavior: the constructors,
+/// the engine builders, and [`Scenario::advance`]'s thermostat loop.
+/// It derefs to its spec, so spec fields read and write directly
+/// (`sc.steps`, `sc.workload = ...`).
+///
+/// Build one with [`Scenario::slab`], [`Scenario::grain_boundary`], or
+/// [`Scenario::controlled_grid`], refine it with the chained setters,
+/// then materialize an engine with [`Scenario::build_engine`] (or the
+/// concrete [`Scenario::build_baseline`] / [`Scenario::build_wse`] when
+/// backend-specific observables like assignment cost are needed). A
+/// spec that arrived over the wire materializes the same way via
+/// [`Scenario::from_spec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scenario {
+    /// The serializable description of this scenario.
+    pub spec: ScenarioSpec,
+}
+
+impl Deref for Scenario {
+    type Target = ScenarioSpec;
+
+    fn deref(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+}
+
+impl DerefMut for Scenario {
+    fn deref_mut(&mut self) -> &mut ScenarioSpec {
+        &mut self.spec
+    }
+}
+
+impl Scenario {
+    /// Wrap a spec for execution. Total and lossless: every spec is a
+    /// valid scenario, and `Scenario::from_spec(s).to_spec() == s`.
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The serializable description of this scenario (the inverse of
+    /// [`Scenario::from_spec`]).
+    pub fn to_spec(&self) -> ScenarioSpec {
+        self.spec
+    }
+
+    fn base(species: Species, workload: Workload) -> Self {
+        Self::from_spec(ScenarioSpec::new(species, workload))
     }
 
     /// A perfect-crystal slab of the species' own lattice.
@@ -352,8 +782,9 @@ impl Scenario {
     /// Resize a slab workload to approximately `n` atoms (keeping its
     /// thickness); other workloads are unchanged.
     pub fn approx_atoms(mut self, n: usize) -> Self {
+        let species = self.species;
         if let Workload::Slab { nx, ny, nz } = &mut self.workload {
-            let per_cell = Material::new(self.species).crystal.atoms_per_cell();
+            let per_cell = Material::new(species).crystal.atoms_per_cell();
             let side = ((n as f64 / (per_cell * *nz) as f64).sqrt().round() as usize).max(2);
             *nx = side;
             *ny = side;
@@ -528,34 +959,165 @@ impl Scenario {
 /// (`wafer-md run <name> [--engine ...] [--atoms N] [--steps N]
 /// [--shards K] [--ghost-period k|auto] [--xyz PATH]`).
 ///
-/// `None` fields keep the scenario's declarative defaults. Analytic
-/// scenarios (strong-scaling, perf-model, structure) have no engine or
-/// step budget and ignore all overrides.
-#[derive(Clone, Debug, Default)]
+/// A builder: start from [`RunOptions::new`], chain setters, and hand
+/// the result to [`ScenarioEntry::run`]. Unset overrides keep each
+/// scenario's declarative defaults. Analytic scenarios (strong-scaling,
+/// perf-model, structure) have no engine or step budget and ignore all
+/// overrides.
+///
+/// The `parse_*` setters accept raw CLI spellings and return typed
+/// [`ScenarioError`]s on bad input — the `wafer-md` binary maps every
+/// variant to exit status 2 with the rendered hint, so the flag loop
+/// never invents its own error strings.
+///
+/// ```
+/// use wafer_md::scenario::{EngineKind, RunOptions, ScenarioError};
+///
+/// let opts = RunOptions::new()
+///     .engine(EngineKind::Baseline)
+///     .parse_steps("25")?
+///     .parse_shards("2")?;
+/// assert_eq!(opts.steps_or(100), 25);
+/// assert_eq!(opts.shards_or(1), 2);
+/// assert_eq!(
+///     RunOptions::new().parse_atoms("many").unwrap_err(),
+///     ScenarioError::InvalidAtoms("many".into()),
+/// );
+/// # Ok::<(), ScenarioError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunOptions {
-    /// Backend override.
-    pub engine: Option<EngineKind>,
-    /// Approximate atom-count override: resizes the fixed slabs
+    engine: Option<EngineKind>,
+    atoms: Option<usize>,
+    steps: Option<usize>,
+    shards: Option<usize>,
+    ghost_period: Option<GhostPeriod>,
+    xyz: Option<PathBuf>,
+}
+
+impl RunOptions {
+    /// No overrides: every scenario runs with its declarative defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the backend.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Override the approximate atom count: resizes the fixed slabs
     /// (quickstart, melt), caps the largest size of the weak-scaling
     /// sweep, and scales the grain-boundary bicrystal's footprint.
-    pub atoms: Option<usize>,
-    /// Step-budget override.
-    pub steps: Option<usize>,
-    /// Spatial shard count (quickstart, multi-wafer). Scenario reports
-    /// are byte-identical at any value — that is the point — so CI can
-    /// diff them across shard counts.
-    pub shards: Option<usize>,
-    /// Ghost-exchange period of a sharded run (quickstart,
+    pub fn atoms(mut self, atoms: usize) -> Self {
+        self.atoms = Some(atoms);
+        self
+    }
+
+    /// Override the step budget.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Override the spatial shard count (quickstart, multi-wafer).
+    /// Scenario reports are byte-identical at any value — that is the
+    /// point — so CI can diff them across shard counts. Zero is the one
+    /// inconsistent count and is rejected.
+    pub fn shards(mut self, shards: usize) -> Result<Self, ScenarioError> {
+        if shards == 0 {
+            return Err(ScenarioError::InvalidShards);
+        }
+        self.shards = Some(shards);
+        Ok(self)
+    }
+
+    /// Override the ghost-exchange period of a sharded run (quickstart,
     /// multi-wafer): exchange every k-th step, or `auto` for the
     /// drift-limited period. Physics is bit-identical at any value, so
     /// quickstart output never depends on it; the multi-wafer report
     /// prints the resolved period and the measured exchange schedule.
-    pub ghost_period: Option<GhostPeriod>,
+    pub fn ghost_period(mut self, ghost_period: GhostPeriod) -> Self {
+        self.ghost_period = Some(ghost_period);
+        self
+    }
+
     /// Dump an XYZ trajectory to this path (quickstart, multi-wafer):
     /// one frame every 10 steps plus the final step, positions in
     /// shortest-round-trip precision so two dumps are byte-identical
     /// iff the trajectories are bit-identical.
-    pub xyz: Option<PathBuf>,
+    pub fn xyz(mut self, path: PathBuf) -> Self {
+        self.xyz = Some(path);
+        self
+    }
+
+    /// Parse a CLI engine spelling (`baseline` | `wse`).
+    pub fn parse_engine(self, s: &str) -> Result<Self, ScenarioError> {
+        Ok(self.engine(EngineKind::parse(s)?))
+    }
+
+    /// Parse a CLI atom-count spelling (a positive integer).
+    pub fn parse_atoms(self, s: &str) -> Result<Self, ScenarioError> {
+        match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(self.atoms(n)),
+            _ => Err(ScenarioError::InvalidAtoms(s.to_string())),
+        }
+    }
+
+    /// Parse a CLI step-budget spelling (a positive integer).
+    pub fn parse_steps(self, s: &str) -> Result<Self, ScenarioError> {
+        match s.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(self.steps(n)),
+            _ => Err(ScenarioError::InvalidSteps(s.to_string())),
+        }
+    }
+
+    /// Parse a CLI shard-count spelling (a positive integer).
+    pub fn parse_shards(self, s: &str) -> Result<Self, ScenarioError> {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or(ScenarioError::InvalidShards)
+            .and_then(|n| self.shards(n))
+    }
+
+    /// Parse a CLI ghost-period spelling (a positive integer or
+    /// `auto`).
+    pub fn parse_ghost_period(self, s: &str) -> Result<Self, ScenarioError> {
+        Ok(self.ghost_period(parse_ghost_period(s)?))
+    }
+
+    /// The backend override, or `default`.
+    pub fn engine_or(&self, default: EngineKind) -> EngineKind {
+        self.engine.unwrap_or(default)
+    }
+
+    /// The atom-count override, if any (scenarios interpret it
+    /// workload-specifically, so there is no single default).
+    pub fn atoms_override(&self) -> Option<usize> {
+        self.atoms
+    }
+
+    /// The step-budget override, or `default`.
+    pub fn steps_or(&self, default: usize) -> usize {
+        self.steps.unwrap_or(default)
+    }
+
+    /// The shard-count override, or `default`.
+    pub fn shards_or(&self, default: usize) -> usize {
+        self.shards.unwrap_or(default)
+    }
+
+    /// The ghost-period override, or `default`.
+    pub fn ghost_period_or(&self, default: GhostPeriod) -> GhostPeriod {
+        self.ghost_period.unwrap_or(default)
+    }
+
+    /// The XYZ trajectory path, if one was requested.
+    pub fn xyz_path(&self) -> Option<&Path> {
+        self.xyz.as_deref()
+    }
 }
 
 /// XYZ trajectory sink for a scenario run: open lazily from the
@@ -568,7 +1130,7 @@ struct Traj {
 
 impl Traj {
     fn open(opts: &RunOptions, label: &'static str, species: Species) -> io::Result<Self> {
-        let out = match &opts.xyz {
+        let out = match opts.xyz_path() {
             Some(path) => Some(io::BufWriter::new(std::fs::File::create(path)?)),
             None => None,
         };
@@ -690,13 +1252,13 @@ fn quickstart_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         .temperature(290.0)
         .seed(2024)
         .steps(200)
-        .engine(opts.engine.unwrap_or(EngineKind::Wse))
-        .shards(opts.shards.unwrap_or(1))
-        .ghost_period(opts.ghost_period.unwrap_or(GhostPeriod::Every(1)));
-    if let Some(n) = opts.atoms {
+        .engine(opts.engine_or(EngineKind::Wse))
+        .shards(opts.shards_or(1))
+        .ghost_period(opts.ghost_period_or(GhostPeriod::Every(1)));
+    if let Some(n) = opts.atoms_override() {
         sc = sc.approx_atoms(n);
     }
-    let steps = opts.steps.unwrap_or(sc.steps).max(1);
+    let steps = opts.steps_or(sc.steps).max(1);
     let material = Material::new(sc.species);
 
     let mut engine = sc.build_engine().expect("consistent scenario");
@@ -769,11 +1331,11 @@ fn melt_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
         .temperature(300.0)
         .seed(11)
         .steps(160)
-        .engine(opts.engine.unwrap_or(EngineKind::Baseline));
-    if let Some(n) = opts.atoms {
+        .engine(opts.engine_or(EngineKind::Baseline));
+    if let Some(n) = opts.atoms_override() {
         sc = sc.approx_atoms(n);
     }
-    let steps = opts.steps.unwrap_or(sc.steps).max(4);
+    let steps = opts.steps_or(sc.steps).max(4);
     let segment = (steps / 4).max(1);
     let material = Material::new(sc.species);
     let targets = [300.0, 800.0, 1300.0, 1800.0];
@@ -820,7 +1382,7 @@ fn grain_boundary_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()>
     let material = Material::new(Species::W);
     // The default 38×38 Å footprint holds ~584 atoms; --atoms scales the
     // in-plane extent (thickness fixed) toward the requested count.
-    let side = match opts.atoms {
+    let side = match opts.atoms_override() {
         Some(n) => (38.0 * (n as f64 / 584.0).sqrt()).max(4.0 * material.lattice_a),
         None => 38.0,
     };
@@ -830,8 +1392,8 @@ fn grain_boundary_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()>
         .seed(7)
         .spare(0.15)
         .steps(150)
-        .engine(opts.engine.unwrap_or(EngineKind::Wse));
-    let steps = opts.steps.unwrap_or(sc.steps).max(30);
+        .engine(opts.engine_or(EngineKind::Wse));
+    let steps = opts.steps_or(sc.steps).max(30);
 
     match sc.engine {
         EngineKind::Wse => {
@@ -945,14 +1507,14 @@ fn strong_scaling_impl(_opts: &RunOptions, out: &mut dyn Write) -> io::Result<()
 }
 
 fn weak_scaling_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
-    let kind = opts.engine.unwrap_or(EngineKind::Wse);
+    let kind = opts.engine_or(EngineKind::Wse);
     let template = Scenario::slab(Species::Ta, 4, 4, 2)
         .temperature(290.0)
         .seed(42)
         .spare(0.04)
         .steps(10)
         .engine(kind);
-    let steps = opts.steps.unwrap_or(template.steps).max(2);
+    let steps = opts.steps_or(template.steps).max(2);
     writeln!(
         out,
         "== weak-scaling (Fig. 8): tantalum thin slabs, engine {} ==",
@@ -962,7 +1524,7 @@ fn weak_scaling_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     // --atoms caps the sweep's largest slab (a Ta slab holds 4·nx² atoms);
     // at least two sizes always run so convergence is observable.
     let nx_cap = opts
-        .atoms
+        .atoms_override()
         .map(|n| (((n as f64) / 4.0).sqrt().round() as usize).max(8));
     let mut baseline_rate = None;
     for nx in [4usize, 8, 16, 24]
@@ -1006,19 +1568,19 @@ fn weak_scaling_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
 fn multi_wafer_impl(opts: &RunOptions, out: &mut dyn Write) -> io::Result<()> {
     use perf_model::multiwafer::GhostMeasurement;
 
-    let kind = opts.engine.unwrap_or(EngineKind::Wse);
-    let gp = opts.ghost_period.unwrap_or(GhostPeriod::Auto);
+    let kind = opts.engine_or(EngineKind::Wse);
+    let gp = opts.ghost_period_or(GhostPeriod::Auto);
     let mut sc = Scenario::slab(Species::Ta, 10, 10, 2)
         .temperature(290.0)
         .seed(2024)
         .steps(60)
         .engine(kind)
-        .shards(opts.shards.unwrap_or(4))
+        .shards(opts.shards_or(4))
         .ghost_period(gp);
-    if let Some(n) = opts.atoms {
+    if let Some(n) = opts.atoms_override() {
         sc = sc.approx_atoms(n);
     }
-    let steps = opts.steps.unwrap_or(sc.steps).max(10);
+    let steps = opts.steps_or(sc.steps).max(10);
     let material = Material::new(sc.species);
     let period = sc.resolved_ghost_period();
 
@@ -1408,12 +1970,7 @@ mod tests {
 
     #[test]
     fn every_scenario_runs_and_reports_deterministically() {
-        let opts = RunOptions {
-            engine: None,
-            atoms: Some(36),
-            steps: Some(30),
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::new().atoms(36).steps(30);
         for e in registry() {
             let a = run_to_string(e.name, &opts).unwrap().unwrap();
             let b = run_to_string(e.name, &opts).unwrap().unwrap();
@@ -1476,14 +2033,205 @@ mod tests {
     #[test]
     fn quickstart_runs_on_both_engines() {
         for kind in [EngineKind::Baseline, EngineKind::Wse] {
-            let opts = RunOptions {
-                engine: Some(kind),
-                atoms: Some(36),
-                steps: Some(5),
-                ..RunOptions::default()
-            };
+            let opts = RunOptions::new().engine(kind).atoms(36).steps(5);
             let text = run_to_string("quickstart", &opts).unwrap().unwrap();
             assert!(text.contains(&format!("engine {}", kind.label())), "{text}");
         }
+    }
+
+    #[test]
+    fn run_options_parse_setters_type_their_failures() {
+        let opts = RunOptions::new()
+            .parse_engine("baseline")
+            .unwrap()
+            .parse_atoms("36")
+            .unwrap()
+            .parse_steps("5")
+            .unwrap()
+            .parse_shards("2")
+            .unwrap()
+            .parse_ghost_period("auto")
+            .unwrap();
+        assert_eq!(opts.engine_or(EngineKind::Wse), EngineKind::Baseline);
+        assert_eq!(opts.atoms_override(), Some(36));
+        assert_eq!(opts.steps_or(100), 5);
+        assert_eq!(opts.shards_or(1), 2);
+        assert_eq!(
+            opts.ghost_period_or(GhostPeriod::Every(1)),
+            GhostPeriod::Auto
+        );
+
+        for (bad, expect) in [
+            ("0", ScenarioError::InvalidAtoms("0".into())),
+            ("-3", ScenarioError::InvalidAtoms("-3".into())),
+            ("many", ScenarioError::InvalidAtoms("many".into())),
+        ] {
+            assert_eq!(RunOptions::new().parse_atoms(bad), Err(expect));
+        }
+        assert_eq!(
+            RunOptions::new().parse_steps("1.5"),
+            Err(ScenarioError::InvalidSteps("1.5".into()))
+        );
+        assert_eq!(
+            RunOptions::new().parse_shards("0"),
+            Err(ScenarioError::InvalidShards)
+        );
+        assert_eq!(
+            RunOptions::new().shards(0),
+            Err(ScenarioError::InvalidShards)
+        );
+        assert_eq!(
+            ScenarioError::InvalidAtoms("many".into()).to_string(),
+            "--atoms must be a positive integer (got 'many')"
+        );
+        assert_eq!(
+            ScenarioError::InvalidSteps("soon".into()).to_string(),
+            "--steps must be a positive integer (got 'soon')"
+        );
+    }
+
+    fn exercise_specs() -> Vec<ScenarioSpec> {
+        vec![
+            Scenario::slab(Species::Ta, 3, 3, 1).to_spec(),
+            Scenario::slab(Species::Cu, 4, 5, 2)
+                .temperature(320.0)
+                .seed(u64::MAX)
+                .steps(17)
+                .engine(EngineKind::Baseline)
+                .periodic([true, false, true])
+                .thermostat(Thermostat::Rescale {
+                    target: 600.0,
+                    interval: 10,
+                })
+                .shards(3)
+                .ghost_period(GhostPeriod::Auto)
+                .to_spec(),
+            Scenario::grain_boundary(Species::W, V3d::new(30.5, 28.25, 9.0))
+                .temperature(1400.0)
+                .spare(0.15)
+                .to_spec(),
+            Scenario::controlled_grid(Species::Ta, 20, 1.5, 4).to_spec(),
+            {
+                let mut s = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
+                s.threads = 4;
+                s.xyz = true;
+                s
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_json_round_trips_losslessly() {
+        for spec in exercise_specs() {
+            let json = spec.to_json();
+            let back = ScenarioSpec::from_json(&json).unwrap();
+            assert_eq!(spec, back, "{json}");
+            assert_eq!(json, back.to_json(), "canonical form is a fixed point");
+            assert_eq!(spec.canonical_hash(), back.canonical_hash());
+            // from_spec/to_spec is the identity on every spec.
+            assert_eq!(Scenario::from_spec(spec).to_spec(), spec);
+        }
+    }
+
+    #[test]
+    fn canonical_hash_ignores_source_field_order() {
+        let spec = exercise_specs()[1];
+        let json = spec.to_json();
+        let fields = match Value::parse(&json).unwrap() {
+            Value::Obj(fields) => fields,
+            _ => unreachable!("canonical form is an object"),
+        };
+        // Rotate and reverse the field order: same spec, same hash.
+        for variant in 0..fields.len() {
+            let mut reordered = fields.clone();
+            reordered.rotate_left(variant);
+            if variant % 2 == 1 {
+                reordered.reverse();
+            }
+            let scrambled = Value::Obj(reordered).render();
+            let back = ScenarioSpec::from_json(&scrambled).unwrap();
+            assert_eq!(back, spec, "{scrambled}");
+            assert_eq!(back.canonical_hash(), spec.canonical_hash());
+        }
+    }
+
+    #[test]
+    fn spec_defaults_match_the_scenario_constructors() {
+        // A minimal document — species and workload only — parses to
+        // exactly the constructor defaults.
+        let minimal = r#"{"species":"Ta","workload":{"kind":"slab","nx":3,"ny":3,"nz":1}}"#;
+        let spec = ScenarioSpec::from_json(minimal).unwrap();
+        assert_eq!(spec, Scenario::slab(Species::Ta, 3, 3, 1).to_spec());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_hints() {
+        let cases: &[(&str, &str)] = &[
+            ("[1,2]", "top level must be an object"),
+            ("{\"species\":\"Ta\"}", "missing required field 'workload'"),
+            (
+                "{\"workload\":{\"kind\":\"slab\",\"nx\":3,\"ny\":3,\"nz\":1}}",
+                "missing required field 'species'",
+            ),
+            (
+                "{\"species\":\"Ta\",\"workload\":{\"kind\":\"torus\"}}",
+                "unknown workload kind 'torus'",
+            ),
+            (
+                "{\"species\":\"Ta\",\"workload\":{\"kind\":\"slab\",\"nx\":0,\"ny\":3,\"nz\":1}}",
+                "'workload.nx' must be a positive integer",
+            ),
+            (
+                "{\"species\":\"Ta\",\"workload\":{\"kind\":\"slab\",\"nx\":3,\"ny\":3,\"nz\":1},\"stepz\":5}",
+                "unknown field 'stepz'",
+            ),
+            (
+                "{\"species\":\"Ta\",\"workload\":{\"kind\":\"slab\",\"nx\":3,\"ny\":3,\"nz\":1},\"ghost_period\":0}",
+                "'ghost_period' must be a positive integer",
+            ),
+            ("{\"species\":\"Ta\"", "expected ','"),
+        ];
+        for (text, needle) in cases {
+            match ScenarioSpec::from_json(text) {
+                Err(ScenarioError::MalformedSpec(hint)) => {
+                    assert!(hint.contains(needle), "{text}: {hint}")
+                }
+                other => panic!("{text}: expected MalformedSpec, got {other:?}"),
+            }
+        }
+        // Bad values on typed fields keep their typed variants.
+        assert_eq!(
+            ScenarioSpec::from_json(
+                "{\"species\":\"Fe\",\"workload\":{\"kind\":\"slab\",\"nx\":3,\"ny\":3,\"nz\":1}}"
+            ),
+            Err(ScenarioError::UnknownSpecies("Fe".into()))
+        );
+        assert_eq!(
+            ScenarioSpec::from_json(
+                "{\"species\":\"Ta\",\"workload\":{\"kind\":\"slab\",\"nx\":3,\"ny\":3,\"nz\":1},\"engine\":\"gpu\"}"
+            ),
+            Err(ScenarioError::UnknownEngine("gpu".into()))
+        );
+        assert_eq!(
+            ScenarioSpec::from_json(
+                "{\"species\":\"Ta\",\"workload\":{\"kind\":\"slab\",\"nx\":3,\"ny\":3,\"nz\":1},\"shards\":0}"
+            ),
+            Err(ScenarioError::InvalidShards)
+        );
+        assert_eq!(
+            ScenarioError::MalformedSpec("unknown field 'stepz'".into()).to_string(),
+            "malformed scenario spec: unknown field 'stepz'"
+        );
+    }
+
+    #[test]
+    fn distinct_specs_have_distinct_keys() {
+        let base = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
+        let mut seeded = base;
+        seeded.seed = base.seed + 1;
+        assert_ne!(base.canonical_hash(), seeded.canonical_hash());
+        assert_ne!(base.key(), seeded.key());
+        assert_eq!(base.key().len(), 16);
+        assert!(base.key().bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

@@ -1,0 +1,175 @@
+//! The content-addressed on-disk result store.
+//!
+//! Every run in the repo is byte-deterministic — same
+//! [`crate::scenario::ScenarioSpec`] → byte-identical report, at any
+//! thread count, shard count, or ghost period — so the canonical hash
+//! of the *inputs* is a sound address for the *outputs*. A cache entry
+//! is a directory named by the spec's 16-hex key:
+//!
+//! ```text
+//! <cache root>/
+//!   1f8b6e2a90c4d371/
+//!     spec.json        # the canonical spec (the hash preimage)
+//!     report.txt       # the deterministic run report (the HTTP body)
+//!     counters.json    # atoms·steps, exchange schedule, modeled rate
+//!     trajectory.xyz   # optional: frames when the spec asked for them
+//! ```
+//!
+//! Inserts are atomic: files are written into a sibling temp directory
+//! and `rename`d into place, so a reader never observes a partial
+//! entry and a crashed writer leaves nothing a later insert can't
+//! overwrite.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A fully materialized cache entry, read back from disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedResult {
+    /// The deterministic run report (`report.txt`) — the bytes the
+    /// server answers `POST /run` with.
+    pub report: String,
+    /// The run counters document (`counters.json`).
+    pub counters: String,
+    /// The XYZ trajectory (`trajectory.xyz`), when the spec requested
+    /// one.
+    pub trajectory: Option<String>,
+}
+
+/// A content-addressed result store rooted at one directory.
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) a cache rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory a key's entry lives in (whether or not it exists).
+    pub fn entry_dir(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+
+    /// Read a key's entry back, or `None` if the key has never been
+    /// inserted. An entry is only visible once its atomic rename has
+    /// landed, so a `Some` is always complete.
+    pub fn lookup(&self, key: &str) -> Option<CachedResult> {
+        let dir = self.entry_dir(key);
+        let report = fs::read_to_string(dir.join("report.txt")).ok()?;
+        let counters = fs::read_to_string(dir.join("counters.json")).ok()?;
+        let trajectory = fs::read_to_string(dir.join("trajectory.xyz")).ok();
+        Some(CachedResult {
+            report,
+            counters,
+            trajectory,
+        })
+    }
+
+    /// Atomically insert an entry: write `files` (name → contents) into
+    /// a temp directory, then rename it to the key's directory. If a
+    /// concurrent insert of the same key wins the rename, this one's
+    /// contents are byte-identical by construction (that is the whole
+    /// premise of content addressing), so losing the race is success.
+    pub fn insert(&self, key: &str, files: &[(&str, &str)]) -> io::Result<()> {
+        let tmp = self.root.join(format!(".tmp.{key}"));
+        // A leftover temp dir from a crashed writer is stale by
+        // definition; replace it.
+        if tmp.exists() {
+            fs::remove_dir_all(&tmp)?;
+        }
+        fs::create_dir(&tmp)?;
+        for (name, contents) in files {
+            fs::write(tmp.join(name), contents)?;
+        }
+        let dest = self.entry_dir(key);
+        match fs::rename(&tmp, &dest) {
+            Ok(()) => Ok(()),
+            Err(e) if dest.is_dir() => {
+                let _ = fs::remove_dir_all(&tmp);
+                let _ = e; // duplicate insert: the existing entry is identical
+                Ok(())
+            }
+            Err(e) => {
+                let _ = fs::remove_dir_all(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wafer-md-cache-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let root = scratch("round-trip");
+        let cache = ResultCache::open(&root).unwrap();
+        assert!(cache.lookup("00ff").is_none());
+        cache
+            .insert(
+                "00ff",
+                &[
+                    ("spec.json", "{}"),
+                    ("report.txt", "hello\n"),
+                    ("counters.json", "{\"atoms\":1}"),
+                ],
+            )
+            .unwrap();
+        let hit = cache.lookup("00ff").unwrap();
+        assert_eq!(hit.report, "hello\n");
+        assert_eq!(hit.counters, "{\"atoms\":1}");
+        assert_eq!(hit.trajectory, None);
+        // No temp droppings remain.
+        assert!(!root.join(".tmp.00ff").exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let root = scratch("dup");
+        let cache = ResultCache::open(&root).unwrap();
+        let files = [("report.txt", "r\n"), ("counters.json", "{}")];
+        cache.insert("aa", &files).unwrap();
+        cache.insert("aa", &files).unwrap();
+        assert_eq!(cache.lookup("aa").unwrap().report, "r\n");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn trajectory_is_optional_but_preserved() {
+        let root = scratch("traj");
+        let cache = ResultCache::open(&root).unwrap();
+        cache
+            .insert(
+                "bb",
+                &[
+                    ("report.txt", "r\n"),
+                    ("counters.json", "{}"),
+                    ("trajectory.xyz", "1\nstep=0 serve\nTa 0 0 0\n"),
+                ],
+            )
+            .unwrap();
+        let hit = cache.lookup("bb").unwrap();
+        assert!(hit.trajectory.unwrap().starts_with("1\n"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

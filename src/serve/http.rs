@@ -1,0 +1,254 @@
+//! The wire layer: a deliberately minimal HTTP/1.1 server on
+//! `std::net::TcpListener`.
+//!
+//! One blocking accept loop, one request per connection
+//! (`Connection: close`), no TLS, no chunked encoding — exactly enough
+//! protocol for a scenario client, in the same no-dependencies spirit
+//! as the rest of the workspace. The endpoints:
+//!
+//! | method + path       | behavior |
+//! |---------------------|----------|
+//! | `POST /run`         | body = spec JSON; answers the run report (cache hit or fresh run) |
+//! | `GET /stats`        | the per-process counters + queue depth, as JSON |
+//! | `GET /result/<key>` | re-read a cached report by its 16-hex key |
+//! | `POST /shutdown`    | acknowledge, then exit the accept loop |
+//!
+//! Every `POST /run` answer carries `X-Wafer-Key` (the spec's canonical
+//! cache key) and `X-Wafer-Cache: hit|miss`. The *body* is the cached
+//! `report.txt` bytes in both cases — byte-identical whether the run
+//! was fresh or served from disk, which `tests/serve.rs` asserts; the
+//! hit/miss distinction lives only in the header and the counters.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+
+use super::cache::ResultCache;
+use super::scheduler::{Disposition, Scheduler};
+use crate::json::Value;
+use crate::scenario::ScenarioSpec;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Read one request off a connection. `Ok(None)` means the peer closed
+/// without sending anything; `Err(String)` is a malformed request whose
+/// hint belongs in a 400 response.
+fn read_request(stream: &mut TcpStream) -> io::Result<Result<Option<Request>, String>> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(Ok(None));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Ok(Err("malformed request line".to_string())),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(Err("connection closed mid-headers".to_string()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Ok(Err("invalid Content-Length".to_string())),
+                };
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Ok(Some(Request { method, path, body })))
+}
+
+/// Write one response and flush. `extra` headers ride along verbatim.
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn error_body(hint: &str) -> Vec<u8> {
+    let mut body = Value::Obj(vec![("error".into(), Value::Str(hint.into()))])
+        .render()
+        .into_bytes();
+    body.push(b'\n');
+    body
+}
+
+/// The scenario server: a bound listener plus a [`Scheduler`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Scheduler,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port)
+    /// over a result cache rooted at `cache_root`.
+    pub fn bind(addr: &str, cache_root: &Path) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            scheduler: Scheduler::new(ResultCache::open(cache_root)?),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop until a `POST /shutdown` arrives. Each
+    /// connection carries one request; connection-level I/O errors
+    /// drop that connection and the loop continues.
+    pub fn serve(&mut self) -> io::Result<()> {
+        loop {
+            let mut stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(_) => continue,
+            };
+            let request = match read_request(&mut stream) {
+                Ok(Ok(Some(r))) => r,
+                Ok(Ok(None)) => continue,
+                Ok(Err(hint)) => {
+                    let _ = respond(
+                        &mut stream,
+                        400,
+                        "Bad Request",
+                        "application/json",
+                        &[],
+                        &error_body(&hint),
+                    );
+                    continue;
+                }
+                Err(_) => continue,
+            };
+            if let Ok(true) = self.handle(&request, &mut stream) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Dispatch one request; `Ok(true)` means shut down.
+    fn handle(&mut self, request: &Request, stream: &mut TcpStream) -> io::Result<bool> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/run") => {
+                let spec = std::str::from_utf8(&request.body)
+                    .map_err(|_| "request body is not UTF-8".to_string())
+                    .and_then(|text| ScenarioSpec::from_json(text).map_err(|e| e.to_string()));
+                let spec = match spec {
+                    Ok(spec) => spec,
+                    Err(hint) => {
+                        respond(
+                            stream,
+                            400,
+                            "Bad Request",
+                            "application/json",
+                            &[],
+                            &error_body(&hint),
+                        )?;
+                        return Ok(false);
+                    }
+                };
+                let (key, disposition) = self.scheduler.submit(spec);
+                if disposition != Disposition::CacheHit {
+                    // Blocking HTTP/1.1: this request must be answered
+                    // before the next is read, so a miss drains now.
+                    self.scheduler.drain()?;
+                }
+                let cached = self
+                    .scheduler
+                    .result(&key)
+                    .expect("a drained or hit key is cached");
+                let state = if disposition == Disposition::CacheHit {
+                    "hit"
+                } else {
+                    "miss"
+                };
+                respond(
+                    stream,
+                    200,
+                    "OK",
+                    "text/plain",
+                    &[("X-Wafer-Cache", state), ("X-Wafer-Key", &key)],
+                    cached.report.as_bytes(),
+                )?;
+            }
+            ("GET", "/stats") => {
+                let mut body = self
+                    .scheduler
+                    .stats()
+                    .to_json(self.scheduler.pending())
+                    .into_bytes();
+                body.push(b'\n');
+                respond(stream, 200, "OK", "application/json", &[], &body)?;
+            }
+            ("GET", path) if path.starts_with("/result/") => {
+                let key = &path["/result/".len()..];
+                match self.scheduler.result(key) {
+                    Some(cached) => respond(
+                        stream,
+                        200,
+                        "OK",
+                        "text/plain",
+                        &[("X-Wafer-Key", key)],
+                        cached.report.as_bytes(),
+                    )?,
+                    None => respond(
+                        stream,
+                        404,
+                        "Not Found",
+                        "application/json",
+                        &[],
+                        &error_body("unknown result key"),
+                    )?,
+                }
+            }
+            ("POST", "/shutdown") => {
+                respond(stream, 200, "OK", "text/plain", &[], b"shutting down\n")?;
+                return Ok(true);
+            }
+            _ => {
+                respond(
+                    stream,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    &[],
+                    &error_body(
+                        "no such endpoint (try POST /run, GET /stats, GET /result/<key>, POST /shutdown)",
+                    ),
+                )?;
+            }
+        }
+        Ok(false)
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulation-as-a-service: `wafer-md serve`.
+//!
+//! The repo's load-bearing guarantee is byte-determinism — every run is
+//! bit-identical given its [`crate::scenario::ScenarioSpec`], at any
+//! thread count, shard count, or ghost period. This module turns that
+//! guarantee into a service: scenario requests arrive over HTTP/JSON,
+//! each *distinct* spec runs exactly once, and every repeat is answered
+//! from a content-addressed on-disk store without touching the physics
+//! engines. The cache needs no invalidation logic and no freshness
+//! metadata, because a spec's canonical hash
+//! ([`crate::scenario::ScenarioSpec::canonical_hash`]) fully determines
+//! its result bytes.
+//!
+//! The layers, bottom up:
+//!
+//! - [`ResultCache`] — the content-addressed store: one directory per
+//!   key holding `spec.json`, `report.txt`, `counters.json`, and an
+//!   optional `trajectory.xyz`, inserted atomically (temp dir +
+//!   rename).
+//! - [`JobQueue`] / [`ServeStats`] — pending runs (FIFO, deduplicated
+//!   by key) and the per-process counters (`requests`, `runs`,
+//!   `cache_hits`, `coalesced`, `atoms_steps`, exchange totals).
+//! - [`Scheduler`] — the single admission/batch/drain loop: a request
+//!   hits the disk cache, coalesces onto a pending job, or enqueues;
+//!   [`Scheduler::drain`] runs each unique spec once through the
+//!   [`crate::scenario::Scenario`] facade.
+//! - [`Server`] — the minimal hand-rolled HTTP/1.1 wire layer
+//!   (`POST /run`, `GET /stats`, `GET /result/<key>`,
+//!   `POST /shutdown`).
+//! - [`drain_file`] — the `--drain FILE` entry point for CI: admit a
+//!   request file, run the queue to empty, emit a deterministic
+//!   per-request + summary report, and exit.
+//!
+//! Cache soundness is enforced, not assumed: the served `report.txt`
+//! contains only physics and the modeled rate — execution geometry
+//! (shards, ghost period, threads) never appears in the body — so CI
+//! can byte-compare the cached artifacts of geometry-variant specs and
+//! the same drain across `WAFER_MD_THREADS` values.
+
+mod cache;
+mod http;
+mod queue;
+mod scheduler;
+
+pub use cache::{CachedResult, ResultCache};
+pub use http::Server;
+pub use queue::{Job, JobQueue, ServeStats};
+pub use scheduler::{drain_file, run_spec, Disposition, RunArtifacts, Scheduler};

@@ -1,0 +1,172 @@
+//! The job queue and the per-process serve counters.
+//!
+//! One admission discipline, used by both the HTTP loop and `--drain`:
+//! a request either hits the disk cache, coalesces onto an
+//! already-queued job for the same key, or enqueues a new job. The
+//! queue is keyed FIFO — jobs run in admission order, so drain output
+//! is deterministic — and never holds two jobs for one key.
+
+use std::collections::VecDeque;
+
+use crate::json::Value;
+use crate::scenario::ScenarioSpec;
+
+/// A queued unit of work: one spec to run, addressed by its canonical
+/// key.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The spec's canonical cache key ([`ScenarioSpec::key`]).
+    pub key: String,
+    /// The spec to run.
+    pub spec: ScenarioSpec,
+}
+
+/// A FIFO queue of pending runs, deduplicated by cache key.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    jobs: VecDeque<Job>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a job unless one with the same key is already pending.
+    /// Returns `true` if the job was newly queued, `false` if it
+    /// coalesced onto the pending one.
+    pub fn push(&mut self, key: String, spec: ScenarioSpec) -> bool {
+        if self.contains(&key) {
+            return false;
+        }
+        self.jobs.push_back(Job { key, spec });
+        true
+    }
+
+    /// Dequeue the oldest pending job.
+    pub fn pop(&mut self) -> Option<Job> {
+        self.jobs.pop_front()
+    }
+
+    /// Whether a job with this key is pending.
+    pub fn contains(&self, key: &str) -> bool {
+        self.jobs.iter().any(|j| j.key == key)
+    }
+
+    /// The queue depth.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Monotonic per-process serve counters.
+///
+/// `requests = runs + cache_hits + coalesced + still-pending`: every
+/// admitted request is classified exactly once. The physics totals
+/// (`atoms_steps`, `exchanges`, `early_exchanges`) accumulate over the
+/// runs *this process* executed — cache hits add nothing, which is the
+/// point of the cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Specs submitted (valid requests admitted, however disposed).
+    pub requests: u64,
+    /// Physics runs actually executed.
+    pub runs: u64,
+    /// Requests answered from the on-disk cache.
+    pub cache_hits: u64,
+    /// Requests that coalesced onto an already-queued job.
+    pub coalesced: u64,
+    /// Σ atoms × steps over executed runs.
+    pub atoms_steps: u64,
+    /// Ghost exchanges performed by executed sharded runs.
+    pub exchanges: u64,
+    /// The subset of `exchanges` forced early by the skin-validity
+    /// check.
+    pub early_exchanges: u64,
+}
+
+impl ServeStats {
+    /// Render the `GET /stats` document: compact JSON, keys in a fixed
+    /// alphabetical order, plus the momentary queue depth.
+    pub fn to_json(&self, pending: usize) -> String {
+        Value::Obj(vec![
+            ("atoms_steps".into(), Value::Uint(self.atoms_steps)),
+            ("cache_hits".into(), Value::Uint(self.cache_hits)),
+            ("coalesced".into(), Value::Uint(self.coalesced)),
+            ("early_exchanges".into(), Value::Uint(self.early_exchanges)),
+            ("exchanges".into(), Value::Uint(self.exchanges)),
+            ("pending".into(), Value::Uint(pending as u64)),
+            ("requests".into(), Value::Uint(self.requests)),
+            ("runs".into(), Value::Uint(self.runs)),
+        ])
+        .render()
+    }
+
+    /// The one-line drain summary (the last line of `--drain` output,
+    /// golden-tested in CI).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "requests {}, runs {}, cache hits {}, coalesced {}, atoms-steps {}, exchanges {} ({} early)",
+            self.requests,
+            self.runs,
+            self.cache_hits,
+            self.coalesced,
+            self.atoms_steps,
+            self.exchanges,
+            self.early_exchanges,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use md_core::materials::Species;
+
+    #[test]
+    fn queue_coalesces_by_key_and_pops_fifo() {
+        let a = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
+        let mut b = a;
+        b.seed += 1;
+        let mut q = JobQueue::new();
+        assert!(q.push(a.key(), a));
+        assert!(!q.push(a.key(), a), "same key coalesces");
+        assert!(q.push(b.key(), b));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().key, a.key());
+        assert_eq!(q.pop().unwrap().key, b.key());
+        assert!(q.is_empty());
+        // Once popped, the key can queue again.
+        assert!(q.push(a.key(), a));
+    }
+
+    #[test]
+    fn stats_render_stable_json_and_summary() {
+        let stats = ServeStats {
+            requests: 3,
+            runs: 2,
+            cache_hits: 0,
+            coalesced: 1,
+            atoms_steps: 14400,
+            exchanges: 5,
+            early_exchanges: 1,
+        };
+        assert_eq!(
+            stats.to_json(1),
+            "{\"atoms_steps\":14400,\"cache_hits\":0,\"coalesced\":1,\
+             \"early_exchanges\":1,\"exchanges\":5,\"pending\":1,\
+             \"requests\":3,\"runs\":2}"
+        );
+        assert_eq!(
+            stats.summary_line(),
+            "requests 3, runs 2, cache hits 0, coalesced 1, atoms-steps 14400, exchanges 5 (1 early)"
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Admission, batching, and execution: the single scheduling loop
+//! behind both the HTTP server and `--drain`.
+//!
+//! The discipline is one loop with three outcomes per request — disk
+//! hit, coalesce onto a pending job, or enqueue — followed by a drain
+//! that runs each *unique* queued spec exactly once through the
+//! [`Scenario`] facade and lands the artifacts in the cache atomically.
+//! There is no second coordination layer: the HTTP loop drains after
+//! each miss (a blocking HTTP/1.1 exchange must answer before the next
+//! request is read), while `--drain` admits a whole request file first
+//! so duplicate submissions visibly coalesce into one physics run.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use md_core::engine::RunCounters;
+
+use super::cache::{CachedResult, ResultCache};
+use super::queue::{JobQueue, ServeStats};
+use crate::json::Value;
+use crate::scenario::{Engine, Scenario, ScenarioSpec, Workload};
+use crate::traj;
+
+/// How a submitted request was disposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Answered from the on-disk cache; no work queued.
+    CacheHit,
+    /// Newly queued; the next drain runs it.
+    Queued,
+    /// A job for the same key was already pending; this request rides
+    /// along on its result.
+    Coalesced,
+}
+
+impl Disposition {
+    /// The stable one-word label drain output prints per request.
+    /// `Queued` reads as `run` because drain output is written after
+    /// the queue has drained — by then the job has executed.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CacheHit => "hit",
+            Self::Queued => "run",
+            Self::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Everything one executed run produces.
+#[derive(Clone, Debug)]
+pub struct RunArtifacts {
+    /// The deterministic run report (`report.txt`). Contains only
+    /// physics and the modeled rate — never execution geometry — so
+    /// specs differing only in shards, ghost period, or threads produce
+    /// byte-identical reports.
+    pub report: String,
+    /// The counters document (`counters.json`): atom count, executed
+    /// steps, exchange schedule, modeled rate, requested threads.
+    pub counters: String,
+    /// The XYZ trajectory, when the spec asked for one.
+    pub trajectory: Option<String>,
+    /// Atoms simulated.
+    pub atoms: u64,
+    /// The engine's whole-run counters.
+    pub run_counters: RunCounters,
+}
+
+fn workload_kind(w: Workload) -> &'static str {
+    match w {
+        Workload::Slab { .. } => "slab",
+        Workload::GrainBoundary { .. } => "grain-boundary",
+        Workload::ControlledGrid { .. } => "controlled-grid",
+    }
+}
+
+/// Execute one spec through the [`Scenario`] facade and render its
+/// artifacts.
+///
+/// The spec's `threads` field (when nonzero) overrides the worker-pool
+/// width for exactly this run — execution geometry only; the physics
+/// and therefore the report bytes are identical at any value. The
+/// thermostat (if any) is applied on a fixed 10-step cadence aligned
+/// with the trajectory frame schedule, so the flow of physics is a
+/// function of the spec alone.
+pub fn run_spec(spec: &ScenarioSpec) -> RunArtifacts {
+    if spec.threads > 0 {
+        rayon::set_num_threads(spec.threads);
+    }
+    let artifacts = execute(spec);
+    if spec.threads > 0 {
+        rayon::set_num_threads(0);
+    }
+    artifacts
+}
+
+fn execute(spec: &ScenarioSpec) -> RunArtifacts {
+    let sc = Scenario::from_spec(*spec);
+    let steps = sc.steps.max(1);
+    let mut engine = sc
+        .build_engine()
+        .expect("specs are validated before they are queued");
+    let atoms = engine.n_atoms();
+    let symbol = sc.species.symbol();
+    let mut xyz: Option<Vec<u8>> = sc.xyz.then(Vec::new);
+    let frame = |step: usize, engine: &dyn Engine, xyz: &mut Option<Vec<u8>>| {
+        if let Some(buf) = xyz.as_mut() {
+            traj::write_xyz_frame(
+                buf,
+                symbol,
+                "serve",
+                step,
+                &engine.positions_view().to_vec(),
+            )
+            .expect("write to Vec<u8> cannot fail");
+        }
+    };
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "== wafer-md serve: {} {}, {} atoms, engine {} ==",
+        sc.species.name(),
+        workload_kind(sc.workload),
+        atoms,
+        engine.backend()
+    )
+    .expect("write to String cannot fail");
+
+    frame(0, engine.as_ref(), &mut xyz);
+    sc.advance(engine.as_mut(), 1);
+    let first = engine.observables();
+    let e0 = first.total_energy();
+    writeln!(
+        report,
+        "step 1: U = {:.3} eV, T = {:.0} K",
+        first.potential_energy, first.temperature
+    )
+    .expect("write to String cannot fail");
+
+    // Advance to each multiple of 10 (the frame cadence), then the
+    // final step. The chunking is fixed by the spec's step budget
+    // alone, so thermostatted runs evolve identically whether or not a
+    // trajectory is recorded.
+    let mut done = 1;
+    while done < steps {
+        let chunk = (10 - done % 10).min(steps - done);
+        sc.advance(engine.as_mut(), chunk);
+        done += chunk;
+        if done % 10 == 0 || done == steps {
+            frame(done, engine.as_ref(), &mut xyz);
+        }
+    }
+    if steps == 1 {
+        frame(1, engine.as_ref(), &mut xyz);
+    }
+
+    let o = engine.observables();
+    writeln!(
+        report,
+        "after {} steps: U = {:.3} eV, T = {:.0} K, drift {:.2e} eV/atom",
+        steps,
+        o.potential_energy,
+        o.temperature,
+        (o.total_energy() - e0).abs() / atoms as f64
+    )
+    .expect("write to String cannot fail");
+    if let Some(rate) = o.modeled_rate {
+        writeln!(report, "modeled rate: {rate:.0} timesteps/s")
+            .expect("write to String cannot fail");
+    }
+    let run_counters = engine.run_counters();
+    let counters = Value::Obj(vec![
+        ("atoms".into(), Value::Uint(atoms as u64)),
+        (
+            "atoms_steps".into(),
+            Value::Uint(atoms as u64 * run_counters.steps),
+        ),
+        (
+            "early_exchanges".into(),
+            Value::Uint(run_counters.early_exchanges),
+        ),
+        ("exchanges".into(), Value::Uint(run_counters.exchanges)),
+        (
+            "modeled_rate".into(),
+            o.modeled_rate.map_or(Value::Null, Value::Num),
+        ),
+        ("steps".into(), Value::Uint(run_counters.steps)),
+        ("threads_requested".into(), Value::Uint(spec.threads as u64)),
+    ])
+    .render();
+
+    RunArtifacts {
+        report,
+        counters,
+        trajectory: xyz.map(|buf| String::from_utf8(buf).expect("XYZ output is UTF-8")),
+        atoms: atoms as u64,
+        run_counters,
+    }
+}
+
+/// The scheduler: one cache, one queue, one set of counters.
+#[derive(Debug)]
+pub struct Scheduler {
+    cache: ResultCache,
+    queue: JobQueue,
+    stats: ServeStats,
+}
+
+impl Scheduler {
+    /// A scheduler over an opened cache, with an empty queue.
+    pub fn new(cache: ResultCache) -> Self {
+        Self {
+            cache,
+            queue: JobQueue::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Admit one spec. Returns its cache key and how the request was
+    /// disposed; `Queued` and `Coalesced` requests are answered by the
+    /// next [`Scheduler::drain`].
+    pub fn submit(&mut self, spec: ScenarioSpec) -> (String, Disposition) {
+        self.stats.requests += 1;
+        let key = spec.key();
+        if self.cache.lookup(&key).is_some() {
+            self.stats.cache_hits += 1;
+            return (key, Disposition::CacheHit);
+        }
+        if self.queue.push(key.clone(), spec) {
+            (key, Disposition::Queued)
+        } else {
+            self.stats.coalesced += 1;
+            (key, Disposition::Coalesced)
+        }
+    }
+
+    /// Run the queue to empty: each unique queued spec executes exactly
+    /// once, in admission order, and its artifacts land in the cache
+    /// atomically. Returns the number of physics runs executed.
+    pub fn drain(&mut self) -> io::Result<usize> {
+        let mut ran = 0;
+        while let Some(job) = self.queue.pop() {
+            let artifacts = run_spec(&job.spec);
+            let spec_json = job.spec.to_json();
+            let mut files = vec![
+                ("spec.json", spec_json.as_str()),
+                ("report.txt", artifacts.report.as_str()),
+                ("counters.json", artifacts.counters.as_str()),
+            ];
+            if let Some(t) = artifacts.trajectory.as_deref() {
+                files.push(("trajectory.xyz", t));
+            }
+            self.cache.insert(&job.key, &files)?;
+            self.stats.runs += 1;
+            self.stats.atoms_steps += artifacts.atoms * artifacts.run_counters.steps;
+            self.stats.exchanges += artifacts.run_counters.exchanges;
+            self.stats.early_exchanges += artifacts.run_counters.early_exchanges;
+            ran += 1;
+        }
+        Ok(ran)
+    }
+
+    /// Read a key's cached result.
+    pub fn result(&self, key: &str) -> Option<CachedResult> {
+        self.cache.lookup(key)
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The momentary queue depth.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+}
+
+/// `wafer-md serve --drain FILE`: admit every request in `requests`
+/// (one spec JSON per line; blank lines and `#` comments skipped), run
+/// the queue to empty, and write the deterministic drain report to
+/// `out` — one `<key> <hit|run|coalesced>` line per request in file
+/// order, then the [`ServeStats::summary_line`]. CI byte-diffs this
+/// output (and the cached artifacts it leaves behind) against committed
+/// goldens at multiple thread counts.
+pub fn drain_file(cache_root: &Path, requests: &Path, out: &mut dyn Write) -> io::Result<()> {
+    let text = fs::read_to_string(requests)?;
+    let mut scheduler = Scheduler::new(ResultCache::open(cache_root)?);
+    let mut admitted = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let spec = ScenarioSpec::from_json(line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+        })?;
+        admitted.push(scheduler.submit(spec));
+    }
+    scheduler.drain()?;
+    for (key, disposition) in &admitted {
+        writeln!(out, "{key} {}", disposition.label())?;
+    }
+    writeln!(out, "{}", scheduler.stats().summary_line())
+}

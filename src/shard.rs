@@ -795,6 +795,14 @@ impl Engine for ShardedEngine {
         self.steps_run += 1;
     }
 
+    fn run_counters(&self) -> md_core::engine::RunCounters {
+        md_core::engine::RunCounters {
+            steps: self.steps_run,
+            exchanges: self.exchanges,
+            early_exchanges: self.early_exchanges,
+        }
+    }
+
     fn positions_view(&self) -> AtomsView<'_> {
         self.merged.positions()
     }

@@ -1,0 +1,446 @@
+//! End-to-end tests for `wafer-md serve`: the scheduler's
+//! run-once/cache-forever contract, the HTTP wire layer, the `--drain`
+//! goldens, and the spec round-trip properties the cache's soundness
+//! rests on.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use proptest::prelude::*;
+use wafer_md::json::Value;
+use wafer_md::md::materials::Species;
+use wafer_md::md::vec3::V3d;
+use wafer_md::scenario::{GhostPeriod, Scenario, ScenarioSpec, Thermostat, Workload};
+use wafer_md::serve::{Disposition, ResultCache, Scheduler, Server};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wafer-md-serve-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The spec behind line 1 of `tests/fixtures/serve-requests.jsonl`.
+fn fixture_spec() -> ScenarioSpec {
+    Scenario::slab(Species::Ta, 3, 3, 1)
+        .temperature(120.0)
+        .seed(7)
+        .steps(20)
+        .to_spec()
+}
+
+#[test]
+fn same_spec_twice_is_one_run_with_byte_identical_responses() {
+    let root = scratch("twice");
+    let mut scheduler = Scheduler::new(ResultCache::open(&root).unwrap());
+    let spec = fixture_spec();
+
+    let (key, first) = scheduler.submit(spec);
+    assert_eq!(first, Disposition::Queued);
+    assert_eq!(scheduler.pending(), 1);
+    assert_eq!(scheduler.drain().unwrap(), 1, "exactly one physics run");
+    let fresh = scheduler.result(&key).expect("drained result is cached");
+
+    let (key_again, second) = scheduler.submit(spec);
+    assert_eq!(key_again, key);
+    assert_eq!(
+        second,
+        Disposition::CacheHit,
+        "the hit counter proves no rerun"
+    );
+    let cached = scheduler.result(&key).unwrap();
+    assert_eq!(fresh, cached, "cached response is byte-identical to fresh");
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.runs, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.coalesced, 0);
+    assert_eq!(stats.atoms_steps, 18 * 20, "3x3x1 BCC slab, 20 steps");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn pre_drain_duplicates_coalesce_onto_one_job() {
+    let root = scratch("coalesce");
+    let mut scheduler = Scheduler::new(ResultCache::open(&root).unwrap());
+    let spec = fixture_spec();
+    assert_eq!(scheduler.submit(spec).1, Disposition::Queued);
+    assert_eq!(scheduler.submit(spec).1, Disposition::Coalesced);
+    assert_eq!(scheduler.pending(), 1, "one job despite two requests");
+    assert_eq!(scheduler.drain().unwrap(), 1);
+    assert_eq!(scheduler.stats().coalesced, 1);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn distinct_seeds_get_distinct_keys_and_cache_entries() {
+    let root = scratch("seeds");
+    let mut scheduler = Scheduler::new(ResultCache::open(&root).unwrap());
+    let a = fixture_spec();
+    let mut b = a;
+    b.seed = a.seed + 1;
+    assert_ne!(a.key(), b.key());
+
+    let (key_a, _) = scheduler.submit(a);
+    let (key_b, _) = scheduler.submit(b);
+    assert_eq!(scheduler.drain().unwrap(), 2, "two seeds, two runs");
+    let ra = scheduler.result(&key_a).unwrap();
+    let rb = scheduler.result(&key_b).unwrap();
+    assert_ne!(
+        ra.report, rb.report,
+        "different seeds draw different velocities"
+    );
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn execution_geometry_changes_the_key_but_never_the_report_bytes() {
+    // Same physics, different execution geometry: sharded two ways at a
+    // longer ghost period on a pinned two-thread pool. Distinct cache
+    // keys (the spec hashes whole), byte-identical reports — the
+    // determinism guarantee the cache is built on.
+    let a = fixture_spec();
+    let mut b = a;
+    b.shards = 2;
+    b.ghost_period = GhostPeriod::Every(4);
+    b.threads = 2;
+    assert_ne!(a.key(), b.key());
+
+    let ra = wafer_md::serve::run_spec(&a);
+    let rb = wafer_md::serve::run_spec(&b);
+    assert_eq!(ra.report, rb.report, "report carries no execution geometry");
+    assert_eq!(
+        ra.run_counters.exchanges, 0,
+        "unsharded: nothing to exchange"
+    );
+    assert!(
+        rb.run_counters.exchanges > 0,
+        "sharded run exchanged ghosts"
+    );
+    assert_ne!(ra.counters, rb.counters, "counters.json is per-key");
+}
+
+#[test]
+fn requesting_a_trajectory_changes_artifacts_but_not_the_report() {
+    let plain = fixture_spec();
+    let mut with_xyz = plain;
+    with_xyz.xyz = true;
+    let ra = wafer_md::serve::run_spec(&plain);
+    let rb = wafer_md::serve::run_spec(&with_xyz);
+    assert_eq!(ra.report, rb.report);
+    assert!(ra.trajectory.is_none());
+    let traj = rb.trajectory.expect("xyz requested");
+    // Frames at steps 0, 10, and 20 of an 18-atom slab.
+    assert_eq!(traj.matches("step=").count(), 3);
+    assert!(traj.starts_with("18\nstep=0 serve\n"));
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> &'a str {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("missing header {name}"))
+}
+
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: wafer-md\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+#[test]
+fn http_server_round_trip_hit_miss_stats_and_hints() {
+    let root = scratch("http");
+    let mut server = Server::bind("127.0.0.1:0", &root).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let spec = fixture_spec();
+    let request = spec.to_json();
+
+    let (status, headers, fresh) = http(addr, "POST", "/run", &request);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-wafer-cache"), "miss");
+    assert_eq!(header(&headers, "x-wafer-key"), spec.key());
+    assert!(
+        fresh.starts_with("== wafer-md serve: Tantalum slab, 18 atoms, engine wse =="),
+        "{fresh}"
+    );
+
+    let (status, headers, cached) = http(addr, "POST", "/run", &request);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-wafer-cache"), "hit");
+    assert_eq!(fresh, cached, "hit body is byte-identical to the fresh run");
+
+    let (status, _, stats) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let v = Value::parse(stats.trim()).unwrap();
+    assert_eq!(v.get("requests").and_then(Value::as_u64), Some(2));
+    assert_eq!(v.get("runs").and_then(Value::as_u64), Some(1));
+    assert_eq!(v.get("cache_hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(v.get("pending").and_then(Value::as_u64), Some(0));
+
+    let (status, _, replay) = http(addr, "GET", &format!("/result/{}", spec.key()), "");
+    assert_eq!(status, 200);
+    assert_eq!(replay, fresh);
+    let (status, _, _) = http(addr, "GET", "/result/00000000deadbeef", "");
+    assert_eq!(status, 404);
+
+    // Malformed requests: 400 plus the typed hint, never a crash.
+    let (status, _, err) = http(addr, "POST", "/run", "{\"species\":\"Ta\"}");
+    assert_eq!(status, 400);
+    assert!(err.contains("missing required field 'workload'"), "{err}");
+    let (status, _, err) = http(addr, "POST", "/run", "pure garbage");
+    assert_eq!(status, 400);
+    assert!(err.contains("malformed scenario spec"), "{err}");
+    let (status, _, err) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    assert!(err.contains("POST /run"), "{err}");
+
+    // Bad requests don't pollute the counters.
+    let (_, _, stats) = http(addr, "GET", "/stats", "");
+    let v = Value::parse(stats.trim()).unwrap();
+    assert_eq!(v.get("requests").and_then(Value::as_u64), Some(2));
+
+    let (status, _, bye) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(bye, "shutting down\n");
+    handle.join().expect("server thread exits cleanly");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+fn wafer_md_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_wafer-md")
+}
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/serve-requests.jsonl")
+}
+
+#[test]
+fn drain_matches_the_committed_goldens_cold_and_warm() {
+    let root = scratch("drain");
+    let drain = || {
+        let out = Command::new(wafer_md_bin())
+            .args([
+                "serve",
+                "--cache",
+                root.to_str().unwrap(),
+                "--drain",
+                fixture_path().to_str().unwrap(),
+            ])
+            .output()
+            .expect("run wafer-md serve --drain");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let cold = drain();
+    assert_eq!(cold, include_str!("golden/serve-drain-cold.txt"));
+    let warm = drain();
+    assert_eq!(warm, include_str!("golden/serve-drain-warm.txt"));
+
+    // The cached report matches the committed golden, and the
+    // geometry-variant spec (line 3: 2 shards, ghost period 4,
+    // scrambled field order) cached the byte-identical report under its
+    // own key.
+    let mut lines = cold.lines();
+    let key_a = lines.next().unwrap().split(' ').next().unwrap();
+    let key_b = cold.lines().nth(2).unwrap().split(' ').next().unwrap();
+    assert_ne!(key_a, key_b);
+    let report_a = fs::read_to_string(root.join(key_a).join("report.txt")).unwrap();
+    let report_b = fs::read_to_string(root.join(key_b).join("report.txt")).unwrap();
+    assert_eq!(report_a, include_str!("golden/serve-report.txt"));
+    assert_eq!(
+        report_a, report_b,
+        "geometry variants cache identical bytes"
+    );
+    // The stored spec is the canonical form — scrambled input
+    // normalized on the way in.
+    let spec_b = fs::read_to_string(root.join(key_b).join("spec.json")).unwrap();
+    let parsed = ScenarioSpec::from_json(&spec_b).unwrap();
+    assert_eq!(spec_b, parsed.to_json());
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn malformed_drain_line_exits_2_with_a_hint() {
+    let root = scratch("bad-drain");
+    let requests = scratch("bad-drain-file").with_extension("jsonl");
+    fs::write(&requests, "{\"species\":\"Ta\"}\n").unwrap();
+    let out = Command::new(wafer_md_bin())
+        .args([
+            "serve",
+            "--cache",
+            root.to_str().unwrap(),
+            "--drain",
+            requests.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1") && stderr.contains("missing required field 'workload'"),
+        "{stderr}"
+    );
+    fs::write(&requests, "pure garbage\n").unwrap();
+    let out = Command::new(wafer_md_bin())
+        .args([
+            "serve",
+            "--cache",
+            root.to_str().unwrap(),
+            "--drain",
+            requests.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("malformed scenario spec"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_file(&requests);
+    let _ = fs::remove_dir_all(&root);
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (0u8..3, 1usize..6, 1usize..6, 1usize..4, 1.0f64..4.0).prop_map(|(kind, a, b, c, x)| match kind
+    {
+        0 => Workload::Slab {
+            nx: a,
+            ny: b,
+            nz: c,
+        },
+        1 => Workload::GrainBoundary {
+            size: V3d::new(10.0 + x, 9.0 * x, 3.0 + a as f64),
+        },
+        _ => Workload::ControlledGrid {
+            side: 4 + a,
+            spacing: x,
+            b: b as i32,
+        },
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let physics = (
+        0u8..3,
+        0.0f64..2000.0,
+        1e-4f64..1e-2,
+        1usize..200,
+        0u64..u64::MAX,
+    );
+    let thermo = (0u8..2, 100.0f64..1000.0, 1usize..20);
+    let exec = (0u8..2, 0u8..8, 0.0f64..0.3);
+    let layout = (0usize..5, 1usize..5, 0usize..5, 0u8..2);
+    (arb_workload(), physics, thermo, exec, layout).prop_map(
+        |(
+            workload,
+            (species, temperature, dt, steps, seed),
+            (thermo_kind, target, interval),
+            (engine, periodic_bits, spare),
+            (gp, shards, threads, xyz),
+        )| {
+            let species = [Species::Cu, Species::W, Species::Ta][species as usize];
+            let mut spec = ScenarioSpec::new(species, workload);
+            spec.temperature = temperature;
+            spec.dt = dt;
+            spec.steps = steps;
+            spec.seed = seed;
+            spec.engine = if engine == 0 {
+                wafer_md::scenario::EngineKind::Baseline
+            } else {
+                wafer_md::scenario::EngineKind::Wse
+            };
+            spec.periodic = [
+                periodic_bits & 1 != 0,
+                periodic_bits & 2 != 0,
+                periodic_bits & 4 != 0,
+            ];
+            spec.spare = spare;
+            spec.thermostat = if thermo_kind == 0 {
+                Thermostat::None
+            } else {
+                Thermostat::Rescale { target, interval }
+            };
+            spec.shards = shards;
+            spec.ghost_period = if gp == 0 {
+                GhostPeriod::Auto
+            } else {
+                GhostPeriod::Every(gp)
+            };
+            spec.threads = threads;
+            spec.xyz = xyz != 0;
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The cache-soundness property: every spec round-trips losslessly
+    /// through canonical JSON, the canonical form is a fixed point, and
+    /// the hash is independent of the field order of the JSON source.
+    #[test]
+    fn spec_round_trips_and_hash_ignores_field_order(
+        spec in arb_spec(),
+        rotation in 0usize..14,
+    ) {
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        prop_assert_eq!(back, spec);
+        prop_assert_eq!(back.to_json(), json.clone());
+        prop_assert_eq!(back.canonical_hash(), spec.canonical_hash());
+
+        let mut fields = match Value::parse(&json).unwrap() {
+            Value::Obj(fields) => fields,
+            _ => unreachable!("canonical form is an object"),
+        };
+        let n = fields.len();
+        fields.rotate_left(rotation % n);
+        if rotation % 2 == 1 {
+            fields.reverse();
+        }
+        let scrambled = Value::Obj(fields).render();
+        let reparsed = ScenarioSpec::from_json(&scrambled).unwrap();
+        prop_assert_eq!(reparsed, spec);
+        prop_assert_eq!(reparsed.canonical_hash(), spec.canonical_hash());
+    }
+}
