@@ -5,6 +5,8 @@
 //!                         [--shards K] [--ghost-period k|auto] [--xyz PATH]
 //! wafer-md list
 //! wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]
+//!                [--serve-threads N] [--timeout-ms MS]
+//!                [--cache-max-bytes B] [--cache-max-entries N]
 //! wafer-md export-setfl <cu|w|ta> <path>
 //! ```
 //!
@@ -37,6 +39,8 @@ fn usage() -> ! {
          \x20                           [--shards K] [--ghost-period k|auto] [--xyz PATH]\n\
          \x20      wafer-md list\n\
          \x20      wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]\n\
+         \x20                     [--serve-threads N] [--timeout-ms MS]\n\
+         \x20                     [--cache-max-bytes B] [--cache-max-entries N]\n\
          \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
          \n\
          scenarios:\n{}",
@@ -96,10 +100,24 @@ fn parse_run(args: &[String]) -> (String, RunOptions) {
     (name.clone(), opts)
 }
 
+/// Parse a positive integer serve flag, exiting 2 with a hint
+/// otherwise.
+fn parse_count(flag: &str, v: &str) -> u64 {
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} must be a positive integer (got '{v}')");
+            usage()
+        }
+    }
+}
+
 fn serve_main(args: &[String]) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache = "./.wafer-cache".to_string();
     let mut drain: Option<String> = None;
+    let mut config = serve::ServeConfig::default();
+    let mut budget = serve::CacheBudget::UNBOUNDED;
     let mut i = 0;
     let value = |i: &mut usize| -> &String {
         *i += 1;
@@ -112,6 +130,20 @@ fn serve_main(args: &[String]) {
             // `--once` is an alias for `--drain`: run the request file
             // to completion, then exit.
             "--drain" | "--once" => drain = Some(value(&mut i).clone()),
+            "--serve-threads" => {
+                config.threads = parse_count("--serve-threads", value(&mut i)) as usize;
+            }
+            "--timeout-ms" => {
+                let ms = parse_count("--timeout-ms", value(&mut i));
+                config.read_timeout = std::time::Duration::from_millis(ms);
+                config.write_timeout = config.read_timeout;
+            }
+            "--cache-max-bytes" => {
+                budget.max_bytes = parse_count("--cache-max-bytes", value(&mut i));
+            }
+            "--cache-max-entries" => {
+                budget.max_entries = parse_count("--cache-max-entries", value(&mut i)) as usize;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage()
@@ -119,10 +151,12 @@ fn serve_main(args: &[String]) {
         }
         i += 1;
     }
+    let store = serve::ResultCache::open_bounded(std::path::Path::new(&cache), budget)
+        .unwrap_or_else(|e| panic!("open cache {cache}: {e}"));
     if let Some(requests) = drain {
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
-        if let Err(e) = serve::drain_file(cache.as_ref(), requests.as_ref(), &mut out) {
+        if let Err(e) = serve::drain_file(store, requests.as_ref(), &mut out) {
             if e.kind() == std::io::ErrorKind::InvalidData {
                 // A malformed request line is a usage error, not a crash.
                 eprintln!("{requests}: {e}");
@@ -132,10 +166,13 @@ fn serve_main(args: &[String]) {
         }
         return;
     }
-    let mut server =
-        serve::Server::bind(&addr, cache.as_ref()).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    let mut server = serve::Server::bind_with(&addr, store, config)
+        .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
     let bound = server.local_addr().expect("bound listener has an address");
-    println!("listening on {bound} (cache {cache})");
+    println!(
+        "listening on {bound} (cache {cache}, {} serve threads)",
+        config.threads
+    );
     std::io::stdout().flush().expect("flush stdout");
     if let Err(e) = server.serve() {
         panic!("serve on {bound}: {e}");

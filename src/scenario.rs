@@ -482,6 +482,19 @@ impl ScenarioSpec {
     pub fn key(&self) -> String {
         format!("{:016x}", self.canonical_hash())
     }
+
+    /// The execution-geometry class this spec batches under: backend,
+    /// shard count, and ghost period. Queued cache misses whose classes
+    /// are equal can share one engine-pool pass (their engines are
+    /// built the same way and stress the worker pool identically), so
+    /// the scenario server's scheduler claims them off the queue
+    /// together instead of draining strictly FIFO. Physics fields are
+    /// deliberately excluded: batching is an execution decision and
+    /// must never influence result bytes — which is guaranteed anyway,
+    /// because every run is bit-deterministic in isolation.
+    pub fn batch_class(&self) -> (EngineKind, usize, GhostPeriod) {
+        (self.engine, self.shards, self.ghost_period)
+    }
 }
 
 fn finite_field(v: &Value, name: &str) -> Result<f64, ScenarioError> {

@@ -1,32 +1,89 @@
 //! The wire layer: a deliberately minimal HTTP/1.1 server on
-//! `std::net::TcpListener`.
+//! `std::net::TcpListener`, answered by a fixed-size acceptor pool.
 //!
-//! One blocking accept loop, one request per connection
-//! (`Connection: close`), no TLS, no chunked encoding — exactly enough
-//! protocol for a scenario client, in the same no-dependencies spirit
-//! as the rest of the workspace. The endpoints:
+//! `--serve-threads N` acceptor threads block in `accept` on clones of
+//! one listener; each connection carries one request
+//! (`Connection: close`), bounded by per-connection read/write
+//! timeouts and a request-size cap so a stalled or hostile client can
+//! only ever wedge its own connection. No TLS, no dependencies —
+//! exactly enough protocol for a scenario client, in the same
+//! no-dependencies spirit as the rest of the workspace. The endpoints:
 //!
-//! | method + path       | behavior |
-//! |---------------------|----------|
-//! | `POST /run`         | body = spec JSON; answers the run report (cache hit or fresh run) |
-//! | `GET /stats`        | the per-process counters + queue depth, as JSON |
-//! | `GET /result/<key>` | re-read a cached report by its 16-hex key |
-//! | `POST /shutdown`    | acknowledge, then exit the accept loop |
+//! | method + path                     | behavior |
+//! |-----------------------------------|----------|
+//! | `POST /run`                       | body = spec JSON; answers the run report (cache hit or fresh run) |
+//! | `GET /stats`                      | the per-process counters, queue depth, and cache size, as JSON |
+//! | `GET /result/<key>`               | re-read a cached report by its 16-hex key |
+//! | `GET /result/<key>/trajectory.xyz`| stream a cached trajectory (chunked, never buffered whole) |
+//! | `POST /shutdown`                  | acknowledge, then drain the acceptor pool and exit |
 //!
 //! Every `POST /run` answer carries `X-Wafer-Key` (the spec's canonical
-//! cache key) and `X-Wafer-Cache: hit|miss`. The *body* is the cached
-//! `report.txt` bytes in both cases — byte-identical whether the run
-//! was fresh or served from disk, which `tests/serve.rs` asserts; the
-//! hit/miss distinction lives only in the header and the counters.
+//! cache key) and `X-Wafer-Cache: hit|miss|coalesced`. The *body* is
+//! the run's `report.txt` bytes in every case — byte-identical whether
+//! the run was fresh, served from disk, or coalesced onto another
+//! connection's in-flight run, which `tests/serve_stress.rs` asserts
+//! under concurrency. A miss is answered with chunked transfer
+//! encoding, each report fragment sent as the physics produces it; the
+//! de-chunked body is still byte-identical to a hit.
+//!
+//! Concurrency discipline: the [`Scheduler`] behind one mutex is the
+//! single coordination point. A worker whose request misses claims a
+//! batch (its own job plus geometry-compatible queued misses), runs it
+//! *outside* the lock, then completes each job — filling the
+//! [`crate::serve::JobCell`]s that coalesced waiters (and workers whose
+//! queued job got swept into another worker's batch) block on. One
+//! engine run per unique in-flight spec, no exceptions, at any pool
+//! width.
 
+use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
-use super::cache::ResultCache;
-use super::scheduler::{Disposition, Scheduler};
+use super::cache::{is_valid_key, ResultCache};
+use super::queue::Job;
+use super::scheduler::{run_batch, Disposition, Scheduler};
 use crate::json::Value;
 use crate::scenario::ScenarioSpec;
+
+/// Cap on the request line + headers, together.
+const MAX_HEAD_BYTES: u64 = 8 * 1024;
+
+/// File-streaming chunk size for `GET /result/<key>/trajectory.xyz`.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Acceptor/worker threads (`--serve-threads`). Each handles one
+    /// connection at a time; the scheduler coalesces duplicate
+    /// in-flight specs, so any width preserves one-run-per-spec.
+    pub threads: usize,
+    /// Per-connection read timeout (zero = none): a client that stalls
+    /// mid-request is answered 408 and dropped.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (zero = none): a client that stops
+    /// reading its response is dropped without blocking the worker.
+    pub write_timeout: Duration,
+    /// Largest accepted request body, in bytes; bigger declared bodies
+    /// are answered 413 without being read.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: 1 << 20,
+        }
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -36,25 +93,64 @@ struct Request {
     body: Vec<u8>,
 }
 
-/// Read one request off a connection. `Ok(None)` means the peer closed
-/// without sending anything; `Err(String)` is a malformed request whose
-/// hint belongs in a 400 response.
-fn read_request(stream: &mut TcpStream) -> io::Result<Result<Option<Request>, String>> {
-    let mut reader = BufReader::new(stream.try_clone()?);
+/// Why a request could not be parsed.
+enum RequestError {
+    /// Protocol garbage: answer 400 with the hint.
+    Malformed(String),
+    /// Declared body over the cap: answer 413.
+    TooLarge(String),
+    /// The peer stalled past the read timeout: answer 408 best-effort.
+    Timeout,
+    /// Connection-level I/O failure: drop silently.
+    Io,
+}
+
+fn classify(e: io::Error) -> RequestError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::Timeout,
+        io::ErrorKind::InvalidData => RequestError::Malformed("request is not valid UTF-8".into()),
+        _ => RequestError::Io,
+    }
+}
+
+/// Read one request off a connection, under the head/body size caps.
+/// `Ok(None)` means the peer closed without sending anything.
+fn read_request(stream: &TcpStream, max_body: usize) -> Result<Option<Request>, RequestError> {
+    let reader = BufReader::new(stream.try_clone().map_err(|_| RequestError::Io)?);
+    let mut reader = reader.take(MAX_HEAD_BYTES);
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(Ok(None));
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(classify(e)),
+    }
+    if !line.ends_with('\n') {
+        // The peer hung up mid-line, or the line overran the head cap.
+        return Err(RequestError::Malformed(
+            "truncated or oversized request line".into(),
+        ));
     }
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
-        _ => return Ok(Err("malformed request line".to_string())),
+        _ => return Err(RequestError::Malformed("malformed request line".into())),
     };
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(Err("connection closed mid-headers".to_string()));
+        match reader.read_line(&mut header) {
+            Ok(0) => {
+                return Err(RequestError::Malformed(
+                    "connection closed mid-headers".into(),
+                ))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(classify(e)),
+        }
+        if !header.ends_with('\n') {
+            return Err(RequestError::Malformed(
+                "headers truncated or over the size cap".into(),
+            ));
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -64,17 +160,32 @@ fn read_request(stream: &mut TcpStream) -> io::Result<Result<Option<Request>, St
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = match value.trim().parse() {
                     Ok(n) => n,
-                    Err(_) => return Ok(Err("invalid Content-Length".to_string())),
+                    Err(_) => return Err(RequestError::Malformed("invalid Content-Length".into())),
                 };
             }
         }
     }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge(format!(
+            "request body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    // The head cap has served its purpose; re-arm the limit for the body.
+    reader.set_limit(content_length as u64);
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Ok(Some(Request { method, path, body })))
+    if let Err(e) = reader.read_exact(&mut body) {
+        return Err(match e.kind() {
+            io::ErrorKind::UnexpectedEof => {
+                RequestError::Malformed("request body truncated".into())
+            }
+            _ => classify(e),
+        });
+    }
+    Ok(Some(Request { method, path, body }))
 }
 
-/// Write one response and flush. `extra` headers ride along verbatim.
+/// Write one fixed-length response and flush. `extra` headers ride
+/// along verbatim.
 fn respond(
     stream: &mut TcpStream,
     status: u16,
@@ -96,6 +207,64 @@ fn respond(
     stream.flush()
 }
 
+/// Start a 200 chunked-transfer response; the body follows as chunks.
+fn stream_head(stream: &mut TcpStream, extra: &[(&str, &str)]) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+    )?;
+    for (name, value) in extra {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")
+}
+
+/// A chunked-transfer body writer that survives the client vanishing:
+/// the first write error marks the writer dead and every later chunk is
+/// silently dropped, so a mid-response disconnect never aborts the
+/// physics run it is watching.
+struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    alive: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    fn new(stream: &'a mut TcpStream) -> Self {
+        Self {
+            stream,
+            alive: true,
+        }
+    }
+
+    fn chunk(&mut self, data: &[u8]) {
+        if !self.alive || data.is_empty() {
+            return;
+        }
+        let r = write!(self.stream, "{:x}\r\n", data.len())
+            .and_then(|()| self.stream.write_all(data))
+            .and_then(|()| self.stream.write_all(b"\r\n"))
+            .and_then(|()| self.stream.flush());
+        if r.is_err() {
+            self.alive = false;
+        }
+    }
+
+    /// Mark the body unfinishable (e.g. a source read failed): the
+    /// terminal chunk is withheld so the client sees the truncation.
+    fn die(&mut self) {
+        self.alive = false;
+    }
+
+    fn finish(&mut self) {
+        if self.alive {
+            let _ = self
+                .stream
+                .write_all(b"0\r\n\r\n")
+                .and_then(|()| self.stream.flush());
+        }
+    }
+}
+
 fn error_body(hint: &str) -> Vec<u8> {
     let mut body = Value::Obj(vec![("error".into(), Value::Str(hint.into()))])
         .render()
@@ -104,20 +273,62 @@ fn error_body(hint: &str) -> Vec<u8> {
     body
 }
 
-/// The scenario server: a bound listener plus a [`Scheduler`].
-#[derive(Debug)]
+/// The server state every acceptor thread shares.
+struct Shared {
+    scheduler: Mutex<Scheduler>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// The scheduler lock, recovered if a panicking thread poisoned it:
+    /// the scheduler is never left mid-mutation across a run (runs
+    /// happen outside the lock), so the inner state is always usable.
+    fn scheduler(&self) -> MutexGuard<'_, Scheduler> {
+        self.scheduler
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The scenario server: a bound listener, a worker-pool configuration,
+/// and the shared [`Scheduler`].
 pub struct Server {
     listener: TcpListener,
-    scheduler: Scheduler,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.addr)
+            .field("config", &self.shared.config)
+            .finish()
+    }
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port)
-    /// over a result cache rooted at `cache_root`.
+    /// over an unbounded result cache rooted at `cache_root`, with the
+    /// default [`ServeConfig`].
     pub fn bind(addr: &str, cache_root: &Path) -> io::Result<Self> {
+        Self::bind_with(addr, ResultCache::open(cache_root)?, ServeConfig::default())
+    }
+
+    /// Bind `addr` over an opened (possibly budget-bounded) cache with
+    /// an explicit configuration.
+    pub fn bind_with(addr: &str, cache: ResultCache, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(Self {
-            listener: TcpListener::bind(addr)?,
-            scheduler: Scheduler::new(ResultCache::open(cache_root)?),
+            listener,
+            shared: Arc::new(Shared {
+                scheduler: Mutex::new(Scheduler::new(cache)),
+                config,
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
         })
     }
 
@@ -126,129 +337,403 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Run the accept loop until a `POST /shutdown` arrives. Each
-    /// connection carries one request; connection-level I/O errors
-    /// drop that connection and the loop continues.
+    /// Run the acceptor pool until a `POST /shutdown` arrives, then
+    /// drain: every worker finishes its in-flight connection before
+    /// this returns. Connection-level I/O errors drop that connection
+    /// and the pool continues.
     pub fn serve(&mut self) -> io::Result<()> {
-        loop {
-            let mut stream = match self.listener.accept() {
-                Ok((s, _)) => s,
-                Err(_) => continue,
-            };
-            let request = match read_request(&mut stream) {
-                Ok(Ok(Some(r))) => r,
-                Ok(Ok(None)) => continue,
-                Ok(Err(hint)) => {
-                    let _ = respond(
-                        &mut stream,
-                        400,
-                        "Bad Request",
-                        "application/json",
-                        &[],
-                        &error_body(&hint),
-                    );
-                    continue;
+        let extra = self.shared.config.threads.max(1) - 1;
+        let mut clones = Vec::with_capacity(extra);
+        for _ in 0..extra {
+            clones.push(self.listener.try_clone()?);
+        }
+        std::thread::scope(|scope| {
+            for listener in &clones {
+                let shared = &self.shared;
+                scope.spawn(move || acceptor_loop(listener, shared));
+            }
+            acceptor_loop(&self.listener, &self.shared);
+        });
+        Ok(())
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // A shutdown wake pill (or a client racing the shutdown).
+            return;
+        }
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let config = &shared.config;
+    if !config.read_timeout.is_zero() {
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+    }
+    if !config.write_timeout.is_zero() {
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+    }
+    match read_request(&stream, config.max_body) {
+        Ok(None) => {}
+        Ok(Some(request)) => dispatch(&request, &mut stream, shared),
+        Err(RequestError::Malformed(hint)) => {
+            let _ = respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "application/json",
+                &[],
+                &error_body(&hint),
+            );
+        }
+        Err(RequestError::TooLarge(hint)) => {
+            let _ = respond(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                "application/json",
+                &[],
+                &error_body(&hint),
+            );
+        }
+        Err(RequestError::Timeout) => {
+            let _ = respond(
+                &mut stream,
+                408,
+                "Request Timeout",
+                "application/json",
+                &[],
+                &error_body("request timed out"),
+            );
+        }
+        Err(RequestError::Io) => {}
+    }
+}
+
+fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/run") => post_run(&request.body, stream, shared),
+        ("GET", "/stats") => {
+            let mut body = shared.scheduler().stats_json().into_bytes();
+            body.push(b'\n');
+            let _ = respond(stream, 200, "OK", "application/json", &[], &body);
+        }
+        ("GET", path) if path.strip_prefix("/result/").is_some() => {
+            get_result(&path["/result/".len()..], stream, shared);
+        }
+        ("POST", "/shutdown") => {
+            let _ = respond(stream, 200, "OK", "text/plain", &[], b"shutting down\n");
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // One wake pill per acceptor: each blocked `accept` returns,
+            // re-checks the flag, and exits; surplus pills die with the
+            // listener.
+            for _ in 0..shared.config.threads.max(1) {
+                let _ = TcpStream::connect(shared.addr);
+            }
+        }
+        _ => {
+            let _ = respond(
+                stream,
+                404,
+                "Not Found",
+                "application/json",
+                &[],
+                &error_body(
+                    "no such endpoint (try POST /run, GET /stats, GET /result/<key>, \
+                     GET /result/<key>/trajectory.xyz, POST /shutdown)",
+                ),
+            );
+        }
+    }
+}
+
+/// `POST /run`: admit the spec and answer with the report bytes.
+fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
+    let spec = std::str::from_utf8(body)
+        .map_err(|_| "request body is not UTF-8".to_string())
+        .and_then(|text| ScenarioSpec::from_json(text).map_err(|e| e.to_string()));
+    let spec = match spec {
+        Ok(spec) => spec,
+        Err(hint) => {
+            let _ = respond(
+                stream,
+                400,
+                "Bad Request",
+                "application/json",
+                &[],
+                &error_body(&hint),
+            );
+            return;
+        }
+    };
+
+    // One lock acquisition for the admission decision *and* its
+    // follow-up handle, so a coalesced request always finds its cell
+    // and a hit always finds its entry.
+    enum Plan {
+        Hit(String, String),
+        Wait(String, Arc<super::scheduler::JobCell>, &'static str),
+        Run(String),
+    }
+    let plan = {
+        let mut sched = shared.scheduler();
+        let (key, disposition) = sched.submit(spec);
+        match disposition {
+            Disposition::CacheHit => {
+                let cached = sched.result(&key).expect("a hit key is cached");
+                Plan::Hit(key, cached.report)
+            }
+            Disposition::Coalesced => {
+                let cell = sched.watch(&key).expect("a coalesced key has a cell");
+                Plan::Wait(key, cell, "coalesced")
+            }
+            Disposition::Queued => Plan::Run(key),
+        }
+    };
+
+    match plan {
+        Plan::Hit(key, report) => {
+            let _ = respond(
+                stream,
+                200,
+                "OK",
+                "text/plain",
+                &[("X-Wafer-Cache", "hit"), ("X-Wafer-Key", &key)],
+                report.as_bytes(),
+            );
+        }
+        Plan::Wait(key, cell, label) => {
+            answer_from_cell(&key, &cell, label, stream);
+        }
+        Plan::Run(key) => {
+            let batch = shared.scheduler().claim_batch(Some(&key));
+            if batch.is_empty() {
+                // Another worker's batch swept this job up; wait on it.
+                let cell = shared.scheduler().watch(&key);
+                match cell {
+                    Some(cell) => answer_from_cell(&key, &cell, "miss", stream),
+                    None => {
+                        // Completed between the two locks: a cache read.
+                        match shared.scheduler().result(&key) {
+                            Some(cached) => {
+                                let _ = respond(
+                                    stream,
+                                    200,
+                                    "OK",
+                                    "text/plain",
+                                    &[("X-Wafer-Cache", "miss"), ("X-Wafer-Key", &key)],
+                                    cached.report.as_bytes(),
+                                );
+                            }
+                            None => {
+                                let _ = respond(
+                                    stream,
+                                    404,
+                                    "Not Found",
+                                    "application/json",
+                                    &[],
+                                    &error_body("result evicted before it could be read"),
+                                );
+                            }
+                        }
+                    }
                 }
-                Err(_) => continue,
-            };
-            if let Ok(true) = self.handle(&request, &mut stream) {
-                return Ok(());
+            } else {
+                run_and_stream(&batch, &key, stream, shared);
             }
         }
     }
+}
 
-    /// Dispatch one request; `Ok(true)` means shut down.
-    fn handle(&mut self, request: &Request, stream: &mut TcpStream) -> io::Result<bool> {
-        match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/run") => {
-                let spec = std::str::from_utf8(&request.body)
-                    .map_err(|_| "request body is not UTF-8".to_string())
-                    .and_then(|text| ScenarioSpec::from_json(text).map_err(|e| e.to_string()));
-                let spec = match spec {
-                    Ok(spec) => spec,
-                    Err(hint) => {
-                        respond(
-                            stream,
-                            400,
-                            "Bad Request",
-                            "application/json",
-                            &[],
-                            &error_body(&hint),
-                        )?;
-                        return Ok(false);
-                    }
-                };
-                let (key, disposition) = self.scheduler.submit(spec);
-                if disposition != Disposition::CacheHit {
-                    // Blocking HTTP/1.1: this request must be answered
-                    // before the next is read, so a miss drains now.
-                    self.scheduler.drain()?;
-                }
-                let cached = self
-                    .scheduler
-                    .result(&key)
-                    .expect("a drained or hit key is cached");
-                let state = if disposition == Disposition::CacheHit {
-                    "hit"
-                } else {
-                    "miss"
-                };
-                respond(
-                    stream,
-                    200,
-                    "OK",
-                    "text/plain",
-                    &[("X-Wafer-Cache", state), ("X-Wafer-Key", &key)],
-                    cached.report.as_bytes(),
-                )?;
+/// Answer a waiter once its job's runner publishes the artifacts.
+fn answer_from_cell(
+    key: &str,
+    cell: &super::scheduler::JobCell,
+    label: &str,
+    stream: &mut TcpStream,
+) {
+    match cell.wait() {
+        Some(artifacts) => {
+            let _ = respond(
+                stream,
+                200,
+                "OK",
+                "text/plain",
+                &[("X-Wafer-Cache", label), ("X-Wafer-Key", key)],
+                artifacts.report.as_bytes(),
+            );
+        }
+        None => {
+            let _ = respond(
+                stream,
+                500,
+                "Internal Server Error",
+                "application/json",
+                &[],
+                &error_body("scenario run failed; resubmit"),
+            );
+        }
+    }
+}
+
+/// Execute a claimed batch and stream the runner's own report to its
+/// client as chunked transfer encoding, fragment by fragment, while the
+/// physics is still running. A client that disconnects mid-response
+/// only silences the stream — the batch still runs to completion and
+/// every result is cached and published, because the claimed jobs'
+/// waiters depend on it.
+fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Shared) {
+    let head_ok = stream_head(stream, &[("X-Wafer-Cache", "miss"), ("X-Wafer-Key", key)]).is_ok();
+    let writer = Mutex::new(ChunkedWriter::new(stream));
+    if !head_ok {
+        writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .die();
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_batch(batch, &|frag: &str| {
+            writer
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .chunk(frag.as_bytes());
+        })
+    }));
+    match outcome {
+        Ok(artifacts) => {
+            let mut sched = shared.scheduler();
+            for (job, a) in batch.iter().zip(artifacts) {
+                // A cache-insert failure (e.g. disk full) still fills
+                // the job's cell, so no waiter is ever stranded.
+                let _ = sched.complete(job, a);
             }
-            ("GET", "/stats") => {
-                let mut body = self
-                    .scheduler
-                    .stats()
-                    .to_json(self.scheduler.pending())
-                    .into_bytes();
-                body.push(b'\n');
-                respond(stream, 200, "OK", "application/json", &[], &body)?;
+            drop(sched);
+            writer
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .finish();
+        }
+        Err(_) => {
+            // A run panicked (an invariant break, not a client fault):
+            // abandon every claimed job so waiters get a 500 instead of
+            // blocking forever, and withhold the terminal chunk so this
+            // client sees the truncation.
+            let mut sched = shared.scheduler();
+            for job in batch {
+                sched.abandon(&job.key);
             }
-            ("GET", path) if path.starts_with("/result/") => {
-                let key = &path["/result/".len()..];
-                match self.scheduler.result(key) {
-                    Some(cached) => respond(
+            drop(sched);
+            writer
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .die();
+        }
+    }
+}
+
+/// `GET /result/<key>` and `GET /result/<key>/trajectory.xyz`.
+fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
+    let (key, artifact) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((key, artifact)) => (key, Some(artifact)),
+    };
+    // Path-traversal hardening: a key is exactly 16 lowercase hex
+    // characters, validated before it can touch the filesystem.
+    if !is_valid_key(key) {
+        let _ = respond(
+            stream,
+            400,
+            "Bad Request",
+            "application/json",
+            &[],
+            &error_body("result keys are exactly 16 lowercase hex characters"),
+        );
+        return;
+    }
+    match artifact {
+        None => {
+            let cached = shared.scheduler().result(key);
+            match cached {
+                Some(cached) => {
+                    let _ = respond(
                         stream,
                         200,
                         "OK",
                         "text/plain",
                         &[("X-Wafer-Key", key)],
                         cached.report.as_bytes(),
-                    )?,
-                    None => respond(
+                    );
+                }
+                None => {
+                    let _ = respond(
                         stream,
                         404,
                         "Not Found",
                         "application/json",
                         &[],
                         &error_body("unknown result key"),
-                    )?,
+                    );
                 }
             }
-            ("POST", "/shutdown") => {
-                respond(stream, 200, "OK", "text/plain", &[], b"shutting down\n")?;
-                return Ok(true);
-            }
-            _ => {
-                respond(
-                    stream,
-                    404,
-                    "Not Found",
-                    "application/json",
-                    &[],
-                    &error_body(
-                        "no such endpoint (try POST /run, GET /stats, GET /result/<key>, POST /shutdown)",
-                    ),
-                )?;
+        }
+        Some("trajectory.xyz") => {
+            // Open under the lock, stream outside it: the open handle
+            // stays valid even if the entry is evicted mid-stream.
+            let file = shared.scheduler().open_trajectory(key);
+            match file {
+                Some((file, _len)) => stream_file(file, key, stream),
+                None => {
+                    let _ = respond(
+                        stream,
+                        404,
+                        "Not Found",
+                        "application/json",
+                        &[],
+                        &error_body("no cached trajectory for this key (did the spec set xyz?)"),
+                    );
+                }
             }
         }
-        Ok(false)
+        Some(_) => {
+            let _ = respond(
+                stream,
+                404,
+                "Not Found",
+                "application/json",
+                &[],
+                &error_body("unknown artifact (try /result/<key> or /result/<key>/trajectory.xyz)"),
+            );
+        }
     }
+}
+
+/// Stream a cached file as a chunked body without ever holding more
+/// than one chunk in memory.
+fn stream_file(mut file: File, key: &str, stream: &mut TcpStream) {
+    if stream_head(stream, &[("X-Wafer-Key", key)]).is_err() {
+        return;
+    }
+    let mut writer = ChunkedWriter::new(stream);
+    let mut buf = vec![0u8; STREAM_CHUNK];
+    loop {
+        match file.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => writer.chunk(&buf[..n]),
+            Err(_) => {
+                writer.die();
+                break;
+            }
+        }
+    }
+    writer.finish();
 }

@@ -16,17 +16,27 @@
 //! - [`ResultCache`] — the content-addressed store: one directory per
 //!   key holding `spec.json`, `report.txt`, `counters.json`, and an
 //!   optional `trajectory.xyz`, inserted atomically (temp dir +
-//!   rename).
+//!   rename). Optionally bounded by a [`CacheBudget`] (`--cache-max-*`)
+//!   with deterministic LRU eviction: the recency order is persisted in
+//!   an index file, so the eviction sequence is a pure function of the
+//!   access sequence and replays identically across restarts.
 //! - [`JobQueue`] / [`ServeStats`] — pending runs (FIFO, deduplicated
 //!   by key) and the per-process counters (`requests`, `runs`,
-//!   `cache_hits`, `coalesced`, `atoms_steps`, exchange totals).
-//! - [`Scheduler`] — the single admission/batch/drain loop: a request
-//!   hits the disk cache, coalesces onto a pending job, or enqueues;
-//!   [`Scheduler::drain`] runs each unique spec once through the
-//!   [`crate::scenario::Scenario`] facade.
+//!   `batches`, `cache_hits`, `coalesced`, `atoms_steps`, exchange
+//!   totals).
+//! - [`Scheduler`] — the single admission/batch/completion loop shared
+//!   by every worker behind one mutex: a request hits the disk cache,
+//!   coalesces onto a pending or in-flight job, or enqueues; a runner
+//!   claims its job *plus* every geometry-compatible queued miss
+//!   ([`Scheduler::claim_batch`]) and executes the batch in one
+//!   worker-pool pass outside the lock; per-job [`JobCell`]s deliver
+//!   finished artifacts to coalesced waiters without polling.
 //! - [`Server`] — the minimal hand-rolled HTTP/1.1 wire layer
 //!   (`POST /run`, `GET /stats`, `GET /result/<key>`,
-//!   `POST /shutdown`).
+//!   `GET /result/<key>/trajectory.xyz`, `POST /shutdown`), answered by
+//!   a fixed-size acceptor pool ([`ServeConfig`]: `--serve-threads`,
+//!   per-connection timeouts, request-size cap). Cache misses and
+//!   trajectories stream as chunked transfer encoding.
 //! - [`drain_file`] — the `--drain FILE` entry point for CI: admit a
 //!   request file, run the queue to empty, emit a deterministic
 //!   per-request + summary report, and exit.
@@ -35,14 +45,21 @@
 //! contains only physics and the modeled rate — execution geometry
 //! (shards, ghost period, threads) never appears in the body — so CI
 //! can byte-compare the cached artifacts of geometry-variant specs and
-//! the same drain across `WAFER_MD_THREADS` values.
+//! the same drain across `WAFER_MD_THREADS` values. Concurrency
+//! soundness is tested the same way: the stress suite fires duplicate
+//! and distinct specs from many client threads and asserts one engine
+//! run per unique spec with every body byte-identical to a
+//! single-threaded golden.
 
 mod cache;
 mod http;
 mod queue;
 mod scheduler;
 
-pub use cache::{CachedResult, ResultCache};
-pub use http::Server;
+pub use cache::{is_valid_key, CacheBudget, CacheUsage, CachedResult, ResultCache};
+pub use http::{ServeConfig, Server};
 pub use queue::{Job, JobQueue, ServeStats};
-pub use scheduler::{drain_file, run_spec, Disposition, RunArtifacts, Scheduler};
+pub use scheduler::{
+    drain_file, run_batch, run_spec, run_spec_streaming, Disposition, JobCell, RunArtifacts,
+    Scheduler,
+};

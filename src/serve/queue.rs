@@ -1,15 +1,19 @@
 //! The job queue and the per-process serve counters.
 //!
-//! One admission discipline, used by both the HTTP loop and `--drain`:
-//! a request either hits the disk cache, coalesces onto an
-//! already-queued job for the same key, or enqueues a new job. The
-//! queue is keyed FIFO — jobs run in admission order, so drain output
-//! is deterministic — and never holds two jobs for one key.
-
-use std::collections::VecDeque;
+//! One admission discipline, used by both the HTTP workers and
+//! `--drain`: a request either hits the disk cache, coalesces onto an
+//! already-queued (or already-running) job for the same key, or
+//! enqueues a new job. The queue is keyed FIFO — within a batch, jobs
+//! run in admission order, so drain output is deterministic — and never
+//! holds two jobs for one key. A drain claims *batches* rather than
+//! single jobs: the front job plus every queued job with the same
+//! execution geometry ([`crate::scenario::ScenarioSpec::batch_class`])
+//! comes off the queue together and runs in one worker-pool pass.
 
 use crate::json::Value;
 use crate::scenario::ScenarioSpec;
+
+use super::cache::CacheUsage;
 
 /// A queued unit of work: one spec to run, addressed by its canonical
 /// key.
@@ -24,7 +28,7 @@ pub struct Job {
 /// A FIFO queue of pending runs, deduplicated by cache key.
 #[derive(Debug, Default)]
 pub struct JobQueue {
-    jobs: VecDeque<Job>,
+    jobs: Vec<Job>,
 }
 
 impl JobQueue {
@@ -40,13 +44,42 @@ impl JobQueue {
         if self.contains(&key) {
             return false;
         }
-        self.jobs.push_back(Job { key, spec });
+        self.jobs.push(Job { key, spec });
         true
     }
 
     /// Dequeue the oldest pending job.
     pub fn pop(&mut self) -> Option<Job> {
-        self.jobs.pop_front()
+        if self.jobs.is_empty() {
+            None
+        } else {
+            Some(self.jobs.remove(0))
+        }
+    }
+
+    /// Remove and return the pending job with this key, wherever it sits
+    /// in the queue.
+    pub fn take(&mut self, key: &str) -> Option<Job> {
+        let pos = self.jobs.iter().position(|j| j.key == key)?;
+        Some(self.jobs.remove(pos))
+    }
+
+    /// Remove and return, in queue order, every pending job whose spec
+    /// shares `spec`'s batch class (same engine, shard count, and ghost
+    /// period) — the jobs that can ride one engine-pool pass together.
+    pub fn take_compatible(&mut self, spec: &ScenarioSpec) -> Vec<Job> {
+        let class = spec.batch_class();
+        let mut taken = Vec::new();
+        let mut kept = Vec::new();
+        for job in self.jobs.drain(..) {
+            if job.spec.batch_class() == class {
+                taken.push(job);
+            } else {
+                kept.push(job);
+            }
+        }
+        self.jobs = kept;
+        taken
     }
 
     /// Whether a job with this key is pending.
@@ -71,16 +104,19 @@ impl JobQueue {
 /// admitted request is classified exactly once. The physics totals
 /// (`atoms_steps`, `exchanges`, `early_exchanges`) accumulate over the
 /// runs *this process* executed — cache hits add nothing, which is the
-/// point of the cache.
+/// point of the cache. `batches` counts engine-pool passes: with
+/// geometry-compatible misses batched, `batches ≤ runs`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Specs submitted (valid requests admitted, however disposed).
     pub requests: u64,
     /// Physics runs actually executed.
     pub runs: u64,
+    /// Engine-pool passes (batches of compatible runs).
+    pub batches: u64,
     /// Requests answered from the on-disk cache.
     pub cache_hits: u64,
-    /// Requests that coalesced onto an already-queued job.
+    /// Requests that coalesced onto an already-queued or in-flight job.
     pub coalesced: u64,
     /// Σ atoms × steps over executed runs.
     pub atoms_steps: u64,
@@ -93,13 +129,18 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// Render the `GET /stats` document: compact JSON, keys in a fixed
-    /// alphabetical order, plus the momentary queue depth.
-    pub fn to_json(&self, pending: usize) -> String {
+    /// alphabetical order, plus the momentary queue depth and the
+    /// cache's size and eviction counters.
+    pub fn to_json(&self, pending: usize, cache: CacheUsage) -> String {
         Value::Obj(vec![
             ("atoms_steps".into(), Value::Uint(self.atoms_steps)),
+            ("batches".into(), Value::Uint(self.batches)),
+            ("cache_bytes".into(), Value::Uint(cache.bytes)),
+            ("cache_entries".into(), Value::Uint(cache.entries)),
             ("cache_hits".into(), Value::Uint(self.cache_hits)),
             ("coalesced".into(), Value::Uint(self.coalesced)),
             ("early_exchanges".into(), Value::Uint(self.early_exchanges)),
+            ("evictions".into(), Value::Uint(cache.evictions)),
             ("exchanges".into(), Value::Uint(self.exchanges)),
             ("pending".into(), Value::Uint(pending as u64)),
             ("requests".into(), Value::Uint(self.requests)),
@@ -127,7 +168,7 @@ impl ServeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::Scenario;
+    use crate::scenario::{GhostPeriod, Scenario};
     use md_core::materials::Species;
 
     #[test]
@@ -148,21 +189,56 @@ mod tests {
     }
 
     #[test]
+    fn take_compatible_splits_the_queue_by_geometry() {
+        let a = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
+        let mut b = a;
+        b.seed += 1;
+        let mut sharded = a;
+        sharded.seed += 2;
+        sharded.shards = 2;
+        sharded.ghost_period = GhostPeriod::Every(4);
+        let mut q = JobQueue::new();
+        q.push(a.key(), a);
+        q.push(sharded.key(), sharded);
+        q.push(b.key(), b);
+        let front = q.pop().unwrap();
+        let batch = q.take_compatible(&front.spec);
+        // b shares a's unsharded geometry; the sharded spec stays queued.
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].key, b.key());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().key, sharded.key());
+        // take() pulls by key from anywhere in the queue.
+        q.push(a.key(), a);
+        q.push(b.key(), b);
+        assert_eq!(q.take(&b.key()).unwrap().key, b.key());
+        assert!(q.take(&b.key()).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
     fn stats_render_stable_json_and_summary() {
         let stats = ServeStats {
             requests: 3,
             runs: 2,
+            batches: 1,
             cache_hits: 0,
             coalesced: 1,
             atoms_steps: 14400,
             exchanges: 5,
             early_exchanges: 1,
         };
+        let cache = CacheUsage {
+            bytes: 512,
+            entries: 2,
+            evictions: 4,
+        };
         assert_eq!(
-            stats.to_json(1),
-            "{\"atoms_steps\":14400,\"cache_hits\":0,\"coalesced\":1,\
-             \"early_exchanges\":1,\"exchanges\":5,\"pending\":1,\
-             \"requests\":3,\"runs\":2}"
+            stats.to_json(1, cache),
+            "{\"atoms_steps\":14400,\"batches\":1,\"cache_bytes\":512,\
+             \"cache_entries\":2,\"cache_hits\":0,\"coalesced\":1,\
+             \"early_exchanges\":1,\"evictions\":4,\"exchanges\":5,\
+             \"pending\":1,\"requests\":3,\"runs\":2}"
         );
         assert_eq!(
             stats.summary_line(),

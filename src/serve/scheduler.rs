@@ -1,24 +1,32 @@
 //! Admission, batching, and execution: the single scheduling loop
-//! behind both the HTTP server and `--drain`.
+//! behind both the HTTP workers and `--drain`.
 //!
 //! The discipline is one loop with three outcomes per request — disk
-//! hit, coalesce onto a pending job, or enqueue — followed by a drain
-//! that runs each *unique* queued spec exactly once through the
-//! [`Scenario`] facade and lands the artifacts in the cache atomically.
-//! There is no second coordination layer: the HTTP loop drains after
-//! each miss (a blocking HTTP/1.1 exchange must answer before the next
-//! request is read), while `--drain` admits a whole request file first
-//! so duplicate submissions visibly coalesce into one physics run.
+//! hit, coalesce onto a pending or in-flight job, or enqueue — followed
+//! by batched execution: a runner claims the queued job it is waiting
+//! on *plus* every queued job with the same execution geometry
+//! ([`crate::scenario::ScenarioSpec::batch_class`]) and runs the whole
+//! batch in one worker-pool pass, landing each job's artifacts in the
+//! cache atomically. There is no second coordination layer: the
+//! concurrent HTTP workers share one `Mutex<Scheduler>`, and the
+//! per-job [`JobCell`]s are how coalesced waiters (and workers whose
+//! queued job was swept into another worker's batch) receive the
+//! finished artifacts without polling. `--drain` admits a whole request
+//! file first, so duplicate submissions visibly coalesce into one
+//! physics run and batches form across the file.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
 
 use md_core::engine::RunCounters;
+use rayon::prelude::*;
 
-use super::cache::{CachedResult, ResultCache};
-use super::queue::{JobQueue, ServeStats};
+use super::cache::{CacheUsage, CachedResult, ResultCache};
+use super::queue::{Job, JobQueue, ServeStats};
 use crate::json::Value;
 use crate::scenario::{Engine, Scenario, ScenarioSpec, Workload};
 use crate::traj;
@@ -28,10 +36,11 @@ use crate::traj;
 pub enum Disposition {
     /// Answered from the on-disk cache; no work queued.
     CacheHit,
-    /// Newly queued; the next drain runs it.
+    /// Newly queued; the next drain (or the submitting worker itself)
+    /// runs it.
     Queued,
-    /// A job for the same key was already pending; this request rides
-    /// along on its result.
+    /// A job for the same key was already pending or in flight; this
+    /// request rides along on its result.
     Coalesced,
 }
 
@@ -67,6 +76,46 @@ pub struct RunArtifacts {
     pub run_counters: RunCounters,
 }
 
+/// The completion cell of one queued-or-running job: coalesced waiters
+/// park here until the runner fills it. One cell per unique in-flight
+/// key; the scheduler hands out clones of the `Arc` under its lock, so
+/// a waiter can block on the cell without holding the scheduler. The
+/// slot's outer `Option` is "settled yet?", the inner one is "did the
+/// run produce artifacts?" — `Some(None)` means the job was abandoned
+/// (its runner panicked) and waiters should report a failure instead of
+/// blocking forever.
+#[derive(Debug, Default)]
+pub struct JobCell {
+    slot: Mutex<Option<Option<Arc<RunArtifacts>>>>,
+    ready: Condvar,
+}
+
+impl JobCell {
+    fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Settle the cell — `Some` with the finished artifacts, `None` for
+    /// an abandoned job — and wake every waiter.
+    pub fn fill(&self, artifacts: Option<Arc<RunArtifacts>>) {
+        let mut slot = self.slot.lock().expect("job cell lock");
+        *slot = Some(artifacts);
+        self.ready.notify_all();
+    }
+
+    /// Block until the cell settles. `None` means the job was abandoned
+    /// without a result.
+    pub fn wait(&self) -> Option<Arc<RunArtifacts>> {
+        let mut slot = self.slot.lock().expect("job cell lock");
+        loop {
+            if let Some(settled) = slot.as_ref() {
+                return settled.clone();
+            }
+            slot = self.ready.wait(slot).expect("job cell wait");
+        }
+    }
+}
+
 fn workload_kind(w: Workload) -> &'static str {
     match w {
         Workload::Slab { .. } => "slab",
@@ -85,17 +134,28 @@ fn workload_kind(w: Workload) -> &'static str {
 /// with the trajectory frame schedule, so the flow of physics is a
 /// function of the spec alone.
 pub fn run_spec(spec: &ScenarioSpec) -> RunArtifacts {
+    run_spec_streaming(spec, &mut |_| {})
+}
+
+/// [`run_spec`], reporting progress: `progress` receives each fragment
+/// of the report as soon as it is final — the header immediately, the
+/// step-1 observables after the first step, the closing lines when the
+/// run completes. The concatenation of the fragments is byte-identical
+/// to [`RunArtifacts::report`]; the HTTP layer streams them to a
+/// cache-miss client as chunked transfer encoding while the physics is
+/// still running.
+pub fn run_spec_streaming(spec: &ScenarioSpec, progress: &mut dyn FnMut(&str)) -> RunArtifacts {
     if spec.threads > 0 {
         rayon::set_num_threads(spec.threads);
     }
-    let artifacts = execute(spec);
+    let artifacts = execute(spec, progress);
     if spec.threads > 0 {
         rayon::set_num_threads(0);
     }
     artifacts
 }
 
-fn execute(spec: &ScenarioSpec) -> RunArtifacts {
+fn execute(spec: &ScenarioSpec, progress: &mut dyn FnMut(&str)) -> RunArtifacts {
     let sc = Scenario::from_spec(*spec);
     let steps = sc.steps.max(1);
     let mut engine = sc
@@ -118,6 +178,12 @@ fn execute(spec: &ScenarioSpec) -> RunArtifacts {
     };
 
     let mut report = String::new();
+    // Bytes of `report` already handed to `progress`.
+    let mut flushed = 0usize;
+    let mut flush = |report: &String, flushed: &mut usize| {
+        progress(&report[*flushed..]);
+        *flushed = report.len();
+    };
     writeln!(
         report,
         "== wafer-md serve: {} {}, {} atoms, engine {} ==",
@@ -127,6 +193,7 @@ fn execute(spec: &ScenarioSpec) -> RunArtifacts {
         engine.backend()
     )
     .expect("write to String cannot fail");
+    flush(&report, &mut flushed);
 
     frame(0, engine.as_ref(), &mut xyz);
     sc.advance(engine.as_mut(), 1);
@@ -138,6 +205,7 @@ fn execute(spec: &ScenarioSpec) -> RunArtifacts {
         first.potential_energy, first.temperature
     )
     .expect("write to String cannot fail");
+    flush(&report, &mut flushed);
 
     // Advance to each multiple of 10 (the frame cadence), then the
     // final step. The chunking is fixed by the spec's step budget
@@ -170,6 +238,7 @@ fn execute(spec: &ScenarioSpec) -> RunArtifacts {
         writeln!(report, "modeled rate: {rate:.0} timesteps/s")
             .expect("write to String cannot fail");
     }
+    flush(&report, &mut flushed);
     let run_counters = engine.run_counters();
     let counters = Value::Obj(vec![
         ("atoms".into(), Value::Uint(atoms as u64)),
@@ -200,11 +269,41 @@ fn execute(spec: &ScenarioSpec) -> RunArtifacts {
     }
 }
 
-/// The scheduler: one cache, one queue, one set of counters.
+/// Run a claimed batch in one worker-pool pass. `stream` receives the
+/// report fragments of the batch's *first* job (the runner's own
+/// request) as they are finalized; the other batch members run without
+/// progress reporting. The returned artifacts are index-aligned with
+/// `batch`. Every run is bit-deterministic in isolation, so neither the
+/// pool's chunk assignment nor the pass width can influence a single
+/// byte of any result.
+pub fn run_batch(batch: &[Job], stream: &(dyn Fn(&str) + Sync)) -> Vec<RunArtifacts> {
+    if batch.len() == 1 {
+        return vec![run_spec_streaming(&batch[0].spec, &mut |frag| stream(frag))];
+    }
+    (0..batch.len())
+        .into_par_iter()
+        .map(|i| {
+            if i == 0 {
+                run_spec_streaming(&batch[i].spec, &mut |frag| stream(frag))
+            } else {
+                run_spec(&batch[i].spec)
+            }
+        })
+        .collect()
+}
+
+/// The scheduler: one cache, one queue, one set of counters, and the
+/// completion cells of every pending or in-flight job. Concurrent
+/// servers share it behind a `Mutex`; all methods are cheap except the
+/// run itself, which callers perform *outside* the lock between
+/// [`Scheduler::claim_batch`] and [`Scheduler::complete`].
 #[derive(Debug)]
 pub struct Scheduler {
     cache: ResultCache,
     queue: JobQueue,
+    /// One cell per unique key that is queued or running. A key present
+    /// here but absent from the queue has been claimed by a runner.
+    cells: HashMap<String, Arc<JobCell>>,
     stats: ServeStats,
 }
 
@@ -214,13 +313,15 @@ impl Scheduler {
         Self {
             cache,
             queue: JobQueue::new(),
+            cells: HashMap::new(),
             stats: ServeStats::default(),
         }
     }
 
     /// Admit one spec. Returns its cache key and how the request was
-    /// disposed; `Queued` and `Coalesced` requests are answered by the
-    /// next [`Scheduler::drain`].
+    /// disposed; `Queued` and `Coalesced` requests are answered after a
+    /// runner executes the job (via [`Scheduler::claim_batch`] /
+    /// [`Scheduler::complete`] or a [`Scheduler::drain`]).
     pub fn submit(&mut self, spec: ScenarioSpec) -> (String, Disposition) {
         self.stats.requests += 1;
         let key = spec.key();
@@ -228,43 +329,115 @@ impl Scheduler {
             self.stats.cache_hits += 1;
             return (key, Disposition::CacheHit);
         }
-        if self.queue.push(key.clone(), spec) {
-            (key, Disposition::Queued)
-        } else {
+        if self.cells.contains_key(&key) {
             self.stats.coalesced += 1;
-            (key, Disposition::Coalesced)
+            return (key, Disposition::Coalesced);
+        }
+        self.queue.push(key.clone(), spec);
+        self.cells.insert(key.clone(), JobCell::new());
+        (key, Disposition::Queued)
+    }
+
+    /// The completion cell of a queued or in-flight key, if any. Cells
+    /// are removed by [`Scheduler::complete`], so a caller that checks
+    /// under the same lock acquisition as its [`Scheduler::submit`] is
+    /// guaranteed a cell for a `Coalesced` disposition.
+    pub fn watch(&self, key: &str) -> Option<Arc<JobCell>> {
+        self.cells.get(key).cloned()
+    }
+
+    /// Claim a batch of queued jobs for execution: the anchor job
+    /// (`anchor` = a specific queued key, or `None` for the queue
+    /// front) plus, in queue order, every queued job sharing its
+    /// execution geometry. The claimed jobs leave the queue but keep
+    /// their cells — they are in flight until [`Scheduler::complete`].
+    /// Returns an empty batch when the anchor is no longer queued
+    /// (another runner's batch already swept it up; wait on its cell
+    /// instead).
+    pub fn claim_batch(&mut self, anchor: Option<&str>) -> Vec<Job> {
+        let first = match anchor {
+            Some(key) => self.queue.take(key),
+            None => self.queue.pop(),
+        };
+        let Some(first) = first else {
+            return Vec::new();
+        };
+        let mut batch = vec![first];
+        batch.extend(self.queue.take_compatible(&batch[0].spec));
+        self.stats.batches += 1;
+        batch
+    }
+
+    /// Land one claimed job's artifacts: insert into the cache, fold
+    /// the run into the counters, and fill the job's cell so every
+    /// waiter wakes with the finished artifacts.
+    pub fn complete(
+        &mut self,
+        job: &Job,
+        artifacts: RunArtifacts,
+    ) -> io::Result<Arc<RunArtifacts>> {
+        let spec_json = job.spec.to_json();
+        let mut files = vec![
+            ("spec.json", spec_json.as_str()),
+            ("report.txt", artifacts.report.as_str()),
+            ("counters.json", artifacts.counters.as_str()),
+        ];
+        if let Some(t) = artifacts.trajectory.as_deref() {
+            files.push(("trajectory.xyz", t));
+        }
+        // Even if the insert fails (e.g. disk full), the run *happened*:
+        // fold it into the counters and settle the cell first, so no
+        // waiter is ever stranded on an I/O error.
+        let inserted = self.cache.insert(&job.key, &files);
+        self.stats.runs += 1;
+        self.stats.atoms_steps += artifacts.atoms * artifacts.run_counters.steps;
+        self.stats.exchanges += artifacts.run_counters.exchanges;
+        self.stats.early_exchanges += artifacts.run_counters.early_exchanges;
+        let artifacts = Arc::new(artifacts);
+        if let Some(cell) = self.cells.remove(&job.key) {
+            cell.fill(Some(Arc::clone(&artifacts)));
+        }
+        inserted.map(|()| artifacts)
+    }
+
+    /// Abandon a claimed job whose run did not produce artifacts (its
+    /// runner panicked): remove the cell and settle it empty, so every
+    /// waiter wakes with a failure instead of blocking forever. The key
+    /// becomes submittable again.
+    pub fn abandon(&mut self, key: &str) {
+        if let Some(cell) = self.cells.remove(key) {
+            cell.fill(None);
         }
     }
 
-    /// Run the queue to empty: each unique queued spec executes exactly
-    /// once, in admission order, and its artifacts land in the cache
-    /// atomically. Returns the number of physics runs executed.
+    /// Run the queue to empty, batch by batch: each unique queued spec
+    /// executes exactly once, geometry-compatible specs share a pool
+    /// pass, and every job's artifacts land in the cache atomically.
+    /// Returns the number of physics runs executed.
     pub fn drain(&mut self) -> io::Result<usize> {
         let mut ran = 0;
-        while let Some(job) = self.queue.pop() {
-            let artifacts = run_spec(&job.spec);
-            let spec_json = job.spec.to_json();
-            let mut files = vec![
-                ("spec.json", spec_json.as_str()),
-                ("report.txt", artifacts.report.as_str()),
-                ("counters.json", artifacts.counters.as_str()),
-            ];
-            if let Some(t) = artifacts.trajectory.as_deref() {
-                files.push(("trajectory.xyz", t));
+        loop {
+            let batch = self.claim_batch(None);
+            if batch.is_empty() {
+                return Ok(ran);
             }
-            self.cache.insert(&job.key, &files)?;
-            self.stats.runs += 1;
-            self.stats.atoms_steps += artifacts.atoms * artifacts.run_counters.steps;
-            self.stats.exchanges += artifacts.run_counters.exchanges;
-            self.stats.early_exchanges += artifacts.run_counters.early_exchanges;
-            ran += 1;
+            let artifacts = run_batch(&batch, &|_| {});
+            for (job, a) in batch.iter().zip(artifacts) {
+                self.complete(job, a)?;
+            }
+            ran += batch.len();
         }
-        Ok(ran)
     }
 
-    /// Read a key's cached result.
-    pub fn result(&self, key: &str) -> Option<CachedResult> {
+    /// Read a key's cached result (report + counters). Counts as an
+    /// access for cache eviction.
+    pub fn result(&mut self, key: &str) -> Option<CachedResult> {
         self.cache.lookup(key)
+    }
+
+    /// Open a key's cached trajectory for streaming, with its length.
+    pub fn open_trajectory(&mut self, key: &str) -> Option<(fs::File, u64)> {
+        self.cache.open_artifact(key, "trajectory.xyz")
     }
 
     /// The counters so far.
@@ -272,9 +445,19 @@ impl Scheduler {
         &self.stats
     }
 
-    /// The momentary queue depth.
+    /// The `GET /stats` document.
+    pub fn stats_json(&self) -> String {
+        self.stats.to_json(self.queue.len(), self.cache.usage())
+    }
+
+    /// The momentary queue depth (claimed-but-running jobs excluded).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The cache's momentary size and eviction counters.
+    pub fn cache_usage(&self) -> CacheUsage {
+        self.cache.usage()
     }
 
     /// The underlying cache.
@@ -287,12 +470,16 @@ impl Scheduler {
 /// (one spec JSON per line; blank lines and `#` comments skipped), run
 /// the queue to empty, and write the deterministic drain report to
 /// `out` — one `<key> <hit|run|coalesced>` line per request in file
-/// order, then the [`ServeStats::summary_line`]. CI byte-diffs this
-/// output (and the cached artifacts it leaves behind) against committed
-/// goldens at multiple thread counts.
-pub fn drain_file(cache_root: &Path, requests: &Path, out: &mut dyn Write) -> io::Result<()> {
+/// order, then the [`ServeStats::summary_line`]. The caller supplies
+/// the opened (and possibly budget-bounded) cache; because the
+/// eviction order is a pure function of the access sequence and is
+/// persisted in the cache's index file, a re-drain over a warm cache
+/// replays identically. CI byte-diffs this output (and the cached
+/// artifacts it leaves behind) against committed goldens at multiple
+/// thread counts.
+pub fn drain_file(cache: ResultCache, requests: &Path, out: &mut dyn Write) -> io::Result<()> {
     let text = fs::read_to_string(requests)?;
-    let mut scheduler = Scheduler::new(ResultCache::open(cache_root)?);
+    let mut scheduler = Scheduler::new(cache);
     let mut admitted = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();

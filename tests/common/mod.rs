@@ -1,0 +1,99 @@
+//! Shared helpers for the serve integration suites: a scratch-dir
+//! factory, the canonical fixture spec, and a minimal HTTP/1.1 client
+//! that understands the server's two body framings (Content-Length and
+//! chunked transfer encoding).
+
+// Each test crate compiles this module independently and uses a
+// subset of it.
+#![allow(dead_code)]
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+use wafer_md::md::materials::Species;
+use wafer_md::scenario::{Scenario, ScenarioSpec};
+
+/// A process-unique scratch directory, cleared on entry.
+pub fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wafer-md-serve-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The spec behind line 1 of `tests/fixtures/serve-requests.jsonl`.
+pub fn fixture_spec() -> ScenarioSpec {
+    Scenario::slab(Species::Ta, 3, 3, 1)
+        .temperature(120.0)
+        .seed(7)
+        .steps(20)
+        .to_spec()
+}
+
+/// Pull one header (lowercased name) out of a parsed response.
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> &'a str {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("missing header {name}"))
+}
+
+/// Reassemble a chunked-transfer body. Panics on a missing terminal
+/// chunk, so a truncated stream fails the test that read it.
+pub fn dechunk(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    loop {
+        let (size_line, after) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&after[..size]);
+        rest = &after[size + 2..];
+    }
+}
+
+/// One request/response exchange: returns (status, lowercased headers,
+/// de-framed body).
+pub fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: wafer-md\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let body = if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v == "chunked")
+    {
+        dechunk(body)
+    } else {
+        body.to_string()
+    };
+    (status, headers, body)
+}

@@ -3,34 +3,19 @@
 //! goldens, and the spec round-trip properties the cache's soundness
 //! rests on.
 
+mod common;
+
 use std::fs;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use common::{fixture_spec, header, http, scratch};
 use proptest::prelude::*;
 use wafer_md::json::Value;
 use wafer_md::md::materials::Species;
 use wafer_md::md::vec3::V3d;
-use wafer_md::scenario::{GhostPeriod, Scenario, ScenarioSpec, Thermostat, Workload};
+use wafer_md::scenario::{GhostPeriod, ScenarioSpec, Thermostat, Workload};
 use wafer_md::serve::{Disposition, ResultCache, Scheduler, Server};
-
-fn scratch(name: &str) -> PathBuf {
-    let dir =
-        std::env::temp_dir().join(format!("wafer-md-serve-test-{name}-{}", std::process::id()));
-    let _ = fs::remove_dir_all(&dir);
-    dir
-}
-
-/// The spec behind line 1 of `tests/fixtures/serve-requests.jsonl`.
-fn fixture_spec() -> ScenarioSpec {
-    Scenario::slab(Species::Ta, 3, 3, 1)
-        .temperature(120.0)
-        .seed(7)
-        .steps(20)
-        .to_spec()
-}
 
 #[test]
 fn same_spec_twice_is_one_run_with_byte_identical_responses() {
@@ -139,45 +124,6 @@ fn requesting_a_trajectory_changes_artifacts_but_not_the_report() {
     assert!(traj.starts_with("18\nstep=0 serve\n"));
 }
 
-fn header<'a>(headers: &'a [(String, String)], name: &str) -> &'a str {
-    headers
-        .iter()
-        .find(|(k, _)| k == name)
-        .map(|(_, v)| v.as_str())
-        .unwrap_or_else(|| panic!("missing header {name}"))
-}
-
-fn http(
-    addr: SocketAddr,
-    method: &str,
-    path: &str,
-    body: &str,
-) -> (u16, Vec<(String, String)>, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect to test server");
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: wafer-md\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    )
-    .unwrap();
-    let mut response = String::new();
-    stream.read_to_string(&mut response).unwrap();
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .expect("response has a header/body split");
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    (status, headers, body.to_string())
-}
-
 #[test]
 fn http_server_round_trip_hit_miss_stats_and_hints() {
     let root = scratch("http");
@@ -216,6 +162,37 @@ fn http_server_round_trip_hit_miss_stats_and_hints() {
     let (status, _, _) = http(addr, "GET", "/result/00000000deadbeef", "");
     assert_eq!(status, 404);
 
+    // Key validation: anything but 16 lowercase hex characters is a
+    // 400 before it can touch the filesystem.
+    for bad in [
+        "/result/00000000DEADBEEF",  // uppercase
+        "/result/00000000deadbee",   // 15 chars
+        "/result/00000000deadbeef0", // 17 chars
+        "/result/..%2f..%2fetc%2fpasswd",
+        "/result/../../../etc/passwd",
+        "/result/........????????",
+    ] {
+        let (status, _, err) = http(addr, "GET", bad, "");
+        assert_eq!(status, 400, "{bad} must be rejected");
+        assert!(err.contains("16 lowercase hex"), "{bad}: {err}");
+    }
+    // A valid key with an unknown artifact name is a 404, not a file read.
+    let (status, _, _) = http(
+        addr,
+        "GET",
+        &format!("/result/{}/spec.json", spec.key()),
+        "",
+    );
+    assert_eq!(status, 404);
+    // This spec recorded no trajectory.
+    let (status, _, _) = http(
+        addr,
+        "GET",
+        &format!("/result/{}/trajectory.xyz", spec.key()),
+        "",
+    );
+    assert_eq!(status, 404);
+
     // Malformed requests: 400 plus the typed hint, never a crash.
     let (status, _, err) = http(addr, "POST", "/run", "{\"species\":\"Ta\"}");
     assert_eq!(status, 400);
@@ -235,6 +212,40 @@ fn http_server_round_trip_hit_miss_stats_and_hints() {
     let (status, _, bye) = http(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     assert_eq!(bye, "shutting down\n");
+    handle.join().expect("server thread exits cleanly");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn trajectory_streams_chunked_from_the_cache() {
+    let root = scratch("traj-stream");
+    let mut server = Server::bind("127.0.0.1:0", &root).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut spec = fixture_spec();
+    spec.xyz = true;
+    let (status, headers, _) = http(addr, "POST", "/run", &spec.to_json());
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-wafer-cache"), "miss");
+
+    let (status, headers, traj) = http(
+        addr,
+        "GET",
+        &format!("/result/{}/trajectory.xyz", spec.key()),
+        "",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "transfer-encoding"), "chunked");
+    // The streamed bytes are exactly the cached artifact: frames at
+    // steps 0, 10, and 20 of the 18-atom slab.
+    let on_disk = fs::read_to_string(root.join(spec.key()).join("trajectory.xyz")).unwrap();
+    assert_eq!(traj, on_disk);
+    assert!(traj.starts_with("18\nstep=0 serve\n"));
+    assert_eq!(traj.matches("step=").count(), 3);
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
     handle.join().expect("server thread exits cleanly");
     fs::remove_dir_all(&root).unwrap();
 }

@@ -1,0 +1,251 @@
+//! Property tests for the bounded result cache: under any interleaving
+//! of inserts and lookups, the budget holds, the eviction order is a
+//! pure function of the access sequence (so it replays identically in a
+//! second cache and across reopen), and an evicted key re-inserted with
+//! the same payload reads back byte-identical. A CLI-level test pins
+//! the same property end to end: `--drain` over a budget-bounded cache
+//! is deterministic run to run.
+
+mod common;
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use common::scratch;
+use proptest::prelude::*;
+use wafer_md::serve::{CacheBudget, CacheUsage, ResultCache};
+
+/// The model's key universe: 8 distinct valid keys.
+fn key(i: usize) -> String {
+    format!("{:016x}", 0xabc0 + i as u64)
+}
+
+/// Deterministic payload for a key: `report.txt` + `counters.json`,
+/// sized by the key index so byte budgets bite unevenly.
+fn files(i: usize) -> (String, String) {
+    let report = format!("report for key {i}\n").repeat(i + 1);
+    let counters = format!("{{\"atoms\":{i}}}");
+    (report, counters)
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(usize),
+    Lookup(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0usize..8, 0u8..2), 1..60).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(i, insert)| {
+                if insert == 1 {
+                    Op::Insert(i)
+                } else {
+                    Op::Lookup(i)
+                }
+            })
+            .collect()
+    })
+}
+
+fn arb_budget() -> impl Strategy<Value = CacheBudget> {
+    (1usize..5, 20u64..400).prop_map(|(max_entries, max_bytes)| CacheBudget {
+        max_entries,
+        max_bytes,
+    })
+}
+
+/// Drive one op sequence through a real cache rooted at `root`,
+/// asserting the budget invariant after every op. Returns the final
+/// recency order and usage.
+fn drive(root: &PathBuf, budget: CacheBudget, ops: &[Op]) -> (Vec<String>, CacheUsage) {
+    let mut cache = ResultCache::open_bounded(root, budget).unwrap();
+    for op in ops {
+        match *op {
+            Op::Insert(i) => {
+                let (report, counters) = files(i);
+                cache
+                    .insert(
+                        &key(i),
+                        &[
+                            ("report.txt", report.as_str()),
+                            ("counters.json", counters.as_str()),
+                        ],
+                    )
+                    .unwrap();
+                // The just-inserted key is always readable: the request
+                // that caused the run must be answerable.
+                let hit = cache
+                    .lookup(&key(i))
+                    .expect("insert is never self-evicting");
+                assert_eq!(
+                    hit.report, report,
+                    "payload bytes survive eviction pressure"
+                );
+            }
+            Op::Lookup(i) => {
+                if let Some(hit) = cache.lookup(&key(i)) {
+                    let (report, _) = files(i);
+                    assert_eq!(hit.report, report, "a hit is always byte-exact");
+                }
+            }
+        }
+        let usage = cache.usage();
+        assert!(
+            usage.entries <= budget.max_entries as u64,
+            "entry budget violated: {usage:?} vs {budget:?}"
+        );
+        assert!(
+            usage.bytes <= budget.max_bytes || usage.entries <= 1,
+            "byte budget violated with more than the protected entry: {usage:?} vs {budget:?}"
+        );
+    }
+    (cache.lru_keys(), cache.usage())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two caches fed the same access sequence agree on every
+    /// observable: surviving keys, recency order, usage, evictions.
+    #[test]
+    fn eviction_is_a_pure_function_of_the_access_sequence(
+        ops in arb_ops(),
+        budget in arb_budget(),
+    ) {
+        let root_a = scratch("evict-a");
+        let root_b = scratch("evict-b");
+        let (order_a, usage_a) = drive(&root_a, budget, &ops);
+        let (order_b, usage_b) = drive(&root_b, budget, &ops);
+        prop_assert_eq!(&order_a, &order_b, "replay diverged");
+        prop_assert_eq!(usage_a, usage_b);
+
+        // Reopening replays the persisted index: same order, same
+        // usage, and the surviving entries still read byte-exact. The
+        // one carve-out: a lone entry kept past the byte budget by
+        // insert-protection is trimmed at reopen, where nothing is
+        // protected.
+        let trimmed = usage_a.entries == 1 && usage_a.bytes > budget.max_bytes;
+        let expected: Vec<String> = if trimmed { Vec::new() } else { order_a.clone() };
+        let mut reopened = ResultCache::open_bounded(&root_a, budget).unwrap();
+        prop_assert_eq!(reopened.lru_keys(), expected.clone());
+        if !trimmed {
+            prop_assert_eq!(reopened.usage().bytes, usage_a.bytes);
+            prop_assert_eq!(reopened.usage().entries, usage_a.entries);
+        }
+        for k in &expected {
+            let i = usize::from_str_radix(k.trim_start_matches('0'), 16).unwrap() - 0xabc0;
+            let hit = reopened.lookup(k).expect("indexed key is present");
+            prop_assert_eq!(hit.report, files(i).0);
+        }
+        fs::remove_dir_all(&root_a).unwrap();
+        fs::remove_dir_all(&root_b).unwrap();
+    }
+
+    /// An evicted key re-inserted with the same payload reads back
+    /// byte-identical — the disk round trip is lossless under churn.
+    #[test]
+    fn evicted_keys_reinsert_byte_identical(
+        ops in arb_ops(),
+    ) {
+        let root = scratch("evict-reinsert");
+        let budget = CacheBudget { max_entries: 2, max_bytes: u64::MAX };
+        let (survivors, _) = drive(&root, budget, &ops);
+        let mut cache = ResultCache::open_bounded(&root, budget).unwrap();
+        for i in 0..8 {
+            if survivors.contains(&key(i)) {
+                continue;
+            }
+            let (report, counters) = files(i);
+            cache
+                .insert(
+                    &key(i),
+                    &[("report.txt", report.as_str()), ("counters.json", counters.as_str())],
+                )
+                .unwrap();
+            prop_assert_eq!(cache.lookup(&key(i)).unwrap().report, report);
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+fn wafer_md_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_wafer-md")
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/serve-requests.jsonl")
+}
+
+/// `--drain` over a budget-bounded cache is deterministic end to end:
+/// the same starting cache state plus the same request file produces
+/// byte-identical output and an identical surviving index — evictions
+/// replay from the persisted recency order, never from
+/// directory-listing order. (A *tight* warm cache is not idempotent
+/// run over run — each drain reshapes which entry survives — which is
+/// exactly why determinism is defined over the starting state.)
+#[test]
+fn bounded_drain_replays_identically() {
+    let drain = |root: &PathBuf| {
+        let out = Command::new(wafer_md_bin())
+            .args([
+                "serve",
+                "--cache",
+                root.to_str().unwrap(),
+                "--cache-max-entries",
+                "1",
+                "--drain",
+                fixture_path().to_str().unwrap(),
+            ])
+            .output()
+            .expect("run wafer-md serve --drain");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    // Recursively copy a cache dir so two drains can start from the
+    // same state.
+    fn copy_dir(from: &PathBuf, to: &PathBuf) {
+        fs::create_dir_all(to).unwrap();
+        for entry in fs::read_dir(from).unwrap().flatten() {
+            let dest = to.join(entry.file_name());
+            if entry.path().is_dir() {
+                copy_dir(&entry.path(), &dest);
+            } else {
+                fs::copy(entry.path(), dest).unwrap();
+            }
+        }
+    }
+    let root_a = scratch("bounded-drain-a");
+    let root_b = scratch("bounded-drain-b");
+    let cold_a = drain(&root_a);
+    let cold_b = drain(&root_b);
+    assert_eq!(cold_a, cold_b, "cold bounded drains diverged");
+
+    // Same warm starting state (copied byte for byte) → same output and
+    // same surviving index.
+    let root_c = scratch("bounded-drain-c");
+    copy_dir(&root_a, &root_c);
+    let warm_a = drain(&root_a);
+    let warm_c = drain(&root_c);
+    assert_eq!(warm_a, warm_c, "warm bounded drains diverged");
+    assert_eq!(
+        fs::read_to_string(root_a.join("index.txt")).unwrap(),
+        fs::read_to_string(root_c.join("index.txt")).unwrap(),
+        "surviving index diverged"
+    );
+
+    // The budget held on disk: exactly one entry directory survives.
+    let entries = fs::read_dir(&root_a)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().is_dir())
+        .count();
+    assert_eq!(entries, 1);
+    fs::remove_dir_all(&root_a).unwrap();
+    fs::remove_dir_all(&root_b).unwrap();
+    fs::remove_dir_all(&root_c).unwrap();
+}

@@ -1,0 +1,247 @@
+//! Concurrency stress tests for `wafer-md serve`: many client threads
+//! firing shuffled duplicate, distinct, and malformed specs at an
+//! acceptor pool, asserting the service's whole contract at once —
+//! exactly one engine run per unique spec, every 200 body
+//! byte-identical to a single-threaded golden run, the cache never
+//! over budget, and a clean drain on shutdown.
+//!
+//! The pool width is `WAFER_MD_SERVE_THREADS` (default 4), so CI can
+//! drive the same assertions at widths 1 and 4 — under the engines'
+//! byte-determinism guarantee, no interleaving may change a single
+//! byte of any response.
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use common::{fixture_spec, header, http, scratch};
+use wafer_md::json::Value;
+use wafer_md::scenario::{GhostPeriod, ScenarioSpec};
+use wafer_md::serve::{run_spec, CacheBudget, ResultCache, ServeConfig, Server};
+
+/// The acceptor-pool width under test.
+fn serve_threads() -> usize {
+    std::env::var("WAFER_MD_SERVE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A deterministic splitmix-style step, so the request shuffle is
+/// reproducible per client without a rand dependency.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// The unique specs of the storm: seed variants (distinct physics),
+/// a sharded geometry variant (distinct key, byte-identical report),
+/// and a trajectory variant (distinct key and artifacts, identical
+/// report). Small enough that a full storm stays in test-suite
+/// territory.
+fn unique_specs() -> Vec<ScenarioSpec> {
+    let base = {
+        let mut s = fixture_spec();
+        s.steps = 10;
+        s
+    };
+    let mut specs = Vec::new();
+    for seed in 0..4 {
+        let mut s = base;
+        s.seed = 100 + seed;
+        specs.push(s);
+    }
+    let mut sharded = base;
+    sharded.seed = 100;
+    sharded.shards = 2;
+    sharded.ghost_period = GhostPeriod::Every(4);
+    specs.push(sharded);
+    let mut with_xyz = base;
+    with_xyz.seed = 101;
+    with_xyz.xyz = true;
+    specs.push(with_xyz);
+    specs
+}
+
+#[test]
+fn storm_of_duplicates_runs_each_unique_spec_exactly_once() {
+    let root = scratch("stress-once");
+    let specs = unique_specs();
+    // The single-threaded golden: what every 200 body must equal,
+    // byte for byte, regardless of interleaving or disposition.
+    let golden: Vec<String> = specs.iter().map(|s| run_spec(s).report).collect();
+    // The sharded variant proves report bytes carry no geometry.
+    assert_eq!(golden[0], golden[4]);
+
+    let budget = CacheBudget {
+        max_bytes: u64::MAX,
+        max_entries: specs.len(),
+    };
+    let cache = ResultCache::open_bounded(&root, budget).unwrap();
+    let config = ServeConfig {
+        threads: serve_threads(),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    const CLIENTS: u64 = 8;
+    const REQUESTS: u64 = 12;
+    let requested: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    let valid = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let (specs, golden, requested, valid) = (&specs, &golden, &requested, &valid);
+            scope.spawn(move || {
+                let mut state = (client + 1).wrapping_mul(0x9e3779b97f4a7c15);
+                for req in 0..REQUESTS {
+                    let roll = next(&mut state);
+                    if roll.is_multiple_of(7) {
+                        // A malformed spec: answered 400, never admitted.
+                        let (status, _, body) = http(addr, "POST", "/run", "pure garbage");
+                        assert_eq!(status, 400, "client {client} req {req}");
+                        assert!(body.contains("malformed scenario spec"), "{body}");
+                        continue;
+                    }
+                    let i = roll as usize % specs.len();
+                    let (status, headers, body) = http(addr, "POST", "/run", &specs[i].to_json());
+                    assert_eq!(status, 200, "client {client} req {req}");
+                    assert_eq!(header(&headers, "x-wafer-key"), specs[i].key());
+                    assert!(
+                        matches!(
+                            header(&headers, "x-wafer-cache"),
+                            "hit" | "miss" | "coalesced"
+                        ),
+                        "unexpected disposition"
+                    );
+                    assert_eq!(
+                        body, golden[i],
+                        "client {client} req {req}: response bytes diverged from the \
+                         single-threaded golden"
+                    );
+                    requested.lock().unwrap().insert(specs[i].key());
+                    valid.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+
+    let distinct = requested.lock().unwrap().len() as u64;
+    let valid = valid.load(Ordering::SeqCst);
+    assert!(distinct >= 2, "the storm must touch multiple unique specs");
+
+    let (status, _, stats) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let v = Value::parse(stats.trim()).unwrap();
+    let runs = v.get("runs").and_then(Value::as_u64).unwrap();
+    let hits = v.get("cache_hits").and_then(Value::as_u64).unwrap();
+    let coalesced = v.get("coalesced").and_then(Value::as_u64).unwrap();
+    let batches = v.get("batches").and_then(Value::as_u64).unwrap();
+    assert_eq!(runs, distinct, "exactly one engine run per unique spec");
+    assert_eq!(v.get("requests").and_then(Value::as_u64), Some(valid));
+    assert_eq!(
+        runs + hits + coalesced,
+        valid,
+        "every request classified once"
+    );
+    assert!(batches >= 1 && batches <= runs, "batches cover the runs");
+    assert_eq!(v.get("pending").and_then(Value::as_u64), Some(0));
+    assert_eq!(v.get("evictions").and_then(Value::as_u64), Some(0));
+    assert!(
+        v.get("cache_entries").and_then(Value::as_u64).unwrap() <= specs.len() as u64,
+        "cache stayed within its entry budget"
+    );
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn bounded_cache_under_concurrency_stays_in_budget_and_reruns_identically() {
+    let root = scratch("stress-bounded");
+    let specs = unique_specs();
+    let golden: Vec<String> = specs.iter().map(|s| run_spec(s).report).collect();
+
+    // A budget far below the working set: evictions are guaranteed, and
+    // an evicted spec re-requested must re-run to byte-identical bytes.
+    let budget = CacheBudget {
+        max_bytes: u64::MAX,
+        max_entries: 2,
+    };
+    let cache = ResultCache::open_bounded(&root, budget).unwrap();
+    let config = ServeConfig {
+        threads: serve_threads(),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // A monitor thread polls /stats throughout the storm: the
+        // budget must hold at every observable moment, not just at the
+        // end.
+        let done_ref = &done;
+        scope.spawn(move || {
+            while !done_ref.load(Ordering::SeqCst) {
+                let (status, _, stats) = http(addr, "GET", "/stats", "");
+                assert_eq!(status, 200);
+                let v = Value::parse(stats.trim()).unwrap();
+                assert!(
+                    v.get("cache_entries").and_then(Value::as_u64).unwrap() <= 2,
+                    "cache exceeded its entry budget mid-storm: {stats}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        let clients: Vec<_> = (0..4u64)
+            .map(|client| {
+                let (specs, golden) = (&specs, &golden);
+                scope.spawn(move || {
+                    let mut state = (client + 1).wrapping_mul(0x2545f4914f6cdd1d);
+                    for req in 0..10u64 {
+                        let i = next(&mut state) as usize % specs.len();
+                        let (status, _, body) = http(addr, "POST", "/run", &specs[i].to_json());
+                        assert_eq!(status, 200, "client {client} req {req}");
+                        assert_eq!(
+                            body, golden[i],
+                            "an eviction-forced rerun must reproduce the bytes exactly"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        // Release the monitor only after every client is done, so it
+        // watched the whole storm.
+        done.store(true, Ordering::SeqCst);
+    });
+
+    let (_, _, stats) = http(addr, "GET", "/stats", "");
+    let v = Value::parse(stats.trim()).unwrap();
+    let runs = v.get("runs").and_then(Value::as_u64).unwrap();
+    assert!(
+        v.get("evictions").and_then(Value::as_u64).unwrap() > 0,
+        "the budget was tight enough to force evictions: {stats}"
+    );
+    assert!(
+        runs >= 3,
+        "evictions force re-runs past the unique-spec floor: {stats}"
+    );
+    assert!(v.get("cache_entries").and_then(Value::as_u64).unwrap() <= 2);
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    std::fs::remove_dir_all(&root).unwrap();
+}
