@@ -213,6 +213,18 @@ pub trait Engine {
         RunCounters::default()
     }
 
+    /// Per-shard `(integrate, exchange)` wall-clock nanoseconds
+    /// accumulated over the run, for sharded drivers that time their
+    /// phases; `None` (the default) for everything else.
+    ///
+    /// **Wall clock, not physics.** Unlike [`Engine::run_counters`],
+    /// these values vary run to run and across hosts, so they are
+    /// observability-only: safe for `/stats`, traces, and stderr
+    /// summaries, never for any byte-diffed artifact.
+    fn shard_phase_nanos(&self) -> Option<Vec<(u64, u64)>> {
+        None
+    }
+
     /// Uniform observables after the last completed step.
     fn observables(&self) -> Observables;
 

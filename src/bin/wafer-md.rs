@@ -7,6 +7,7 @@
 //! wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]
 //!                [--serve-threads N] [--timeout-ms MS]
 //!                [--cache-max-bytes B] [--cache-max-entries N]
+//!                [--trace FILE]
 //! wafer-md export-setfl <cu|w|ta> <path>
 //! ```
 //!
@@ -20,6 +21,7 @@
 //! interop with the paper's original toolchain.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use wafer_md::md::materials::Material;
 use wafer_md::md::setfl;
@@ -41,6 +43,7 @@ fn usage() -> ! {
          \x20      wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]\n\
          \x20                     [--serve-threads N] [--timeout-ms MS]\n\
          \x20                     [--cache-max-bytes B] [--cache-max-entries N]\n\
+         \x20                     [--trace FILE]   (wafer-md serve --help for details)\n\
          \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
          \n\
          scenarios:\n{}",
@@ -112,10 +115,37 @@ fn parse_count(flag: &str, v: &str) -> u64 {
     }
 }
 
+/// `wafer-md serve --help`: the flag table. Each flag row starts with
+/// two spaces and the flag name — CI greps these rows and diffs the
+/// flag set against the table in `docs/OPERATIONS.md`, so the two can
+/// never drift apart.
+fn serve_help() -> ! {
+    println!(
+        "usage: wafer-md serve [flags]\n\
+         \n\
+         Serve ScenarioSpec requests over HTTP/JSON from a content-addressed\n\
+         result cache, or drain a request file to completion and exit.\n\
+         Operator manual: docs/OPERATIONS.md\n\
+         \n\
+         flags:\n\
+         \x20 --addr HOST:PORT       listen address (default 127.0.0.1:7878; port 0 picks a free port)\n\
+         \x20 --cache DIR            result cache root (default ./.wafer-cache)\n\
+         \x20 --drain FILE           run a request file to completion, print the drain report, exit\n\
+         \x20 --once FILE            alias for --drain\n\
+         \x20 --serve-threads N      acceptor threads answering connections (default 4)\n\
+         \x20 --timeout-ms MS        per-connection read/write timeout (default 10000)\n\
+         \x20 --cache-max-bytes B    evict LRU entries beyond this payload size (default unbounded)\n\
+         \x20 --cache-max-entries N  evict LRU entries beyond this count (default unbounded)\n\
+         \x20 --trace FILE           write one compact-JSON line per lifecycle event to FILE"
+    );
+    std::process::exit(0);
+}
+
 fn serve_main(args: &[String]) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut cache = "./.wafer-cache".to_string();
     let mut drain: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut config = serve::ServeConfig::default();
     let mut budget = serve::CacheBudget::UNBOUNDED;
     let mut i = 0;
@@ -125,6 +155,7 @@ fn serve_main(args: &[String]) {
     };
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => serve_help(),
             "--addr" => addr = value(&mut i).clone(),
             "--cache" => cache = value(&mut i).clone(),
             // `--once` is an alias for `--drain`: run the request file
@@ -144,6 +175,7 @@ fn serve_main(args: &[String]) {
             "--cache-max-entries" => {
                 budget.max_entries = parse_count("--cache-max-entries", value(&mut i)) as usize;
             }
+            "--trace" => trace = Some(value(&mut i).clone()),
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage()
@@ -153,10 +185,29 @@ fn serve_main(args: &[String]) {
     }
     let store = serve::ResultCache::open_bounded(std::path::Path::new(&cache), budget)
         .unwrap_or_else(|e| panic!("open cache {cache}: {e}"));
+    // Drain mode has no acceptor pool; serve sizes one counter per
+    // acceptor thread.
+    let acceptors = if drain.is_some() {
+        0
+    } else {
+        config.threads.max(1)
+    };
+    let metrics = match &trace {
+        Some(path) => serve::ServeMetrics::with_trace(acceptors, std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("open trace file {path}: {e}")),
+        None => serve::ServeMetrics::new(acceptors),
+    };
+    let metrics = std::sync::Arc::new(metrics);
     if let Some(requests) = drain {
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
-        if let Err(e) = serve::drain_file(store, requests.as_ref(), &mut out) {
+        let drained =
+            serve::drain_file_with(store, requests.as_ref(), &mut out, Arc::clone(&metrics));
+        // Timing goes to stderr only: stdout is the byte-diffed drain
+        // report and must stay a pure function of the request file.
+        metrics.flush_trace();
+        eprintln!("{}", metrics.drain_summary());
+        if let Err(e) = drained {
             if e.kind() == std::io::ErrorKind::InvalidData {
                 // A malformed request line is a usage error, not a crash.
                 eprintln!("{requests}: {e}");
@@ -166,7 +217,7 @@ fn serve_main(args: &[String]) {
         }
         return;
     }
-    let mut server = serve::Server::bind_with(&addr, store, config)
+    let mut server = serve::Server::bind_metrics(&addr, store, config, Arc::clone(&metrics))
         .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
     let bound = server.local_addr().expect("bound listener has an address");
     println!(
@@ -174,7 +225,9 @@ fn serve_main(args: &[String]) {
         config.threads
     );
     std::io::stdout().flush().expect("flush stdout");
-    if let Err(e) = server.serve() {
+    let served = server.serve();
+    metrics.flush_trace();
+    if let Err(e) = served {
         panic!("serve on {bound}: {e}");
     }
 }

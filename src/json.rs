@@ -134,6 +134,16 @@ impl Value {
         }
     }
 
+    /// An object with its fields sorted by key — the canonical layout
+    /// of every server-rendered document (`GET /stats`, trace events),
+    /// where the field set is assembled from multiple sources and the
+    /// byte layout must not depend on assembly order. Sorting is
+    /// stable, but callers are expected to supply unique keys.
+    pub fn sorted_obj(mut fields: Vec<(String, Value)>) -> Value {
+        fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Obj(fields)
+    }
+
     /// Render compactly (no whitespace), preserving object field order.
     /// Floats use Rust's shortest round-trip `Display`; non-finite
     /// floats render as `null` (the spec layer rejects them earlier).
@@ -443,6 +453,20 @@ mod tests {
             let err = Value::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text}: {err}");
         }
+    }
+
+    #[test]
+    fn sorted_obj_canonicalizes_assembly_order() {
+        let a = Value::sorted_obj(vec![
+            ("b".into(), Value::Uint(2)),
+            ("a".into(), Value::Uint(1)),
+        ]);
+        let b = Value::sorted_obj(vec![
+            ("a".into(), Value::Uint(1)),
+            ("b".into(), Value::Uint(2)),
+        ]);
+        assert_eq!(a.render(), r#"{"a":1,"b":2}"#);
+        assert_eq!(a.render(), b.render());
     }
 
     #[test]

@@ -106,6 +106,9 @@ pub struct ResultCache {
     index: Vec<(String, u64)>,
     /// Entries evicted by this process.
     evictions: u64,
+    /// Keys evicted since the last [`ResultCache::take_evicted`] —
+    /// drained by the scheduler to emit `evicted` trace events.
+    evicted_log: Vec<String>,
 }
 
 /// Payload bytes of an existing entry directory (sum of its file
@@ -168,6 +171,7 @@ impl ResultCache {
             budget,
             index,
             evictions: 0,
+            evicted_log: Vec::new(),
         };
         cache.evict_to_budget(None);
         cache.persist_index()?;
@@ -304,7 +308,15 @@ impl ResultCache {
             let (key, _) = self.index.remove(pos);
             let _ = fs::remove_dir_all(self.entry_dir(&key));
             self.evictions += 1;
+            self.evicted_log.push(key);
         }
+    }
+
+    /// Drain the keys evicted since the last call, in eviction order.
+    /// Observability only: the scheduler turns these into `evicted`
+    /// trace events.
+    pub fn take_evicted(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.evicted_log)
     }
 
     /// Write the recency order to `index.txt` atomically.
@@ -420,6 +432,9 @@ mod tests {
         assert!(cache.lookup("cccccccccccccccc").is_some());
         assert_eq!(cache.usage().evictions, 1);
         assert!(!root.join("bbbbbbbbbbbbbbbb").exists());
+        // The evicted-key log drains once, in eviction order.
+        assert_eq!(cache.take_evicted(), ["bbbbbbbbbbbbbbbb"]);
+        assert!(cache.take_evicted().is_empty());
         fs::remove_dir_all(&root).unwrap();
     }
 

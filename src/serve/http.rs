@@ -12,7 +12,8 @@
 //! | method + path                     | behavior |
 //! |-----------------------------------|----------|
 //! | `POST /run`                       | body = spec JSON; answers the run report (cache hit or fresh run) |
-//! | `GET /stats`                      | the per-process counters, queue depth, and cache size, as JSON |
+//! | `GET /stats`                      | counters, queue depth, cache size, latency/batch histograms, as JSON |
+//! | `GET /stats/prom`                 | the same metrics as Prometheus text exposition (version 0.0.4) |
 //! | `GET /result/<key>`               | re-read a cached report by its 16-hex key |
 //! | `GET /result/<key>/trajectory.xyz`| stream a cached trajectory (chunked, never buffered whole) |
 //! | `POST /shutdown`                  | acknowledge, then drain the acceptor pool and exit |
@@ -42,9 +43,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use super::cache::{is_valid_key, ResultCache};
+use super::metrics::{ServeMetrics, TraceEvent};
 use super::queue::Job;
 use super::scheduler::{run_batch, Disposition, Scheduler};
 use crate::json::Value;
@@ -276,6 +278,10 @@ fn error_body(hint: &str) -> Vec<u8> {
 /// The server state every acceptor thread shares.
 struct Shared {
     scheduler: Mutex<Scheduler>,
+    /// The scheduler's metrics aggregate, aliased here so acceptor
+    /// threads can record connections and service time without taking
+    /// the scheduler lock.
+    metrics: Arc<ServeMetrics>,
     config: ServeConfig,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -317,14 +323,28 @@ impl Server {
     }
 
     /// Bind `addr` over an opened (possibly budget-bounded) cache with
-    /// an explicit configuration.
+    /// an explicit configuration and fresh (trace-less) metrics sized
+    /// to the acceptor pool.
     pub fn bind_with(addr: &str, cache: ResultCache, config: ServeConfig) -> io::Result<Self> {
+        let metrics = Arc::new(ServeMetrics::new(config.threads.max(1)));
+        Self::bind_metrics(addr, cache, config, metrics)
+    }
+
+    /// [`Server::bind_with`] sharing an externally created metrics
+    /// aggregate — the CLI passes one carrying the `--trace` writer.
+    pub fn bind_metrics(
+        addr: &str,
+        cache: ResultCache,
+        config: ServeConfig,
+        metrics: Arc<ServeMetrics>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
-                scheduler: Mutex::new(Scheduler::new(cache)),
+                scheduler: Mutex::new(Scheduler::with_metrics(cache, Arc::clone(&metrics))),
+                metrics,
                 config,
                 shutdown: AtomicBool::new(false),
                 addr,
@@ -348,17 +368,17 @@ impl Server {
             clones.push(self.listener.try_clone()?);
         }
         std::thread::scope(|scope| {
-            for listener in &clones {
+            for (i, listener) in clones.iter().enumerate() {
                 let shared = &self.shared;
-                scope.spawn(move || acceptor_loop(listener, shared));
+                scope.spawn(move || acceptor_loop(listener, shared, i + 1));
             }
-            acceptor_loop(&self.listener, &self.shared);
+            acceptor_loop(&self.listener, &self.shared, 0);
         });
         Ok(())
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+fn acceptor_loop(listener: &TcpListener, shared: &Shared, acceptor: usize) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -371,6 +391,10 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
             // A shutdown wake pill (or a client racing the shutdown).
             return;
         }
+        shared.metrics.connection(acceptor);
+        shared
+            .metrics
+            .trace(TraceEvent::new("accepted").with("acceptor", acceptor as u64));
         handle_connection(stream, shared);
     }
 }
@@ -428,6 +452,10 @@ fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared) {
             body.push(b'\n');
             let _ = respond(stream, 200, "OK", "application/json", &[], &body);
         }
+        ("GET", "/stats/prom") => {
+            let body = shared.scheduler().prometheus_text().into_bytes();
+            let _ = respond(stream, 200, "OK", "text/plain; version=0.0.4", &[], &body);
+        }
         ("GET", path) if path.strip_prefix("/result/").is_some() => {
             get_result(&path["/result/".len()..], stream, shared);
         }
@@ -449,8 +477,8 @@ fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared) {
                 "application/json",
                 &[],
                 &error_body(
-                    "no such endpoint (try POST /run, GET /stats, GET /result/<key>, \
-                     GET /result/<key>/trajectory.xyz, POST /shutdown)",
+                    "no such endpoint (try POST /run, GET /stats, GET /stats/prom, \
+                     GET /result/<key>, GET /result/<key>/trajectory.xyz, POST /shutdown)",
                 ),
             );
         }
@@ -476,6 +504,10 @@ fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
             return;
         }
     };
+    // The service clock covers admission through response flush, for
+    // every valid request — so at quiescence the service histogram's
+    // count equals the `requests` counter.
+    let started = Instant::now();
 
     // One lock acquisition for the admission decision *and* its
     // follow-up handle, so a coalesced request always finds its cell
@@ -553,6 +585,7 @@ fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
             }
         }
     }
+    shared.metrics.service.record_duration(started.elapsed());
 }
 
 /// Answer a waiter once its job's runner publishes the artifacts.
@@ -601,6 +634,7 @@ fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Sha
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .die();
     }
+    let pass = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         run_batch(batch, &|frag: &str| {
             writer
@@ -611,6 +645,8 @@ fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Sha
     }));
     match outcome {
         Ok(artifacts) => {
+            shared.metrics.batch_pass.record_duration(pass.elapsed());
+            shared.metrics.batch_occupancy.record(batch.len() as u64);
             let mut sched = shared.scheduler();
             for (job, a) in batch.iter().zip(artifacts) {
                 // A cache-insert failure (e.g. disk full) still fills
@@ -622,6 +658,7 @@ fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Sha
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .finish();
+            shared.metrics.trace(TraceEvent::new("streamed").key(key));
         }
         Err(_) => {
             // A run panicked (an invariant break, not a client fault):
@@ -691,7 +728,10 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
             // stays valid even if the entry is evicted mid-stream.
             let file = shared.scheduler().open_trajectory(key);
             match file {
-                Some((file, _len)) => stream_file(file, key, stream),
+                Some((file, _len)) => {
+                    stream_file(file, key, stream);
+                    shared.metrics.trace(TraceEvent::new("streamed").key(key));
+                }
                 None => {
                     let _ = respond(
                         stream,

@@ -31,15 +31,27 @@
 //!   ([`Scheduler::claim_batch`]) and executes the batch in one
 //!   worker-pool pass outside the lock; per-job [`JobCell`]s deliver
 //!   finished artifacts to coalesced waiters without polling.
+//! - [`ServeMetrics`] — the observability layer: log2-bucket latency
+//!   histograms ([`Histogram`]) for service time, queue wait, engine
+//!   runs, and batch passes; per-acceptor connection counters; shard
+//!   integrate/exchange timing; and the `--trace FILE` structured
+//!   event trace ([`Tracer`]) behind a bounded never-blocking channel.
+//!   Surfaced as the `latency`/`batch`/`acceptors`/`shards`/`trace`
+//!   objects of `GET /stats` and the whole of `GET /stats/prom`
+//!   (Prometheus text exposition). Timing data lives **only** here —
+//!   never in `report.txt`, `counters.json`, cache keys, or drain
+//!   stdout — so the byte-determinism contract survives observation
+//!   (see `docs/OPERATIONS.md` for the operator's view).
 //! - [`Server`] — the minimal hand-rolled HTTP/1.1 wire layer
-//!   (`POST /run`, `GET /stats`, `GET /result/<key>`,
-//!   `GET /result/<key>/trajectory.xyz`, `POST /shutdown`), answered by
-//!   a fixed-size acceptor pool ([`ServeConfig`]: `--serve-threads`,
-//!   per-connection timeouts, request-size cap). Cache misses and
-//!   trajectories stream as chunked transfer encoding.
-//! - [`drain_file`] — the `--drain FILE` entry point for CI: admit a
-//!   request file, run the queue to empty, emit a deterministic
-//!   per-request + summary report, and exit.
+//!   (`POST /run`, `GET /stats`, `GET /stats/prom`,
+//!   `GET /result/<key>`, `GET /result/<key>/trajectory.xyz`,
+//!   `POST /shutdown`), answered by a fixed-size acceptor pool
+//!   ([`ServeConfig`]: `--serve-threads`, per-connection timeouts,
+//!   request-size cap). Cache misses and trajectories stream as
+//!   chunked transfer encoding.
+//! - [`drain_file`] / [`drain_file_with`] — the `--drain FILE` entry
+//!   point for CI: admit a request file, run the queue to empty, emit
+//!   a deterministic per-request + summary report, and exit.
 //!
 //! Cache soundness is enforced, not assumed: the served `report.txt`
 //! contains only physics and the modeled rate — execution geometry
@@ -51,15 +63,21 @@
 //! run per unique spec with every body byte-identical to a
 //! single-threaded golden.
 
+// The service surface is operator-facing API: every public item must
+// carry docs (kept `cargo doc -D warnings`-clean by CI).
+#![warn(missing_docs)]
+
 mod cache;
 mod http;
+mod metrics;
 mod queue;
 mod scheduler;
 
 pub use cache::{is_valid_key, CacheBudget, CacheUsage, CachedResult, ResultCache};
 pub use http::{ServeConfig, Server};
+pub use metrics::{Histogram, HistogramSnapshot, ServeMetrics, TraceEvent, Tracer, HIST_BUCKETS};
 pub use queue::{Job, JobQueue, ServeStats};
 pub use scheduler::{
-    drain_file, run_batch, run_spec, run_spec_streaming, Disposition, JobCell, RunArtifacts,
-    Scheduler,
+    drain_file, drain_file_with, run_batch, run_spec, run_spec_streaming, Disposition, JobCell,
+    RunArtifacts, Scheduler,
 };

@@ -128,11 +128,13 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Render the `GET /stats` document: compact JSON, keys in a fixed
-    /// alphabetical order, plus the momentary queue depth and the
-    /// cache's size and eviction counters.
-    pub fn to_json(&self, pending: usize, cache: CacheUsage) -> String {
-        Value::Obj(vec![
+    /// The counter fields of the `GET /stats` document, plus the
+    /// momentary queue depth and the cache's size and eviction
+    /// counters. The HTTP layer merges these with the observability
+    /// fields ([`super::ServeMetrics::observability_fields`]) and
+    /// renders the union through [`Value::sorted_obj`].
+    pub fn fields(&self, pending: usize, cache: CacheUsage) -> Vec<(String, Value)> {
+        vec![
             ("atoms_steps".into(), Value::Uint(self.atoms_steps)),
             ("batches".into(), Value::Uint(self.batches)),
             ("cache_bytes".into(), Value::Uint(cache.bytes)),
@@ -145,8 +147,13 @@ impl ServeStats {
             ("pending".into(), Value::Uint(pending as u64)),
             ("requests".into(), Value::Uint(self.requests)),
             ("runs".into(), Value::Uint(self.runs)),
-        ])
-        .render()
+        ]
+    }
+
+    /// Render the counter fields alone as the legacy `GET /stats`
+    /// document: compact JSON, keys in a fixed alphabetical order.
+    pub fn to_json(&self, pending: usize, cache: CacheUsage) -> String {
+        Value::sorted_obj(self.fields(pending, cache)).render()
     }
 
     /// The one-line drain summary (the last line of `--drain` output,

@@ -21,11 +21,13 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use md_core::engine::RunCounters;
 use rayon::prelude::*;
 
 use super::cache::{CacheUsage, CachedResult, ResultCache};
+use super::metrics::{ServeMetrics, TraceEvent};
 use super::queue::{Job, JobQueue, ServeStats};
 use crate::json::Value;
 use crate::scenario::{Engine, Scenario, ScenarioSpec, Workload};
@@ -74,6 +76,14 @@ pub struct RunArtifacts {
     pub atoms: u64,
     /// The engine's whole-run counters.
     pub run_counters: RunCounters,
+    /// Engine wall time of the run, nanoseconds. **Wall clock, not
+    /// physics**: observability only, never rendered into any of the
+    /// deterministic artifacts above.
+    pub engine_nanos: u64,
+    /// Per-shard `(integrate, exchange)` wall-clock nanoseconds when
+    /// the run was sharded ([`md_core::engine::Engine::shard_phase_nanos`]).
+    /// Same rule: observability only.
+    pub shard_nanos: Option<Vec<(u64, u64)>>,
 }
 
 /// The completion cell of one queued-or-running job: coalesced waiters
@@ -156,6 +166,7 @@ pub fn run_spec_streaming(spec: &ScenarioSpec, progress: &mut dyn FnMut(&str)) -
 }
 
 fn execute(spec: &ScenarioSpec, progress: &mut dyn FnMut(&str)) -> RunArtifacts {
+    let started = Instant::now();
     let sc = Scenario::from_spec(*spec);
     let steps = sc.steps.max(1);
     let mut engine = sc
@@ -266,6 +277,8 @@ fn execute(spec: &ScenarioSpec, progress: &mut dyn FnMut(&str)) -> RunArtifacts 
         trajectory: xyz.map(|buf| String::from_utf8(buf).expect("XYZ output is UTF-8")),
         atoms: atoms as u64,
         run_counters,
+        engine_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        shard_nanos: engine.shard_phase_nanos(),
     }
 }
 
@@ -305,36 +318,61 @@ pub struct Scheduler {
     /// here but absent from the queue has been claimed by a runner.
     cells: HashMap<String, Arc<JobCell>>,
     stats: ServeStats,
+    /// Shared observability state: histograms, trace, shard timings.
+    metrics: Arc<ServeMetrics>,
+    /// When each still-queued key was admitted — the queue-wait clock,
+    /// drained into [`ServeMetrics::queue_wait`] at batch claim.
+    enqueued: HashMap<String, Instant>,
 }
 
 impl Scheduler {
-    /// A scheduler over an opened cache, with an empty queue.
+    /// A scheduler over an opened cache, with an empty queue and
+    /// fresh (trace-less) metrics.
     pub fn new(cache: ResultCache) -> Self {
+        Self::with_metrics(cache, Arc::new(ServeMetrics::new(0)))
+    }
+
+    /// A scheduler sharing an externally created metrics aggregate
+    /// (the HTTP layer also records into it from outside the lock).
+    pub fn with_metrics(cache: ResultCache, metrics: Arc<ServeMetrics>) -> Self {
         Self {
             cache,
             queue: JobQueue::new(),
             cells: HashMap::new(),
             stats: ServeStats::default(),
+            metrics,
+            enqueued: HashMap::new(),
         }
+    }
+
+    /// The shared observability state.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
     }
 
     /// Admit one spec. Returns its cache key and how the request was
     /// disposed; `Queued` and `Coalesced` requests are answered after a
     /// runner executes the job (via [`Scheduler::claim_batch`] /
-    /// [`Scheduler::complete`] or a [`Scheduler::drain`]).
+    /// [`Scheduler::complete`] or a [`Scheduler::drain`]). Emits
+    /// exactly one admission-outcome trace event (`hit`, `coalesced`,
+    /// or `admitted`) per call.
     pub fn submit(&mut self, spec: ScenarioSpec) -> (String, Disposition) {
         self.stats.requests += 1;
         let key = spec.key();
         if self.cache.lookup(&key).is_some() {
             self.stats.cache_hits += 1;
+            self.metrics.trace(TraceEvent::new("hit").key(&key));
             return (key, Disposition::CacheHit);
         }
         if self.cells.contains_key(&key) {
             self.stats.coalesced += 1;
+            self.metrics.trace(TraceEvent::new("coalesced").key(&key));
             return (key, Disposition::Coalesced);
         }
         self.queue.push(key.clone(), spec);
         self.cells.insert(key.clone(), JobCell::new());
+        self.enqueued.insert(key.clone(), Instant::now());
+        self.metrics.trace(TraceEvent::new("admitted").key(&key));
         (key, Disposition::Queued)
     }
 
@@ -365,6 +403,20 @@ impl Scheduler {
         let mut batch = vec![first];
         batch.extend(self.queue.take_compatible(&batch[0].spec));
         self.stats.batches += 1;
+        for job in &batch {
+            let mut event = TraceEvent::new("batched")
+                .key(&job.key)
+                .with("batch", batch.len() as u64);
+            if let Some(admitted) = self.enqueued.remove(&job.key) {
+                let wait = admitted.elapsed();
+                self.metrics.queue_wait.record_duration(wait);
+                event = event.with(
+                    "wait_us",
+                    u64::try_from(wait.as_micros()).unwrap_or(u64::MAX),
+                );
+            }
+            self.metrics.trace(event);
+        }
         batch
     }
 
@@ -393,6 +445,20 @@ impl Scheduler {
         self.stats.atoms_steps += artifacts.atoms * artifacts.run_counters.steps;
         self.stats.exchanges += artifacts.run_counters.exchanges;
         self.stats.early_exchanges += artifacts.run_counters.early_exchanges;
+        self.metrics
+            .engine_run
+            .record(artifacts.engine_nanos / 1_000);
+        if let Some(phases) = &artifacts.shard_nanos {
+            self.metrics.record_shard_phases(phases);
+        }
+        self.metrics.trace(
+            TraceEvent::new("run")
+                .key(&job.key)
+                .with("engine_us", artifacts.engine_nanos / 1_000),
+        );
+        for evicted in self.cache.take_evicted() {
+            self.metrics.trace(TraceEvent::new("evicted").key(&evicted));
+        }
         let artifacts = Arc::new(artifacts);
         if let Some(cell) = self.cells.remove(&job.key) {
             cell.fill(Some(Arc::clone(&artifacts)));
@@ -421,7 +487,10 @@ impl Scheduler {
             if batch.is_empty() {
                 return Ok(ran);
             }
+            let pass = Instant::now();
             let artifacts = run_batch(&batch, &|_| {});
+            self.metrics.batch_pass.record_duration(pass.elapsed());
+            self.metrics.batch_occupancy.record(batch.len() as u64);
             for (job, a) in batch.iter().zip(artifacts) {
                 self.complete(job, a)?;
             }
@@ -445,9 +514,21 @@ impl Scheduler {
         &self.stats
     }
 
-    /// The `GET /stats` document.
+    /// The `GET /stats` document: the [`ServeStats`] counters merged
+    /// with the observability fields (latency/batch histograms,
+    /// per-acceptor counters, shard timings, trace counters), keys in
+    /// one fixed alphabetical order.
     pub fn stats_json(&self) -> String {
-        self.stats.to_json(self.queue.len(), self.cache.usage())
+        let mut fields = self.stats.fields(self.queue.len(), self.cache.usage());
+        fields.extend(self.metrics.observability_fields());
+        Value::sorted_obj(fields).render()
+    }
+
+    /// The `GET /stats/prom` document: Prometheus text exposition over
+    /// the same counters and histograms.
+    pub fn prometheus_text(&self) -> String {
+        self.metrics
+            .prometheus(&self.stats, self.queue.len(), self.cache.usage())
     }
 
     /// The momentary queue depth (claimed-but-running jobs excluded).
@@ -478,8 +559,23 @@ impl Scheduler {
 /// artifacts it leaves behind) against committed goldens at multiple
 /// thread counts.
 pub fn drain_file(cache: ResultCache, requests: &Path, out: &mut dyn Write) -> io::Result<()> {
+    drain_file_with(cache, requests, out, Arc::new(ServeMetrics::new(0)))
+}
+
+/// [`drain_file`] recording into an externally created metrics
+/// aggregate — the CLI passes one carrying the `--trace` writer, and
+/// prints its [`ServeMetrics::drain_summary`] to stderr afterwards.
+/// The report written to `out` is byte-identical with or without
+/// metrics attached: every timing measurement stays on the
+/// observability side of the wall-clock/determinism split.
+pub fn drain_file_with(
+    cache: ResultCache,
+    requests: &Path,
+    out: &mut dyn Write,
+    metrics: Arc<ServeMetrics>,
+) -> io::Result<()> {
     let text = fs::read_to_string(requests)?;
-    let mut scheduler = Scheduler::new(cache);
+    let mut scheduler = Scheduler::with_metrics(cache, metrics);
     let mut admitted = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();

@@ -71,6 +71,8 @@
 //! Physics never reads the skin entries, so forces and energies are
 //! unaffected.
 
+use std::time::Instant;
+
 use md_baseline::engine::BaselineEngine;
 use md_core::engine::{Engine, HaloEngine, Observables, StepSplit};
 use md_core::materials::{Material, Species};
@@ -162,6 +164,13 @@ struct Shard {
     /// Rebuilt this step (its constructor already evaluated forces at
     /// the current state, so the refresh half is skipped once).
     fresh: bool,
+    /// Wall-clock nanoseconds this shard has spent integrating
+    /// (position advance + force refresh). **Observability only** —
+    /// never feeds physics, reports, or any byte-diffed artifact.
+    integrate_nanos: u64,
+    /// Wall-clock nanoseconds this shard has spent on ghost work
+    /// (exchanges and per-step motion sync). Observability only.
+    exchange_nanos: u64,
 }
 
 impl Shard {
@@ -185,6 +194,8 @@ impl Shard {
             owned_local,
             ghost_local,
             fresh: false,
+            integrate_nanos: 0,
+            exchange_nanos: 0,
         }
     }
 }
@@ -607,11 +618,19 @@ impl ShardedEngine {
             let merged = &self.merged;
             let owner = &self.owner;
             self.shards.par_iter_mut().for_each(|shard| {
+                let timer = Instant::now();
                 let desired = desired_atom_set(&shard.owned, merged, owner, ctx);
                 if desired != shard.atoms {
                     let owned = std::mem::take(&mut shard.owned);
+                    // A rebuild replaces the whole struct; carry the
+                    // phase clocks across so the timings stay
+                    // whole-run totals.
+                    let (integrate_nanos, exchange_nanos) =
+                        (shard.integrate_nanos, shard.exchange_nanos);
                     *shard = build_baseline_shard(owned, merged, owner, ctx);
                     shard.fresh = true;
+                    shard.integrate_nanos = integrate_nanos;
+                    shard.exchange_nanos = exchange_nanos;
                 } else {
                     for &l in &shard.ghost_local {
                         let gid = shard.atoms[l];
@@ -621,10 +640,12 @@ impl ShardedEngine {
                     }
                 }
                 shard.engine.mark_halo_reference();
+                shard.exchange_nanos += elapsed_nanos(timer);
             });
         } else {
             let merged = &self.merged;
             self.shards.par_iter_mut().for_each(|shard| {
+                let timer = Instant::now();
                 for &l in &shard.ghost_local {
                     let gid = shard.atoms[l];
                     shard
@@ -632,6 +653,7 @@ impl ShardedEngine {
                         .overwrite_atom(l, merged.position(gid), merged.velocity(gid));
                 }
                 shard.engine.mark_halo_reference();
+                shard.exchange_nanos += elapsed_nanos(timer);
             });
         }
         self.exchanges += 1;
@@ -647,12 +669,14 @@ impl ShardedEngine {
     fn sync_ghost_motion(&mut self) {
         let merged = &self.merged;
         self.shards.par_iter_mut().for_each(|shard| {
+            let timer = Instant::now();
             for &l in &shard.ghost_local {
                 let gid = shard.atoms[l];
                 shard
                     .engine
                     .overwrite_atom(l, merged.position(gid), merged.velocity(gid));
             }
+            shard.exchange_nanos += elapsed_nanos(timer);
         });
     }
 
@@ -683,6 +707,23 @@ impl ShardedEngine {
         drifted
     }
 
+    /// Wall-clock nanoseconds each shard has spent in its two phases
+    /// since construction, as `(integrate, exchange)` pairs in shard
+    /// order: integrate covers position advance + force refresh,
+    /// exchange covers ghost-membership exchanges and per-step ghost
+    /// motion sync. The spread across shards is the load-imbalance
+    /// signal `wafer-md serve` reports through `/stats`.
+    ///
+    /// **Wall clock, not physics**: values vary run to run; they must
+    /// never reach a byte-diffed artifact (contrast
+    /// [`ShardedEngine::exchange_counts`], which is deterministic).
+    pub fn shard_phase_nanos(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| (s.integrate_nanos, s.exchange_nanos))
+            .collect()
+    }
+
     /// The merged kinetic energy (eV): the canonical atom-id-order fold
     /// of squared speeds, scaled exactly as both backends scale it.
     fn kinetic_energy(&self) -> f64 {
@@ -695,6 +736,11 @@ impl ShardedEngine {
         }
         0.5 * self.mass * units::MVV_TO_ENERGY * kin
     }
+}
+
+/// Saturating whole-run nanosecond clock for the phase timers.
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Ghost membership test along x, minimum-image when x is periodic.
@@ -754,9 +800,11 @@ impl Engine for ShardedEngine {
     fn step(&mut self) {
         match self.split {
             StepSplit::MoveThenForce => {
-                self.shards
-                    .par_iter_mut()
-                    .for_each(|s| s.engine.advance_positions());
+                self.shards.par_iter_mut().for_each(|s| {
+                    let timer = Instant::now();
+                    s.engine.advance_positions();
+                    s.integrate_nanos += elapsed_nanos(timer);
+                });
                 self.gather_motion();
                 self.steps_since_exchange += 1;
                 if self.exchange_due() {
@@ -765,21 +813,27 @@ impl Engine for ShardedEngine {
                     self.sync_ghost_motion();
                 }
                 self.shards.par_iter_mut().for_each(|s| {
+                    let timer = Instant::now();
                     if !s.fresh {
                         s.engine.refresh_forces();
                     }
                     s.fresh = false;
+                    s.integrate_nanos += elapsed_nanos(timer);
                 });
                 self.gather_static();
             }
             StepSplit::ForceThenMove => {
-                self.shards
-                    .par_iter_mut()
-                    .for_each(|s| s.engine.refresh_forces());
+                self.shards.par_iter_mut().for_each(|s| {
+                    let timer = Instant::now();
+                    s.engine.refresh_forces();
+                    s.integrate_nanos += elapsed_nanos(timer);
+                });
                 self.gather_static();
-                self.shards
-                    .par_iter_mut()
-                    .for_each(|s| s.engine.advance_positions());
+                self.shards.par_iter_mut().for_each(|s| {
+                    let timer = Instant::now();
+                    s.engine.advance_positions();
+                    s.integrate_nanos += elapsed_nanos(timer);
+                });
                 self.gather_motion();
                 self.steps_since_exchange += 1;
                 if self.exchange_due() {
@@ -801,6 +855,10 @@ impl Engine for ShardedEngine {
             exchanges: self.exchanges,
             early_exchanges: self.early_exchanges,
         }
+    }
+
+    fn shard_phase_nanos(&self) -> Option<Vec<(u64, u64)>> {
+        Some(ShardedEngine::shard_phase_nanos(self))
     }
 
     fn positions_view(&self) -> AtomsView<'_> {

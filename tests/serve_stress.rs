@@ -29,6 +29,52 @@ fn serve_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Pull one histogram object out of a parsed `/stats` document.
+fn histogram<'a>(v: &'a Value, group: &str, name: &str) -> &'a Value {
+    v.get(group)
+        .and_then(|g| g.get(name))
+        .unwrap_or_else(|| panic!("missing {group}.{name} histogram"))
+}
+
+/// The core histogram invariant: the bucket counts partition the
+/// recorded values. Returns the count for further assertions.
+fn buckets_partition_count(h: &Value, what: &str) -> u64 {
+    let count = h.get("count").and_then(Value::as_u64).unwrap();
+    let bucket_sum: u64 = h
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|b| b.as_u64().unwrap())
+        .sum();
+    assert_eq!(
+        bucket_sum, count,
+        "{what}: bucket counts must sum to the record count"
+    );
+    count
+}
+
+/// Poll `/stats` until the service histogram has recorded `expected`
+/// requests. The service clock stops after the response flush, so a
+/// client can observe its own response a moment before the record
+/// lands — quiescence is reached by polling, not assumed.
+fn settled_stats(addr: std::net::SocketAddr, expected: u64) -> Value {
+    for _ in 0..1000 {
+        let (status, _, stats) = http(addr, "GET", "/stats", "");
+        assert_eq!(status, 200);
+        let v = Value::parse(stats.trim()).unwrap();
+        let count = histogram(&v, "latency", "service")
+            .get("count")
+            .and_then(Value::as_u64)
+            .unwrap();
+        if count == expected {
+            return v;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("service histogram never settled to {expected} records");
+}
+
 /// A deterministic splitmix-style step, so the request shuffle is
 /// reproducible per client without a rand dependency.
 fn next(state: &mut u64) -> u64 {
@@ -156,6 +202,147 @@ fn storm_of_duplicates_runs_each_unique_spec_exactly_once() {
         v.get("cache_entries").and_then(Value::as_u64).unwrap() <= specs.len() as u64,
         "cache stayed within its entry budget"
     );
+
+    // The observability layer must agree with the counters once the
+    // service histogram settles: every valid request recorded exactly
+    // once, every queued job waited exactly once, every engine run
+    // timed exactly once, and the batch histograms cover every pass.
+    let v = settled_stats(addr, valid);
+    let service = buckets_partition_count(histogram(&v, "latency", "service"), "service");
+    assert_eq!(service, valid, "one service record per valid request");
+    let waited = buckets_partition_count(histogram(&v, "latency", "queue_wait"), "queue_wait");
+    assert_eq!(waited, runs, "one queue-wait record per admitted run");
+    let timed = buckets_partition_count(histogram(&v, "latency", "engine_run"), "engine_run");
+    assert_eq!(timed, runs, "one engine timing per run");
+    let passes = buckets_partition_count(histogram(&v, "batch", "pass"), "batch.pass");
+    assert_eq!(passes, batches, "one pass timing per batch");
+    let occupancy = histogram(&v, "batch", "occupancy");
+    buckets_partition_count(occupancy, "batch.occupancy");
+    assert_eq!(
+        occupancy.get("sum").and_then(Value::as_u64),
+        Some(runs),
+        "batch occupancy sums to the jobs executed"
+    );
+    let acceptors = v.get("acceptors").and_then(Value::as_arr).unwrap();
+    assert_eq!(acceptors.len(), serve_threads(), "one counter per acceptor");
+    let connections: u64 = acceptors.iter().map(|a| a.as_u64().unwrap()).sum();
+    assert!(
+        connections >= valid,
+        "every valid request arrived on some acceptor: {connections} < {valid}"
+    );
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn latency_ordering_holds_and_prometheus_exposition_is_well_formed() {
+    let root = scratch("stress-latency");
+    let specs = unique_specs();
+    let cache = ResultCache::open_bounded(&root, CacheBudget::UNBOUNDED).unwrap();
+    let config = ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    // Sequential clients: each request's queue-wait interval nests
+    // inside its service interval, so with one request in flight at a
+    // time the histogram sums must order the same way.
+    for spec in &specs {
+        let (status, _, _) = http(addr, "POST", "/run", &spec.to_json());
+        assert_eq!(status, 200);
+    }
+    let (status, headers, _) = http(addr, "POST", "/run", &specs[0].to_json());
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-wafer-cache"), "hit");
+    let valid = specs.len() as u64 + 1;
+
+    let v = settled_stats(addr, valid);
+    let runs = v.get("runs").and_then(Value::as_u64).unwrap();
+    assert_eq!(runs, specs.len() as u64);
+    let service = histogram(&v, "latency", "service");
+    let wait = histogram(&v, "latency", "queue_wait");
+    let engine = histogram(&v, "latency", "engine_run");
+    for (h, what) in [
+        (service, "service"),
+        (wait, "queue_wait"),
+        (engine, "engine_run"),
+    ] {
+        buckets_partition_count(h, what);
+    }
+    let sum = |h: &Value| h.get("sum").and_then(Value::as_u64).unwrap();
+    let max = |h: &Value| h.get("max").and_then(Value::as_u64).unwrap();
+    assert!(
+        sum(wait) <= sum(service),
+        "queue wait nests inside service time: {} > {}",
+        sum(wait),
+        sum(service)
+    );
+    assert!(
+        max(wait) <= max(service),
+        "the longest wait belongs to some request that served at least as long"
+    );
+    // The sharded variant ran, so the per-shard phase clocks accrued.
+    let shards = v.get("shards").unwrap_or_else(|| panic!("missing shards"));
+    assert!(shards.get("integrate_us").and_then(Value::as_u64).unwrap() > 0);
+    assert!(shards.get("exchange_us").and_then(Value::as_u64).unwrap() > 0);
+    // No tracer attached: the trace counters stay zero.
+    let trace = v.get("trace").unwrap_or_else(|| panic!("missing trace"));
+    assert_eq!(trace.get("emitted").and_then(Value::as_u64), Some(0));
+    assert_eq!(trace.get("dropped").and_then(Value::as_u64), Some(0));
+
+    // The same state through the Prometheus text exposition: every
+    // line well-formed, every histogram internally consistent.
+    let (status, headers, prom) = http(addr, "GET", "/stats/prom", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        "text/plain; version=0.0.4"
+    );
+    let mut service_buckets: Vec<f64> = Vec::new();
+    let mut service_count = None;
+    let mut requests_total = None;
+    for line in prom.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP wafer_md_") || line.starts_with("# TYPE wafer_md_"),
+                "malformed comment line: {line}"
+            );
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad line: {line}"));
+        assert!(name.starts_with("wafer_md_"), "foreign metric: {line}");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+        assert!(value.is_finite() && value >= 0.0, "bad value: {line}");
+        if name.starts_with("wafer_md_request_service_seconds_bucket") {
+            service_buckets.push(value);
+        }
+        if name == "wafer_md_request_service_seconds_count" {
+            service_count = Some(value);
+        }
+        if name == "wafer_md_requests_total" {
+            requests_total = Some(value);
+        }
+    }
+    assert!(
+        service_buckets.windows(2).all(|w| w[0] <= w[1]),
+        "bucket counters must be cumulative: {service_buckets:?}"
+    );
+    assert_eq!(
+        service_buckets.last().copied(),
+        service_count,
+        "the +Inf bucket equals the histogram count"
+    );
+    assert_eq!(requests_total, Some(valid as f64));
 
     let (status, _, _) = http(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);

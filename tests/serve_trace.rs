@@ -1,0 +1,222 @@
+//! Structured-event-trace integration tests: tracing must be
+//! byte-invisible to every deterministic artifact (the drain report,
+//! cached `report.txt` and `counters.json`), while the trace file
+//! itself is a complete, well-formed record of the request lifecycle —
+//! every admitted request appears exactly once, timestamps are
+//! monotone, and every line parses as compact JSON.
+
+mod common;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use common::{fixture_spec, header, http, scratch};
+use wafer_md::json::Value;
+use wafer_md::serve::{
+    drain_file, drain_file_with, CacheBudget, ResultCache, ServeConfig, ServeMetrics, Server,
+};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Parse a trace file into `(event, key)` pairs in file order,
+/// asserting the whole-file contract on the way: every line is a
+/// compact JSON object whose first field is `event` and whose last
+/// field is the monotone-nondecreasing timestamp `t_us`, and every
+/// `key` is 16 lowercase hex characters.
+fn parse_trace(path: &Path) -> Vec<(String, Option<String>)> {
+    let text = std::fs::read_to_string(path).expect("trace file exists");
+    let mut last_t = 0u64;
+    let mut events = Vec::new();
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"event\":\"") && line.ends_with('}'),
+            "trace line must lead with its event kind: {line}"
+        );
+        let v = Value::parse(line).unwrap_or_else(|e| panic!("malformed trace line {line}: {e}"));
+        let event = v
+            .get("event")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("trace line without event: {line}"))
+            .to_string();
+        let t = v
+            .get("t_us")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("trace line without t_us: {line}"));
+        assert!(
+            line.contains(&format!(",\"t_us\":{t}}}")),
+            "t_us must be the last field so a timing filter strips it: {line}"
+        );
+        assert!(t >= last_t, "timestamps went backwards at: {line}");
+        last_t = t;
+        let key = v.get("key").and_then(Value::as_str).map(str::to_string);
+        if let Some(key) = &key {
+            assert!(
+                key.len() == 16
+                    && key
+                        .bytes()
+                        .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()),
+                "malformed cache key in trace: {line}"
+            );
+        }
+        events.push((event, key));
+    }
+    events
+}
+
+/// The keys of all events of one kind, in file order.
+fn keys_of<'a>(events: &'a [(String, Option<String>)], kind: &str) -> Vec<&'a str> {
+    events
+        .iter()
+        .filter(|(e, _)| e == kind)
+        .map(|(_, k)| {
+            k.as_deref()
+                .unwrap_or_else(|| panic!("{kind} event without key"))
+        })
+        .collect()
+}
+
+#[test]
+fn drain_with_tracing_is_byte_invisible_and_records_every_admission_once() {
+    let root = scratch("trace-drain");
+    std::fs::create_dir_all(&root).unwrap();
+    let requests = repo_path("tests/fixtures/serve-requests.jsonl");
+    let golden = std::fs::read(repo_path("tests/golden/serve-drain-cold.txt")).unwrap();
+
+    // A plain drain and a traced drain over fresh caches: stdout must
+    // be byte-identical to the golden either way — the trace writer is
+    // observability, never part of the deterministic surface.
+    let mut plain = Vec::new();
+    let cache = ResultCache::open_bounded(root.join("plain"), CacheBudget::UNBOUNDED).unwrap();
+    drain_file(cache, &requests, &mut plain).unwrap();
+    assert_eq!(plain, golden, "untraced drain reproduces the golden");
+
+    let trace_path = root.join("drain-trace.jsonl");
+    let mut traced = Vec::new();
+    let metrics =
+        Arc::new(ServeMetrics::with_trace(0, &trace_path).expect("create the trace file"));
+    let cache = ResultCache::open_bounded(root.join("traced"), CacheBudget::UNBOUNDED).unwrap();
+    drain_file_with(cache, &requests, &mut traced, Arc::clone(&metrics)).unwrap();
+    metrics.flush_trace();
+    assert_eq!(traced, golden, "tracing never changes a drain byte");
+
+    // The cached artifacts must also match byte for byte across the
+    // traced and untraced runs, for every key the drain produced.
+    let keys = ["be33b34cae2c7158", "27227cd96b5e9ec8"];
+    for key in keys {
+        for artifact in ["report.txt", "counters.json"] {
+            let plain = std::fs::read(root.join("plain").join(key).join(artifact)).unwrap();
+            let traced = std::fs::read(root.join("traced").join(key).join(artifact)).unwrap();
+            assert_eq!(plain, traced, "{key}/{artifact} diverged under tracing");
+        }
+    }
+
+    // The trace itself: three valid requests, so exactly three
+    // admission-outcome events, in request-file order, matching the
+    // golden dispositions (run / coalesced / run) — and each admitted
+    // request runs and batches exactly once.
+    let events = parse_trace(&trace_path);
+    assert_eq!(keys_of(&events, "admitted"), vec![keys[0], keys[1]]);
+    assert_eq!(keys_of(&events, "coalesced"), vec![keys[0]]);
+    assert!(keys_of(&events, "hit").is_empty(), "cold drain has no hits");
+    let mut batched = keys_of(&events, "batched");
+    batched.sort_unstable();
+    let mut expected = keys.to_vec();
+    expected.sort_unstable();
+    assert_eq!(batched, expected, "each admitted key batched exactly once");
+    let mut ran = keys_of(&events, "run");
+    ran.sort_unstable();
+    assert_eq!(ran, expected, "each admitted key ran exactly once");
+    assert!(
+        keys_of(&events, "evicted").is_empty(),
+        "unbounded cache never evicts"
+    );
+    let (emitted, dropped) = metrics.trace_counts();
+    assert_eq!(
+        emitted,
+        events.len() as u64,
+        "every emitted event reached the file"
+    );
+    assert_eq!(dropped, 0, "nothing dropped at drain pace");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn http_serving_traces_the_full_lifecycle() {
+    let root = scratch("trace-http");
+    std::fs::create_dir_all(&root).unwrap();
+    let trace_path = root.join("serve-trace.jsonl");
+    let metrics =
+        Arc::new(ServeMetrics::with_trace(2, &trace_path).expect("create the trace file"));
+    let cache = ResultCache::open_bounded(root.join("cache"), CacheBudget::UNBOUNDED).unwrap();
+    let config = ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let mut server =
+        Server::bind_metrics("127.0.0.1:0", cache, config, Arc::clone(&metrics)).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let spec = fixture_spec();
+    let (status, headers, _) = http(addr, "POST", "/run", &spec.to_json());
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-wafer-cache"), "miss");
+    let key = header(&headers, "x-wafer-key").to_string();
+    let (status, headers, _) = http(addr, "POST", "/run", &spec.to_json());
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-wafer-cache"), "hit");
+
+    // With a tracer attached, /stats reports live emission counters.
+    let (_, _, stats) = http(addr, "GET", "/stats", "");
+    let v = Value::parse(stats.trim()).unwrap();
+    let emitted = v
+        .get("trace")
+        .and_then(|t| t.get("emitted"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(emitted > 0, "tracer counters surface in /stats: {stats}");
+    assert_eq!(
+        v.get("trace")
+            .and_then(|t| t.get("dropped"))
+            .and_then(Value::as_u64),
+        Some(0)
+    );
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    metrics.flush_trace();
+
+    let events = parse_trace(&trace_path);
+    assert_eq!(
+        keys_of(&events, "admitted"),
+        vec![key.as_str()],
+        "one admission for the miss"
+    );
+    assert_eq!(
+        keys_of(&events, "hit"),
+        vec![key.as_str()],
+        "one hit for the repeat"
+    );
+    assert_eq!(
+        keys_of(&events, "run"),
+        vec![key.as_str()],
+        "one engine run"
+    );
+    let accepted = events.iter().filter(|(e, _)| e == "accepted").count();
+    // Four client connections above; shutdown wake-up connections may
+    // add more.
+    assert!(
+        accepted >= 4,
+        "every connection traces an accepted event: {accepted}"
+    );
+    assert!(
+        keys_of(&events, "streamed").contains(&key.as_str()),
+        "the run's response stream is traced"
+    );
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

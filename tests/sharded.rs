@@ -484,3 +484,44 @@ fn auto_ghost_period_is_workload_determined() {
     assert_eq!(GhostPeriod::parse("0"), None);
     assert_eq!(GhostPeriod::parse("banana"), None);
 }
+
+/// The per-shard phase timers behind `Engine::shard_phase_nanos`:
+/// wall-clock observability for `/stats`, never physics. One pair per
+/// shard, integrate time accruing on every step, exchange time
+/// accruing whenever ghosts are synced or exchanged — and the trait
+/// default staying `None` for unsharded engines.
+#[test]
+fn shard_phase_timers_accrue_per_shard_and_survive_resharding() {
+    let species = Species::Cu;
+    let (spec, positions) = slab(species, 6, 2);
+    // Hot enough to force dynamic resharding (shard rebuilds), which
+    // must carry the timers across instead of zeroing them.
+    let velocities = mb_velocities(species, positions.len(), 1400.0, 7);
+    let system = System::from_slab(species, spec);
+    let mut sharded = ShardedEngine::baseline(
+        species,
+        positions,
+        velocities.clone(),
+        system.bbox,
+        2e-3,
+        3,
+        1,
+    );
+    Engine::run(&mut sharded, 25);
+    let phases = sharded.shard_phase_nanos();
+    assert_eq!(phases.len(), sharded.shard_count());
+    for (i, &(integrate, exchange)) in phases.iter().enumerate() {
+        assert!(integrate > 0, "shard {i} never accrued integrate time");
+        assert!(exchange > 0, "shard {i} never accrued exchange time");
+    }
+
+    // The same values are reachable through the Engine trait object —
+    // the seam the serve scheduler reads.
+    let trait_view = Engine::shard_phase_nanos(&sharded).expect("sharded engines report phases");
+    assert_eq!(trait_view, phases);
+
+    // Unsharded engines keep the trait default: no phases to report.
+    let mut single = baseline_single(species, spec, &velocities);
+    single.step();
+    assert!(Engine::shard_phase_nanos(&single).is_none());
+}
