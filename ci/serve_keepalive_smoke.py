@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""CI keep-alive smoke cell for `wafer-md serve`.
+
+Drives a live server two ways at engine thread counts 1 and 4:
+
+1. **close-per-request** — every fixture spec on its own socket with
+   `Connection: close` (the pre-keep-alive wire behavior);
+2. **keep-alive** — the same specs pipelined down ONE persistent
+   socket (every request written before any response is read), with
+   the shutdown riding the same connection.
+
+Asserts, byte for byte:
+
+- response bodies match pairwise between the two cells and match the
+  committed report golden;
+- the two cache trees (index included) are identical to each other;
+- every cached `report.txt` matches the drain cell's cache
+  (`serve-cache-<t>`, when present) and the committed golden;
+- the keep-alive trace, with `"*_us"` timing fields stripped, is
+  byte-identical across engine thread counts — scheduling order is a
+  pure function of the admission sequence, pipelining included.
+
+Usage: ci/serve_keepalive_smoke.py [path-to-wafer-md]
+"""
+
+import re
+import shutil
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+BIN = sys.argv[1] if len(sys.argv) > 1 else "./target/release/wafer-md"
+FIXTURE = Path("tests/fixtures/serve-requests.jsonl")
+GOLDEN_REPORT = Path("tests/golden/serve-report.txt")
+GOLDEN_DRAIN = Path("tests/golden/serve-drain-cold.txt")
+
+
+def fixture_specs():
+    lines = FIXTURE.read_text().splitlines()
+    return [l for l in lines if l.strip() and not l.startswith("#")]
+
+
+def golden_keys():
+    keys = re.findall(r"^([0-9a-f]{16}) ", GOLDEN_DRAIN.read_text(), re.MULTILINE)
+    return sorted(set(keys))
+
+
+def start_server(cache, engine_threads, trace=None):
+    """Launch the server on a free port, return (proc, (host, port))."""
+    cmd = [
+        BIN, "serve",
+        "--addr", "127.0.0.1:0",
+        "--serve-threads", "1",
+        "--cache", str(cache),
+    ]
+    if trace is not None:
+        cmd += ["--trace", str(trace)]
+    import os
+    env = dict(os.environ, WAFER_MD_THREADS=str(engine_threads))
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, env=env)
+    line = proc.stdout.readline().decode()
+    m = re.search(r"listening on ([0-9.]+):([0-9]+)", line)
+    assert m, f"no bound address in startup line: {line!r}"
+    return proc, (m.group(1), int(m.group(2)))
+
+
+def request(method, path, body=b"", close=False):
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: wafer-md\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if close:
+        head += "Connection: close\r\n"
+    return head.encode() + b"\r\n" + body
+
+
+def read_response(f):
+    """Parse one response off a buffered socket file: framing-aware
+    (Content-Length or chunked), so the socket survives for the next
+    pipelined response."""
+    status_line = f.readline()
+    assert status_line, "server closed before the response"
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = f.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding") == "chunked":
+        body = b""
+        while True:
+            size = int(f.readline().split(b";")[0], 16)
+            chunk = f.read(size + 2)  # data + CRLF (or just CRLF for 0)
+            if size == 0:
+                break
+            body += chunk[:-2]
+        return status, headers, body
+    length = int(headers.get("content-length", "0"))
+    return status, headers, f.read(length)
+
+
+def close_cell(addr, specs):
+    """One fresh `Connection: close` socket per request."""
+    bodies = []
+    for spec in specs:
+        with socket.create_connection(addr) as s:
+            s.sendall(request("POST", "/run", spec.encode(), close=True))
+            with s.makefile("rb") as f:
+                status, headers, body = read_response(f)
+        assert status == 200, f"close cell: {status} {body!r}"
+        assert headers.get("connection") == "close", headers
+        bodies.append(body)
+    with socket.create_connection(addr) as s:
+        s.sendall(request("POST", "/shutdown", close=True))
+        with s.makefile("rb") as f:
+            status, _, _ = read_response(f)
+    assert status == 200
+    return bodies
+
+
+def keepalive_cell(addr, specs):
+    """All requests pipelined down one persistent socket, shutdown
+    riding the same connection."""
+    bodies = []
+    with socket.create_connection(addr) as s:
+        s.sendall(b"".join(request("POST", "/run", spec.encode()) for spec in specs))
+        with s.makefile("rb") as f:
+            for i in range(len(specs)):
+                status, headers, body = read_response(f)
+                assert status == 200, f"keep-alive req {i}: {status} {body!r}"
+                assert headers.get("connection") == "keep-alive", headers
+                bodies.append(body)
+            s.sendall(request("POST", "/shutdown"))
+            status, headers, _ = read_response(f)
+            assert status == 200
+            assert headers.get("connection") == "close", headers
+    return bodies
+
+
+def tree(root):
+    """Relative path -> bytes for every file under root."""
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def main():
+    specs = fixture_specs()
+    keys = golden_keys()
+    golden = GOLDEN_REPORT.read_bytes()
+    filtered_traces = {}
+    for t in (1, 4):
+        close_root = Path(f"ka-smoke-close-{t}")
+        ka_root = Path(f"ka-smoke-keepalive-{t}")
+        trace = Path(f"ka-smoke-trace-{t}.jsonl")
+        for root in (close_root, ka_root):
+            shutil.rmtree(root, ignore_errors=True)
+
+        proc, addr = start_server(close_root, t)
+        close_bodies = close_cell(addr, specs)
+        assert proc.wait(timeout=120) == 0, "close-cell server exit"
+
+        proc, addr = start_server(ka_root, t, trace=trace)
+        ka_bodies = keepalive_cell(addr, specs)
+        assert proc.wait(timeout=120) == 0, "keep-alive-cell server exit"
+
+        for i, (a, b) in enumerate(zip(close_bodies, ka_bodies)):
+            assert a == b, f"t={t} req {i}: keep-alive body diverged from close-per-request"
+            assert a == golden, f"t={t} req {i}: body diverged from the report golden"
+        assert tree(close_root) == tree(ka_root), (
+            f"t={t}: cache trees diverged between transports"
+        )
+        for key in keys:
+            report = (ka_root / key / "report.txt").read_bytes()
+            assert report == golden, f"t={t} {key}: cached report diverged from golden"
+            drain_report = Path(f"serve-cache-{t}") / key / "report.txt"
+            if drain_report.exists():
+                assert report == drain_report.read_bytes(), (
+                    f"t={t} {key}: keep-alive cache diverged from the drain cell"
+                )
+            else:
+                print(f"note: {drain_report} absent, drain-cell diff skipped")
+        filtered_traces[t] = re.sub(r',"[a-z_]+_us":\d+', "", trace.read_text())
+        print(f"t={t}: {len(specs)} pipelined keep-alive responses byte-match "
+              f"close-per-request and the golden; cache trees identical")
+    assert filtered_traces[1] == filtered_traces[4], (
+        "timing-stripped keep-alive traces diverged across engine thread counts"
+    )
+    print("keep-alive trace (timing-stripped) byte-identical at WAFER_MD_THREADS 1 and 4")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@
 //! wafer-md list
 //! wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]
 //!                [--serve-threads N] [--timeout-ms MS]
+//!                [--max-requests-per-conn N]
 //!                [--cache-max-bytes B] [--cache-max-entries N]
 //!                [--trace FILE]
 //! wafer-md export-setfl <cu|w|ta> <path>
@@ -42,6 +43,7 @@ fn usage() -> ! {
          \x20      wafer-md list\n\
          \x20      wafer-md serve [--addr HOST:PORT] [--cache DIR] [--drain FILE]\n\
          \x20                     [--serve-threads N] [--timeout-ms MS]\n\
+         \x20                     [--max-requests-per-conn N]\n\
          \x20                     [--cache-max-bytes B] [--cache-max-entries N]\n\
          \x20                     [--trace FILE]   (wafer-md serve --help for details)\n\
          \x20      wafer-md export-setfl <cu|w|ta> <path>\n\
@@ -133,7 +135,8 @@ fn serve_help() -> ! {
          \x20 --drain FILE           run a request file to completion, print the drain report, exit\n\
          \x20 --once FILE            alias for --drain\n\
          \x20 --serve-threads N      acceptor threads answering connections (default 4)\n\
-         \x20 --timeout-ms MS        per-connection read/write timeout (default 10000)\n\
+         \x20 --timeout-ms MS        per-connection read/write + keep-alive idle timeout (default 10000)\n\
+         \x20 --max-requests-per-conn N  requests served per connection before it closes (default 100)\n\
          \x20 --cache-max-bytes B    evict LRU entries beyond this payload size (default unbounded)\n\
          \x20 --cache-max-entries N  evict LRU entries beyond this count (default unbounded)\n\
          \x20 --trace FILE           write one compact-JSON line per lifecycle event to FILE"
@@ -168,6 +171,10 @@ fn serve_main(args: &[String]) {
                 let ms = parse_count("--timeout-ms", value(&mut i));
                 config.read_timeout = std::time::Duration::from_millis(ms);
                 config.write_timeout = config.read_timeout;
+            }
+            "--max-requests-per-conn" => {
+                config.max_requests_per_conn =
+                    parse_count("--max-requests-per-conn", value(&mut i));
             }
             "--cache-max-bytes" => {
                 budget.max_bytes = parse_count("--cache-max-bytes", value(&mut i));

@@ -23,13 +23,20 @@
 //!
 //! The store is bounded by a [`CacheBudget`] (bytes and/or entries).
 //! Eviction is deterministic LRU: the recency order is a pure function
-//! of the sequence of inserts and lookups, it is persisted to
-//! `index.txt` (atomically, tmp + rename) after every mutation, and the
-//! least-recently-used entry is removed until the budget holds — except
-//! the entry just written, which is never evicted, so an insert is
-//! always readable by the request that caused it. Because the order is
-//! replayed from disk, a `--drain` over a warm cache evicts the same
-//! keys in the same order on every run.
+//! of the sequence of inserts and lookups, and the least-recently-used
+//! entry is removed until the budget holds — except the entry just
+//! written, which is never evicted, so an insert is always readable by
+//! the request that caused it. Because the order is replayed from disk,
+//! a `--drain` over a warm cache evicts the same keys in the same order
+//! on every run.
+//!
+//! Recency is tracked in memory and persisted to `index.txt`
+//! (atomically, tmp + rename) only on *membership* mutation — insert,
+//! eviction — and on clean shutdown ([`ResultCache::flush`], also run
+//! by `Drop`). A read hit just flips a dirty flag: the hot path never
+//! pays an O(entries) disk write. A crash between hits therefore loses
+//! at most recency (an entry may be evicted in an older order on the
+//! next open), never membership or contents.
 
 use std::fs::{self, File};
 use std::io;
@@ -109,6 +116,9 @@ pub struct ResultCache {
     /// Keys evicted since the last [`ResultCache::take_evicted`] —
     /// drained by the scheduler to emit `evicted` trace events.
     evicted_log: Vec<String>,
+    /// Whether the in-memory recency order is ahead of `index.txt`.
+    /// Set by read hits, cleared by every successful persist.
+    dirty: bool,
 }
 
 /// Payload bytes of an existing entry directory (sum of its file
@@ -172,6 +182,7 @@ impl ResultCache {
             index,
             evictions: 0,
             evicted_log: Vec::new(),
+            dirty: false,
         };
         cache.evict_to_budget(None);
         cache.persist_index()?;
@@ -238,7 +249,10 @@ impl ResultCache {
         Some((file, len))
     }
 
-    /// Move `key` to the most-recently-used end and persist the order.
+    /// Move `key` to the most-recently-used end. In-memory only: a read
+    /// hit marks the order dirty instead of rewriting `index.txt` under
+    /// the scheduler's lock — the order is persisted on the next
+    /// membership mutation or on [`ResultCache::flush`].
     fn touch(&mut self, key: &str) {
         if let Some(pos) = self.index.iter().position(|(k, _)| k == key) {
             let entry = self.index.remove(pos);
@@ -248,7 +262,17 @@ impl ResultCache {
             let bytes = entry_bytes(&self.entry_dir(key));
             self.index.push((key.to_string(), bytes));
         }
-        let _ = self.persist_index();
+        self.dirty = true;
+    }
+
+    /// Persist the recency order if any read hits have reordered it
+    /// since the last write. Called on clean shutdown (and by `Drop`);
+    /// a no-op when the on-disk index is already current.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.persist_index()?;
+        }
+        Ok(())
     }
 
     /// Atomically insert an entry: write `files` (name → contents) into
@@ -320,7 +344,7 @@ impl ResultCache {
     }
 
     /// Write the recency order to `index.txt` atomically.
-    fn persist_index(&self) -> io::Result<()> {
+    fn persist_index(&mut self) -> io::Result<()> {
         let mut text = String::new();
         for (key, bytes) in &self.index {
             text.push_str(key);
@@ -330,7 +354,18 @@ impl ResultCache {
         }
         let tmp = self.root.join(".index.tmp");
         fs::write(&tmp, text)?;
-        fs::rename(&tmp, self.root.join(INDEX_FILE))
+        fs::rename(&tmp, self.root.join(INDEX_FILE))?;
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+impl Drop for ResultCache {
+    /// Clean shutdown persists any recency reordering still pending
+    /// from read hits, so a reopened cache evicts in the replayed
+    /// order. Best-effort: a failed write here only costs recency.
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 

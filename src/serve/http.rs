@@ -2,21 +2,34 @@
 //! `std::net::TcpListener`, answered by a fixed-size acceptor pool.
 //!
 //! `--serve-threads N` acceptor threads block in `accept` on clones of
-//! one listener; each connection carries one request
-//! (`Connection: close`), bounded by per-connection read/write
-//! timeouts and a request-size cap so a stalled or hostile client can
-//! only ever wedge its own connection. No TLS, no dependencies —
-//! exactly enough protocol for a scenario client, in the same
-//! no-dependencies spirit as the rest of the workspace. The endpoints:
+//! one listener; each connection is **persistent**: the handler loops,
+//! serving requests until the client asks to close, the
+//! per-connection request cap (`--max-requests-per-conn`) is reached,
+//! the idle timeout (`--timeout-ms`) expires between requests, or the
+//! server shuts down. `Connection: keep-alive`/`close` is honored with
+//! the HTTP/1.1 default (keep-alive); the buffered reader survives
+//! across requests, so requests the client pipelined back-to-back are
+//! already in the buffer and are served in order. Per-connection
+//! read/write timeouts and a request-size cap mean a stalled or
+//! hostile client can only ever wedge its own connection. No TLS, no
+//! dependencies — exactly enough protocol for a scenario client, in
+//! the same no-dependencies spirit as the rest of the workspace. The
+//! endpoints:
 //!
 //! | method + path                     | behavior |
 //! |-----------------------------------|----------|
 //! | `POST /run`                       | body = spec JSON; answers the run report (cache hit or fresh run) |
-//! | `GET /stats`                      | counters, queue depth, cache size, latency/batch histograms, as JSON |
+//! | `GET /stats`                      | counters, queue depths, cache size, latency/batch histograms, as JSON |
 //! | `GET /stats/prom`                 | the same metrics as Prometheus text exposition (version 0.0.4) |
 //! | `GET /result/<key>`               | re-read a cached report by its 16-hex key |
 //! | `GET /result/<key>/trajectory.xyz`| stream a cached trajectory (chunked, never buffered whole) |
-//! | `POST /shutdown`                  | acknowledge, then drain the acceptor pool and exit |
+//! | `POST /shutdown`                  | acknowledge, then drain acceptors *and* idle persistent connections, and exit |
+//!
+//! Two optional request headers steer scheduling (never results):
+//! `X-Wafer-Priority: high|normal|low` picks the strict dispatch band
+//! (default `normal`), and `X-Wafer-Client` overrides the client
+//! identity used for round-robin fairness within a band (default: the
+//! peer IP). See [`super::queue::JobQueue`] for the discipline.
 //!
 //! Every `POST /run` answer carries `X-Wafer-Key` (the spec's canonical
 //! cache key) and `X-Wafer-Cache: hit|miss|coalesced`. The *body* is
@@ -29,25 +42,29 @@
 //!
 //! Concurrency discipline: the [`Scheduler`] behind one mutex is the
 //! single coordination point. A worker whose request misses claims a
-//! batch (its own job plus geometry-compatible queued misses), runs it
-//! *outside* the lock, then completes each job — filling the
-//! [`crate::serve::JobCell`]s that coalesced waiters (and workers whose
-//! queued job got swept into another worker's batch) block on. One
-//! engine run per unique in-flight spec, no exceptions, at any pool
-//! width.
+//! batch — whatever *fairness* dispatches next plus its
+//! geometry-compatible run, which is not necessarily the worker's own
+//! job — runs it *outside* the lock, then completes each job, filling
+//! the [`crate::serve::JobCell`]s that coalesced waiters (and workers
+//! whose own job landed in someone else's batch) block on. Every
+//! queued request claims exactly once, and a claim always takes the
+//! queue front when work is pending, so every queued job is claimed by
+//! *someone* and no worker can wait on an unclaimed job. One engine
+//! run per unique in-flight spec, no exceptions, at any pool width.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use super::cache::{is_valid_key, ResultCache};
 use super::metrics::{ServeMetrics, TraceEvent};
-use super::queue::Job;
+use super::queue::{Job, Priority};
 use super::scheduler::{run_batch, Disposition, Scheduler};
 use crate::json::Value;
 use crate::scenario::ScenarioSpec;
@@ -65,8 +82,10 @@ pub struct ServeConfig {
     /// connection at a time; the scheduler coalesces duplicate
     /// in-flight specs, so any width preserves one-run-per-spec.
     pub threads: usize,
-    /// Per-connection read timeout (zero = none): a client that stalls
-    /// mid-request is answered 408 and dropped.
+    /// Per-connection read timeout (zero = none). A client that stalls
+    /// mid-first-request is answered 408 and dropped; an idle
+    /// persistent connection that sends nothing for this long between
+    /// requests is closed silently.
     pub read_timeout: Duration,
     /// Per-connection write timeout (zero = none): a client that stops
     /// reading its response is dropped without blocking the worker.
@@ -74,6 +93,10 @@ pub struct ServeConfig {
     /// Largest accepted request body, in bytes; bigger declared bodies
     /// are answered 413 without being read.
     pub max_body: usize,
+    /// Requests served per connection before the server closes it
+    /// (`--max-requests-per-conn`) — a fairness/leak backstop so one
+    /// immortal connection cannot pin a worker forever.
+    pub max_requests_per_conn: u64,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +106,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_body: 1 << 20,
+            max_requests_per_conn: 100,
         }
     }
 }
@@ -93,6 +117,16 @@ struct Request {
     method: String,
     path: String,
     body: Vec<u8>,
+    /// Whether the connection may serve another request after this one:
+    /// the `Connection` header if present, else the HTTP-version
+    /// default (1.1 → keep-alive, everything else → close). A POST
+    /// without `Content-Length` always closes: any unframed body bytes
+    /// are drained at close, never parsed as a next request.
+    keep_alive: bool,
+    /// The dispatch band from `X-Wafer-Priority` (default normal).
+    priority: Priority,
+    /// The fairness identity from `X-Wafer-Client`, when given.
+    client: Option<String>,
 }
 
 /// Why a request could not be parsed.
@@ -101,7 +135,9 @@ enum RequestError {
     Malformed(String),
     /// Declared body over the cap: answer 413.
     TooLarge(String),
-    /// The peer stalled past the read timeout: answer 408 best-effort.
+    /// The peer stalled past the read timeout: answer 408 best-effort
+    /// on a first request; close silently on an idle persistent
+    /// connection.
     Timeout,
     /// Connection-level I/O failure: drop silently.
     Io,
@@ -115,11 +151,16 @@ fn classify(e: io::Error) -> RequestError {
     }
 }
 
-/// Read one request off a connection, under the head/body size caps.
-/// `Ok(None)` means the peer closed without sending anything.
-fn read_request(stream: &TcpStream, max_body: usize) -> Result<Option<Request>, RequestError> {
-    let reader = BufReader::new(stream.try_clone().map_err(|_| RequestError::Io)?);
-    let mut reader = reader.take(MAX_HEAD_BYTES);
+/// Read one request off a connection's persistent buffered reader,
+/// under the head/body size caps. `Ok(None)` means the peer closed (or
+/// the read half was shut down) cleanly between requests. The reader
+/// outlives the call, so bytes the client pipelined behind this
+/// request stay buffered for the next call.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Option<Request>, RequestError> {
+    let mut reader = reader.by_ref().take(MAX_HEAD_BYTES);
     let mut line = String::new();
     match reader.read_line(&mut line) {
         Ok(0) => return Ok(None),
@@ -137,7 +178,15 @@ fn read_request(stream: &TcpStream, max_body: usize) -> Result<Option<Request>, 
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
         _ => return Err(RequestError::Malformed("malformed request line".into())),
     };
-    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; 1.0 (or a missing version)
+    // defaults to close. The Connection header overrides either way.
+    let http11 = parts
+        .next()
+        .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1"));
+    let mut content_length: Option<usize> = None;
+    let mut connection: Option<String> = None;
+    let mut priority = Priority::Normal;
+    let mut client: Option<String> = None;
     loop {
         let mut header = String::new();
         match reader.read_line(&mut header) {
@@ -160,13 +209,44 @@ fn read_request(stream: &TcpStream, max_body: usize) -> Result<Option<Request>, 
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
+                // Duplicate (even agreeing) Content-Length headers are
+                // rejected outright: under pipelining, body-length
+                // ambiguity desyncs the whole request stream.
+                if content_length.is_some() {
+                    return Err(RequestError::Malformed(
+                        "duplicate Content-Length header".into(),
+                    ));
+                }
                 content_length = match value.trim().parse() {
-                    Ok(n) => n,
+                    Ok(n) => Some(n),
                     Err(_) => return Err(RequestError::Malformed("invalid Content-Length".into())),
                 };
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_ascii_lowercase());
+            } else if name.eq_ignore_ascii_case("x-wafer-priority") {
+                priority = match Priority::parse(value) {
+                    Some(p) => p,
+                    None => {
+                        return Err(RequestError::Malformed(
+                            "invalid X-Wafer-Priority (use high, normal, or low)".into(),
+                        ))
+                    }
+                };
+            } else if name.eq_ignore_ascii_case("x-wafer-client") {
+                let value = value.trim();
+                if !value.is_empty() {
+                    client = Some(value.to_string());
+                }
             }
         }
     }
+    // A POST without Content-Length has, per HTTP/1.1, no body — but
+    // a sloppy client may have sent one anyway, and those unframed
+    // bytes must never be parsed as the next pipelined request. Serve
+    // the empty-body request, then force the connection closed (the
+    // lingering close drains whatever followed).
+    let unframed_post = content_length.is_none() && method == "POST";
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(RequestError::TooLarge(format!(
             "request body of {content_length} bytes exceeds the {max_body}-byte limit"
@@ -183,23 +263,38 @@ fn read_request(stream: &TcpStream, max_body: usize) -> Result<Option<Request>, 
             _ => classify(e),
         });
     }
-    Ok(Some(Request { method, path, body }))
+    let keep_alive = !unframed_post
+        && match connection.as_deref() {
+            Some("close") => false,
+            Some("keep-alive") => true,
+            _ => http11,
+        };
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+        priority,
+        client,
+    }))
 }
 
 /// Write one fixed-length response and flush. `extra` headers ride
-/// along verbatim.
+/// along verbatim; `keep` picks the `Connection` header.
 fn respond(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
     content_type: &str,
     extra: &[(&str, &str)],
+    keep: bool,
     body: &[u8],
 ) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        body.len()
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep { "keep-alive" } else { "close" },
     )?;
     for (name, value) in extra {
         write!(stream, "{name}: {value}\r\n")?;
@@ -209,11 +304,13 @@ fn respond(
     stream.flush()
 }
 
-/// Start a 200 chunked-transfer response; the body follows as chunks.
-fn stream_head(stream: &mut TcpStream, extra: &[(&str, &str)]) -> io::Result<()> {
+/// Start a 200 chunked-transfer response; the body follows as chunks
+/// (self-delimiting, so keep-alive survives streaming).
+fn stream_head(stream: &mut TcpStream, extra: &[(&str, &str)], keep: bool) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+        if keep { "keep-alive" } else { "close" },
     )?;
     for (name, value) in extra {
         write!(stream, "{name}: {value}\r\n")?;
@@ -285,6 +382,13 @@ struct Shared {
     config: ServeConfig,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// A read-half handle of every live connection, keyed by a serial
+    /// id. `POST /shutdown` shuts down each registered read half, so a
+    /// worker parked in a blocking read on an idle persistent
+    /// connection wakes with EOF and drains — write halves are left
+    /// intact so in-flight responses still finish.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
 }
 
 impl Shared {
@@ -293,6 +397,12 @@ impl Shared {
     /// happen outside the lock), so the inner state is always usable.
     fn scheduler(&self) -> MutexGuard<'_, Scheduler> {
         self.scheduler
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn conns(&self) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
@@ -348,6 +458,8 @@ impl Server {
                 config,
                 shutdown: AtomicBool::new(false),
                 addr,
+                conns: Mutex::new(HashMap::new()),
+                next_conn: AtomicU64::new(0),
             }),
         })
     }
@@ -358,9 +470,11 @@ impl Server {
     }
 
     /// Run the acceptor pool until a `POST /shutdown` arrives, then
-    /// drain: every worker finishes its in-flight connection before
-    /// this returns. Connection-level I/O errors drop that connection
-    /// and the pool continues.
+    /// drain: every worker finishes its in-flight connection (idle
+    /// persistent connections are woken and closed) before this
+    /// returns, and the cache's recency order is persisted.
+    /// Connection-level I/O errors drop that connection and the pool
+    /// continues.
     pub fn serve(&mut self) -> io::Result<()> {
         let extra = self.shared.config.threads.max(1) - 1;
         let mut clones = Vec::with_capacity(extra);
@@ -374,7 +488,9 @@ impl Server {
             }
             acceptor_loop(&self.listener, &self.shared, 0);
         });
-        Ok(())
+        // Clean shutdown: persist any recency reordering read hits
+        // left pending (the deferred-persistence contract).
+        self.shared.scheduler().flush_cache()
     }
 }
 
@@ -399,7 +515,40 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared, acceptor: usize) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+/// Register the connection's read half for shutdown wake-up, run the
+/// request loop, deregister.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(read_half) = stream.try_clone() {
+        shared.conns().insert(id, read_half);
+    }
+    serve_connection(stream, shared);
+    shared.conns().remove(&id);
+}
+
+/// Close a connection politely after the final response: send FIN
+/// first, then drain (bounded) whatever the client has already sent.
+/// Dropping a socket with unread received bytes — a request body we
+/// rejected mid-headers, or a pipelined request behind a close — makes
+/// the kernel answer with RST, which can tear down the response still
+/// in flight before the client reads it.
+fn lingering_close(stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 64 * 1024;
+    while budget > 0 {
+        match (&mut &*stream).read(&mut sink) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// The persistent-connection request loop: one buffered reader for the
+/// connection's whole life (so pipelined requests stay buffered, in
+/// order), one response per request, until close/cap/idle/shutdown.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let config = &shared.config;
     if !config.read_timeout.is_zero() {
         let _ = stream.set_read_timeout(Some(config.read_timeout));
@@ -407,61 +556,128 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     if !config.write_timeout.is_zero() {
         let _ = stream.set_write_timeout(Some(config.write_timeout));
     }
-    match read_request(&stream, config.max_body) {
-        Ok(None) => {}
-        Ok(Some(request)) => dispatch(&request, &mut stream, shared),
-        Err(RequestError::Malformed(hint)) => {
-            let _ = respond(
-                &mut stream,
-                400,
-                "Bad Request",
-                "application/json",
-                &[],
-                &error_body(&hint),
-            );
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut served = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
         }
-        Err(RequestError::TooLarge(hint)) => {
-            let _ = respond(
-                &mut stream,
-                413,
-                "Payload Too Large",
-                "application/json",
-                &[],
-                &error_body(&hint),
-            );
+        // Bytes already buffered before we even ask = the client
+        // pipelined this request behind the previous one.
+        let pipelined = !reader.buffer().is_empty();
+        match read_request(&mut reader, config.max_body) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(request)) => {
+                if served == 1 {
+                    shared.metrics.reused_connection();
+                    shared.metrics.trace(TraceEvent::new("reused"));
+                }
+                if pipelined {
+                    shared.metrics.pipelined_request();
+                }
+                served += 1;
+                let keep = request.keep_alive
+                    && served < config.max_requests_per_conn
+                    && !shared.shutdown.load(Ordering::SeqCst);
+                dispatch(&request, &mut stream, shared, &peer, keep);
+                if !keep || shared.shutdown.load(Ordering::SeqCst) {
+                    return lingering_close(&stream);
+                }
+            }
+            Err(RequestError::Malformed(hint)) => {
+                let _ = respond(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &[],
+                    false,
+                    &error_body(&hint),
+                );
+                return lingering_close(&stream);
+            }
+            Err(RequestError::TooLarge(hint)) => {
+                let _ = respond(
+                    &mut stream,
+                    413,
+                    "Payload Too Large",
+                    "application/json",
+                    &[],
+                    false,
+                    &error_body(&hint),
+                );
+                return lingering_close(&stream);
+            }
+            Err(RequestError::Timeout) => {
+                // A stall mid-first-request earns a 408; an idle
+                // persistent connection just closes silently.
+                if served == 0 {
+                    let _ = respond(
+                        &mut stream,
+                        408,
+                        "Request Timeout",
+                        "application/json",
+                        &[],
+                        false,
+                        &error_body("request timed out"),
+                    );
+                    return lingering_close(&stream);
+                }
+                return;
+            }
+            Err(RequestError::Io) => return,
         }
-        Err(RequestError::Timeout) => {
-            let _ = respond(
-                &mut stream,
-                408,
-                "Request Timeout",
-                "application/json",
-                &[],
-                &error_body("request timed out"),
-            );
-        }
-        Err(RequestError::Io) => {}
     }
 }
 
-fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared) {
+fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared, peer: &str, keep: bool) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/run") => post_run(&request.body, stream, shared),
+        ("POST", "/run") => post_run(request, stream, shared, peer, keep),
         ("GET", "/stats") => {
             let mut body = shared.scheduler().stats_json().into_bytes();
             body.push(b'\n');
-            let _ = respond(stream, 200, "OK", "application/json", &[], &body);
+            let _ = respond(stream, 200, "OK", "application/json", &[], keep, &body);
         }
         ("GET", "/stats/prom") => {
             let body = shared.scheduler().prometheus_text().into_bytes();
-            let _ = respond(stream, 200, "OK", "text/plain; version=0.0.4", &[], &body);
+            let _ = respond(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &[],
+                keep,
+                &body,
+            );
         }
-        ("GET", path) if path.strip_prefix("/result/").is_some() => {
-            get_result(&path["/result/".len()..], stream, shared);
+        ("GET", path) if path.starts_with("/result/") => {
+            get_result(&path["/result/".len()..], stream, shared, keep);
         }
         ("POST", "/shutdown") => {
-            let _ = respond(stream, 200, "OK", "text/plain", &[], b"shutting down\n");
+            let _ = respond(
+                stream,
+                200,
+                "OK",
+                "text/plain",
+                &[],
+                false,
+                b"shutting down\n",
+            );
             shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake idle persistent connections: shutting down each
+            // registered read half turns a parked blocking read into
+            // EOF; the write halves stay intact so in-flight responses
+            // finish.
+            for conn in shared.conns().values() {
+                let _ = conn.shutdown(Shutdown::Read);
+            }
             // One wake pill per acceptor: each blocked `accept` returns,
             // re-checks the flag, and exits; surplus pills die with the
             // listener.
@@ -476,6 +692,7 @@ fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared) {
                 "Not Found",
                 "application/json",
                 &[],
+                keep,
                 &error_body(
                     "no such endpoint (try POST /run, GET /stats, GET /stats/prom, \
                      GET /result/<key>, GET /result/<key>/trajectory.xyz, POST /shutdown)",
@@ -486,8 +703,8 @@ fn dispatch(request: &Request, stream: &mut TcpStream, shared: &Shared) {
 }
 
 /// `POST /run`: admit the spec and answer with the report bytes.
-fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
-    let spec = std::str::from_utf8(body)
+fn post_run(request: &Request, stream: &mut TcpStream, shared: &Shared, peer: &str, keep: bool) {
+    let spec = std::str::from_utf8(&request.body)
         .map_err(|_| "request body is not UTF-8".to_string())
         .and_then(|text| ScenarioSpec::from_json(text).map_err(|e| e.to_string()));
     let spec = match spec {
@@ -499,6 +716,7 @@ fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
                 "Bad Request",
                 "application/json",
                 &[],
+                keep,
                 &error_body(&hint),
             );
             return;
@@ -508,6 +726,7 @@ fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
     // every valid request — so at quiescence the service histogram's
     // count equals the `requests` counter.
     let started = Instant::now();
+    let client = request.client.as_deref().unwrap_or(peer);
 
     // One lock acquisition for the admission decision *and* its
     // follow-up handle, so a coalesced request always finds its cell
@@ -519,7 +738,7 @@ fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
     }
     let plan = {
         let mut sched = shared.scheduler();
-        let (key, disposition) = sched.submit(spec);
+        let (key, disposition) = sched.submit_from(spec, request.priority, client);
         match disposition {
             Disposition::CacheHit => {
                 let cached = sched.result(&key).expect("a hit key is cached");
@@ -541,47 +760,56 @@ fn post_run(body: &[u8], stream: &mut TcpStream, shared: &Shared) {
                 "OK",
                 "text/plain",
                 &[("X-Wafer-Cache", "hit"), ("X-Wafer-Key", &key)],
+                keep,
                 report.as_bytes(),
             );
         }
         Plan::Wait(key, cell, label) => {
-            answer_from_cell(&key, &cell, label, stream);
+            answer_from_cell(&key, &cell, label, stream, keep);
         }
         Plan::Run(key) => {
-            let batch = shared.scheduler().claim_batch(Some(&key));
-            if batch.is_empty() {
-                // Another worker's batch swept this job up; wait on it.
+            // Claim whatever fairness dispatches next — possibly not
+            // this worker's own job. Every queued request claims
+            // exactly once, so every queued job is claimed by someone.
+            let batch = shared.scheduler().claim_batch();
+            let own_idx = batch.iter().position(|job| job.key == key);
+            let answered = if batch.is_empty() {
+                false
+            } else {
+                run_and_stream(&batch, own_idx, &key, stream, shared, keep)
+            };
+            if !answered {
+                // This worker's own job wasn't in its claim: another
+                // worker has (or had) it. Wait on its cell, falling
+                // back to the cache if it already completed.
                 let cell = shared.scheduler().watch(&key);
                 match cell {
-                    Some(cell) => answer_from_cell(&key, &cell, "miss", stream),
-                    None => {
-                        // Completed between the two locks: a cache read.
-                        match shared.scheduler().result(&key) {
-                            Some(cached) => {
-                                let _ = respond(
-                                    stream,
-                                    200,
-                                    "OK",
-                                    "text/plain",
-                                    &[("X-Wafer-Cache", "miss"), ("X-Wafer-Key", &key)],
-                                    cached.report.as_bytes(),
-                                );
-                            }
-                            None => {
-                                let _ = respond(
-                                    stream,
-                                    404,
-                                    "Not Found",
-                                    "application/json",
-                                    &[],
-                                    &error_body("result evicted before it could be read"),
-                                );
-                            }
+                    Some(cell) => answer_from_cell(&key, &cell, "miss", stream, keep),
+                    None => match shared.scheduler().result(&key) {
+                        Some(cached) => {
+                            let _ = respond(
+                                stream,
+                                200,
+                                "OK",
+                                "text/plain",
+                                &[("X-Wafer-Cache", "miss"), ("X-Wafer-Key", &key)],
+                                keep,
+                                cached.report.as_bytes(),
+                            );
                         }
-                    }
+                        None => {
+                            let _ = respond(
+                                stream,
+                                404,
+                                "Not Found",
+                                "application/json",
+                                &[],
+                                keep,
+                                &error_body("result evicted before it could be read"),
+                            );
+                        }
+                    },
                 }
-            } else {
-                run_and_stream(&batch, &key, stream, shared);
             }
         }
     }
@@ -594,6 +822,7 @@ fn answer_from_cell(
     cell: &super::scheduler::JobCell,
     label: &str,
     stream: &mut TcpStream,
+    keep: bool,
 ) {
     match cell.wait() {
         Some(artifacts) => {
@@ -603,6 +832,7 @@ fn answer_from_cell(
                 "OK",
                 "text/plain",
                 &[("X-Wafer-Cache", label), ("X-Wafer-Key", key)],
+                keep,
                 artifacts.report.as_bytes(),
             );
         }
@@ -613,20 +843,39 @@ fn answer_from_cell(
                 "Internal Server Error",
                 "application/json",
                 &[],
+                keep,
                 &error_body("scenario run failed; resubmit"),
             );
         }
     }
 }
 
-/// Execute a claimed batch and stream the runner's own report to its
-/// client as chunked transfer encoding, fragment by fragment, while the
-/// physics is still running. A client that disconnects mid-response
-/// only silences the stream — the batch still runs to completion and
-/// every result is cached and published, because the claimed jobs'
-/// waiters depend on it.
-fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Shared) {
-    let head_ok = stream_head(stream, &[("X-Wafer-Cache", "miss"), ("X-Wafer-Key", key)]).is_ok();
+/// Execute a claimed batch. When the runner's own job is in the batch
+/// (`own_idx`), its report streams to the client as chunked transfer
+/// encoding, fragment by fragment, while the physics is still running,
+/// and the call returns `true` (the request was answered). When the
+/// claim was entirely other clients' work (`own_idx` is `None`), the
+/// batch runs without streaming and the call returns `false` — the
+/// caller answers its own request from its job's cell afterwards. A
+/// client that disconnects mid-response only silences the stream — the
+/// batch still runs to completion and every result is cached and
+/// published, because the claimed jobs' waiters depend on it.
+fn run_and_stream(
+    batch: &[Job],
+    own_idx: Option<usize>,
+    key: &str,
+    stream: &mut TcpStream,
+    shared: &Shared,
+    keep: bool,
+) -> bool {
+    let streaming = own_idx.is_some();
+    let head_ok = !streaming
+        || stream_head(
+            stream,
+            &[("X-Wafer-Cache", "miss"), ("X-Wafer-Key", key)],
+            keep,
+        )
+        .is_ok();
     let writer = Mutex::new(ChunkedWriter::new(stream));
     if !head_ok {
         writer
@@ -636,7 +885,7 @@ fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Sha
     }
     let pass = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run_batch(batch, &|frag: &str| {
+        run_batch(batch, own_idx.unwrap_or(batch.len()), &|frag: &str| {
             writer
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -654,11 +903,14 @@ fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Sha
                 let _ = sched.complete(job, a);
             }
             drop(sched);
-            writer
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .finish();
-            shared.metrics.trace(TraceEvent::new("streamed").key(key));
+            if streaming {
+                writer
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .finish();
+                shared.metrics.trace(TraceEvent::new("streamed").key(key));
+            }
+            streaming
         }
         Err(_) => {
             // A run panicked (an invariant break, not a client fault):
@@ -674,12 +926,16 @@ fn run_and_stream(batch: &[Job], key: &str, stream: &mut TcpStream, shared: &Sha
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .die();
+            // Streaming already sent a (now truncated) head, so the
+            // request counts as answered; a non-streaming runner falls
+            // back to its own cell, which `abandon` just settled.
+            streaming
         }
     }
 }
 
 /// `GET /result/<key>` and `GET /result/<key>/trajectory.xyz`.
-fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
+fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared, keep: bool) {
     let (key, artifact) = match rest.split_once('/') {
         None => (rest, None),
         Some((key, artifact)) => (key, Some(artifact)),
@@ -693,6 +949,7 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
             "Bad Request",
             "application/json",
             &[],
+            keep,
             &error_body("result keys are exactly 16 lowercase hex characters"),
         );
         return;
@@ -708,6 +965,7 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
                         "OK",
                         "text/plain",
                         &[("X-Wafer-Key", key)],
+                        keep,
                         cached.report.as_bytes(),
                     );
                 }
@@ -718,6 +976,7 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
                         "Not Found",
                         "application/json",
                         &[],
+                        keep,
                         &error_body("unknown result key"),
                     );
                 }
@@ -729,7 +988,7 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
             let file = shared.scheduler().open_trajectory(key);
             match file {
                 Some((file, _len)) => {
-                    stream_file(file, key, stream);
+                    stream_file(file, key, stream, keep);
                     shared.metrics.trace(TraceEvent::new("streamed").key(key));
                 }
                 None => {
@@ -739,6 +998,7 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
                         "Not Found",
                         "application/json",
                         &[],
+                        keep,
                         &error_body("no cached trajectory for this key (did the spec set xyz?)"),
                     );
                 }
@@ -751,6 +1011,7 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
                 "Not Found",
                 "application/json",
                 &[],
+                keep,
                 &error_body("unknown artifact (try /result/<key> or /result/<key>/trajectory.xyz)"),
             );
         }
@@ -759,8 +1020,8 @@ fn get_result(rest: &str, stream: &mut TcpStream, shared: &Shared) {
 
 /// Stream a cached file as a chunked body without ever holding more
 /// than one chunk in memory.
-fn stream_file(mut file: File, key: &str, stream: &mut TcpStream) {
-    if stream_head(stream, &[("X-Wafer-Key", key)]).is_err() {
+fn stream_file(mut file: File, key: &str, stream: &mut TcpStream, keep: bool) {
+    if stream_head(stream, &[("X-Wafer-Key", key)], keep).is_err() {
         return;
     }
     let mut writer = ChunkedWriter::new(stream);

@@ -226,16 +226,19 @@ impl PromUnit {
 pub struct TraceEvent {
     event: &'static str,
     key: Option<String>,
+    tags: Vec<(&'static str, String)>,
     extra: Vec<(&'static str, u64)>,
 }
 
 impl TraceEvent {
-    /// An event of the given kind (`accepted`, `admitted`, `coalesced`,
-    /// `hit`, `batched`, `run`, `evicted`, `streamed`).
+    /// An event of the given kind (`accepted`, `reused`, `admitted`,
+    /// `coalesced`, `hit`, `batched`, `preempted`, `run`, `evicted`,
+    /// `streamed`).
     pub fn new(event: &'static str) -> Self {
         Self {
             event,
             key: None,
+            tags: Vec::new(),
             extra: Vec::new(),
         }
     }
@@ -243,6 +246,13 @@ impl TraceEvent {
     /// Attach the request's cache key.
     pub fn key(mut self, key: &str) -> Self {
         self.key = Some(key.to_string());
+        self
+    }
+
+    /// Attach an extra string field (e.g. the priority band).
+    /// Deterministic fields only — timing never renders as a string.
+    pub fn tag(mut self, field: &'static str, value: &str) -> Self {
+        self.tags.push((field, value.to_string()));
         self
     }
 
@@ -258,6 +268,9 @@ impl TraceEvent {
         let mut fields = vec![("event".to_string(), Value::Str(self.event.into()))];
         if let Some(key) = &self.key {
             fields.push(("key".to_string(), Value::Str(key.clone())));
+        }
+        for (name, value) in &self.tags {
+            fields.push((name.to_string(), Value::Str(value.clone())));
         }
         for (name, value) in &self.extra {
             fields.push((name.to_string(), Value::Uint(*value)));
@@ -386,6 +399,11 @@ pub struct ServeMetrics {
     pub batch_occupancy: Histogram,
     /// Connections handled per acceptor thread.
     acceptors: Vec<AtomicU64>,
+    /// Connections that served a second request (keep-alive reuse).
+    reused_connections: AtomicU64,
+    /// Requests that were already buffered when their turn came
+    /// (client pipelined them behind an earlier request).
+    pipelined_requests: AtomicU64,
     /// Total integrate-phase wall time across sharded runs, ns.
     shard_integrate_nanos: AtomicU64,
     /// Total ghost-exchange wall time across sharded runs, ns.
@@ -409,6 +427,8 @@ impl ServeMetrics {
             batch_pass: Histogram::new(),
             batch_occupancy: Histogram::new(),
             acceptors: (0..acceptors).map(|_| AtomicU64::new(0)).collect(),
+            reused_connections: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
             shard_integrate_nanos: AtomicU64::new(0),
             shard_exchange_nanos: AtomicU64::new(0),
             shard_imbalance_milli: AtomicU64::new(0),
@@ -465,6 +485,26 @@ impl ServeMetrics {
             .collect()
     }
 
+    /// Count one keep-alive reuse: a connection beginning its second
+    /// (or later) request.
+    pub fn reused_connection(&self) {
+        self.reused_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one pipelined request: its bytes were already buffered
+    /// when the previous response finished.
+    pub fn pipelined_request(&self) {
+        self.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(reused connections, pipelined requests)` so far.
+    pub fn connection_reuse_counts(&self) -> (u64, u64) {
+        (
+            self.reused_connections.load(Ordering::Relaxed),
+            self.pipelined_requests.load(Ordering::Relaxed),
+        )
+    }
+
     /// Fold one sharded run's per-shard `(integrate, exchange)`
     /// wall-clock nanoseconds into the totals and update the
     /// imbalance maximum (max shard integrate time / mean, in
@@ -489,9 +529,10 @@ impl ServeMetrics {
 
     /// The observability fields merged into the `GET /stats` document
     /// (alongside [`ServeStats`]' counters): `acceptors`, `batch`,
-    /// `latency`, `shards`, and `trace`.
+    /// `connections`, `latency`, `shards`, and `trace`.
     pub fn observability_fields(&self) -> Vec<(String, Value)> {
         let (emitted, dropped) = self.trace_counts();
+        let (reused, pipelined) = self.connection_reuse_counts();
         vec![
             (
                 "acceptors".into(),
@@ -510,6 +551,13 @@ impl ServeMetrics {
                         self.batch_occupancy.snapshot().to_value(),
                     ),
                     ("pass".into(), self.batch_pass.snapshot().to_value()),
+                ]),
+            ),
+            (
+                "connections".into(),
+                Value::Obj(vec![
+                    ("pipelined".into(), Value::Uint(pipelined)),
+                    ("reused".into(), Value::Uint(reused)),
                 ]),
             ),
             (
@@ -550,9 +598,16 @@ impl ServeMetrics {
     /// The `GET /stats/prom` body: Prometheus text exposition format
     /// (version 0.0.4) over the same counters and histograms as
     /// `GET /stats`.
-    pub fn prometheus(&self, stats: &ServeStats, pending: usize, cache: CacheUsage) -> String {
+    pub fn prometheus(
+        &self,
+        stats: &ServeStats,
+        pending: usize,
+        depths: [usize; 3],
+        cache: CacheUsage,
+    ) -> String {
+        let (reused, pipelined) = self.connection_reuse_counts();
         let mut out = String::new();
-        let scalars: [(&str, &str, &str, u64); 13] = [
+        let scalars: [(&str, &str, &str, u64); 16] = [
             (
                 "wafer_md_requests_total",
                 "counter",
@@ -602,6 +657,24 @@ impl ServeMetrics {
                 stats.early_exchanges,
             ),
             (
+                "wafer_md_fairness_preemptions_total",
+                "counter",
+                "Batch sweeps stopped by fairness with compatible work still pending.",
+                stats.fairness_preemptions,
+            ),
+            (
+                "wafer_md_reused_connections_total",
+                "counter",
+                "Connections that served a second request over keep-alive.",
+                reused,
+            ),
+            (
+                "wafer_md_pipelined_requests_total",
+                "counter",
+                "Requests already buffered when their turn came.",
+                pipelined,
+            ),
+            (
                 "wafer_md_cache_evictions_total",
                 "counter",
                 "Cache entries evicted by this process.",
@@ -636,6 +709,14 @@ impl ServeMetrics {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} {kind}");
             let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP wafer_md_pending_band_jobs Queued jobs per priority band."
+        );
+        let _ = writeln!(out, "# TYPE wafer_md_pending_band_jobs gauge");
+        for (band, depth) in ["high", "normal", "low"].iter().zip(depths) {
+            let _ = writeln!(out, "wafer_md_pending_band_jobs{{band=\"{band}\"}} {depth}");
         }
         for (name, help, nanos) in [
             (
@@ -845,6 +926,15 @@ mod tests {
         // remainder as valid JSON — the CI trace filter's contract.
         let stripped = r#"{"event":"batched","key":"0123456789abcdef","batch":2}"#;
         assert!(Value::parse(stripped).is_ok());
+        // String tags render between the key and the integer extras.
+        let line = TraceEvent::new("admitted")
+            .key("0123456789abcdef")
+            .tag("band", "high")
+            .render(5);
+        assert_eq!(
+            line,
+            r#"{"event":"admitted","key":"0123456789abcdef","band":"high","t_us":5}"#
+        );
     }
 
     #[test]
@@ -933,7 +1023,9 @@ mod tests {
             runs: 1,
             ..Default::default()
         };
-        let text = metrics.prometheus(&stats, 0, CacheUsage::default());
+        metrics.reused_connection();
+        metrics.pipelined_request();
+        let text = metrics.prometheus(&stats, 1, [0, 1, 0], CacheUsage::default());
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines() {
             if line.starts_with('#') {
@@ -950,6 +1042,11 @@ mod tests {
         assert!(text.contains("wafer_md_requests_total 2\n"));
         assert!(text.contains("wafer_md_acceptor_connections_total{acceptor=\"0\"} 2\n"));
         assert!(text.contains("wafer_md_acceptor_connections_total{acceptor=\"1\"} 1\n"));
+        assert!(text.contains("wafer_md_reused_connections_total 1\n"));
+        assert!(text.contains("wafer_md_pipelined_requests_total 1\n"));
+        assert!(text.contains("wafer_md_fairness_preemptions_total 0\n"));
+        assert!(text.contains("wafer_md_pending_band_jobs{band=\"normal\"} 1\n"));
+        assert!(text.contains("wafer_md_pending_band_jobs{band=\"high\"} 0\n"));
         // Histogram buckets are cumulative and end at +Inf == _count.
         let buckets: Vec<u64> = text
             .lines()

@@ -20,17 +20,23 @@
 //!   with deterministic LRU eviction: the recency order is persisted in
 //!   an index file, so the eviction sequence is a pure function of the
 //!   access sequence and replays identically across restarts.
-//! - [`JobQueue`] / [`ServeStats`] — pending runs (FIFO, deduplicated
-//!   by key) and the per-process counters (`requests`, `runs`,
-//!   `batches`, `cache_hits`, `coalesced`, `atoms_steps`, exchange
+//! - [`JobQueue`] / [`ServeStats`] — pending runs (deduplicated by
+//!   key) under a two-level dispatch discipline: strict [`Priority`]
+//!   bands (`X-Wafer-Priority: high|normal|low`), round-robin across
+//!   client identities within a band — a pure function of the
+//!   admission sequence, never the wall clock — plus the per-process
+//!   counters (`requests`, `runs`, `batches`, `cache_hits`,
+//!   `coalesced`, `fairness_preemptions`, `atoms_steps`, exchange
 //!   totals).
 //! - [`Scheduler`] — the single admission/batch/completion loop shared
 //!   by every worker behind one mutex: a request hits the disk cache,
 //!   coalesces onto a pending or in-flight job, or enqueues; a runner
-//!   claims its job *plus* every geometry-compatible queued miss
+//!   claims whatever fairness dispatches next *plus*, still in
+//!   fairness order, the geometry-compatible queued misses behind it
 //!   ([`Scheduler::claim_batch`]) and executes the batch in one
 //!   worker-pool pass outside the lock; per-job [`JobCell`]s deliver
-//!   finished artifacts to coalesced waiters without polling.
+//!   finished artifacts to coalesced waiters (and to workers whose own
+//!   job was swept into another worker's batch) without polling.
 //! - [`ServeMetrics`] — the observability layer: log2-bucket latency
 //!   histograms ([`Histogram`]) for service time, queue wait, engine
 //!   runs, and batch passes; per-acceptor connection counters; shard
@@ -45,10 +51,14 @@
 //! - [`Server`] — the minimal hand-rolled HTTP/1.1 wire layer
 //!   (`POST /run`, `GET /stats`, `GET /stats/prom`,
 //!   `GET /result/<key>`, `GET /result/<key>/trajectory.xyz`,
-//!   `POST /shutdown`), answered by a fixed-size acceptor pool
-//!   ([`ServeConfig`]: `--serve-threads`, per-connection timeouts,
-//!   request-size cap). Cache misses and trajectories stream as
-//!   chunked transfer encoding.
+//!   `POST /shutdown`), answered by a fixed-size acceptor pool over
+//!   **persistent connections**: keep-alive by default (HTTP/1.1
+//!   semantics), pipelined requests served in order off the
+//!   connection's buffered reader, bounded by a per-connection request
+//!   cap and the idle timeout ([`ServeConfig`]: `--serve-threads`,
+//!   `--timeout-ms`, `--max-requests-per-conn`, request-size cap).
+//!   Cache misses and trajectories stream as chunked transfer encoding
+//!   (self-delimiting, so keep-alive survives streaming).
 //! - [`drain_file`] / [`drain_file_with`] — the `--drain FILE` entry
 //!   point for CI: admit a request file, run the queue to empty, emit
 //!   a deterministic per-request + summary report, and exit.
@@ -76,7 +86,7 @@ mod scheduler;
 pub use cache::{is_valid_key, CacheBudget, CacheUsage, CachedResult, ResultCache};
 pub use http::{ServeConfig, Server};
 pub use metrics::{Histogram, HistogramSnapshot, ServeMetrics, TraceEvent, Tracer, HIST_BUCKETS};
-pub use queue::{Job, JobQueue, ServeStats};
+pub use queue::{Job, JobQueue, Priority, ServeStats};
 pub use scheduler::{
     drain_file, drain_file_with, run_batch, run_spec, run_spec_streaming, Disposition, JobCell,
     RunArtifacts, Scheduler,

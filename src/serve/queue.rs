@@ -1,34 +1,153 @@
-//! The job queue and the per-process serve counters.
+//! The two-level fair job queue and the per-process serve counters.
 //!
 //! One admission discipline, used by both the HTTP workers and
 //! `--drain`: a request either hits the disk cache, coalesces onto an
 //! already-queued (or already-running) job for the same key, or
-//! enqueues a new job. The queue is keyed FIFO — within a batch, jobs
-//! run in admission order, so drain output is deterministic — and never
-//! holds two jobs for one key. A drain claims *batches* rather than
-//! single jobs: the front job plus every queued job with the same
-//! execution geometry ([`crate::scenario::ScenarioSpec::batch_class`])
-//! comes off the queue together and runs in one worker-pool pass.
+//! enqueues a new job. Dispatch is two-level. The first level is three
+//! strict [`Priority`] bands (the `X-Wafer-Priority: high|normal|low`
+//! request header; headerless requests and `--drain` are `normal`): a
+//! band dispatches only when every band above it is empty. The second
+//! level is round-robin across client identities *within* a band (the
+//! peer IP, overridable via `X-Wafer-Client`), so no single client can
+//! monopolize the engine pool; within one client's lane, jobs stay
+//! FIFO. The whole order is a pure function of the admission sequence —
+//! no wall clocks participate in any decision — so `--drain` output and
+//! trace byte-determinism survive at any thread count. The queue never
+//! holds two jobs for one key.
+//!
+//! A drain claims *batches* rather than single jobs: the fairness-front
+//! job plus the jobs fairness would dispatch immediately after it, for
+//! as long as they share its execution geometry
+//! ([`crate::scenario::ScenarioSpec::batch_class`]). Unlike the old
+//! FIFO sweep, a batch never reaches past the first job fairness would
+//! dispatch to a different client or band — compatible work left behind
+//! for fairness's sake is counted as a preemption.
 
 use crate::json::Value;
 use crate::scenario::ScenarioSpec;
 
 use super::cache::CacheUsage;
 
+/// The strict dispatch band a request is admitted into, from the
+/// `X-Wafer-Priority` header (absent → [`Priority::Normal`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Dispatched before everything else.
+    High,
+    /// The default band: headerless requests and `--drain` admissions.
+    #[default]
+    Normal,
+    /// Dispatched only when the other two bands are empty.
+    Low,
+}
+
+impl Priority {
+    /// All bands, in dispatch order.
+    pub const ALL: [Self; 3] = [Self::High, Self::Normal, Self::Low];
+
+    /// Parse an `X-Wafer-Priority` header value. Case-insensitive;
+    /// anything but `high`/`normal`/`low` is `None` (the HTTP layer
+    /// turns that into a 400, never a silent default).
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "high" => Some(Self::High),
+            "normal" => Some(Self::Normal),
+            "low" => Some(Self::Low),
+            _ => None,
+        }
+    }
+
+    /// The band's stable lowercase label (trace events, stats keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::High => "high",
+            Self::Normal => "normal",
+            Self::Low => "low",
+        }
+    }
+
+    /// The band's index in dispatch order (0 = high).
+    fn band(self) -> usize {
+        match self {
+            Self::High => 0,
+            Self::Normal => 1,
+            Self::Low => 2,
+        }
+    }
+}
+
 /// A queued unit of work: one spec to run, addressed by its canonical
-/// key.
+/// key, tagged with the band and client identity fairness dispatches
+/// by.
 #[derive(Clone, Debug)]
 pub struct Job {
     /// The spec's canonical cache key ([`ScenarioSpec::key`]).
     pub key: String,
     /// The spec to run.
     pub spec: ScenarioSpec,
+    /// The strict band the job dispatches in.
+    pub priority: Priority,
+    /// The client identity the job's lane is keyed by.
+    pub client: String,
 }
 
-/// A FIFO queue of pending runs, deduplicated by cache key.
+/// One priority band: a FIFO lane per client identity, in first-enqueue
+/// order, with a round-robin cursor over the lanes. A lane is removed
+/// the moment it empties (re-enqueueing appends a fresh lane at the
+/// end), so the cursor only ever points at dispatchable work.
+#[derive(Debug, Default)]
+struct Band {
+    lanes: Vec<(String, Vec<Job>)>,
+    cursor: usize,
+}
+
+impl Band {
+    fn push(&mut self, job: Job) {
+        if let Some((_, lane)) = self.lanes.iter_mut().find(|(c, _)| *c == job.client) {
+            lane.push(job);
+        } else {
+            self.lanes.push((job.client.clone(), vec![job]));
+        }
+    }
+
+    /// The job the next [`Band::pop`] dispatches.
+    fn peek(&self) -> Option<&Job> {
+        self.lanes.get(self.cursor).map(|(_, lane)| &lane[0])
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        let job = self.lanes[self.cursor].1.remove(0);
+        if self.lanes[self.cursor].1.is_empty() {
+            // The next lane slides into the cursor slot, which is
+            // exactly the round-robin successor.
+            self.lanes.remove(self.cursor);
+            if self.cursor >= self.lanes.len() {
+                self.cursor = 0;
+            }
+        } else {
+            self.cursor = (self.cursor + 1) % self.lanes.len();
+        }
+        Some(job)
+    }
+
+    fn len(&self) -> usize {
+        self.lanes.iter().map(|(_, lane)| lane.len()).sum()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Job> {
+        self.lanes.iter().flat_map(|(_, lane)| lane.iter())
+    }
+}
+
+/// The two-level fair queue of pending runs, deduplicated by cache key:
+/// strict priority bands over per-client round-robin lanes. Dispatch
+/// order is a pure function of the admission sequence.
 #[derive(Debug, Default)]
 pub struct JobQueue {
-    jobs: Vec<Job>,
+    bands: [Band; 3],
 }
 
 impl JobQueue {
@@ -37,64 +156,64 @@ impl JobQueue {
         Self::default()
     }
 
-    /// Enqueue a job unless one with the same key is already pending.
-    /// Returns `true` if the job was newly queued, `false` if it
-    /// coalesced onto the pending one.
-    pub fn push(&mut self, key: String, spec: ScenarioSpec) -> bool {
-        if self.contains(&key) {
+    /// Enqueue a job unless one with the same key is already pending
+    /// (in any band). Returns `true` if the job was newly queued,
+    /// `false` if it coalesced onto the pending one.
+    pub fn push(&mut self, job: Job) -> bool {
+        if self.contains(&job.key) {
             return false;
         }
-        self.jobs.push(Job { key, spec });
+        self.bands[job.priority.band()].push(job);
         true
     }
 
-    /// Dequeue the oldest pending job.
+    /// The job fairness dispatches next: the round-robin cursor lane of
+    /// the highest non-empty band.
+    pub fn peek(&self) -> Option<&Job> {
+        self.bands.iter().find_map(Band::peek)
+    }
+
+    /// Dequeue the job fairness dispatches next.
     pub fn pop(&mut self) -> Option<Job> {
-        if self.jobs.is_empty() {
-            None
-        } else {
-            Some(self.jobs.remove(0))
-        }
+        self.bands.iter_mut().find_map(Band::pop)
     }
 
-    /// Remove and return the pending job with this key, wherever it sits
-    /// in the queue.
-    pub fn take(&mut self, key: &str) -> Option<Job> {
-        let pos = self.jobs.iter().position(|j| j.key == key)?;
-        Some(self.jobs.remove(pos))
-    }
-
-    /// Remove and return, in queue order, every pending job whose spec
-    /// shares `spec`'s batch class (same engine, shard count, and ghost
-    /// period) — the jobs that can ride one engine-pool pass together.
-    pub fn take_compatible(&mut self, spec: &ScenarioSpec) -> Vec<Job> {
-        let class = spec.batch_class();
-        let mut taken = Vec::new();
-        let mut kept = Vec::new();
-        for job in self.jobs.drain(..) {
-            if job.spec.batch_class() == class {
-                taken.push(job);
-            } else {
-                kept.push(job);
-            }
-        }
-        self.jobs = kept;
-        taken
-    }
-
-    /// Whether a job with this key is pending.
+    /// Whether a job with this key is pending in any band.
     pub fn contains(&self, key: &str) -> bool {
-        self.jobs.iter().any(|j| j.key == key)
+        self.bands
+            .iter()
+            .any(|b| b.iter().any(|job| job.key == key))
     }
 
-    /// The queue depth.
+    /// Whether any pending job, anywhere, shares `spec`'s execution
+    /// geometry ([`ScenarioSpec::batch_class`]). Used to detect that a
+    /// batch sweep stopped for fairness rather than for lack of
+    /// compatible work.
+    pub fn has_compatible(&self, spec: &ScenarioSpec) -> bool {
+        let class = spec.batch_class();
+        self.bands
+            .iter()
+            .any(|b| b.iter().any(|job| job.spec.batch_class() == class))
+    }
+
+    /// The momentary depth of each band, dispatch order (high, normal,
+    /// low).
+    pub fn depths(&self) -> [usize; 3] {
+        [
+            self.bands[0].len(),
+            self.bands[1].len(),
+            self.bands[2].len(),
+        ]
+    }
+
+    /// The total queue depth.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.bands.iter().map(Band::len).sum()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.bands.iter().all(|b| b.lanes.is_empty())
     }
 }
 
@@ -106,6 +225,9 @@ impl JobQueue {
 /// runs *this process* executed — cache hits add nothing, which is the
 /// point of the cache. `batches` counts engine-pool passes: with
 /// geometry-compatible misses batched, `batches ≤ runs`.
+/// `fairness_preemptions` counts batch sweeps cut short by fairness:
+/// compatible work was pending but the next fair dispatch belonged to
+/// a different client or band.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Specs submitted (valid requests admitted, however disposed).
@@ -118,6 +240,9 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Requests that coalesced onto an already-queued or in-flight job.
     pub coalesced: u64,
+    /// Batch sweeps stopped by fairness while compatible work was still
+    /// pending.
+    pub fairness_preemptions: u64,
     /// Σ atoms × steps over executed runs.
     pub atoms_steps: u64,
     /// Ghost exchanges performed by executed sharded runs.
@@ -129,11 +254,17 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// The counter fields of the `GET /stats` document, plus the
-    /// momentary queue depth and the cache's size and eviction
-    /// counters. The HTTP layer merges these with the observability
-    /// fields ([`super::ServeMetrics::observability_fields`]) and
-    /// renders the union through [`Value::sorted_obj`].
-    pub fn fields(&self, pending: usize, cache: CacheUsage) -> Vec<(String, Value)> {
+    /// momentary queue depths (total and per band) and the cache's size
+    /// and eviction counters. The HTTP layer merges these with the
+    /// observability fields
+    /// ([`super::ServeMetrics::observability_fields`]) and renders the
+    /// union through [`Value::sorted_obj`].
+    pub fn fields(
+        &self,
+        pending: usize,
+        depths: [usize; 3],
+        cache: CacheUsage,
+    ) -> Vec<(String, Value)> {
         vec![
             ("atoms_steps".into(), Value::Uint(self.atoms_steps)),
             ("batches".into(), Value::Uint(self.batches)),
@@ -144,7 +275,14 @@ impl ServeStats {
             ("early_exchanges".into(), Value::Uint(self.early_exchanges)),
             ("evictions".into(), Value::Uint(cache.evictions)),
             ("exchanges".into(), Value::Uint(self.exchanges)),
+            (
+                "fairness_preemptions".into(),
+                Value::Uint(self.fairness_preemptions),
+            ),
             ("pending".into(), Value::Uint(pending as u64)),
+            ("pending_high".into(), Value::Uint(depths[0] as u64)),
+            ("pending_low".into(), Value::Uint(depths[2] as u64)),
+            ("pending_normal".into(), Value::Uint(depths[1] as u64)),
             ("requests".into(), Value::Uint(self.requests)),
             ("runs".into(), Value::Uint(self.runs)),
         ]
@@ -152,8 +290,8 @@ impl ServeStats {
 
     /// Render the counter fields alone as the legacy `GET /stats`
     /// document: compact JSON, keys in a fixed alphabetical order.
-    pub fn to_json(&self, pending: usize, cache: CacheUsage) -> String {
-        Value::sorted_obj(self.fields(pending, cache)).render()
+    pub fn to_json(&self, pending: usize, depths: [usize; 3], cache: CacheUsage) -> String {
+        Value::sorted_obj(self.fields(pending, depths, cache)).render()
     }
 
     /// The one-line drain summary (the last line of `--drain` output,
@@ -178,49 +316,98 @@ mod tests {
     use crate::scenario::{GhostPeriod, Scenario};
     use md_core::materials::Species;
 
-    #[test]
-    fn queue_coalesces_by_key_and_pops_fifo() {
-        let a = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
-        let mut b = a;
-        b.seed += 1;
-        let mut q = JobQueue::new();
-        assert!(q.push(a.key(), a));
-        assert!(!q.push(a.key(), a), "same key coalesces");
-        assert!(q.push(b.key(), b));
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.pop().unwrap().key, a.key());
-        assert_eq!(q.pop().unwrap().key, b.key());
-        assert!(q.is_empty());
-        // Once popped, the key can queue again.
-        assert!(q.push(a.key(), a));
+    fn job(spec: ScenarioSpec, priority: Priority, client: &str) -> Job {
+        Job {
+            key: spec.key(),
+            spec,
+            priority,
+            client: client.to_string(),
+        }
+    }
+
+    fn specs(n: u64) -> Vec<ScenarioSpec> {
+        let base = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
+        (0..n)
+            .map(|i| {
+                let mut s = base;
+                s.seed = base.seed + i;
+                s
+            })
+            .collect()
     }
 
     #[test]
-    fn take_compatible_splits_the_queue_by_geometry() {
-        let a = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
-        let mut b = a;
-        b.seed += 1;
-        let mut sharded = a;
-        sharded.seed += 2;
+    fn queue_coalesces_by_key_and_one_client_stays_fifo() {
+        let s = specs(2);
+        let mut q = JobQueue::new();
+        assert!(q.push(job(s[0], Priority::Normal, "a")));
+        assert!(
+            !q.push(job(s[0], Priority::High, "b")),
+            "same key coalesces even across bands and clients"
+        );
+        assert!(q.push(job(s[1], Priority::Normal, "a")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().unwrap().key, s[0].key());
+        assert_eq!(q.pop().unwrap().key, s[0].key());
+        assert_eq!(q.pop().unwrap().key, s[1].key());
+        assert!(q.is_empty());
+        // Once popped, the key can queue again.
+        assert!(q.push(job(s[0], Priority::Normal, "a")));
+    }
+
+    #[test]
+    fn within_a_band_clients_round_robin() {
+        // Greedy client g enqueues 3 jobs before polite client p's one
+        // job arrives; fairness interleaves p after g's first dispatch.
+        let s = specs(4);
+        let mut q = JobQueue::new();
+        q.push(job(s[0], Priority::Normal, "g"));
+        q.push(job(s[1], Priority::Normal, "g"));
+        q.push(job(s[2], Priority::Normal, "g"));
+        q.push(job(s[3], Priority::Normal, "p"));
+        let order: Vec<String> = std::iter::from_fn(|| q.pop().map(|j| j.client)).collect();
+        assert_eq!(order, ["g", "p", "g", "g"]);
+    }
+
+    #[test]
+    fn bands_are_strict_priority() {
+        let s = specs(3);
+        let mut q = JobQueue::new();
+        q.push(job(s[0], Priority::Low, "a"));
+        q.push(job(s[1], Priority::High, "a"));
+        q.push(job(s[2], Priority::Normal, "b"));
+        assert_eq!(q.depths(), [1, 1, 1]);
+        assert_eq!(q.pop().unwrap().key, s[1].key(), "high first");
+        assert_eq!(q.pop().unwrap().key, s[2].key(), "then normal");
+        assert_eq!(q.pop().unwrap().key, s[0].key(), "low last");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn has_compatible_sees_every_band_and_lane() {
+        let base = Scenario::slab(Species::Ta, 3, 3, 1).to_spec();
+        let mut sharded = base;
+        sharded.seed += 1;
         sharded.shards = 2;
         sharded.ghost_period = GhostPeriod::Every(4);
         let mut q = JobQueue::new();
-        q.push(a.key(), a);
-        q.push(sharded.key(), sharded);
-        q.push(b.key(), b);
-        let front = q.pop().unwrap();
-        let batch = q.take_compatible(&front.spec);
-        // b shares a's unsharded geometry; the sharded spec stays queued.
-        assert_eq!(batch.len(), 1);
-        assert_eq!(batch[0].key, b.key());
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().unwrap().key, sharded.key());
-        // take() pulls by key from anywhere in the queue.
-        q.push(a.key(), a);
-        q.push(b.key(), b);
-        assert_eq!(q.take(&b.key()).unwrap().key, b.key());
-        assert!(q.take(&b.key()).is_none());
-        assert_eq!(q.len(), 1);
+        q.push(job(sharded, Priority::Low, "a"));
+        assert!(q.has_compatible(&sharded));
+        assert!(!q.has_compatible(&base), "different execution geometry");
+    }
+
+    #[test]
+    fn priority_parses_case_insensitively_and_rejects_junk() {
+        assert_eq!(Priority::parse("high"), Some(Priority::High));
+        assert_eq!(Priority::parse(" Normal "), Some(Priority::Normal));
+        assert_eq!(Priority::parse("LOW"), Some(Priority::Low));
+        assert_eq!(Priority::parse("urgent"), None);
+        assert_eq!(Priority::parse(""), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(
+            Priority::ALL.map(Priority::label),
+            ["high", "normal", "low"]
+        );
     }
 
     #[test]
@@ -231,6 +418,7 @@ mod tests {
             batches: 1,
             cache_hits: 0,
             coalesced: 1,
+            fairness_preemptions: 2,
             atoms_steps: 14400,
             exchanges: 5,
             early_exchanges: 1,
@@ -241,11 +429,12 @@ mod tests {
             evictions: 4,
         };
         assert_eq!(
-            stats.to_json(1, cache),
+            stats.to_json(1, [0, 1, 0], cache),
             "{\"atoms_steps\":14400,\"batches\":1,\"cache_bytes\":512,\
              \"cache_entries\":2,\"cache_hits\":0,\"coalesced\":1,\
              \"early_exchanges\":1,\"evictions\":4,\"exchanges\":5,\
-             \"pending\":1,\"requests\":3,\"runs\":2}"
+             \"fairness_preemptions\":2,\"pending\":1,\"pending_high\":0,\
+             \"pending_low\":0,\"pending_normal\":1,\"requests\":3,\"runs\":2}"
         );
         assert_eq!(
             stats.summary_line(),

@@ -3,17 +3,23 @@
 //!
 //! The discipline is one loop with three outcomes per request — disk
 //! hit, coalesce onto a pending or in-flight job, or enqueue — followed
-//! by batched execution: a runner claims the queued job it is waiting
-//! on *plus* every queued job with the same execution geometry
+//! by batched execution: a runner claims the job fairness dispatches
+//! next *plus*, in fairness order, the immediately following queued
+//! jobs with the same execution geometry
 //! ([`crate::scenario::ScenarioSpec::batch_class`]) and runs the whole
 //! batch in one worker-pool pass, landing each job's artifacts in the
-//! cache atomically. There is no second coordination layer: the
-//! concurrent HTTP workers share one `Mutex<Scheduler>`, and the
-//! per-job [`JobCell`]s are how coalesced waiters (and workers whose
-//! queued job was swept into another worker's batch) receive the
-//! finished artifacts without polling. `--drain` admits a whole request
-//! file first, so duplicate submissions visibly coalesce into one
-//! physics run and batches form across the file.
+//! cache atomically. Dispatch order is the two-level discipline of
+//! [`JobQueue`](super::queue::JobQueue): strict [`Priority`] bands,
+//! round-robin across client identities within a band — a pure
+//! function of the admission sequence, so drain output and traces stay
+//! byte-deterministic at any thread count. There is no second
+//! coordination layer: the concurrent HTTP workers share one
+//! `Mutex<Scheduler>`, and the per-job [`JobCell`]s are how coalesced
+//! waiters (and workers whose queued job was swept into another
+//! worker's batch) receive the finished artifacts without polling.
+//! `--drain` admits a whole request file first, so duplicate
+//! submissions visibly coalesce into one physics run and batches form
+//! across the file.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -28,7 +34,7 @@ use rayon::prelude::*;
 
 use super::cache::{CacheUsage, CachedResult, ResultCache};
 use super::metrics::{ServeMetrics, TraceEvent};
-use super::queue::{Job, JobQueue, ServeStats};
+use super::queue::{Job, JobQueue, Priority, ServeStats};
 use crate::json::Value;
 use crate::scenario::{Engine, Scenario, ScenarioSpec, Workload};
 use crate::traj;
@@ -283,20 +289,30 @@ fn execute(spec: &ScenarioSpec, progress: &mut dyn FnMut(&str)) -> RunArtifacts 
 }
 
 /// Run a claimed batch in one worker-pool pass. `stream` receives the
-/// report fragments of the batch's *first* job (the runner's own
-/// request) as they are finalized; the other batch members run without
-/// progress reporting. The returned artifacts are index-aligned with
-/// `batch`. Every run is bit-deterministic in isolation, so neither the
-/// pool's chunk assignment nor the pass width can influence a single
-/// byte of any result.
-pub fn run_batch(batch: &[Job], stream: &(dyn Fn(&str) + Sync)) -> Vec<RunArtifacts> {
+/// report fragments of the job at `stream_idx` (the runner's own
+/// request — no longer necessarily the batch front, since a fair claim
+/// can put another client's job first) as they are finalized; the
+/// other batch members run without progress reporting. A `stream_idx`
+/// out of range streams nothing. The returned artifacts are
+/// index-aligned with `batch`. Every run is bit-deterministic in
+/// isolation, so neither the pool's chunk assignment nor the pass
+/// width can influence a single byte of any result.
+pub fn run_batch(
+    batch: &[Job],
+    stream_idx: usize,
+    stream: &(dyn Fn(&str) + Sync),
+) -> Vec<RunArtifacts> {
     if batch.len() == 1 {
-        return vec![run_spec_streaming(&batch[0].spec, &mut |frag| stream(frag))];
+        return vec![if stream_idx == 0 {
+            run_spec_streaming(&batch[0].spec, &mut |frag| stream(frag))
+        } else {
+            run_spec(&batch[0].spec)
+        }];
     }
     (0..batch.len())
         .into_par_iter()
         .map(|i| {
-            if i == 0 {
+            if i == stream_idx {
                 run_spec_streaming(&batch[i].spec, &mut |frag| stream(frag))
             } else {
                 run_spec(&batch[i].spec)
@@ -357,6 +373,19 @@ impl Scheduler {
     /// exactly one admission-outcome trace event (`hit`, `coalesced`,
     /// or `admitted`) per call.
     pub fn submit(&mut self, spec: ScenarioSpec) -> (String, Disposition) {
+        self.submit_from(spec, Priority::Normal, "drain")
+    }
+
+    /// [`Scheduler::submit`] with an explicit priority band and client
+    /// identity — the HTTP layer's entry point. The band and client
+    /// only steer *dispatch order*; the key, the artifacts, and the
+    /// disposition logic are identical for every identity.
+    pub fn submit_from(
+        &mut self,
+        spec: ScenarioSpec,
+        priority: Priority,
+        client: &str,
+    ) -> (String, Disposition) {
         self.stats.requests += 1;
         let key = spec.key();
         if self.cache.lookup(&key).is_some() {
@@ -369,10 +398,19 @@ impl Scheduler {
             self.metrics.trace(TraceEvent::new("coalesced").key(&key));
             return (key, Disposition::Coalesced);
         }
-        self.queue.push(key.clone(), spec);
+        self.queue.push(Job {
+            key: key.clone(),
+            spec,
+            priority,
+            client: client.to_string(),
+        });
         self.cells.insert(key.clone(), JobCell::new());
         self.enqueued.insert(key.clone(), Instant::now());
-        self.metrics.trace(TraceEvent::new("admitted").key(&key));
+        self.metrics.trace(
+            TraceEvent::new("admitted")
+                .key(&key)
+                .tag("band", priority.label()),
+        );
         (key, Disposition::Queued)
     }
 
@@ -384,24 +422,39 @@ impl Scheduler {
         self.cells.get(key).cloned()
     }
 
-    /// Claim a batch of queued jobs for execution: the anchor job
-    /// (`anchor` = a specific queued key, or `None` for the queue
-    /// front) plus, in queue order, every queued job sharing its
-    /// execution geometry. The claimed jobs leave the queue but keep
-    /// their cells — they are in flight until [`Scheduler::complete`].
-    /// Returns an empty batch when the anchor is no longer queued
-    /// (another runner's batch already swept it up; wait on its cell
-    /// instead).
-    pub fn claim_batch(&mut self, anchor: Option<&str>) -> Vec<Job> {
-        let first = match anchor {
-            Some(key) => self.queue.take(key),
-            None => self.queue.pop(),
-        };
-        let Some(first) = first else {
+    /// Claim a batch of queued jobs for execution: the job fairness
+    /// dispatches next, plus — still in fairness order — every
+    /// immediately following job that shares its execution geometry
+    /// ([`crate::scenario::ScenarioSpec::batch_class`]). The sweep
+    /// stops at the first job fairness would dispatch with a different
+    /// geometry; when geometry-compatible work is still pending behind
+    /// that point (work the old FIFO sweep would have grabbed), the
+    /// stop is counted as a fairness preemption. The claimed jobs
+    /// leave the queue but keep their cells — they are in flight until
+    /// [`Scheduler::complete`]. Returns an empty batch when the queue
+    /// is empty (a worker whose own job was swept into another
+    /// worker's batch waits on its cell instead).
+    pub fn claim_batch(&mut self) -> Vec<Job> {
+        let Some(first) = self.queue.pop() else {
             return Vec::new();
         };
+        let class = first.spec.batch_class();
         let mut batch = vec![first];
-        batch.extend(self.queue.take_compatible(&batch[0].spec));
+        while self
+            .queue
+            .peek()
+            .is_some_and(|job| job.spec.batch_class() == class)
+        {
+            batch.push(self.queue.pop().expect("peeked job is present"));
+        }
+        if self.queue.has_compatible(&batch[0].spec) {
+            self.stats.fairness_preemptions += 1;
+            self.metrics.trace(
+                TraceEvent::new("preempted")
+                    .key(&batch[0].key)
+                    .with("batch", batch.len() as u64),
+            );
+        }
         self.stats.batches += 1;
         for job in &batch {
             let mut event = TraceEvent::new("batched")
@@ -483,12 +536,12 @@ impl Scheduler {
     pub fn drain(&mut self) -> io::Result<usize> {
         let mut ran = 0;
         loop {
-            let batch = self.claim_batch(None);
+            let batch = self.claim_batch();
             if batch.is_empty() {
                 return Ok(ran);
             }
             let pass = Instant::now();
-            let artifacts = run_batch(&batch, &|_| {});
+            let artifacts = run_batch(&batch, batch.len(), &|_| {});
             self.metrics.batch_pass.record_duration(pass.elapsed());
             self.metrics.batch_occupancy.record(batch.len() as u64);
             for (job, a) in batch.iter().zip(artifacts) {
@@ -519,7 +572,9 @@ impl Scheduler {
     /// per-acceptor counters, shard timings, trace counters), keys in
     /// one fixed alphabetical order.
     pub fn stats_json(&self) -> String {
-        let mut fields = self.stats.fields(self.queue.len(), self.cache.usage());
+        let mut fields =
+            self.stats
+                .fields(self.queue.len(), self.queue.depths(), self.cache.usage());
         fields.extend(self.metrics.observability_fields());
         Value::sorted_obj(fields).render()
     }
@@ -527,13 +582,29 @@ impl Scheduler {
     /// The `GET /stats/prom` document: Prometheus text exposition over
     /// the same counters and histograms.
     pub fn prometheus_text(&self) -> String {
-        self.metrics
-            .prometheus(&self.stats, self.queue.len(), self.cache.usage())
+        self.metrics.prometheus(
+            &self.stats,
+            self.queue.len(),
+            self.queue.depths(),
+            self.cache.usage(),
+        )
     }
 
     /// The momentary queue depth (claimed-but-running jobs excluded).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The momentary per-band queue depths (high, normal, low).
+    pub fn band_depths(&self) -> [usize; 3] {
+        self.queue.depths()
+    }
+
+    /// Persist the cache's recency order if read hits have reordered
+    /// it since the last index write — the clean-shutdown half of the
+    /// deferred-persistence contract (see [`ResultCache::flush`]).
+    pub fn flush_cache(&mut self) -> io::Result<()> {
+        self.cache.flush()
     }
 
     /// The cache's momentary size and eviction counters.
@@ -588,6 +659,9 @@ pub fn drain_file_with(
         admitted.push(scheduler.submit(spec));
     }
     scheduler.drain()?;
+    // Drain end is a clean shutdown: persist any recency reordering
+    // from warm-cache hits so a re-drain replays the same order.
+    scheduler.flush_cache()?;
     for (key, disposition) in &admitted {
         writeln!(out, "{key} {}", disposition.label())?;
     }

@@ -170,6 +170,67 @@ proptest! {
     }
 }
 
+/// The deferred-persistence contract of read hits: a hit reorders
+/// recency in memory only — the on-disk index is NOT rewritten per hit
+/// — yet the order still survives a clean close and drives eviction
+/// after reopen.
+#[test]
+fn recency_from_read_hits_survives_reopen_without_per_hit_rewrites() {
+    let root = scratch("evict-reopen-hits");
+    let budget = CacheBudget {
+        max_entries: 4,
+        max_bytes: u64::MAX,
+    };
+    let insert = |cache: &mut ResultCache, i: usize| {
+        let (report, counters) = files(i);
+        cache
+            .insert(
+                &key(i),
+                &[
+                    ("report.txt", report.as_str()),
+                    ("counters.json", counters.as_str()),
+                ],
+            )
+            .unwrap();
+    };
+    {
+        let mut cache = ResultCache::open_bounded(&root, budget).unwrap();
+        for i in 0..4 {
+            insert(&mut cache, i);
+        }
+        let after_inserts = fs::read_to_string(root.join("index.txt")).unwrap();
+        // Hit the two oldest keys: most-recent in memory now.
+        assert!(cache.lookup(&key(0)).is_some());
+        assert!(cache.lookup(&key(1)).is_some());
+        assert_eq!(
+            fs::read_to_string(root.join("index.txt")).unwrap(),
+            after_inserts,
+            "a read hit must not rewrite the on-disk index"
+        );
+        assert_eq!(cache.lru_keys(), vec![key(2), key(3), key(0), key(1)]);
+    } // clean close: the dirty recency order flushes here
+
+    let mut reopened = ResultCache::open_bounded(&root, budget).unwrap();
+    assert_eq!(
+        reopened.lru_keys(),
+        vec![key(2), key(3), key(0), key(1)],
+        "the hit-reordered recency survived the reopen"
+    );
+    // The flushed order drives eviction: the next insert evicts the
+    // true LRU (key 2), not the key the per-insert on-disk order would
+    // have fronted (key 0).
+    insert(&mut reopened, 4);
+    assert!(
+        reopened.lookup(&key(2)).is_none(),
+        "the true LRU was evicted"
+    );
+    assert!(
+        reopened.lookup(&key(0)).is_some(),
+        "the hit key was protected by its recency"
+    );
+    fs::remove_dir_all(&root).unwrap();
+}
+
 fn wafer_md_bin() -> &'static str {
     env!("CARGO_BIN_EXE_wafer-md")
 }

@@ -52,6 +52,7 @@ fn broken_clients_get_clean_errors_and_the_server_keeps_serving() {
         read_timeout: Duration::from_millis(300),
         write_timeout: Duration::from_millis(300),
         max_body: 4096,
+        ..ServeConfig::default()
     };
     let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
     let addr = server.local_addr().unwrap();
@@ -118,6 +119,46 @@ fn broken_clients_get_clean_errors_and_the_server_keeps_serving() {
     assert_eq!(status_of(&resp), Some(408), "{resp}");
     assert!(resp.contains("request timed out"), "{resp}");
 
+    // 10. Duplicate Content-Length headers: under pipelining, ambiguous
+    // body framing would desync the request stream, so the request is
+    // rejected outright — even when the copies agree.
+    let resp = raw_exchange(
+        addr,
+        b"POST /run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+        true,
+    );
+    assert_eq!(status_of(&resp), Some(400), "{resp}");
+    assert!(resp.contains("duplicate Content-Length"), "{resp}");
+
+    // 11. Conflicting Content-Length headers: same rejection.
+    let resp = raw_exchange(
+        addr,
+        b"POST /run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\r\nbody",
+        true,
+    );
+    assert_eq!(status_of(&resp), Some(400), "{resp}");
+    assert!(resp.contains("duplicate Content-Length"), "{resp}");
+
+    // 12. A POST body with no Content-Length: per HTTP/1.1 the request
+    // has no body, so it is served as empty — but the connection is
+    // forced closed and whatever trailed the headers is drained, never
+    // parsed as a pipelined follow-up request. The smuggled request
+    // after the blank line must never be answered — exactly one
+    // response (the empty body failing spec parse) comes back, and it
+    // announces the close.
+    let resp = raw_exchange(
+        addr,
+        b"POST /run HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n",
+        true,
+    );
+    assert_eq!(status_of(&resp), Some(400), "{resp}");
+    assert!(resp.contains("Connection: close"), "{resp}");
+    assert_eq!(
+        resp.matches("HTTP/1.1 ").count(),
+        1,
+        "exactly one response: {resp}"
+    );
+
     // After every fault, the server still answers real work.
     let spec = fixture_spec();
     let (status, headers, body) = http(addr, "POST", "/run", &spec.to_json());
@@ -153,6 +194,7 @@ fn mid_response_disconnect_still_completes_and_caches_the_run() {
         read_timeout: Duration::from_millis(500),
         write_timeout: Duration::from_millis(500),
         max_body: 1 << 20,
+        ..ServeConfig::default()
     };
     let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
     let addr = server.local_addr().unwrap();

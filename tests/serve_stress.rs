@@ -15,8 +15,9 @@ mod common;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use common::{fixture_spec, header, http, scratch};
+use common::{fixture_spec, header, http, scratch, KeepAliveClient};
 use wafer_md::json::Value;
 use wafer_md::scenario::{GhostPeriod, ScenarioSpec};
 use wafer_md::serve::{run_spec, CacheBudget, ResultCache, ServeConfig, Server};
@@ -343,6 +344,326 @@ fn latency_ordering_holds_and_prometheus_exposition_is_well_formed() {
         "the +Inf bucket equals the histogram count"
     );
     assert_eq!(requests_total, Some(valid as f64));
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Every file under `root`, as sorted (relative path, bytes) pairs —
+/// for whole-cache byte comparisons.
+fn dir_snapshot(root: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &std::path::Path, base: &std::path::Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(&path, base, out);
+            } else {
+                let rel = path
+                    .strip_prefix(base)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn keep_alive_socket_matches_fresh_connections_byte_for_byte() {
+    // The keep-alive conformance contract: the same 8-request mixed
+    // hit/miss sequence, issued as 8 fresh connections against one
+    // server and down a single persistent socket against an identical
+    // second server, must produce pairwise byte-identical bodies and
+    // dispositions — and leave byte-identical caches behind.
+    let specs = unique_specs();
+    let seq: [usize; 8] = [0, 1, 0, 2, 3, 1, 4, 5];
+    let config = ServeConfig {
+        threads: serve_threads(),
+        ..ServeConfig::default()
+    };
+
+    let fresh_root = scratch("keepalive-fresh");
+    let cache = ResultCache::open_bounded(&fresh_root, CacheBudget::UNBOUNDED).unwrap();
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let fresh_addr = server.local_addr().unwrap();
+    let fresh_handle = std::thread::spawn(move || server.serve().unwrap());
+    let fresh: Vec<(String, String)> = seq
+        .iter()
+        .map(|&i| {
+            let (status, headers, body) = http(fresh_addr, "POST", "/run", &specs[i].to_json());
+            assert_eq!(status, 200);
+            (header(&headers, "x-wafer-cache").to_string(), body)
+        })
+        .collect();
+
+    let ka_root = scratch("keepalive-persistent");
+    let cache = ResultCache::open_bounded(&ka_root, CacheBudget::UNBOUNDED).unwrap();
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+    let mut client = KeepAliveClient::connect(addr);
+    for (n, &i) in seq.iter().enumerate() {
+        let (status, headers, body) = client.exchange("POST", "/run", &[], &specs[i].to_json());
+        assert_eq!(status, 200, "request {n}");
+        assert_eq!(
+            header(&headers, "connection"),
+            "keep-alive",
+            "request {n} must not close the connection"
+        );
+        let (fresh_label, fresh_body) = &fresh[n];
+        assert_eq!(
+            header(&headers, "x-wafer-cache"),
+            fresh_label,
+            "request {n}"
+        );
+        assert_eq!(
+            &body, fresh_body,
+            "request {n}: keep-alive body diverged from the fresh-connection body"
+        );
+    }
+
+    // The whole sequence rode one connection: exactly one reused
+    // connection counted, nothing pipelined (each request waited for
+    // the previous response).
+    let v = settled_stats(addr, seq.len() as u64);
+    let conns = v.get("connections").expect("connections stats object");
+    assert_eq!(conns.get("reused").and_then(Value::as_u64), Some(1));
+    assert_eq!(conns.get("pipelined").and_then(Value::as_u64), Some(0));
+    assert_eq!(v.get("requests").and_then(Value::as_u64), Some(8));
+
+    for (a, h) in [(fresh_addr, fresh_handle), (addr, handle)] {
+        let (status, _, _) = http(a, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        h.join().expect("acceptor pool drains cleanly");
+    }
+    // Same access sequence, clean shutdowns: the two cache trees are
+    // byte-identical, index file included.
+    assert_eq!(
+        dir_snapshot(&fresh_root),
+        dir_snapshot(&ka_root),
+        "keep-alive serving must leave the same cache as fresh connections"
+    );
+    std::fs::remove_dir_all(&fresh_root).unwrap();
+    std::fs::remove_dir_all(&ka_root).unwrap();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let root = scratch("pipeline");
+    let specs = unique_specs();
+    let golden: Vec<String> = specs.iter().map(|s| run_spec(s).report).collect();
+    let cache = ResultCache::open_bounded(&root, CacheBudget::UNBOUNDED).unwrap();
+    let config = ServeConfig {
+        threads: serve_threads(),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    // Three POSTs back-to-back before reading a single response byte:
+    // two distinct misses, then a repeat of the first. The responses
+    // must come back in request order with the right dispositions —
+    // the repeat is a hit because request 1 completed before the
+    // serial reader reached request 3.
+    let mut client = KeepAliveClient::connect(addr);
+    client.send("POST", "/run", &[], &specs[0].to_json());
+    client.send("POST", "/run", &[], &specs[1].to_json());
+    client.send("POST", "/run", &[], &specs[0].to_json());
+    for (n, (i, want)) in [(0usize, "miss"), (1, "miss"), (0, "hit")]
+        .iter()
+        .enumerate()
+    {
+        let (status, headers, body) = client.read_response();
+        assert_eq!(status, 200, "pipelined response {n}");
+        assert_eq!(
+            header(&headers, "x-wafer-key"),
+            specs[*i].key(),
+            "response {n}"
+        );
+        assert_eq!(header(&headers, "x-wafer-cache"), *want, "response {n}");
+        assert_eq!(body, golden[*i], "pipelined response {n} body");
+    }
+
+    // At least the third request was already buffered when the server
+    // went back to the socket (the client wrote everything before the
+    // first run finished), so the pipelined counter moved.
+    let v = settled_stats(addr, 3);
+    let conns = v.get("connections").expect("connections stats object");
+    assert!(
+        conns.get("pipelined").and_then(Value::as_u64).unwrap() >= 1,
+        "pipelined requests must be counted: {v:?}"
+    );
+    assert_eq!(conns.get("reused").and_then(Value::as_u64), Some(1));
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn max_requests_per_conn_caps_a_persistent_connection() {
+    let root = scratch("conn-cap");
+    let cache = ResultCache::open_bounded(&root, CacheBudget::UNBOUNDED).unwrap();
+    let config = ServeConfig {
+        threads: 2,
+        max_requests_per_conn: 3,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = KeepAliveClient::connect(addr);
+    for n in 0..3 {
+        let (status, headers, _) = client.exchange("GET", "/stats", &[], "");
+        assert_eq!(status, 200);
+        let want = if n < 2 { "keep-alive" } else { "close" };
+        assert_eq!(
+            header(&headers, "connection"),
+            want,
+            "request {n} of a 3-request cap"
+        );
+    }
+    assert!(
+        client.at_eof(),
+        "the server closes the socket at the request cap"
+    );
+    // A fresh connection is served normally afterwards.
+    let (status, _, _) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("acceptor pool drains cleanly");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn a_polite_client_is_not_starved_by_a_greedy_flood() {
+    let root = scratch("fairness");
+    let cache = ResultCache::open_bounded(&root, CacheBudget::UNBOUNDED).unwrap();
+    // One worker per connection: three greedy sockets plus the polite
+    // one all admit concurrently, so the queue actually interleaves.
+    let config = ServeConfig {
+        threads: 4,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_with("127.0.0.1:0", cache, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    // Greedy: three persistent connections under ONE client identity,
+    // flooding distinct sharded specs (a different batch class than
+    // the polite client's plain specs, so fairness stops are
+    // observable). Polite: one connection, a handful of distinct
+    // specs, each round trip timed.
+    let base = {
+        let mut s = fixture_spec();
+        s.steps = 10;
+        s
+    };
+    let worst = Mutex::new(Duration::ZERO);
+    std::thread::scope(|scope| {
+        for conn in 0..3u64 {
+            let base = &base;
+            scope.spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
+                for req in 0..8u64 {
+                    let mut spec = *base;
+                    spec.seed = 5000 + conn * 100 + req;
+                    spec.shards = 2;
+                    spec.ghost_period = GhostPeriod::Every(4);
+                    let (status, headers, body) = client.exchange(
+                        "POST",
+                        "/run",
+                        &[("X-Wafer-Client", "greedy")],
+                        &spec.to_json(),
+                    );
+                    assert_eq!(status, 200, "greedy conn {conn} req {req}");
+                    assert_eq!(header(&headers, "x-wafer-cache"), "miss");
+                    assert!(body.starts_with("== wafer-md serve:"), "{body}");
+                }
+            });
+        }
+        let (base, worst) = (&base, &worst);
+        scope.spawn(move || {
+            let mut client = KeepAliveClient::connect(addr);
+            for req in 0..5u64 {
+                let mut spec = *base;
+                spec.seed = 9000 + req;
+                let started = Instant::now();
+                let (status, _, body) = client.exchange(
+                    "POST",
+                    "/run",
+                    &[("X-Wafer-Client", "polite")],
+                    &spec.to_json(),
+                );
+                let elapsed = started.elapsed();
+                assert_eq!(status, 200, "polite req {req}");
+                assert!(body.starts_with("== wafer-md serve:"), "{body}");
+                let mut worst = worst.lock().unwrap();
+                if elapsed > *worst {
+                    *worst = elapsed;
+                }
+            }
+        });
+    });
+
+    // Starvation would park the polite client behind the entire
+    // greedy backlog; round-robin dispatch bounds its wait to roughly
+    // one batch. The bound is deliberately generous — it catches
+    // unbounded queue-behind-the-flood behavior, not jitter.
+    let worst = *worst.lock().unwrap();
+    assert!(
+        worst < Duration::from_secs(30),
+        "polite client starved: worst round trip {worst:?}"
+    );
+
+    let v = settled_stats(addr, 3 * 8 + 5);
+    assert_eq!(v.get("runs").and_then(Value::as_u64), Some(3 * 8 + 5));
+    assert_eq!(v.get("pending").and_then(Value::as_u64), Some(0));
+    assert_eq!(v.get("pending_high").and_then(Value::as_u64), Some(0));
+    assert_eq!(v.get("pending_normal").and_then(Value::as_u64), Some(0));
+    assert_eq!(v.get("pending_low").and_then(Value::as_u64), Some(0));
+    // The preemption counter is surfaced; whether any fired depends on
+    // the interleaving, so only its presence is asserted.
+    assert!(
+        v.get("fairness_preemptions")
+            .and_then(Value::as_u64)
+            .is_some(),
+        "{v:?}"
+    );
+
+    // Priority-header handling rides the same server: a valid band is
+    // accepted, an invalid one is a 400 with the typed hint.
+    let mut spec = base;
+    spec.seed = 9999;
+    let mut client = KeepAliveClient::connect(addr);
+    let (status, _, _) = client.exchange(
+        "POST",
+        "/run",
+        &[("X-Wafer-Priority", "HIGH")],
+        &spec.to_json(),
+    );
+    assert_eq!(status, 200, "priority bands parse case-insensitively");
+    let (status, _, body) = client.exchange(
+        "POST",
+        "/run",
+        &[("X-Wafer-Priority", "urgent")],
+        &spec.to_json(),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid X-Wafer-Priority"), "{body}");
+    assert!(client.at_eof(), "a malformed request closes the connection");
 
     let (status, _, _) = http(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
